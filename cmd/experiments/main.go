@@ -1,0 +1,300 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section from fresh simulation runs, printing each section as it
+// completes and optionally writing the whole report to a file (the
+// repository's EXPERIMENTS.md is produced this way).
+//
+// Usage:
+//
+//	experiments [-scale quick|default|paper] [-seed N] [-only substr] [-out file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pplivesim/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+type section struct {
+	id    string
+	title string
+	gen   func(r *experiments.Runner) (string, error)
+}
+
+func sections() []section {
+	return []section{
+		{"fig2", "Figure 2 — China-TELE probe, popular program", func(r *experiments.Runner) (string, error) {
+			out, err := r.Popular()
+			if err != nil {
+				return "", err
+			}
+			return experiments.FigureABC("", out.Reports[experiments.ProbeTELE]), nil
+		}},
+		{"fig3", "Figure 3 — China-TELE probe, unpopular program", func(r *experiments.Runner) (string, error) {
+			out, err := r.Unpopular()
+			if err != nil {
+				return "", err
+			}
+			return experiments.FigureABC("", out.Reports[experiments.ProbeTELE]), nil
+		}},
+		{"fig4", "Figure 4 — USA-Mason probe, popular program", func(r *experiments.Runner) (string, error) {
+			out, err := r.Popular()
+			if err != nil {
+				return "", err
+			}
+			return experiments.FigureABC("", out.Reports[experiments.ProbeMason]), nil
+		}},
+		{"fig5", "Figure 5 — USA-Mason probe, unpopular program", func(r *experiments.Runner) (string, error) {
+			out, err := r.Unpopular()
+			if err != nil {
+				return "", err
+			}
+			return experiments.FigureABC("", out.Reports[experiments.ProbeMason]), nil
+		}},
+		{"fig6", "Figure 6 — traffic locality across the four-week schedule", func(r *experiments.Runner) (string, error) {
+			pop, unpop, err := r.Fig6(func(day int) {
+				fmt.Fprintf(os.Stderr, "  fig6 day %d/%d\n", day+1, r.Scale.Fig6Days)
+			})
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderFig6(pop, unpop), nil
+		}},
+		{"fig7", "Figure 7 — peer-list response times, TELE probe / popular", func(r *experiments.Runner) (string, error) {
+			out, err := r.Popular()
+			if err != nil {
+				return "", err
+			}
+			return experiments.ResponseTimes("", out.Reports[experiments.ProbeTELE]), nil
+		}},
+		{"fig8", "Figure 8 — peer-list response times, TELE probe / unpopular", func(r *experiments.Runner) (string, error) {
+			out, err := r.Unpopular()
+			if err != nil {
+				return "", err
+			}
+			return experiments.ResponseTimes("", out.Reports[experiments.ProbeTELE]), nil
+		}},
+		{"fig9", "Figure 9 — peer-list response times, Mason probe / popular", func(r *experiments.Runner) (string, error) {
+			out, err := r.Popular()
+			if err != nil {
+				return "", err
+			}
+			return experiments.ResponseTimes("", out.Reports[experiments.ProbeMason]), nil
+		}},
+		{"fig10", "Figure 10 — peer-list response times, Mason probe / unpopular", func(r *experiments.Runner) (string, error) {
+			out, err := r.Unpopular()
+			if err != nil {
+				return "", err
+			}
+			return experiments.ResponseTimes("", out.Reports[experiments.ProbeMason]), nil
+		}},
+		{"tab1", "Table 1 — average response time (s) to data requests", func(r *experiments.Runner) (string, error) {
+			pop, err := r.Popular()
+			if err != nil {
+				return "", err
+			}
+			unpop, err := r.Unpopular()
+			if err != nil {
+				return "", err
+			}
+			rows := []string{
+				experiments.DataRTRow("TELE-Popular", pop.Reports[experiments.ProbeTELE]),
+				experiments.DataRTRow("TELE-Unpopular", unpop.Reports[experiments.ProbeTELE]),
+				experiments.DataRTRow("Mason-Popular", pop.Reports[experiments.ProbeMason]),
+				experiments.DataRTRow("Mason-Unpopular", unpop.Reports[experiments.ProbeMason]),
+			}
+			return strings.Join(rows, "\n") + "\n", nil
+		}},
+		{"fig11", "Figure 11 — connections and contributions, TELE probe / popular", func(r *experiments.Runner) (string, error) {
+			out, err := r.Popular()
+			if err != nil {
+				return "", err
+			}
+			return experiments.Contributions("", out.Reports[experiments.ProbeTELE]), nil
+		}},
+		{"fig12", "Figure 12 — connections and contributions, TELE probe / unpopular", func(r *experiments.Runner) (string, error) {
+			out, err := r.Unpopular()
+			if err != nil {
+				return "", err
+			}
+			return experiments.Contributions("", out.Reports[experiments.ProbeTELE]), nil
+		}},
+		{"fig13", "Figure 13 — connections and contributions, Mason probe / popular", func(r *experiments.Runner) (string, error) {
+			out, err := r.Popular()
+			if err != nil {
+				return "", err
+			}
+			return experiments.Contributions("", out.Reports[experiments.ProbeMason]), nil
+		}},
+		{"fig14", "Figure 14 — connections and contributions, Mason probe / unpopular", func(r *experiments.Runner) (string, error) {
+			out, err := r.Unpopular()
+			if err != nil {
+				return "", err
+			}
+			return experiments.Contributions("", out.Reports[experiments.ProbeMason]), nil
+		}},
+		{"fig15", "Figure 15 — rank vs RTT, TELE probe / popular", func(r *experiments.Runner) (string, error) {
+			out, err := r.Popular()
+			if err != nil {
+				return "", err
+			}
+			return experiments.RTTCorrelation("", out.Reports[experiments.ProbeTELE]), nil
+		}},
+		{"fig16", "Figure 16 — rank vs RTT, TELE probe / unpopular", func(r *experiments.Runner) (string, error) {
+			out, err := r.Unpopular()
+			if err != nil {
+				return "", err
+			}
+			return experiments.RTTCorrelation("", out.Reports[experiments.ProbeTELE]), nil
+		}},
+		{"fig17", "Figure 17 — rank vs RTT, Mason probe / popular", func(r *experiments.Runner) (string, error) {
+			out, err := r.Popular()
+			if err != nil {
+				return "", err
+			}
+			return experiments.RTTCorrelation("", out.Reports[experiments.ProbeMason]), nil
+		}},
+		{"fig18", "Figure 18 — rank vs RTT, Mason probe / unpopular", func(r *experiments.Runner) (string, error) {
+			out, err := r.Unpopular()
+			if err != nil {
+				return "", err
+			}
+			return experiments.RTTCorrelation("", out.Reports[experiments.ProbeMason]), nil
+		}},
+		{"ablation-referral", "Ablation — neighbor referral vs tracker-only (+ BitTorrent baseline)", func(r *experiments.Runner) (string, error) {
+			out, err := r.AblationReferral()
+			if err != nil {
+				return "", err
+			}
+			return out.Render(), nil
+		}},
+		{"ablation-latency", "Ablation — latency-based neighbor selection", func(r *experiments.Runner) (string, error) {
+			out, err := r.AblationLatencyBias()
+			if err != nil {
+				return "", err
+			}
+			return out.Render(), nil
+		}},
+		{"ablation-preference", "Ablation — performance-weighted scheduling", func(r *experiments.Runner) (string, error) {
+			out, err := r.AblationPreference()
+			if err != nil {
+				return "", err
+			}
+			return out.Render(), nil
+		}},
+		{"ablation-fidelity", "Ablation — background fidelity substitution", func(r *experiments.Runner) (string, error) {
+			out, err := r.AblationFidelity()
+			if err != nil {
+				return "", err
+			}
+			return out.Render(), nil
+		}},
+	}
+}
+
+func run() error {
+	scaleName := flag.String("scale", "default", "quick, default, or paper")
+	seed := flag.Int64("seed", 20081011, "base random seed (default: the measurement start date)")
+	only := flag.String("only", "", "run only sections whose id contains this substring")
+	out := flag.String("out", "", "also append sections to this file")
+	plots := flag.String("plots", "", "also render SVG figures into this directory")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "quick":
+		scale = experiments.QuickScale()
+	case "default":
+		scale = experiments.DefaultScale()
+	case "paper":
+		scale = experiments.PaperScale()
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+
+	var sink *os.File
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sink = f
+	}
+	emit := func(s string) {
+		fmt.Print(s)
+		if sink != nil {
+			fmt.Fprint(sink, s)
+		}
+	}
+
+	runner := experiments.NewRunner(scale, *seed)
+	emit(fmt.Sprintf("experiment run: scale=%s seed=%d population×%.2f watch=%s fig6days=%d\n\n",
+		*scaleName, *seed, scale.Population, scale.Watch, scale.Fig6Days))
+
+	start := time.Now()
+	for _, s := range sections() {
+		if *only != "" && !strings.Contains(s.id, *only) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "== running %s ==\n", s.id)
+		secStart := time.Now()
+		body, err := s.gen(runner)
+		if err != nil {
+			return fmt.Errorf("section %s: %w", s.id, err)
+		}
+		emit(fmt.Sprintf("## %s: %s\n%s(wall %s)\n\n", s.id, s.title, body, time.Since(secStart).Round(time.Second)))
+	}
+	if *plots != "" {
+		if err := renderPlots(runner, *plots); err != nil {
+			return fmt.Errorf("plots: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "figures written to %s\n", *plots)
+	}
+	emit(fmt.Sprintf("total wall time: %s\n", time.Since(start).Round(time.Second)))
+	return nil
+}
+
+// renderPlots draws every figure from the cached runs (running them if the
+// -only filter skipped them).
+func renderPlots(runner *experiments.Runner, dir string) error {
+	fw := experiments.NewFigureWriter(dir)
+	pop, err := runner.Popular()
+	if err != nil {
+		return err
+	}
+	unpop, err := runner.Unpopular()
+	if err != nil {
+		return err
+	}
+	views := []struct {
+		probe                           string
+		out                             *experiments.RunOutputs
+		prefix, title, rt, contrib, rtt string
+	}{
+		{experiments.ProbeTELE, pop, "fig2", "TELE probe / popular", "fig7-list-rt", "fig11", "fig15-rtt"},
+		{experiments.ProbeTELE, unpop, "fig3", "TELE probe / unpopular", "fig8-list-rt", "fig12", "fig16-rtt"},
+		{experiments.ProbeMason, pop, "fig4", "Mason probe / popular", "fig9-list-rt", "fig13", "fig17-rtt"},
+		{experiments.ProbeMason, unpop, "fig5", "Mason probe / unpopular", "fig10-list-rt", "fig14", "fig18-rtt"},
+	}
+	for _, v := range views {
+		rep := v.out.Reports[v.probe]
+		if rep == nil {
+			continue
+		}
+		if err := fw.WriteAll(v.prefix, v.title, rep, v.rt, v.contrib, v.rtt); err != nil {
+			return err
+		}
+	}
+	return nil
+}

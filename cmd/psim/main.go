@@ -1,0 +1,109 @@
+// Command psim runs a single P2P live-streaming scenario and prints the
+// probe-side analysis: the locality panels, response-time groups,
+// contribution fits, and rank–RTT correlation for each probe.
+//
+// Usage:
+//
+//	psim [-channel popular|unpopular] [-scale 0.25] [-watch 20m]
+//	     [-probes tele,cnc,mason] [-seed 7] [-no-referral] [-no-latency-bias]
+//	     [-no-preference]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pplivesim"
+	"pplivesim/internal/experiments"
+	"pplivesim/internal/isp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "psim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	channel := flag.String("channel", "popular", "popular or unpopular")
+	scale := flag.Float64("scale", 0.25, "population scale (1.0 = paper-size audience)")
+	watch := flag.Duration("watch", 20*time.Minute, "probe watch duration")
+	warmup := flag.Duration("warmup", 6*time.Minute, "swarm warm-up before probes join")
+	probesFlag := flag.String("probes", "tele,mason", "comma-separated probe ISPs: tele, cnc, cer, other, mason")
+	seed := flag.Int64("seed", 7, "random seed")
+	noReferral := flag.Bool("no-referral", false, "ablate neighbor referral")
+	noLatency := flag.Bool("no-latency-bias", false, "ablate latency-based selection")
+	noPref := flag.Bool("no-preference", false, "ablate performance-weighted scheduling")
+	flag.Parse()
+
+	var sc pplive.Scenario
+	switch *channel {
+	case "popular":
+		sc = pplive.PopularScenario(*seed, *scale)
+	case "unpopular":
+		sc = pplive.UnpopularScenario(*seed, *scale)
+	default:
+		return fmt.Errorf("unknown channel %q", *channel)
+	}
+	sc.Watch = *watch
+	sc.WarmUp = *warmup
+	sc.ArrivalWindow = *warmup / 2
+	sc.Behaviour = pplive.Behaviour{
+		DisableReferral:    *noReferral,
+		DisableLatencyBias: *noLatency,
+		DisablePreference:  *noPref,
+	}
+
+	for _, name := range strings.Split(*probesFlag, ",") {
+		name = strings.TrimSpace(name)
+		var category pplive.ISP
+		switch name {
+		case "tele":
+			category = isp.TELE
+		case "cnc":
+			category = isp.CNC
+		case "cer":
+			category = isp.CER
+		case "other":
+			category = isp.OtherCN
+		case "mason", "foreign":
+			category = isp.Foreign
+		case "":
+			continue
+		default:
+			return fmt.Errorf("unknown probe %q", name)
+		}
+		sc.Probes = append(sc.Probes, pplive.ProbeSpec{Name: name, ISP: category})
+	}
+	if len(sc.Probes) == 0 {
+		return fmt.Errorf("no probes specified")
+	}
+
+	fmt.Printf("scenario %s: %d viewers, watch %s (total virtual %s), seed %d\n",
+		sc.Name, sc.Viewers.Total(), sc.Watch, sc.WarmUp+sc.Watch, sc.Seed)
+	start := time.Now()
+	res, err := pplive.RunScenario(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("completed: %d engine events, %d viewers spawned, wall %s\n\n",
+		res.EventsProcessed, res.PeersSpawned, time.Since(start).Round(time.Millisecond))
+
+	for i, p := range res.Probes {
+		rep, err := pplive.AnalyzeProbe(res, i)
+		if err != nil {
+			return err
+		}
+		title := fmt.Sprintf("=== probe %s (%s) ===", p.Name, p.ISP)
+		fmt.Println(experiments.FigureABC(title, rep))
+		fmt.Println(experiments.ResponseTimes("peer-list response times:", rep))
+		fmt.Println(experiments.DataRTRow("data response times:", rep))
+		fmt.Println(experiments.Contributions("contributions:", rep))
+		fmt.Println(experiments.RTTCorrelation("rank vs RTT:", rep))
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+// Command tracegen runs a scenario and saves a probe's raw packet trace in
+// the repository's trace format (JSON lines with a context header) — the
+// simulation's counterpart of exporting a Wireshark capture for offline
+// analysis. cmd/analyze consumes the output.
+//
+// Usage:
+//
+//	tracegen [-channel popular] [-scale 0.15] [-watch 10m] [-probe tele]
+//	         [-seed 7] [-out trace.jsonl]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pplivesim"
+	"pplivesim/internal/isp"
+	"pplivesim/internal/tracefile"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func probeISP(name string) (pplive.ISP, error) {
+	switch name {
+	case "tele":
+		return isp.TELE, nil
+	case "cnc":
+		return isp.CNC, nil
+	case "cer":
+		return isp.CER, nil
+	case "other":
+		return isp.OtherCN, nil
+	case "mason", "foreign":
+		return isp.Foreign, nil
+	default:
+		return 0, fmt.Errorf("unknown probe %q", name)
+	}
+}
+
+func run() error {
+	channel := flag.String("channel", "popular", "popular or unpopular")
+	scale := flag.Float64("scale", 0.15, "population scale")
+	watch := flag.Duration("watch", 10*time.Minute, "probe watch duration")
+	probe := flag.String("probe", "tele", "probe ISP: tele, cnc, cer, other, mason")
+	seed := flag.Int64("seed", 7, "random seed")
+	out := flag.String("out", "-", "output file (default stdout)")
+	flag.Parse()
+
+	category, err := probeISP(*probe)
+	if err != nil {
+		return err
+	}
+
+	var sc pplive.Scenario
+	switch *channel {
+	case "popular":
+		sc = pplive.PopularScenario(*seed, *scale)
+	case "unpopular":
+		sc = pplive.UnpopularScenario(*seed, *scale)
+	default:
+		return fmt.Errorf("unknown channel %q", *channel)
+	}
+	sc.Watch = *watch
+	sc.WarmUp = 5 * time.Minute
+	sc.ArrivalWindow = 3 * time.Minute
+	sc.Probes = []pplive.ProbeSpec{{Name: *probe, ISP: category}}
+
+	res, err := pplive.RunScenario(sc)
+	if err != nil {
+		return err
+	}
+
+	hdr := tracefile.Header{
+		Probe:    *probe,
+		ProbeISP: category.String(),
+		Source:   res.SourceAddr.String(),
+		Channel:  uint32(sc.Spec.Channel),
+	}
+	for t := range res.Trackers {
+		hdr.Trackers = append(hdr.Trackers, t.String())
+	}
+
+	sink := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sink = f
+	}
+	records := res.Probes[0].Recorder.Records()
+	if err := tracefile.Write(sink, hdr, records); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: wrote %d records\n", len(records))
+	return nil
+}

@@ -1,0 +1,61 @@
+// ASN lookup: resolve peer addresses through the IP→ASN mapping service
+// over the simulated wire — the measurement pipeline's Team Cymru step —
+// and show the client-side cache at work.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+	"time"
+
+	"pplivesim/internal/asnmap"
+	"pplivesim/internal/isp"
+	"pplivesim/internal/simnet"
+)
+
+func main() {
+	w := simnet.NewWorld(1)
+	w.CodecCheck = true // every datagram rides the real codec
+
+	srvEnv, err := w.Spawn(simnet.HostSpec{ISP: isp.TELE, UploadBps: 1 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	service := asnmap.NewService(srvEnv, asnmap.SyntheticInternet())
+	srvEnv.SetHandler(service)
+
+	cliEnv, err := w.Spawn(simnet.HostSpec{ISP: isp.Foreign, UploadBps: 1 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	client := asnmap.NewClient(cliEnv, srvEnv.Addr())
+	cliEnv.SetHandler(client)
+
+	addrs := []string{
+		"58.40.1.2",     // China Telecom
+		"60.1.2.3",      // China Netcom
+		"59.66.1.1",     // CERNET
+		"129.174.10.20", // George Mason campus
+		"58.40.1.2",     // repeat → served from cache
+		"192.0.2.1",     // unregistered
+	}
+	for _, s := range addrs {
+		addr := netip.MustParseAddr(s)
+		client.Resolve(addr, func(rec asnmap.Record, found bool) {
+			if found {
+				fmt.Printf("%-15s -> AS%-5d %-8s %-30s (t=%v)\n",
+					addr, rec.ASN, rec.ISP, rec.Name, w.Engine.Now().Round(time.Millisecond))
+			} else {
+				fmt.Printf("%-15s -> no origin AS registered (t=%v)\n",
+					addr, w.Engine.Now().Round(time.Millisecond))
+			}
+		})
+	}
+
+	if err := w.Engine.Run(time.Minute); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nservice answered %d queries; client cached %d records\n",
+		service.Queries(), client.CacheSize())
+}

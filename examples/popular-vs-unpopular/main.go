@@ -1,0 +1,45 @@
+// Popular vs unpopular: the paper's core contrast (Figures 2 vs 3). A TELE
+// probe and a Mason (US campus) probe watch a popular and an unpopular
+// channel; locality is strong for the popular channel and degrades when
+// there are too few same-ISP viewers — exactly the paper's Figure 3/5 story.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"pplivesim"
+)
+
+func run(name string, sc pplive.Scenario) {
+	sc.Watch = 15 * time.Minute
+	sc.WarmUp = 6 * time.Minute
+	sc.ArrivalWindow = 3 * time.Minute
+	sc.Probes = []pplive.ProbeSpec{
+		{Name: "tele", ISP: pplive.TELE},
+		{Name: "mason", ISP: pplive.Foreign},
+	}
+	fmt.Printf("== %s channel: %d concurrent viewers ==\n", name, sc.Viewers.Total())
+	res, err := pplive.RunScenario(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, p := range res.Probes {
+		rep, err := pplive.AnalyzeProbe(res, i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  probe %-5s (%s): potential locality %5.1f%%  traffic locality %5.1f%%\n",
+			p.Name, p.ISP, 100*rep.PotentialLocality, 100*rep.TrafficLocality)
+	}
+	fmt.Println()
+}
+
+func main() {
+	run("popular", pplive.PopularScenario(7, 0.25))
+	run("unpopular", pplive.UnpopularScenario(7, 1.0))
+	fmt.Println("expectation (paper §3.2): popular-channel locality is high for both probes;")
+	fmt.Println("unpopular-channel locality degrades, most severely for the Mason probe,")
+	fmt.Println("because too few same-ISP viewers watch the same niche program.")
+}

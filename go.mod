@@ -1,0 +1,3 @@
+module pplivesim
+
+go 1.22

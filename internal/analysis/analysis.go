@@ -1,0 +1,340 @@
+// Package analysis turns a probe's captured trace into the paper's figures:
+// ISP-grouped returned-address counts, per-source list attribution, traffic
+// locality, response-time groups, contribution rank distributions with
+// stretched-exponential and Zipf fits, and rank–RTT correlation.
+//
+// Everything is computed from the probe-side trace through the IP→ASN
+// resolver, exactly as the paper computed its results from Wireshark
+// captures via Team Cymru — never from global simulator state.
+package analysis
+
+import (
+	"math"
+	"net/netip"
+	"time"
+
+	"pplivesim/internal/capture"
+	"pplivesim/internal/fit"
+	"pplivesim/internal/isp"
+	"pplivesim/internal/wire"
+)
+
+// Resolver maps an address to its ISP category (the Team Cymru step).
+// *asnmap.Registry satisfies it.
+type Resolver interface {
+	ISPOf(addr netip.Addr) (isp.ISP, bool)
+}
+
+// Input bundles everything the analysis needs about one probe trace.
+type Input struct {
+	Records  []capture.Record
+	Matched  capture.Matched
+	Resolver Resolver
+	// Trackers identifies tracker-server addresses.
+	Trackers map[netip.Addr]bool
+	// Source is the channel source address; source traffic is reported
+	// separately because the paper's peer statistics concern client peers.
+	Source netip.Addr
+	// ProbeISP is the measuring host's own ISP.
+	ProbeISP isp.ISP
+}
+
+// ListSource attributes a received peer list: the replier's ISP and whether
+// the replier was a tracker server — the "CNC_p"/"CNC_s" split of
+// Figures 2-5(b).
+type ListSource struct {
+	ISP     isp.ISP
+	Tracker bool
+}
+
+// Label renders the paper's notation, e.g. "TELE_p" or "CNC_s".
+func (s ListSource) Label() string {
+	suffix := "_p"
+	if s.Tracker {
+		suffix = "_s"
+	}
+	return s.ISP.String() + suffix
+}
+
+// RTStats summarizes one response-time group.
+type RTStats struct {
+	Count int
+	Mean  time.Duration
+}
+
+// PeerActivity aggregates the probe's interaction with one remote peer.
+type PeerActivity struct {
+	Addr     netip.Addr
+	ISP      isp.ISP
+	Requests int           // data requests sent to the peer
+	Replies  int           // matched data transmissions
+	Bytes    uint64        // payload bytes received from the peer
+	RTT      time.Duration // min application-level response time (0 if none)
+}
+
+// Report is the full per-probe analysis: one of these regenerates every
+// panel of the paper's Figures 2-5, 7-18 and Table 1 rows for that probe.
+type Report struct {
+	ProbeISP isp.ISP
+
+	// Figure (a): returned peer addresses by ISP, duplicates included.
+	ReturnedByISP map[isp.ISP]int
+	// UniqueListed is the count of distinct addresses across all lists.
+	UniqueListed int
+
+	// Figure (b): returned addresses split by list source (X_p / X_s).
+	ReturnedBySource map[ListSource]map[isp.ISP]int
+
+	// Figure (c): matched data transmissions and downloaded payload bytes
+	// by ISP (regular peers only; the source is tallied separately).
+	TransmissionsByISP  map[isp.ISP]uint64
+	BytesByISP          map[isp.ISP]uint64
+	SourceTransmissions uint64
+	SourceBytes         uint64
+
+	// TrafficLocality is the same-ISP share of downloaded bytes;
+	// PotentialLocality the same-ISP share of returned addresses.
+	TrafficLocality   float64
+	PotentialLocality float64
+
+	// Figures 7-10: peer-list response times grouped TELE/CNC/OTHER.
+	ListRT map[isp.Group]RTStats
+	// ListRTSeries holds (request time, response time) points per group for
+	// scatter plots.
+	ListRTSeries map[isp.Group][]RTPoint
+
+	// Table 1: data-request response times grouped TELE/CNC/OTHER.
+	DataRT map[isp.Group]RTStats
+
+	// UnansweredLists / UnansweredData mirror the paper's observation that
+	// a non-trivial number of requests go unanswered.
+	UnansweredLists int
+	UnansweredData  int
+
+	// Figures 11-14: per-peer activity (unique connected peers), the rank
+	// distribution fits, and the top-10% shares.
+	Peers           []PeerActivity
+	ConnectedByISP  map[isp.ISP]int
+	SEFit           fit.StretchedExponential
+	ZipfFit         fit.Zipf
+	TopRequestShare float64 // share of requests to the top 10% of peers
+	TopByteShare    float64 // share of bytes from the top 10% of peers
+
+	// Figures 15-18: correlation between log(#requests) and log(RTT).
+	RTTCorrelation float64
+}
+
+// RTPoint is one response-time observation.
+type RTPoint struct {
+	At time.Duration // when the request was sent
+	RT time.Duration // response time
+}
+
+// resolve returns the ISP of an address, mapping unresolvable ones (none
+// should occur for simulation traffic) to Foreign, the paper's catch-all.
+func resolve(r Resolver, a netip.Addr) isp.ISP {
+	if got, ok := r.ISPOf(a); ok {
+		return got
+	}
+	return isp.Foreign
+}
+
+// Analyze computes the full report for one probe trace.
+func Analyze(in Input) *Report {
+	rep := &Report{
+		ProbeISP:           in.ProbeISP,
+		ReturnedByISP:      make(map[isp.ISP]int),
+		ReturnedBySource:   make(map[ListSource]map[isp.ISP]int),
+		TransmissionsByISP: make(map[isp.ISP]uint64),
+		BytesByISP:         make(map[isp.ISP]uint64),
+		ListRT:             make(map[isp.Group]RTStats),
+		ListRTSeries:       make(map[isp.Group][]RTPoint),
+		DataRT:             make(map[isp.Group]RTStats),
+		ConnectedByISP:     make(map[isp.ISP]int),
+	}
+
+	rep.analyzeLists(in)
+	rep.analyzeTraffic(in)
+	rep.analyzeResponseTimes(in)
+	rep.analyzePeers(in)
+	rep.UnansweredLists = in.Matched.UnansweredLists
+	rep.UnansweredData = in.Matched.UnansweredData
+	return rep
+}
+
+// analyzeLists covers Figures (a) and (b): returned addresses by ISP, with
+// duplicates, attributed to their list source.
+func (rep *Report) analyzeLists(in Input) {
+	unique := make(map[netip.Addr]bool)
+	addList := func(src ListSource, addrs []netip.Addr) {
+		byISP := rep.ReturnedBySource[src]
+		if byISP == nil {
+			byISP = make(map[isp.ISP]int)
+			rep.ReturnedBySource[src] = byISP
+		}
+		for _, a := range addrs {
+			cat := resolve(in.Resolver, a)
+			rep.ReturnedByISP[cat]++
+			byISP[cat]++
+			unique[a] = true
+		}
+	}
+	for _, ex := range in.Matched.ListExchanges {
+		addList(ListSource{ISP: resolve(in.Resolver, ex.Peer)}, ex.Addrs)
+	}
+	for _, ex := range in.Matched.TrackerLists {
+		addList(ListSource{ISP: resolve(in.Resolver, ex.Peer), Tracker: true}, ex.Addrs)
+	}
+	rep.UniqueListed = len(unique)
+
+	total := 0
+	for _, n := range rep.ReturnedByISP {
+		total += n
+	}
+	if total > 0 {
+		rep.PotentialLocality = float64(rep.ReturnedByISP[in.ProbeISP]) / float64(total)
+	}
+}
+
+// analyzeTraffic covers Figure (c): matched transmissions and bytes by ISP.
+func (rep *Report) analyzeTraffic(in Input) {
+	for _, tx := range in.Matched.Transmissions {
+		if tx.Peer == in.Source {
+			rep.SourceTransmissions++
+			rep.SourceBytes += uint64(tx.Bytes)
+			continue
+		}
+		cat := resolve(in.Resolver, tx.Peer)
+		rep.TransmissionsByISP[cat]++
+		rep.BytesByISP[cat] += uint64(tx.Bytes)
+	}
+	var total uint64
+	for _, b := range rep.BytesByISP {
+		total += b
+	}
+	if total > 0 {
+		rep.TrafficLocality = float64(rep.BytesByISP[in.ProbeISP]) / float64(total)
+	}
+}
+
+// analyzeResponseTimes covers Figures 7-10 and Table 1.
+func (rep *Report) analyzeResponseTimes(in Input) {
+	listSum := make(map[isp.Group]time.Duration)
+	for _, ex := range in.Matched.ListExchanges {
+		g := isp.GroupOf(resolve(in.Resolver, ex.Peer))
+		st := rep.ListRT[g]
+		st.Count++
+		listSum[g] += ex.ResponseTime()
+		rep.ListRT[g] = st
+		rep.ListRTSeries[g] = append(rep.ListRTSeries[g], RTPoint{At: ex.ReqAt, RT: ex.ResponseTime()})
+	}
+	for g, st := range rep.ListRT {
+		if st.Count > 0 {
+			st.Mean = listSum[g] / time.Duration(st.Count)
+			rep.ListRT[g] = st
+		}
+	}
+
+	dataSum := make(map[isp.Group]time.Duration)
+	for _, tx := range in.Matched.Transmissions {
+		if tx.Peer == in.Source {
+			continue
+		}
+		g := isp.GroupOf(resolve(in.Resolver, tx.Peer))
+		st := rep.DataRT[g]
+		st.Count++
+		dataSum[g] += tx.ResponseTime()
+		rep.DataRT[g] = st
+	}
+	for g, st := range rep.DataRT {
+		if st.Count > 0 {
+			st.Mean = dataSum[g] / time.Duration(st.Count)
+			rep.DataRT[g] = st
+		}
+	}
+}
+
+// analyzePeers covers Figures 11-14 and 15-18: per-peer activity, rank
+// distribution fits, contribution shares, and the rank–RTT correlation.
+func (rep *Report) analyzePeers(in Input) {
+	acts := make(map[netip.Addr]*PeerActivity)
+	get := func(a netip.Addr) *PeerActivity {
+		act, ok := acts[a]
+		if !ok {
+			act = &PeerActivity{Addr: a, ISP: resolve(in.Resolver, a)}
+			acts[a] = act
+		}
+		return act
+	}
+
+	// Requests counted from raw outgoing records (answered or not), as the
+	// paper counts "data requests made by our host".
+	for _, rec := range in.Records {
+		if rec.Dir != capture.Out || rec.Type != wire.TDataRequest || rec.Peer == in.Source {
+			continue
+		}
+		get(rec.Peer).Requests++
+	}
+	for _, tx := range in.Matched.Transmissions {
+		if tx.Peer == in.Source {
+			continue
+		}
+		act := get(tx.Peer)
+		act.Replies++
+		act.Bytes += uint64(tx.Bytes)
+	}
+	for addr, rtt := range capture.RTTEstimates(in.Matched.Transmissions) {
+		if addr == in.Source {
+			continue
+		}
+		get(addr).RTT = rtt
+	}
+
+	// "Connected peers" in the paper's Figures 11-14(a) are peers involved
+	// in data transmissions.
+	for _, act := range acts {
+		if act.Replies == 0 && act.Requests == 0 {
+			continue
+		}
+		rep.Peers = append(rep.Peers, *act)
+	}
+	// Deterministic order: by requests descending, address ascending.
+	sortPeers(rep.Peers)
+	for _, act := range rep.Peers {
+		if act.Replies > 0 {
+			rep.ConnectedByISP[act.ISP]++
+		}
+	}
+
+	// Rank distribution of request counts.
+	var requests, bytes []float64
+	for _, act := range rep.Peers {
+		if act.Requests > 0 {
+			requests = append(requests, float64(act.Requests))
+		}
+		if act.Bytes > 0 {
+			bytes = append(bytes, float64(act.Bytes))
+		}
+	}
+	ranked := fit.Ranked(requests)
+	if se, err := fit.FitStretchedExponential(ranked); err == nil {
+		rep.SEFit = se
+	}
+	if z, err := fit.FitZipf(ranked); err == nil {
+		rep.ZipfFit = z
+	}
+	rep.TopRequestShare = fit.TopShare(requests, 0.1)
+	rep.TopByteShare = fit.TopShare(bytes, 0.1)
+
+	// Rank–RTT correlation: log(#requests) vs log(RTT), peers with both.
+	var lx, ly []float64
+	for _, act := range rep.Peers {
+		if act.Requests > 0 && act.RTT > 0 {
+			lx = append(lx, math.Log(float64(act.Requests)))
+			ly = append(ly, math.Log(act.RTT.Seconds()))
+		}
+	}
+	if r, err := fit.Pearson(lx, ly); err == nil {
+		rep.RTTCorrelation = r
+	}
+}

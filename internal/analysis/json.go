@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"encoding/json"
+	"time"
+
+	"pplivesim/internal/isp"
+)
+
+// reportJSON is the machine-readable form of a Report: ISP-keyed maps become
+// string-keyed objects and durations become seconds.
+type reportJSON struct {
+	ProbeISP string `json:"probeIsp"`
+
+	ReturnedByISP map[string]int            `json:"returnedByIsp"`
+	UniqueListed  int                       `json:"uniqueListed"`
+	ReturnedBySrc map[string]map[string]int `json:"returnedBySource"`
+
+	TransmissionsByISP  map[string]uint64 `json:"transmissionsByIsp"`
+	BytesByISP          map[string]uint64 `json:"bytesByIsp"`
+	SourceTransmissions uint64            `json:"sourceTransmissions"`
+	SourceBytes         uint64            `json:"sourceBytes"`
+
+	TrafficLocality   float64 `json:"trafficLocality"`
+	PotentialLocality float64 `json:"potentialLocality"`
+
+	ListRT map[string]rtJSON `json:"listResponseTimes"`
+	DataRT map[string]rtJSON `json:"dataResponseTimes"`
+
+	UnansweredLists int `json:"unansweredLists"`
+	UnansweredData  int `json:"unansweredData"`
+
+	ConnectedByISP  map[string]int `json:"connectedByIsp"`
+	SEFit           seJSON         `json:"stretchedExponentialFit"`
+	ZipfFit         zipfJSON       `json:"zipfFit"`
+	TopRequestShare float64        `json:"topRequestShare"`
+	TopByteShare    float64        `json:"topByteShare"`
+	RTTCorrelation  float64        `json:"rttCorrelation"`
+
+	Peers []peerJSON `json:"peers"`
+}
+
+type rtJSON struct {
+	Count   int     `json:"count"`
+	MeanSec float64 `json:"meanSeconds"`
+}
+
+type seJSON struct {
+	C  float64 `json:"c"`
+	A  float64 `json:"a"`
+	B  float64 `json:"b"`
+	R2 float64 `json:"r2"`
+}
+
+type zipfJSON struct {
+	Alpha float64 `json:"alpha"`
+	R2    float64 `json:"r2"`
+}
+
+type peerJSON struct {
+	Addr     string  `json:"addr"`
+	ISP      string  `json:"isp"`
+	Requests int     `json:"requests"`
+	Replies  int     `json:"replies"`
+	Bytes    uint64  `json:"bytes"`
+	RTTSec   float64 `json:"rttSeconds,omitempty"`
+}
+
+func ispKeys[V any](in map[isp.ISP]V) map[string]V {
+	out := make(map[string]V, len(in))
+	for k, v := range in {
+		out[k.String()] = v
+	}
+	return out
+}
+
+func rtKeys(in map[isp.Group]RTStats) map[string]rtJSON {
+	out := make(map[string]rtJSON, len(in))
+	for g, st := range in {
+		out[g.String()] = rtJSON{Count: st.Count, MeanSec: st.Mean.Seconds()}
+	}
+	return out
+}
+
+// MarshalJSON implements json.Marshaler with stable, string-keyed output.
+func (rep *Report) MarshalJSON() ([]byte, error) {
+	bySrc := make(map[string]map[string]int, len(rep.ReturnedBySource))
+	for src, counts := range rep.ReturnedBySource {
+		bySrc[src.Label()] = ispKeys(counts)
+	}
+	peers := make([]peerJSON, 0, len(rep.Peers))
+	for _, p := range rep.Peers {
+		peers = append(peers, peerJSON{
+			Addr:     p.Addr.String(),
+			ISP:      p.ISP.String(),
+			Requests: p.Requests,
+			Replies:  p.Replies,
+			Bytes:    p.Bytes,
+			RTTSec:   roundSec(p.RTT),
+		})
+	}
+	return json.Marshal(reportJSON{
+		ProbeISP:            rep.ProbeISP.String(),
+		ReturnedByISP:       ispKeys(rep.ReturnedByISP),
+		UniqueListed:        rep.UniqueListed,
+		ReturnedBySrc:       bySrc,
+		TransmissionsByISP:  ispKeys(rep.TransmissionsByISP),
+		BytesByISP:          ispKeys(rep.BytesByISP),
+		SourceTransmissions: rep.SourceTransmissions,
+		SourceBytes:         rep.SourceBytes,
+		TrafficLocality:     rep.TrafficLocality,
+		PotentialLocality:   rep.PotentialLocality,
+		ListRT:              rtKeys(rep.ListRT),
+		DataRT:              rtKeys(rep.DataRT),
+		UnansweredLists:     rep.UnansweredLists,
+		UnansweredData:      rep.UnansweredData,
+		ConnectedByISP:      ispKeys(rep.ConnectedByISP),
+		SEFit:               seJSON{C: rep.SEFit.C, A: rep.SEFit.A, B: rep.SEFit.B, R2: rep.SEFit.R2},
+		ZipfFit:             zipfJSON{Alpha: rep.ZipfFit.Alpha, R2: rep.ZipfFit.R2},
+		TopRequestShare:     rep.TopRequestShare,
+		TopByteShare:        rep.TopByteShare,
+		RTTCorrelation:      rep.RTTCorrelation,
+		Peers:               peers,
+	})
+}
+
+func roundSec(d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return d.Seconds()
+}

@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestReportMarshalJSON(t *testing.T) {
+	rep := Analyze(buildInput())
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+
+	// ISP maps must use string keys.
+	returned, ok := decoded["returnedByIsp"].(map[string]any)
+	if !ok {
+		t.Fatalf("returnedByIsp = %T", decoded["returnedByIsp"])
+	}
+	if returned["TELE"] != float64(2) {
+		t.Errorf("returnedByIsp.TELE = %v", returned["TELE"])
+	}
+
+	// Source split uses the paper's X_p/X_s labels.
+	bySrc, ok := decoded["returnedBySource"].(map[string]any)
+	if !ok || bySrc["TELE_p"] == nil {
+		t.Errorf("returnedBySource = %v", decoded["returnedBySource"])
+	}
+
+	// Response times in seconds.
+	dataRT, ok := decoded["dataResponseTimes"].(map[string]any)
+	if !ok {
+		t.Fatalf("dataResponseTimes = %T", decoded["dataResponseTimes"])
+	}
+	tele, ok := dataRT["TELE"].(map[string]any)
+	if !ok || tele["meanSeconds"] != 0.05 {
+		t.Errorf("TELE data RT = %v", dataRT["TELE"])
+	}
+
+	// Per-peer detail present.
+	peers, ok := decoded["peers"].([]any)
+	if !ok || len(peers) != 3 {
+		t.Errorf("peers = %v", decoded["peers"])
+	}
+}

@@ -1,0 +1,15 @@
+package analysis
+
+import "sort"
+
+// sortPeers orders peer activities by request count descending, then address
+// ascending, giving the rank order the paper's figures use and a
+// deterministic layout for tests.
+func sortPeers(peers []PeerActivity) {
+	sort.Slice(peers, func(i, j int) bool {
+		if peers[i].Requests != peers[j].Requests {
+			return peers[i].Requests > peers[j].Requests
+		}
+		return peers[i].Addr.Less(peers[j].Addr)
+	})
+}

@@ -1,0 +1,142 @@
+// Package asnmap provides an IP→ASN mapping service over a synthetic IPv4
+// address plan.
+//
+// The paper resolved captured peer addresses to ISPs with Team Cymru's
+// IP-to-ASN mapping service. We reproduce that indirection: a Registry
+// holds (prefix, ASN, AS name, ISP category) records backed by a
+// longest-prefix-match trie, and the analysis pipeline resolves trace
+// addresses through it rather than reading ISP labels off simulation
+// objects directly. A wire-queryable server/client pair lives in service.go.
+package asnmap
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"pplivesim/internal/ipam"
+	"pplivesim/internal/isp"
+)
+
+// Record describes the origin AS of a prefix.
+type Record struct {
+	ASN    uint32  // autonomous system number
+	Name   string  // AS name, e.g. "CHINANET-BACKBONE"
+	ISP    isp.ISP // the paper's ISP category for this AS
+	Prefix ipam.Prefix
+}
+
+// Registry maps IPv4 addresses to AS records via longest-prefix match.
+type Registry struct {
+	trie    *ipam.Trie
+	records []Record
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{trie: ipam.NewTrie()}
+}
+
+// Add registers a prefix with its AS record.
+func (r *Registry) Add(rec Record) {
+	r.trie.Insert(rec.Prefix, len(r.records))
+	r.records = append(r.records, rec)
+}
+
+// Lookup resolves an address to its AS record.
+func (r *Registry) Lookup(addr netip.Addr) (Record, bool) {
+	idx, ok := r.trie.Lookup(addr)
+	if !ok {
+		return Record{}, false
+	}
+	return r.records[idx], true
+}
+
+// ISPOf resolves an address straight to its ISP category, returning
+// isp.Foreign=false style miss via ok.
+func (r *Registry) ISPOf(addr netip.Addr) (isp.ISP, bool) {
+	rec, ok := r.Lookup(addr)
+	if !ok {
+		return 0, false
+	}
+	return rec.ISP, true
+}
+
+// Records returns a copy of all registered records, sorted by ASN.
+func (r *Registry) Records() []Record {
+	out := make([]Record, len(r.records))
+	copy(out, r.records)
+	sort.Slice(out, func(i, j int) bool { return out[i].ASN < out[j].ASN })
+	return out
+}
+
+// planEntry is one prefix of the synthetic internet address plan.
+type planEntry struct {
+	cidr string
+	asn  uint32
+	name string
+	isp  isp.ISP
+}
+
+// syntheticPlan is a compact address plan loosely modeled on real 2008-era
+// allocations: China Telecom's CHINANET, China Netcom's backbone, CERNET,
+// smaller Chinese carriers, and a handful of foreign networks. The plan only
+// needs to (a) give each ISP category enough unique addresses for large
+// simulations and (b) force analysis code through a realistic prefix lookup.
+var syntheticPlan = []planEntry{
+	// China Telecom (CHINANET).
+	{"58.32.0.0/11", 4134, "CHINANET-BACKBONE", isp.TELE},
+	{"114.80.0.0/12", 4134, "CHINANET-BACKBONE", isp.TELE},
+	{"222.64.0.0/11", 4134, "CHINANET-BACKBONE", isp.TELE},
+	{"61.128.0.0/10", 4134, "CHINANET-BACKBONE", isp.TELE},
+	// China Netcom.
+	{"60.0.0.0/11", 4837, "CNCGROUP-BACKBONE", isp.CNC},
+	{"218.56.0.0/13", 4837, "CNCGROUP-BACKBONE", isp.CNC},
+	{"221.192.0.0/12", 4837, "CNCGROUP-BACKBONE", isp.CNC},
+	{"124.64.0.0/13", 4808, "CNCGROUP-BEIJING", isp.CNC},
+	// CERNET.
+	{"59.64.0.0/12", 4538, "ERX-CERNET-BKB", isp.CER},
+	{"202.112.0.0/13", 4538, "ERX-CERNET-BKB", isp.CER},
+	// Smaller Chinese ISPs.
+	{"211.90.0.0/15", 9800, "UNICOM-CN", isp.OtherCN},
+	{"210.51.0.0/16", 9929, "CNCNET-CN", isp.OtherCN},
+	{"61.232.0.0/14", 9394, "CRNET China Railway", isp.OtherCN},
+	{"222.240.0.0/13", 17430, "GREATWALL-CN", isp.OtherCN},
+	// Foreign networks (US campus and residential, Europe, Asia-Pacific).
+	{"129.174.0.0/16", 24, "GMU George Mason University", isp.Foreign},
+	{"24.0.0.0/12", 7922, "COMCAST-7922", isp.Foreign},
+	{"68.32.0.0/11", 7922, "COMCAST-7922", isp.Foreign},
+	{"130.192.0.0/14", 137, "GARR-IT", isp.Foreign},
+	{"133.0.0.0/10", 2497, "IIJ Internet Initiative Japan", isp.Foreign},
+	{"143.248.0.0/16", 1781, "KAIST-KR", isp.Foreign},
+	{"128.112.0.0/16", 88, "PRINCETON-US", isp.Foreign},
+}
+
+// SyntheticInternet builds the default registry used by all simulations.
+func SyntheticInternet() *Registry {
+	r := NewRegistry()
+	for _, e := range syntheticPlan {
+		r.Add(Record{
+			ASN:    e.asn,
+			Name:   e.name,
+			ISP:    e.isp,
+			Prefix: ipam.MustParsePrefix(e.cidr),
+		})
+	}
+	return r
+}
+
+// PoolFor builds an allocation pool over every prefix of the given ISP
+// category in the registry, in registration order.
+func (r *Registry) PoolFor(category isp.ISP) (*ipam.Pool, error) {
+	var prefixes []ipam.Prefix
+	for _, rec := range r.records {
+		if rec.ISP == category {
+			prefixes = append(prefixes, rec.Prefix)
+		}
+	}
+	if len(prefixes) == 0 {
+		return nil, fmt.Errorf("asnmap: no prefixes registered for %s", category)
+	}
+	return ipam.NewPool(prefixes...), nil
+}

@@ -1,0 +1,124 @@
+package asnmap
+
+import (
+	"net/netip"
+	"time"
+
+	"pplivesim/internal/isp"
+	"pplivesim/internal/node"
+	"pplivesim/internal/wire"
+)
+
+// Service answers IP→ASN queries over the wire, the simulation's equivalent
+// of Team Cymru's mapping service. Analysis tooling can resolve addresses
+// either directly against a Registry or remotely through a Service.
+type Service struct {
+	env node.Env
+	reg *Registry
+
+	queries uint64
+}
+
+// NewService binds a registry to a node environment; install it with
+// env.SetHandler(service).
+func NewService(env node.Env, reg *Registry) *Service {
+	return &Service{env: env, reg: reg}
+}
+
+var _ node.Handler = (*Service)(nil)
+
+// Queries returns the number of queries served.
+func (s *Service) Queries() uint64 { return s.queries }
+
+// HandleMessage implements node.Handler.
+func (s *Service) HandleMessage(from netip.Addr, msg wire.Message) {
+	q, ok := msg.(*wire.AsnQuery)
+	if !ok {
+		return
+	}
+	s.queries++
+	resp := &wire.AsnResponse{Addr: q.Addr}
+	if rec, found := s.reg.Lookup(q.Addr); found {
+		resp.Found = true
+		resp.ASN = rec.ASN
+		resp.ISP = byte(rec.ISP)
+		resp.Name = rec.Name
+	}
+	s.env.Send(from, resp)
+}
+
+// Client queries a Service and caches answers, as the paper's analysis
+// pipeline cached Team Cymru lookups.
+type Client struct {
+	env    node.Env
+	server netip.Addr
+
+	cache   map[netip.Addr]Record
+	misses  map[netip.Addr]bool
+	pending map[netip.Addr][]func(Record, bool)
+}
+
+// NewClient creates a resolver client against the service at server;
+// install it with env.SetHandler(client).
+func NewClient(env node.Env, server netip.Addr) *Client {
+	return &Client{
+		env:     env,
+		server:  server,
+		cache:   make(map[netip.Addr]Record),
+		misses:  make(map[netip.Addr]bool),
+		pending: make(map[netip.Addr][]func(Record, bool)),
+	}
+}
+
+var _ node.Handler = (*Client)(nil)
+
+// Resolve looks up addr, invoking done with the record (and whether it was
+// found) once available. Cached answers complete on a zero-delay timer so
+// callbacks never run re-entrantly.
+func (c *Client) Resolve(addr netip.Addr, done func(Record, bool)) {
+	if rec, ok := c.cache[addr]; ok {
+		c.env.After(0, func() { done(rec, true) })
+		return
+	}
+	if c.misses[addr] {
+		c.env.After(0, func() { done(Record{}, false) })
+		return
+	}
+	c.pending[addr] = append(c.pending[addr], done)
+	if len(c.pending[addr]) == 1 {
+		c.env.Send(c.server, &wire.AsnQuery{Addr: addr})
+		// Retry while callbacks wait (queries ride a lossy network).
+		var retry func()
+		retry = func() {
+			if len(c.pending[addr]) == 0 {
+				return
+			}
+			c.env.Send(c.server, &wire.AsnQuery{Addr: addr})
+			c.env.After(2*time.Second, retry)
+		}
+		c.env.After(2*time.Second, retry)
+	}
+}
+
+// CacheSize returns the number of cached positive answers.
+func (c *Client) CacheSize() int { return len(c.cache) }
+
+// HandleMessage implements node.Handler.
+func (c *Client) HandleMessage(_ netip.Addr, msg wire.Message) {
+	resp, ok := msg.(*wire.AsnResponse)
+	if !ok {
+		return
+	}
+	waiters := c.pending[resp.Addr]
+	delete(c.pending, resp.Addr)
+	var rec Record
+	if resp.Found {
+		rec = Record{ASN: resp.ASN, Name: resp.Name, ISP: isp.ISP(resp.ISP)}
+		c.cache[resp.Addr] = rec
+	} else {
+		c.misses[resp.Addr] = true
+	}
+	for _, done := range waiters {
+		done(rec, resp.Found)
+	}
+}

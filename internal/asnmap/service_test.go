@@ -1,0 +1,109 @@
+package asnmap_test
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"pplivesim/internal/asnmap"
+	"pplivesim/internal/isp"
+	"pplivesim/internal/simnet"
+)
+
+// newServicePair spawns a service and a client in a fresh world.
+func newServicePair(t *testing.T) (*simnet.World, *asnmap.Service, *asnmap.Client) {
+	t.Helper()
+	w := simnet.NewWorld(1)
+	w.CodecCheck = true
+	srvEnv, err := w.Spawn(simnet.HostSpec{ISP: isp.TELE, UploadBps: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := asnmap.NewService(srvEnv, asnmap.SyntheticInternet())
+	srvEnv.SetHandler(svc)
+
+	cliEnv, err := w.Spawn(simnet.HostSpec{ISP: isp.CNC, UploadBps: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := asnmap.NewClient(cliEnv, srvEnv.Addr())
+	cliEnv.SetHandler(cli)
+	return w, svc, cli
+}
+
+func TestServiceResolvesOverWire(t *testing.T) {
+	w, svc, cli := newServicePair(t)
+	var gotRec asnmap.Record
+	gotFound := false
+	cli.Resolve(netip.MustParseAddr("58.40.1.2"), func(rec asnmap.Record, found bool) {
+		gotRec, gotFound = rec, found
+	})
+	if err := w.Engine.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !gotFound {
+		t.Fatal("resolution failed")
+	}
+	if gotRec.ISP != isp.TELE || gotRec.ASN != 4134 {
+		t.Errorf("record = %+v, want CHINANET", gotRec)
+	}
+	if svc.Queries() == 0 {
+		t.Error("service served no queries")
+	}
+}
+
+func TestServiceMiss(t *testing.T) {
+	w, _, cli := newServicePair(t)
+	found := true
+	cli.Resolve(netip.MustParseAddr("192.0.2.1"), func(_ asnmap.Record, ok bool) { found = ok })
+	if err := w.Engine.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if found {
+		t.Error("unregistered address resolved")
+	}
+}
+
+func TestClientCachesAnswers(t *testing.T) {
+	w, svc, cli := newServicePair(t)
+	addr := netip.MustParseAddr("60.1.2.3")
+	answers := 0
+	cli.Resolve(addr, func(asnmap.Record, bool) { answers++ })
+	if err := w.Engine.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	queriesAfterFirst := svc.Queries()
+	cli.Resolve(addr, func(asnmap.Record, bool) { answers++ })
+	cli.Resolve(addr, func(asnmap.Record, bool) { answers++ })
+	if err := w.Engine.Run(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if answers != 3 {
+		t.Errorf("answers = %d, want 3", answers)
+	}
+	if svc.Queries() != queriesAfterFirst {
+		t.Errorf("cache miss: queries went %d → %d", queriesAfterFirst, svc.Queries())
+	}
+	if cli.CacheSize() != 1 {
+		t.Errorf("cache size = %d, want 1", cli.CacheSize())
+	}
+}
+
+func TestConcurrentResolvesCoalesce(t *testing.T) {
+	w, _, cli := newServicePair(t)
+	addr := netip.MustParseAddr("59.66.0.1")
+	answers := 0
+	for i := 0; i < 5; i++ {
+		cli.Resolve(addr, func(_ asnmap.Record, ok bool) {
+			if ok {
+				answers++
+			}
+		})
+	}
+	if err := w.Engine.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if answers != 5 {
+		t.Errorf("answers = %d, want all 5 waiters called", answers)
+	}
+}

@@ -1,0 +1,470 @@
+// Package bittorrent implements the baseline the paper contrasts PPLive
+// against: a BitTorrent-style swarm with tracker-only peer discovery,
+// random neighbor selection, tit-for-tat choking, and rarest-first piece
+// scheduling (§1, §4). Peers learn about each other exclusively through the
+// tracker — no neighbor referral, no latency bias anywhere — so the overlay
+// is blind to the underlay and cross-ISP traffic is expected to dominate.
+//
+// The swarm distributes a fixed file over the same simulated underlay the
+// streaming system uses, which makes ISP-level locality directly comparable
+// between the two architectures.
+package bittorrent
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"time"
+
+	"pplivesim/internal/eventsim"
+	"pplivesim/internal/underlay"
+)
+
+// Message kinds exchanged by BT peers. Sizes approximate the real protocol.
+type msgKind int
+
+const (
+	msgTrackerRequest msgKind = iota + 1
+	msgTrackerResponse
+	msgHandshake // includes bitfield
+	msgHandshakeAck
+	msgHave
+	msgInterested
+	msgNotInterested
+	msgChoke
+	msgUnchoke
+	msgRequest
+	msgPiece
+)
+
+// message is the datagram payload.
+type message struct {
+	kind  msgKind
+	peers []netip.Addr // tracker response
+	field []bool       // handshake bitfield (copied)
+	piece int          // have / request / piece
+}
+
+// wireSize approximates each message's on-the-wire size.
+func (m *message) wireSize(pieceLen int) int {
+	switch m.kind {
+	case msgTrackerRequest:
+		return 120
+	case msgTrackerResponse:
+		return 20 + 6*len(m.peers)
+	case msgHandshake, msgHandshakeAck:
+		return 68 + (len(m.field)+7)/8
+	case msgPiece:
+		return 13 + pieceLen
+	default:
+		return 17
+	}
+}
+
+// Config sizes the swarm.
+type Config struct {
+	NumPieces int // file pieces
+	PieceLen  int // bytes per piece
+
+	MaxNeighbors   int
+	TrackerPeers   int           // peers per tracker response
+	TrackerPeriod  time.Duration // re-announce interval
+	RechokePeriod  time.Duration
+	Unchoked       int // reciprocal unchoke slots
+	OptimisticSlot int // extra optimistic unchoke slots
+	Pipeline       int // outstanding requests per neighbor
+	RequestTimeout time.Duration
+}
+
+// DefaultConfig returns a classic small-swarm configuration.
+func DefaultConfig() Config {
+	return Config{
+		NumPieces:      1200,
+		PieceLen:       16 << 10,
+		MaxNeighbors:   30,
+		TrackerPeers:   40,
+		TrackerPeriod:  60 * time.Second,
+		RechokePeriod:  10 * time.Second,
+		Unchoked:       4,
+		OptimisticSlot: 1,
+		Pipeline:       6,
+		RequestTimeout: 8 * time.Second,
+	}
+}
+
+// Tracker is the swarm's only discovery service: it returns a uniformly
+// random peer sample, with no topology awareness.
+type Tracker struct {
+	swarm *Swarm
+	host  *underlay.Host
+	peers map[netip.Addr]bool
+	order []netip.Addr
+}
+
+func (t *Tracker) handle(from netip.Addr, m *message) {
+	if m.kind != msgTrackerRequest {
+		return
+	}
+	if !t.peers[from] {
+		t.peers[from] = true
+		t.order = append(t.order, from)
+	}
+	rng := t.swarm.rng
+	candidates := make([]netip.Addr, 0, len(t.order))
+	for _, a := range t.order {
+		if a != from {
+			candidates = append(candidates, a)
+		}
+	}
+	k := t.swarm.cfg.TrackerPeers
+	if k > len(candidates) {
+		k = len(candidates)
+	}
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(len(candidates)-i)
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	}
+	t.swarm.send(t.host, from, &message{kind: msgTrackerResponse, peers: append([]netip.Addr(nil), candidates[:k]...)})
+}
+
+// neighborState tracks one BT neighbor relationship.
+type neighborState struct {
+	addr        netip.Addr
+	field       []bool
+	interested  bool // they are interested in us
+	choked      bool // we choke them
+	chokingUs   bool // they choke us
+	outstanding map[int]time.Duration
+
+	downloaded uint64 // bytes we got from them (tit-for-tat currency)
+}
+
+// Peer is one BT leecher or seeder.
+type Peer struct {
+	swarm *Swarm
+	host  *underlay.Host
+	cfg   Config
+
+	have      []bool
+	remaining int
+	neighbors map[netip.Addr]*neighborState
+
+	// Stats per remote ISP are derived by the harness from byte counters.
+	bytesFrom map[netip.Addr]uint64
+
+	done bool
+}
+
+// Addr returns the peer's address.
+func (p *Peer) Addr() netip.Addr { return p.host.Addr }
+
+// Done reports whether the peer completed the file.
+func (p *Peer) Done() bool { return p.done }
+
+// Progress returns the fraction of pieces held.
+func (p *Peer) Progress() float64 {
+	return float64(p.cfg.NumPieces-p.remaining) / float64(p.cfg.NumPieces)
+}
+
+// BytesFrom returns per-remote download byte counters.
+func (p *Peer) BytesFrom() map[netip.Addr]uint64 {
+	out := make(map[netip.Addr]uint64, len(p.bytesFrom))
+	for a, b := range p.bytesFrom {
+		out[a] = b
+	}
+	return out
+}
+
+// Swarm owns a BT session over an existing engine + underlay.
+type Swarm struct {
+	eng     *eventsim.Engine
+	net     *underlay.Network
+	cfg     Config
+	rng     *rand.Rand
+	tracker *Tracker
+	peers   map[netip.Addr]*Peer
+}
+
+// New creates a swarm with a tracker attached at trackerHost.
+func New(eng *eventsim.Engine, network *underlay.Network, cfg Config, trackerHost *underlay.Host) (*Swarm, error) {
+	if cfg.NumPieces <= 0 || cfg.PieceLen <= 0 {
+		return nil, fmt.Errorf("bittorrent: invalid piece geometry %d×%d", cfg.NumPieces, cfg.PieceLen)
+	}
+	s := &Swarm{
+		eng:   eng,
+		net:   network,
+		cfg:   cfg,
+		rng:   eng.NewRand(),
+		peers: make(map[netip.Addr]*Peer),
+	}
+	t := &Tracker{swarm: s, host: trackerHost, peers: make(map[netip.Addr]bool)}
+	if err := network.Attach(trackerHost, func(from netip.Addr, _ int, payload any) {
+		if m, ok := payload.(*message); ok {
+			t.handle(from, m)
+		}
+	}); err != nil {
+		return nil, err
+	}
+	s.tracker = t
+	return s, nil
+}
+
+// send transmits a message, accounting its approximate wire size.
+func (s *Swarm) send(from *underlay.Host, to netip.Addr, m *message) {
+	s.net.Send(from, to, m.wireSize(s.cfg.PieceLen), m)
+}
+
+// AddPeer attaches a peer; seed peers start with the full file.
+func (s *Swarm) AddPeer(host *underlay.Host, seed bool) (*Peer, error) {
+	p := &Peer{
+		swarm:     s,
+		host:      host,
+		cfg:       s.cfg,
+		have:      make([]bool, s.cfg.NumPieces),
+		remaining: s.cfg.NumPieces,
+		neighbors: make(map[netip.Addr]*neighborState),
+		bytesFrom: make(map[netip.Addr]uint64),
+	}
+	if seed {
+		for i := range p.have {
+			p.have[i] = true
+		}
+		p.remaining = 0
+		p.done = true
+	}
+	if err := s.net.Attach(host, func(from netip.Addr, _ int, payload any) {
+		if m, ok := payload.(*message); ok {
+			p.handle(from, m)
+		}
+	}); err != nil {
+		return nil, err
+	}
+	s.peers[host.Addr] = p
+	p.announce()
+	s.eng.Every(s.cfg.TrackerPeriod, p.announce)
+	s.eng.Every(s.cfg.RechokePeriod, p.rechoke)
+	s.eng.Every(time.Second, p.schedule)
+	return p, nil
+}
+
+func (p *Peer) announce() {
+	p.swarm.send(p.host, p.swarm.tracker.host.Addr, &message{kind: msgTrackerRequest})
+}
+
+// sortedNeighbors returns neighbor states in deterministic address order.
+func (p *Peer) sortedNeighbors() []*neighborState {
+	addrs := make([]netip.Addr, 0, len(p.neighbors))
+	for a := range p.neighbors {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i].Less(addrs[j]) })
+	out := make([]*neighborState, len(addrs))
+	for i, a := range addrs {
+		out[i] = p.neighbors[a]
+	}
+	return out
+}
+
+func (p *Peer) handle(from netip.Addr, m *message) {
+	switch m.kind {
+	case msgTrackerResponse:
+		// Random neighbor selection: connect to listed peers until full —
+		// no latency consideration of any kind.
+		for _, a := range m.peers {
+			if len(p.neighbors) >= p.cfg.MaxNeighbors {
+				break
+			}
+			if _, ok := p.neighbors[a]; ok || a == p.host.Addr {
+				continue
+			}
+			p.neighbors[a] = &neighborState{
+				addr: a, choked: true, chokingUs: true,
+				outstanding: make(map[int]time.Duration),
+			}
+			p.swarm.send(p.host, a, &message{kind: msgHandshake, field: append([]bool(nil), p.have...)})
+		}
+	case msgHandshake, msgHandshakeAck:
+		nb, ok := p.neighbors[from]
+		if !ok {
+			if len(p.neighbors) >= 2*p.cfg.MaxNeighbors || m.kind == msgHandshakeAck {
+				return
+			}
+			nb = &neighborState{
+				addr: from, choked: true, chokingUs: true,
+				outstanding: make(map[int]time.Duration),
+			}
+			p.neighbors[from] = nb
+		}
+		nb.field = append([]bool(nil), m.field...)
+		if m.kind == msgHandshake {
+			p.swarm.send(p.host, from, &message{kind: msgHandshakeAck, field: append([]bool(nil), p.have...)})
+		}
+		if p.wantsFrom(nb) {
+			p.swarm.send(p.host, from, &message{kind: msgInterested})
+		}
+	case msgHave:
+		nb, ok := p.neighbors[from]
+		if !ok {
+			return
+		}
+		if nb.field == nil {
+			nb.field = make([]bool, p.cfg.NumPieces)
+		}
+		if m.piece >= 0 && m.piece < len(nb.field) {
+			nb.field[m.piece] = true
+		}
+		if p.wantsFrom(nb) {
+			p.swarm.send(p.host, from, &message{kind: msgInterested})
+		}
+	case msgInterested:
+		if nb, ok := p.neighbors[from]; ok {
+			nb.interested = true
+		}
+	case msgNotInterested:
+		if nb, ok := p.neighbors[from]; ok {
+			nb.interested = false
+		}
+	case msgChoke:
+		if nb, ok := p.neighbors[from]; ok {
+			nb.chokingUs = true
+		}
+	case msgUnchoke:
+		if nb, ok := p.neighbors[from]; ok {
+			nb.chokingUs = false
+		}
+	case msgRequest:
+		nb, ok := p.neighbors[from]
+		if !ok || nb.choked {
+			return
+		}
+		if m.piece < 0 || m.piece >= len(p.have) || !p.have[m.piece] {
+			return
+		}
+		p.swarm.send(p.host, from, &message{kind: msgPiece, piece: m.piece})
+	case msgPiece:
+		nb, ok := p.neighbors[from]
+		if !ok {
+			return
+		}
+		delete(nb.outstanding, m.piece)
+		nb.downloaded += uint64(p.cfg.PieceLen)
+		p.bytesFrom[from] += uint64(p.cfg.PieceLen)
+		if m.piece >= 0 && m.piece < len(p.have) && !p.have[m.piece] {
+			p.have[m.piece] = true
+			p.remaining--
+			if p.remaining == 0 {
+				p.done = true
+			}
+			// Advertise to everyone, per protocol.
+			for _, other := range p.sortedNeighbors() {
+				p.swarm.send(p.host, other.addr, &message{kind: msgHave, piece: m.piece})
+			}
+		}
+	}
+}
+
+// wantsFrom reports whether the neighbor has a piece we lack.
+func (p *Peer) wantsFrom(nb *neighborState) bool {
+	for i, h := range nb.field {
+		if h && !p.have[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// rechoke implements tit-for-tat: unchoke the top downloaders among
+// interested neighbors plus one optimistic slot; seeds unchoke round-robin
+// by the same mechanism (download ties broken randomly).
+func (p *Peer) rechoke() {
+	interested := make([]*neighborState, 0, len(p.neighbors))
+	for _, nb := range p.sortedNeighbors() {
+		if nb.interested {
+			interested = append(interested, nb)
+		}
+		nb.downloaded = nb.downloaded / 2 // decay the reciprocation window
+	}
+	rng := p.swarm.rng
+	rng.Shuffle(len(interested), func(i, j int) { interested[i], interested[j] = interested[j], interested[i] })
+	sort.SliceStable(interested, func(i, j int) bool {
+		return interested[i].downloaded > interested[j].downloaded
+	})
+	slots := p.cfg.Unchoked + p.cfg.OptimisticSlot
+	for i, nb := range interested {
+		unchoke := i < slots
+		if unchoke == !nb.choked {
+			continue
+		}
+		nb.choked = !unchoke
+		kind := msgChoke
+		if unchoke {
+			kind = msgUnchoke
+		}
+		p.swarm.send(p.host, nb.addr, &message{kind: kind})
+	}
+}
+
+// schedule issues rarest-first requests to unchoking neighbors.
+func (p *Peer) schedule() {
+	if p.done {
+		return
+	}
+	now := p.swarm.eng.Now()
+	// Expire stale requests.
+	inFlight := make(map[int]bool)
+	for _, nb := range p.neighbors {
+		for piece, at := range nb.outstanding {
+			if now-at > p.cfg.RequestTimeout {
+				delete(nb.outstanding, piece)
+				continue
+			}
+			inFlight[piece] = true
+		}
+	}
+
+	// Piece rarity among neighbors.
+	counts := make([]int, p.cfg.NumPieces)
+	for _, nb := range p.neighbors {
+		for i, h := range nb.field {
+			if h {
+				counts[i]++
+			}
+		}
+	}
+	type cand struct {
+		piece  int
+		rarity int
+	}
+	var cands []cand
+	for i, h := range p.have {
+		if h || inFlight[i] || counts[i] == 0 {
+			continue
+		}
+		cands = append(cands, cand{piece: i, rarity: counts[i]})
+	}
+	rng := p.swarm.rng
+	rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].rarity < cands[j].rarity })
+
+	providers := p.sortedNeighbors()
+	for _, c := range cands {
+		var best *neighborState
+		for _, nb := range providers {
+			if nb.chokingUs || len(nb.outstanding) >= p.cfg.Pipeline {
+				continue
+			}
+			if c.piece < len(nb.field) && nb.field[c.piece] {
+				// Random provider among eligible holders.
+				if best == nil || rng.Intn(2) == 0 {
+					best = nb
+				}
+			}
+		}
+		if best == nil {
+			continue
+		}
+		best.outstanding[c.piece] = now
+		p.swarm.send(p.host, best.addr, &message{kind: msgRequest, piece: c.piece})
+	}
+}

@@ -1,0 +1,171 @@
+package bittorrent
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"pplivesim/internal/eventsim"
+	"pplivesim/internal/isp"
+	"pplivesim/internal/underlay"
+	"pplivesim/internal/workload"
+)
+
+// smallConfig shrinks the file so tests finish fast.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.NumPieces = 120
+	return cfg
+}
+
+func newTestSwarm(t *testing.T, cfg Config) (*eventsim.Engine, *underlay.Network, *Swarm) {
+	t.Helper()
+	eng := eventsim.New(1)
+	ucfg := underlay.DefaultConfig()
+	ucfg.LossIntra, ucfg.LossInterDomestic, ucfg.LossTransoceanic = 0, 0, 0
+	network := underlay.New(eng, ucfg)
+	tracker := &underlay.Host{
+		Addr: netip.MustParseAddr("61.128.0.1"), ISP: isp.TELE, UploadBps: 8 << 20,
+	}
+	swarm, err := New(eng, network, cfg, tracker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, network, swarm
+}
+
+func host(addr string, category isp.ISP, up float64) *underlay.Host {
+	return &underlay.Host{Addr: netip.MustParseAddr(addr), ISP: category, UploadBps: up}
+}
+
+func TestConfigValidation(t *testing.T) {
+	eng := eventsim.New(1)
+	network := underlay.New(eng, underlay.DefaultConfig())
+	bad := DefaultConfig()
+	bad.NumPieces = 0
+	_, err := New(eng, network, bad, host("61.128.0.1", isp.TELE, 1<<20))
+	if err == nil {
+		t.Error("zero pieces accepted")
+	}
+}
+
+func TestSeedToSingleLeecher(t *testing.T) {
+	eng, _, swarm := newTestSwarm(t, smallConfig())
+	seed, err := swarm.AddPeer(host("58.32.0.1", isp.TELE, 2<<20), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seed.Done() || seed.Progress() != 1 {
+		t.Fatal("seed not complete at start")
+	}
+	leecher, err := swarm.AddPeer(host("58.32.0.2", isp.TELE, 1<<20), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(10 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if !leecher.Done() {
+		t.Fatalf("leecher incomplete: progress %.2f", leecher.Progress())
+	}
+	bytes := leecher.BytesFrom()[seed.Addr()]
+	wantMin := uint64(smallConfig().NumPieces * smallConfig().PieceLen)
+	if bytes < wantMin {
+		t.Errorf("leecher got %d bytes from seed, want >= %d", bytes, wantMin)
+	}
+}
+
+func TestSwarmCompletesAndShares(t *testing.T) {
+	eng, _, swarm := newTestSwarm(t, smallConfig())
+	if _, err := swarm.AddPeer(host("58.32.0.1", isp.TELE, 1<<20), true); err != nil {
+		t.Fatal(err)
+	}
+	var leechers []*Peer
+	for i := 0; i < 12; i++ {
+		p, err := swarm.AddPeer(host(netip.AddrFrom4([4]byte{58, 32, 1, byte(i + 1)}).String(), isp.TELE, 96<<10), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		leechers = append(leechers, p)
+	}
+	if err := eng.Run(30 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	done := 0
+	peerToPeer := false
+	for i, p := range leechers {
+		if p.Done() {
+			done++
+		}
+		for from := range p.BytesFrom() {
+			for j, other := range leechers {
+				if i != j && from == other.Addr() {
+					peerToPeer = true
+				}
+			}
+		}
+	}
+	if done < 10 {
+		t.Errorf("only %d of 12 leechers completed", done)
+	}
+	if !peerToPeer {
+		t.Error("no peer-to-peer transfers observed (all load on seed)")
+	}
+}
+
+func TestChokedPeerNotServed(t *testing.T) {
+	eng, net, swarm := newTestSwarm(t, smallConfig())
+	seed, err := swarm.AddPeer(host("58.32.0.1", isp.TELE, 2<<20), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = net
+	// Craft a direct request from an unknown (never handshaked) address:
+	// the seed must ignore it.
+	stranger := host("58.32.0.9", isp.TELE, 1<<20)
+	received := 0
+	if err := net.Attach(stranger, func(_ netip.Addr, _ int, payload any) {
+		if m, ok := payload.(*message); ok && m.kind == msgPiece {
+			received++
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	swarm.send(stranger, seed.Addr(), &message{kind: msgRequest, piece: 0})
+	if err := eng.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if received != 0 {
+		t.Errorf("stranger received %d pieces without unchoke", received)
+	}
+}
+
+func TestRunLocalityBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-minute swarm")
+	}
+	viewers := workload.Population{
+		isp.TELE: 24, isp.CNC: 12, isp.CER: 3, isp.OtherCN: 4, isp.Foreign: 5,
+	}
+	res, err := RunLocality(3, viewers, isp.TELE, 20*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Progress < 0.5 {
+		t.Fatalf("probe progress %.2f too low for the test to be meaningful", res.Progress)
+	}
+	// Tracker-only random selection: locality should track the population
+	// share (≈50% TELE) rather than amplify above it the way the
+	// referral+latency system does. Allow generous slack, but it must stay
+	// far below the ~0.9 the streaming system reaches.
+	if res.Locality > 0.75 {
+		t.Errorf("baseline locality %.3f suspiciously high for random selection", res.Locality)
+	}
+	var total uint64
+	for _, b := range res.BytesByISP {
+		total += b
+	}
+	if total == 0 {
+		t.Error("probe downloaded nothing from peers")
+	}
+}

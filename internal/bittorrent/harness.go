@@ -1,0 +1,147 @@
+package bittorrent
+
+import (
+	"fmt"
+	"time"
+
+	"pplivesim/internal/asnmap"
+	"pplivesim/internal/eventsim"
+	"pplivesim/internal/ipam"
+	"pplivesim/internal/isp"
+	"pplivesim/internal/underlay"
+	"pplivesim/internal/workload"
+)
+
+// LocalityResult summarizes a probe leecher's download by origin ISP,
+// comparable to the streaming system's traffic-locality reports.
+type LocalityResult struct {
+	BytesByISP map[isp.ISP]uint64
+	// Locality is the same-ISP share of downloaded bytes (seed excluded).
+	Locality float64
+	// SeedBytes is what came straight from the initial seed.
+	SeedBytes uint64
+	// Progress is the probe's completion fraction at the horizon.
+	Progress float64
+	// PeersDone counts background leechers that completed.
+	PeersDone int
+	// Events is the engine's processed-event count.
+	Events uint64
+}
+
+// RunLocality builds a BT swarm over the simulated underlay with the given
+// per-ISP leecher population, one seed (in TELE, like the streaming source),
+// and one probe leecher in probeISP, runs it for the given duration, and
+// reports the probe's download locality. This is the tracker-only baseline
+// the paper contrasts with PPLive's referral-based selection.
+func RunLocality(seed int64, viewers workload.Population, probeISP isp.ISP, duration time.Duration) (*LocalityResult, error) {
+	eng := eventsim.New(seed)
+	network := underlay.New(eng, underlay.DefaultConfig())
+	registry := asnmap.SyntheticInternet()
+	cfg := DefaultConfig()
+
+	pools := make(map[isp.ISP]*ipam.Pool)
+	newHost := func(category isp.ISP, upload float64) (*underlay.Host, error) {
+		pool, ok := pools[category]
+		if !ok {
+			var err error
+			pool, err = registry.PoolFor(category)
+			if err != nil {
+				return nil, err
+			}
+			pools[category] = pool
+		}
+		addr, err := pool.Alloc()
+		if err != nil {
+			return nil, err
+		}
+		return &underlay.Host{
+			Addr:      addr,
+			ISP:       category,
+			UploadBps: upload,
+			ProcDelay: 3 * time.Millisecond,
+		}, nil
+	}
+
+	// Tracker and seed.
+	trackerHost, err := newHost(isp.TELE, 8<<20)
+	if err != nil {
+		return nil, err
+	}
+	swarm, err := New(eng, network, cfg, trackerHost)
+	if err != nil {
+		return nil, err
+	}
+	seedHost, err := newHost(isp.TELE, 4<<20)
+	if err != nil {
+		return nil, err
+	}
+	seedPeer, err := swarm.AddPeer(seedHost, true)
+	if err != nil {
+		return nil, err
+	}
+
+	// Background leechers: joins spread over the first two minutes.
+	rng := eng.NewRand()
+	var background []*Peer
+	for _, category := range isp.All() {
+		for i := 0; i < viewers[category]; i++ {
+			category := category
+			at := time.Duration(rng.Int63n(int64(2 * time.Minute)))
+			eng.At(at, func() {
+				host, err := newHost(category, workload.UploadCapacity(rng, category))
+				if err != nil {
+					panic(fmt.Sprintf("bittorrent: host: %v", err))
+				}
+				p, err := swarm.AddPeer(host, false)
+				if err != nil {
+					panic(fmt.Sprintf("bittorrent: peer: %v", err))
+				}
+				background = append(background, p)
+			})
+		}
+	}
+
+	// Probe leecher joins two minutes in.
+	var probe *Peer
+	eng.At(2*time.Minute, func() {
+		host, err := newHost(probeISP, workload.UploadCapacity(rng, probeISP))
+		if err != nil {
+			panic(fmt.Sprintf("bittorrent: probe host: %v", err))
+		}
+		probe, err = swarm.AddPeer(host, false)
+		if err != nil {
+			panic(fmt.Sprintf("bittorrent: probe: %v", err))
+		}
+	})
+
+	if err := eng.Run(duration); err != nil {
+		return nil, err
+	}
+
+	out := &LocalityResult{BytesByISP: make(map[isp.ISP]uint64), Events: eng.Processed()}
+	if probe != nil {
+		out.Progress = probe.Progress()
+		var total uint64
+		for addr, bytes := range probe.BytesFrom() {
+			if addr == seedPeer.Addr() {
+				out.SeedBytes += bytes
+				continue
+			}
+			category := isp.Foreign
+			if got, ok := registry.ISPOf(addr); ok {
+				category = got
+			}
+			out.BytesByISP[category] += bytes
+			total += bytes
+		}
+		if total > 0 {
+			out.Locality = float64(out.BytesByISP[probeISP]) / float64(total)
+		}
+	}
+	for _, p := range background {
+		if p.Done() {
+			out.PeersDone++
+		}
+	}
+	return out, nil
+}

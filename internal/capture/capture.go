@@ -1,0 +1,242 @@
+// Package capture is the measurement apparatus: a packet recorder attached
+// at probe hosts (the Wireshark equivalent of the paper's methodology) and
+// the paper's trace-matching rules.
+//
+// The paper matched data requests and replies "based on the IP addresses and
+// transmission sub-piece sequence numbers", and matched each peer-list reply
+// "to the latest request designated to the same IP address" (§3.1). Both
+// rules are implemented verbatim over the recorded trace.
+package capture
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"pplivesim/internal/wire"
+)
+
+// Direction of a recorded datagram relative to the probe host.
+type Direction int
+
+// Directions.
+const (
+	In  Direction = iota + 1 // received by the probe
+	Out                      // sent by the probe
+)
+
+// String returns "in" or "out".
+func (d Direction) String() string {
+	switch d {
+	case In:
+		return "in"
+	case Out:
+		return "out"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// Record is one captured datagram. Only protocol-relevant fields are
+// retained (the paper similarly extracted per-connection information from
+// raw packets).
+type Record struct {
+	At   time.Duration
+	Dir  Direction
+	Peer netip.Addr // the remote address
+	Type wire.Type
+	Size int
+
+	// Data-plane fields (TDataRequest / TDataReply).
+	Seq     uint64
+	Count   uint16
+	Payload int // payload bytes (replies)
+
+	// Peer-list fields (TPeerListReply / TTrackerResponse): the returned
+	// addresses, retained because the paper's Figures 2-5(a,b) count them
+	// per ISP with duplicates.
+	Addrs []netip.Addr
+}
+
+// Recorder accumulates a probe host's trace.
+type Recorder struct {
+	self    netip.Addr
+	records []Record
+}
+
+// NewRecorder creates a recorder for the probe at self.
+func NewRecorder(self netip.Addr) *Recorder {
+	return &Recorder{self: self}
+}
+
+// Self returns the probe address.
+func (r *Recorder) Self() netip.Addr { return r.self }
+
+// Observe records one datagram. It is shaped to plug directly into
+// simnet.Env taps via closures:
+//
+//	env.TapRecv(func(p netip.Addr, m wire.Message, n int) { rec.Observe(now(), capture.In, p, m, n) })
+func (r *Recorder) Observe(at time.Duration, dir Direction, peerAddr netip.Addr, msg wire.Message, size int) {
+	rec := Record{At: at, Dir: dir, Peer: peerAddr, Type: msg.Kind(), Size: size}
+	switch m := msg.(type) {
+	case *wire.DataRequest:
+		rec.Seq, rec.Count = m.Seq, m.Count
+	case *wire.DataReply:
+		rec.Seq, rec.Count, rec.Payload = m.Seq, m.Count, m.PayloadLen()
+	case *wire.PeerListReply:
+		rec.Addrs = append([]netip.Addr(nil), m.Peers...)
+	case *wire.TrackerResponse:
+		rec.Addrs = append([]netip.Addr(nil), m.Peers...)
+	case *wire.PeerListRequest:
+		// Outgoing gossip requests matter for response-time matching; the
+		// enclosed own-list is not analyzed (the paper analyzes returned
+		// lists), so only the count is kept implicitly via Size.
+	}
+	r.records = append(r.records, rec)
+}
+
+// Records returns the trace in capture order. The returned slice is the
+// recorder's backing store; callers must not mutate it.
+func (r *Recorder) Records() []Record { return r.records }
+
+// Len returns the number of captured datagrams.
+func (r *Recorder) Len() int { return len(r.records) }
+
+// Transmission is one matched data request/reply pair ("a data transmission
+// consists of a pair of data request and reply", §3.2).
+type Transmission struct {
+	Peer   netip.Addr
+	Seq    uint64
+	ReqAt  time.Duration
+	RepAt  time.Duration
+	Bytes  int // payload bytes received
+	Pieces int // sub-pieces received
+}
+
+// ResponseTime returns the request→reply latency.
+func (t Transmission) ResponseTime() time.Duration { return t.RepAt - t.ReqAt }
+
+// ListExchange is one matched peer-list request/reply pair.
+type ListExchange struct {
+	Peer  netip.Addr
+	ReqAt time.Duration
+	RepAt time.Duration
+	Addrs []netip.Addr
+}
+
+// ResponseTime returns the request→reply latency.
+func (e ListExchange) ResponseTime() time.Duration { return e.RepAt - e.ReqAt }
+
+// Matched is the outcome of running the paper's matching rules over a trace.
+type Matched struct {
+	// Transmissions are matched data request/reply pairs in reply order.
+	Transmissions []Transmission
+	// UnansweredData counts data requests that never got a reply.
+	UnansweredData int
+	// ListExchanges are matched peer-list request/reply pairs in reply
+	// order, covering regular-peer gossip only.
+	ListExchanges []ListExchange
+	// UnansweredLists counts peer-list requests that never got a reply
+	// (the paper notes "a non-trivial number of peer-list requests were not
+	// answered").
+	UnansweredLists int
+	// TrackerLists are peer lists received from tracker servers (matched
+	// trivially: tracker responses to our queries).
+	TrackerLists []ListExchange
+}
+
+type dataKey struct {
+	peer netip.Addr
+	seq  uint64
+}
+
+// Match applies the paper's matching rules to a trace. trackers identifies
+// tracker-server addresses so tracker responses are attributed separately
+// from regular-peer referrals (the X_s vs X_p split of Figures 2-5(b)).
+func Match(records []Record, trackers map[netip.Addr]bool) Matched {
+	var out Matched
+
+	// Data matching: key (peer, seq); replies consume the latest request.
+	pendingData := make(map[dataKey]time.Duration)
+	// Peer-list matching: reply matches the latest outstanding request to
+	// the same address.
+	pendingList := make(map[netip.Addr][]time.Duration)
+	pendingTracker := make(map[netip.Addr][]time.Duration)
+
+	for _, rec := range records {
+		switch {
+		case rec.Dir == Out && rec.Type == wire.TDataRequest:
+			pendingData[dataKey{rec.Peer, rec.Seq}] = rec.At
+		case rec.Dir == In && rec.Type == wire.TDataReply:
+			k := dataKey{rec.Peer, rec.Seq}
+			if reqAt, ok := pendingData[k]; ok {
+				delete(pendingData, k)
+				out.Transmissions = append(out.Transmissions, Transmission{
+					Peer:   rec.Peer,
+					Seq:    rec.Seq,
+					ReqAt:  reqAt,
+					RepAt:  rec.At,
+					Bytes:  rec.Payload,
+					Pieces: int(rec.Count),
+				})
+			}
+		case rec.Dir == Out && rec.Type == wire.TPeerListRequest:
+			pendingList[rec.Peer] = append(pendingList[rec.Peer], rec.At)
+		case rec.Dir == In && rec.Type == wire.TPeerListReply:
+			stack := pendingList[rec.Peer]
+			if len(stack) == 0 {
+				continue // unsolicited; real traces have these too
+			}
+			// "...match the peer list reply to the latest request
+			// designated to the same IP address."
+			reqAt := stack[len(stack)-1]
+			pendingList[rec.Peer] = stack[:len(stack)-1]
+			out.ListExchanges = append(out.ListExchanges, ListExchange{
+				Peer:  rec.Peer,
+				ReqAt: reqAt,
+				RepAt: rec.At,
+				Addrs: rec.Addrs,
+			})
+		case rec.Dir == Out && rec.Type == wire.TTrackerQuery:
+			pendingTracker[rec.Peer] = append(pendingTracker[rec.Peer], rec.At)
+		case rec.Dir == In && rec.Type == wire.TTrackerResponse:
+			if !trackers[rec.Peer] {
+				continue
+			}
+			stack := pendingTracker[rec.Peer]
+			var reqAt time.Duration
+			if len(stack) > 0 {
+				reqAt = stack[len(stack)-1]
+				pendingTracker[rec.Peer] = stack[:len(stack)-1]
+			} else {
+				reqAt = rec.At
+			}
+			out.TrackerLists = append(out.TrackerLists, ListExchange{
+				Peer:  rec.Peer,
+				ReqAt: reqAt,
+				RepAt: rec.At,
+				Addrs: rec.Addrs,
+			})
+		}
+	}
+
+	out.UnansweredData = len(pendingData)
+	for _, stack := range pendingList {
+		out.UnansweredLists += len(stack)
+	}
+	return out
+}
+
+// RTTEstimates returns the per-peer RTT estimate the paper uses (§3.5):
+// the minimum application-level response time over all data transmissions
+// involving that peer.
+func RTTEstimates(transmissions []Transmission) map[netip.Addr]time.Duration {
+	out := make(map[netip.Addr]time.Duration)
+	for _, tx := range transmissions {
+		rt := tx.ResponseTime()
+		if cur, ok := out[tx.Peer]; !ok || rt < cur {
+			out[tx.Peer] = rt
+		}
+	}
+	return out
+}

@@ -1,0 +1,390 @@
+// Package core orchestrates full simulations: it assembles the underlay,
+// control servers (bootstrap + five tracker groups), the channel source, a
+// churning background viewer population, and instrumented probe clients, then
+// runs the scenario and returns the probes' captured traces for analysis.
+//
+// This mirrors the paper's methodology: probe hosts deployed in chosen ISPs
+// join a live channel alongside the organic audience and capture every
+// datagram; everything the study reports is computed from those probe-side
+// traces (never from global simulator state).
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"pplivesim/internal/asnmap"
+	"pplivesim/internal/capture"
+	"pplivesim/internal/isp"
+	"pplivesim/internal/peer"
+	"pplivesim/internal/simnet"
+	"pplivesim/internal/stream"
+	"pplivesim/internal/tracker"
+	"pplivesim/internal/wire"
+	"pplivesim/internal/workload"
+)
+
+// ProbeSpec places one instrumented measurement client.
+type ProbeSpec struct {
+	Name string
+	ISP  isp.ISP
+	// UploadBps overrides the probe's uplink; zero draws from the ISP's
+	// capacity distribution.
+	UploadBps float64
+}
+
+// Behaviour toggles the mechanism ablations DESIGN.md calls out. The zero
+// value is the faithful PPLive behaviour.
+type Behaviour struct {
+	// DisableReferral makes every peer answer gossip with empty lists,
+	// leaving trackers as the only discovery channel (tracker-centric
+	// baseline behaviour inside the PPLive protocol shell).
+	DisableReferral bool
+	// DisableLatencyBias randomizes handshake timing so neighbor-slot
+	// acquisition no longer correlates with proximity.
+	DisableLatencyBias bool
+	// DisablePreference schedules data requests uniformly across covering
+	// neighbors instead of preferring fast ones.
+	DisablePreference bool
+	// FullFidelityBackground runs background peers at probe fidelity
+	// (BatchCount 1); used by the fidelity ablation.
+	FullFidelityBackground bool
+}
+
+// Scenario fully describes one simulation run.
+type Scenario struct {
+	Name      string
+	Seed      int64
+	Spec      stream.Spec
+	Viewers   workload.Population
+	Churn     workload.Churn
+	Probes    []ProbeSpec
+	Behaviour Behaviour
+
+	// ArrivalWindow spreads the initial population's joins.
+	ArrivalWindow time.Duration
+	// WarmUp is when probes join (after the swarm has formed).
+	WarmUp time.Duration
+	// Watch is how long probes stay; total simulated time is
+	// WarmUp + Watch.
+	Watch time.Duration
+}
+
+// Validate checks scenario consistency.
+func (s *Scenario) Validate() error {
+	if err := s.Spec.Validate(); err != nil {
+		return err
+	}
+	if s.Viewers.Total() <= 0 {
+		return fmt.Errorf("core: scenario %q has no viewers", s.Name)
+	}
+	if len(s.Probes) == 0 {
+		return fmt.Errorf("core: scenario %q has no probes", s.Name)
+	}
+	if s.ArrivalWindow <= 0 || s.WarmUp <= 0 || s.Watch <= 0 {
+		return fmt.Errorf("core: scenario %q has non-positive timing", s.Name)
+	}
+	return nil
+}
+
+// DefaultTiming fills the standard timing used by the paper-scale
+// experiments (probes watch for two hours).
+func (s *Scenario) DefaultTiming() {
+	if s.ArrivalWindow == 0 {
+		s.ArrivalWindow = 8 * time.Minute
+	}
+	if s.WarmUp == 0 {
+		s.WarmUp = 10 * time.Minute
+	}
+	if s.Watch == 0 {
+		s.Watch = 2 * time.Hour
+	}
+}
+
+// ProbeResult is one probe's captured trace plus identity.
+type ProbeResult struct {
+	Name     string
+	ISP      isp.ISP
+	Addr     netip.Addr
+	Recorder *capture.Recorder
+	Client   *peer.Client
+}
+
+// Result is a completed run.
+type Result struct {
+	Scenario Scenario
+	Probes   []ProbeResult
+	// Trackers is the set of tracker-server addresses, needed by the
+	// trace-matching split between tracker and regular-peer lists.
+	Trackers map[netip.Addr]bool
+	// Registry resolves observed addresses to ISPs (the Team Cymru step).
+	Registry *asnmap.Registry
+	// SourceAddr is the channel source (excluded from "regular peer"
+	// statistics where the paper's methodology implies client peers).
+	SourceAddr netip.Addr
+	// Elapsed is the simulated duration.
+	Elapsed time.Duration
+	// EventsProcessed is the engine's event count (for benchmarks).
+	EventsProcessed uint64
+	// PeersSpawned counts background viewers ever created.
+	PeersSpawned int
+}
+
+// Sim is an assembled, not-yet-run simulation.
+type Sim struct {
+	scenario Scenario
+	world    *simnet.World
+
+	bootstrapAddr netip.Addr
+	trackerAddrs  map[netip.Addr]bool
+	sourceAddr    netip.Addr
+
+	probes []ProbeResult
+
+	peersSpawned int
+	background   []*peer.Client
+}
+
+// BackgroundClients returns every background viewer ever spawned (including
+// departed ones), for swarm-health inspection in tests and tools.
+func (s *Sim) BackgroundClients() []*peer.Client { return s.background }
+
+// trackerGroupISPs places the five tracker groups; the paper locates all
+// tracker deployments inside China.
+var trackerGroupISPs = [tracker.Groups]isp.ISP{
+	isp.TELE, isp.CNC, isp.CER, isp.TELE, isp.CNC,
+}
+
+// infraUploadBps is the uplink of control servers (bootstrap, trackers).
+const infraUploadBps = 8 << 20
+
+// sourceUploadBps returns the channel source's uplink for a given audience:
+// enough to seed the swarm and absorb flash-crowd ramps (PPLive provisioned
+// server clusters per channel), but a small fraction of aggregate demand so
+// the mesh must carry the stream.
+func sourceUploadBps(sc Scenario) float64 {
+	demand := float64(sc.Viewers.Total()) * float64(sc.Spec.BitrateBps)
+	capacity := 0.2 * demand
+	if capacity < 4<<20 {
+		capacity = 4 << 20
+	}
+	return capacity
+}
+
+// Build assembles a simulation from a scenario.
+func Build(sc Scenario) (*Sim, error) {
+	sc.DefaultTiming()
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	world := simnet.NewWorld(sc.Seed)
+	sim := &Sim{
+		scenario:     sc,
+		world:        world,
+		trackerAddrs: make(map[netip.Addr]bool),
+	}
+
+	// Bootstrap/channel server.
+	bsEnv, err := world.Spawn(simnet.HostSpec{ISP: isp.TELE, UploadBps: infraUploadBps, ProcDelay: 2 * time.Millisecond})
+	if err != nil {
+		return nil, fmt.Errorf("spawn bootstrap: %w", err)
+	}
+	bs := tracker.NewBootstrap(bsEnv)
+	bsEnv.SetHandler(bs)
+	sim.bootstrapAddr = bsEnv.Addr()
+
+	// Five tracker groups, two servers each.
+	var groups [tracker.Groups][]netip.Addr
+	for g := 0; g < tracker.Groups; g++ {
+		for i := 0; i < 2; i++ {
+			env, err := world.Spawn(simnet.HostSpec{ISP: trackerGroupISPs[g], UploadBps: infraUploadBps, ProcDelay: 2 * time.Millisecond})
+			if err != nil {
+				return nil, fmt.Errorf("spawn tracker: %w", err)
+			}
+			srv := tracker.NewServer(env)
+			env.SetHandler(srv)
+			groups[g] = append(groups[g], env.Addr())
+			sim.trackerAddrs[env.Addr()] = true
+		}
+	}
+
+	// Channel source.
+	srcEnv, err := world.Spawn(simnet.HostSpec{ISP: isp.TELE, UploadBps: sourceUploadBps(sc), ProcDelay: 2 * time.Millisecond})
+	if err != nil {
+		return nil, fmt.Errorf("spawn source: %w", err)
+	}
+	src, err := peer.NewSource(srcEnv, sc.Spec)
+	if err != nil {
+		return nil, err
+	}
+	srcEnv.SetHandler(src)
+	sim.sourceAddr = srcEnv.Addr()
+
+	// Channel directory.
+	err = bs.AddChannel(tracker.ChannelDirectory{
+		Info:          sc.Spec.Info(),
+		Source:        srcEnv.Addr(),
+		TrackerGroups: groups,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Background population: initial arrivals spread over ArrivalWindow.
+	// Iterate categories in fixed order — map order would break run
+	// determinism.
+	rng := world.Engine.NewRand()
+	for _, category := range isp.All() {
+		count := sc.Viewers[category]
+		for i := 0; i < count; i++ {
+			at := time.Duration(rng.Int63n(int64(sc.ArrivalWindow)))
+			category := category
+			world.Engine.At(at, func() { sim.spawnViewer(category) })
+		}
+	}
+
+	// Probes join at WarmUp.
+	for _, ps := range sc.Probes {
+		ps := ps
+		world.Engine.At(sc.WarmUp, func() {
+			if err := sim.spawnProbe(ps); err != nil {
+				panic(fmt.Sprintf("core: spawn probe %s: %v", ps.Name, err))
+			}
+		})
+	}
+
+	return sim, nil
+}
+
+// backgroundConfig derives a background viewer's config from the scenario.
+func (s *Sim) backgroundConfig() peer.Config {
+	cfg := peer.BackgroundConfig(s.scenario.Spec, s.bootstrapAddr)
+	if s.scenario.Behaviour.FullFidelityBackground {
+		cfg = peer.DefaultConfig(s.scenario.Spec, s.bootstrapAddr)
+	}
+	s.applyBehaviour(&cfg)
+	return cfg
+}
+
+func (s *Sim) applyBehaviour(cfg *peer.Config) {
+	b := s.scenario.Behaviour
+	cfg.ReferralEnabled = !b.DisableReferral
+	cfg.LatencyBias = !b.DisableLatencyBias
+	cfg.PreferFastNeighbors = !b.DisablePreference
+}
+
+// spawnViewer creates one background viewer and, with churn enabled,
+// schedules its departure and replacement.
+func (s *Sim) spawnViewer(category isp.ISP) {
+	rng := s.world.Engine.Rand()
+	env, err := s.world.Spawn(simnet.HostSpec{
+		ISP:       category,
+		UploadBps: workload.UploadCapacity(rng, category),
+		ProcDelay: workload.ProcDelay(rng),
+	})
+	if err != nil {
+		// Address exhaustion would be a scenario sizing bug; surface loudly.
+		panic(fmt.Sprintf("core: spawn viewer: %v", err))
+	}
+	cfg := s.backgroundConfig()
+	client, err := peer.New(env, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("core: viewer config: %v", err))
+	}
+	env.SetHandler(client)
+	client.SetOnStopped(env.Close)
+	client.Start()
+	s.peersSpawned++
+	s.background = append(s.background, client)
+
+	if s.scenario.Churn.Enabled {
+		session := s.scenario.Churn.SessionLength(rng)
+		s.world.Engine.After(session, func() {
+			client.Stop()
+			gap := time.Duration(rng.ExpFloat64() * float64(s.scenario.Churn.ReplacementDelay))
+			s.world.Engine.After(gap, func() { s.spawnViewer(category) })
+		})
+	}
+}
+
+// spawnProbe creates one instrumented full-fidelity client and attaches a
+// packet recorder to both directions of its traffic.
+func (s *Sim) spawnProbe(ps ProbeSpec) error {
+	rng := s.world.Engine.Rand()
+	up := ps.UploadBps
+	if up == 0 {
+		up = workload.UploadCapacity(rng, ps.ISP)
+	}
+	env, err := s.world.Spawn(simnet.HostSpec{
+		ISP:       ps.ISP,
+		UploadBps: up,
+		ProcDelay: workload.ProcDelay(rng),
+	})
+	if err != nil {
+		return err
+	}
+	cfg := peer.DefaultConfig(s.scenario.Spec, s.bootstrapAddr)
+	s.applyBehaviour(&cfg)
+	client, err := peer.New(env, cfg)
+	if err != nil {
+		return err
+	}
+	env.SetHandler(client)
+
+	rec := capture.NewRecorder(env.Addr())
+	eng := s.world.Engine
+	env.TapRecv(func(from netip.Addr, msg wire.Message, size int) {
+		rec.Observe(eng.Now(), capture.In, from, msg, size)
+	})
+	env.TapSend(func(to netip.Addr, msg wire.Message, size int) {
+		rec.Observe(eng.Now(), capture.Out, to, msg, size)
+	})
+	client.Start()
+
+	s.probes = append(s.probes, ProbeResult{
+		Name:     ps.Name,
+		ISP:      ps.ISP,
+		Addr:     env.Addr(),
+		Recorder: rec,
+		Client:   client,
+	})
+	return nil
+}
+
+// World exposes the underlying simulation world (tests and tools).
+func (s *Sim) World() *simnet.World { return s.world }
+
+// Run executes the scenario to completion and returns the result.
+func (s *Sim) Run() (*Result, error) {
+	sc := s.scenario
+	horizon := sc.WarmUp + sc.Watch
+	// Stop the probes at the horizon so their final state is well-defined.
+	s.world.Engine.At(horizon, func() {
+		for _, p := range s.probes {
+			p.Client.Stop()
+		}
+	})
+	if err := s.world.Engine.Run(horizon); err != nil {
+		return nil, fmt.Errorf("run scenario %q: %w", sc.Name, err)
+	}
+	return &Result{
+		Scenario:        sc,
+		Probes:          s.probes,
+		Trackers:        s.trackerAddrs,
+		Registry:        s.world.Registry,
+		SourceAddr:      s.sourceAddr,
+		Elapsed:         s.world.Engine.Now(),
+		EventsProcessed: s.world.Engine.Processed(),
+		PeersSpawned:    s.peersSpawned,
+	}, nil
+}
+
+// RunScenario builds and runs a scenario in one step.
+func RunScenario(sc Scenario) (*Result, error) {
+	sim, err := Build(sc)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run()
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"pplivesim/internal/capture"
+	"pplivesim/internal/isp"
+	"pplivesim/internal/workload"
+)
+
+// smallScenario is a fast-running swarm for integration tests.
+func smallScenario(seed int64) Scenario {
+	return Scenario{
+		Name: "test-small",
+		Seed: seed,
+		Spec: workload.PopularSpec(),
+		Viewers: workload.Population{
+			isp.TELE:    40,
+			isp.CNC:     18,
+			isp.CER:     4,
+			isp.OtherCN: 6,
+			isp.Foreign: 8,
+		},
+		Churn:         workload.Churn{Enabled: false},
+		Probes:        []ProbeSpec{{Name: "tele-probe", ISP: isp.TELE}},
+		ArrivalWindow: 2 * time.Minute,
+		WarmUp:        3 * time.Minute,
+		Watch:         6 * time.Minute,
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	sc := smallScenario(1)
+	sc.Viewers = workload.Population{}
+	if _, err := Build(sc); err == nil {
+		t.Error("empty population accepted")
+	}
+	sc = smallScenario(1)
+	sc.Probes = nil
+	if _, err := Build(sc); err == nil {
+		t.Error("no probes accepted")
+	}
+}
+
+func TestEndToEndSmallSwarm(t *testing.T) {
+	res, err := RunScenario(smallScenario(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Probes) != 1 {
+		t.Fatalf("probes = %d, want 1", len(res.Probes))
+	}
+	p := res.Probes[0]
+	if p.Recorder.Len() == 0 {
+		t.Fatal("probe captured nothing")
+	}
+
+	m := capture.Match(p.Recorder.Records(), res.Trackers)
+	if len(m.Transmissions) < 500 {
+		t.Errorf("matched %d data transmissions, want a healthy data plane (>=500)", len(m.Transmissions))
+	}
+	if len(m.TrackerLists) == 0 {
+		t.Error("no tracker lists captured")
+	}
+	if len(m.ListExchanges) == 0 {
+		t.Error("no neighbor peer-list exchanges captured")
+	}
+
+	// Playback must be healthy: the probe watched ~6 minutes.
+	bs := p.Client.BufferStats()
+	if got := bs.Continuity(); got < 0.7 {
+		t.Errorf("probe continuity = %.3f, want >= 0.7 (stats %+v)", got, bs)
+	}
+	if bs.PlayedOK == 0 {
+		t.Error("probe played nothing")
+	}
+
+	// Every address in the trace must resolve through the registry (the
+	// Team Cymru step must never miss for simulation-allocated addresses).
+	for _, rec := range p.Recorder.Records() {
+		if _, ok := res.Registry.ISPOf(rec.Peer); !ok {
+			t.Fatalf("trace address %v not resolvable to an ISP", rec.Peer)
+		}
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	r1, err := RunScenario(smallScenario(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunScenario(smallScenario(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.EventsProcessed != r2.EventsProcessed {
+		t.Errorf("event counts differ: %d vs %d", r1.EventsProcessed, r2.EventsProcessed)
+	}
+	t1, t2 := r1.Probes[0].Recorder.Records(), r2.Probes[0].Recorder.Records()
+	if len(t1) != len(t2) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(t1), len(t2))
+	}
+	for i := range t1 {
+		if t1[i].At != t2[i].At || t1[i].Type != t2[i].Type || t1[i].Peer != t2[i].Peer {
+			t.Fatalf("traces diverge at record %d: %+v vs %+v", i, t1[i], t2[i])
+		}
+	}
+}
+
+func TestChurnGrowsUniquePeers(t *testing.T) {
+	sc := smallScenario(5)
+	sc.Churn = workload.Churn{
+		Enabled:          true,
+		MeanSession:      90 * time.Second,
+		MinSession:       20 * time.Second,
+		ReplacementDelay: 10 * time.Second,
+	}
+	res, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeersSpawned <= sc.Viewers.Total() {
+		t.Errorf("spawned %d peers with churn, want more than initial %d",
+			res.PeersSpawned, sc.Viewers.Total())
+	}
+	// The probe should still stream acceptably through churn.
+	bs := res.Probes[0].Client.BufferStats()
+	if got := bs.Continuity(); got < 0.5 {
+		t.Errorf("continuity under churn = %.3f, want >= 0.5", got)
+	}
+}
+
+func TestMultipleProbesConcurrent(t *testing.T) {
+	sc := smallScenario(11)
+	sc.Probes = []ProbeSpec{
+		{Name: "tele", ISP: isp.TELE},
+		{Name: "cnc", ISP: isp.CNC},
+		{Name: "mason", ISP: isp.Foreign},
+	}
+	res, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Probes) != 3 {
+		t.Fatalf("probes = %d, want 3", len(res.Probes))
+	}
+	for _, p := range res.Probes {
+		m := capture.Match(p.Recorder.Records(), res.Trackers)
+		if len(m.Transmissions) == 0 {
+			t.Errorf("probe %s matched no transmissions", p.Name)
+		}
+	}
+}
+
+// TestLocalityEmerges is the shape-level headline check: with a TELE-heavy
+// popular audience, the TELE probe's traffic locality must rise clearly
+// above the audience's same-ISP share — the paper's central claim that the
+// referral + latency mechanisms amplify, not merely mirror, population mix.
+func TestLocalityEmerges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-minute scenario")
+	}
+	// Clustering compounds over a session, so give the probe a 20-minute
+	// watch (the paper's probes watched two hours).
+	sc := Scenario{
+		Name:          "locality-emergence",
+		Seed:          7,
+		Spec:          workload.PopularSpec(),
+		Viewers:       workload.PopularPopulation().Scale(0.25),
+		Churn:         workload.DefaultChurn(),
+		Probes:        []ProbeSpec{{Name: "tele", ISP: isp.TELE}},
+		ArrivalWindow: 4 * time.Minute,
+		WarmUp:        6 * time.Minute,
+		Watch:         20 * time.Minute,
+	}
+	res, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Probes[0]
+	m := capture.Match(p.Recorder.Records(), res.Trackers)
+	var sameISP, total uint64
+	for _, tx := range m.Transmissions {
+		if tx.Peer == res.SourceAddr {
+			continue
+		}
+		got, ok := res.Registry.ISPOf(tx.Peer)
+		if !ok {
+			t.Fatalf("unresolvable peer %v", tx.Peer)
+		}
+		total += uint64(tx.Bytes)
+		if got == isp.TELE {
+			sameISP += uint64(tx.Bytes)
+		}
+	}
+	if total == 0 {
+		t.Fatal("probe downloaded nothing from peers")
+	}
+	locality := float64(sameISP) / float64(total)
+	popShare := float64(sc.Viewers[isp.TELE]) / float64(sc.Viewers.Total())
+	t.Logf("traffic locality %.3f vs population share %.3f", locality, popShare)
+	if locality < popShare+0.10 {
+		t.Errorf("locality %.3f does not amplify above population share %.3f", locality, popShare)
+	}
+	if cont := p.Client.BufferStats().Continuity(); cont < 0.9 {
+		t.Errorf("probe continuity %.3f, want healthy playback", cont)
+	}
+}
+
+func TestCodecCheckedSmallRun(t *testing.T) {
+	sim, err := Build(smallScenario(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-trip every datagram through the wire codec: any encoding
+	// mismatch panics the run.
+	sim.World().CodecCheck = true
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,39 @@
+package eventsim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkScheduleAndRun measures raw engine throughput: schedule-and-fire
+// of independent events.
+func BenchmarkScheduleAndRun(b *testing.B) {
+	e := New(1)
+	for i := 0; i < b.N; i++ {
+		e.After(time.Duration(i%1000)*time.Microsecond, func() {})
+		if i%1024 == 1023 {
+			if err := e.Run(e.Now() + time.Second); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := e.Run(e.Now() + time.Hour); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkTimerChurn measures creating and cancelling timers, the common
+// pattern of protocol retransmission timers.
+func BenchmarkTimerChurn(b *testing.B) {
+	e := New(1)
+	for i := 0; i < b.N; i++ {
+		t := e.After(time.Minute, func() {})
+		t.Stop()
+		if i%4096 == 4095 {
+			// Drain cancelled entries.
+			if err := e.Run(e.Now() + time.Millisecond); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

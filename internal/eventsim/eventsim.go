@@ -1,0 +1,225 @@
+// Package eventsim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and a priority queue of scheduled
+// events. Events scheduled for the same instant fire in the order they were
+// scheduled (FIFO tie-breaking via a monotonically increasing sequence
+// number), which makes every run a pure function of its inputs and seed.
+package eventsim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// ErrStopped is returned by Run when the simulation was stopped explicitly
+// via Stop before reaching its horizon.
+var ErrStopped = errors.New("eventsim: simulation stopped")
+
+// Event is a callback scheduled to run at a virtual instant.
+type Event func()
+
+// item is a scheduled event inside the heap.
+type item struct {
+	at    time.Duration
+	seq   uint64
+	fn    Event
+	index int
+	dead  bool
+}
+
+// eventHeap orders items by (at, seq).
+type eventHeap []*item
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	it, ok := x.(*item)
+	if !ok {
+		panic("eventsim: pushed non-item")
+	}
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.index = -1
+	*h = old[:n-1]
+	return it
+}
+
+// Timer is a handle for a scheduled event that can be cancelled.
+type Timer struct {
+	it *item
+}
+
+// Stop cancels the timer. It reports whether the event had not yet fired.
+// Stopping an already-fired or already-stopped timer is a no-op.
+func (t *Timer) Stop() bool {
+	if t == nil || t.it == nil || t.it.dead {
+		return false
+	}
+	t.it.dead = true
+	t.it.fn = nil
+	return true
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; all event callbacks run on the caller's goroutine inside
+// Run.
+type Engine struct {
+	now     time.Duration
+	seq     uint64
+	queue   eventHeap
+	rng     *rand.Rand
+	stopped bool
+
+	// Processed counts events executed so far (cancelled events excluded).
+	processed uint64
+}
+
+// New creates an engine whose random streams derive from seed.
+func New(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time (elapsed since simulation start).
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Rand returns the engine's deterministic random source. All model code must
+// draw randomness from here (or from a stream split off via NewRand) so runs
+// stay reproducible.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// NewRand derives an independent deterministic random stream. Components
+// that consume randomness at data-dependent rates should use their own stream
+// so their draws do not perturb unrelated components.
+func (e *Engine) NewRand() *rand.Rand {
+	return rand.New(rand.NewSource(e.rng.Int63()))
+}
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events currently scheduled (including
+// cancelled ones not yet drained).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at the absolute virtual time at. Times in the past
+// are clamped to the current instant. It returns a cancellable timer handle.
+func (e *Engine) At(at time.Duration, fn Event) *Timer {
+	if fn == nil {
+		panic("eventsim: nil event")
+	}
+	if at < e.now {
+		at = e.now
+	}
+	it := &item{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, it)
+	return &Timer{it: it}
+}
+
+// After schedules fn to run d after the current instant. Negative delays are
+// clamped to zero.
+func (e *Engine) After(d time.Duration, fn Event) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Every schedules fn to run repeatedly with the given period, starting one
+// period from now. The returned timer cancels future firings when stopped.
+// The period must be positive.
+func (e *Engine) Every(period time.Duration, fn Event) *Timer {
+	if period <= 0 {
+		panic(fmt.Sprintf("eventsim: non-positive period %v", period))
+	}
+	t := &Timer{}
+	var tick func()
+	tick = func() {
+		fn()
+		if !t.it.dead {
+			t.it = e.After(period, tick).it
+		}
+	}
+	t.it = e.After(period, tick).it
+	return t
+}
+
+// Stop halts the simulation: Run returns ErrStopped after the current event
+// completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in order until the horizon is exceeded, the queue
+// drains, or Stop is called. The clock never advances past horizon. It
+// returns nil on normal completion (drain or horizon) and ErrStopped if
+// stopped.
+func (e *Engine) Run(horizon time.Duration) error {
+	for len(e.queue) > 0 {
+		if e.stopped {
+			return ErrStopped
+		}
+		next := e.queue[0]
+		if next.at > horizon {
+			e.now = horizon
+			return nil
+		}
+		popped, ok := heap.Pop(&e.queue).(*item)
+		if !ok {
+			panic("eventsim: heap returned non-item")
+		}
+		if popped.dead {
+			continue
+		}
+		e.now = popped.at
+		e.processed++
+		popped.fn()
+	}
+	if e.now < horizon {
+		e.now = horizon
+	}
+	if e.stopped {
+		return ErrStopped
+	}
+	return nil
+}
+
+// Step executes the single next pending event, if any, regardless of horizon.
+// It reports whether an event was executed. Useful for fine-grained tests.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		popped, ok := heap.Pop(&e.queue).(*item)
+		if !ok {
+			panic("eventsim: heap returned non-item")
+		}
+		if popped.dead {
+			continue
+		}
+		e.now = popped.at
+		e.processed++
+		popped.fn()
+		return true
+	}
+	return false
+}

@@ -1,0 +1,261 @@
+package eventsim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRunExecutesInTimeOrder(t *testing.T) {
+	e := New(1)
+	var got []time.Duration
+	for _, d := range []time.Duration{5 * time.Second, time.Second, 3 * time.Second} {
+		d := d
+		e.After(d, func() { got = append(got, d) })
+	}
+	if err := e.Run(10 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []time.Duration{time.Second, 3 * time.Second, 5 * time.Second}
+	if len(got) != len(want) {
+		t.Fatalf("executed %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d fired with delay %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	e := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(time.Second, func() { got = append(got, i) })
+	}
+	if err := e.Run(2 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events fired out of order: %v", got)
+		}
+	}
+}
+
+func TestHorizonStopsClock(t *testing.T) {
+	e := New(1)
+	fired := false
+	e.After(10*time.Second, func() { fired = true })
+	if err := e.Run(5 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired {
+		t.Error("event beyond horizon fired")
+	}
+	if e.Now() != 5*time.Second {
+		t.Errorf("Now() = %v, want horizon 5s", e.Now())
+	}
+	// The event remains queued and fires if the horizon is extended.
+	if err := e.Run(20 * time.Second); err != nil {
+		t.Fatalf("second Run: %v", err)
+	}
+	if !fired {
+		t.Error("event did not fire after horizon extension")
+	}
+}
+
+func TestDrainAdvancesToHorizon(t *testing.T) {
+	e := New(1)
+	e.After(time.Second, func() {})
+	if err := e.Run(time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if e.Now() != time.Minute {
+		t.Errorf("Now() = %v after drain, want horizon", e.Now())
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := New(1)
+	fired := false
+	timer := e.After(time.Second, func() { fired = true })
+	if !timer.Stop() {
+		t.Error("Stop on pending timer returned false")
+	}
+	if timer.Stop() {
+		t.Error("second Stop returned true")
+	}
+	if err := e.Run(time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestEvery(t *testing.T) {
+	e := New(1)
+	count := 0
+	var timer *Timer
+	timer = e.Every(time.Second, func() {
+		count++
+		if count == 3 {
+			timer.Stop()
+		}
+	})
+	if err := e.Run(time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if count != 3 {
+		t.Errorf("periodic fired %d times, want 3", count)
+	}
+}
+
+func TestEveryPanicsOnNonPositivePeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Every(0) did not panic")
+		}
+	}()
+	New(1).Every(0, func() {})
+}
+
+func TestStop(t *testing.T) {
+	e := New(1)
+	ran := 0
+	e.After(time.Second, func() { ran++; e.Stop() })
+	e.After(2*time.Second, func() { ran++ })
+	if err := e.Run(time.Minute); err != ErrStopped {
+		t.Fatalf("Run = %v, want ErrStopped", err)
+	}
+	if ran != 1 {
+		t.Errorf("ran %d events after Stop, want 1", ran)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New(1)
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 5 {
+			e.After(time.Second, recurse)
+		}
+	}
+	e.After(time.Second, recurse)
+	if err := e.Run(time.Hour); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if depth != 5 {
+		t.Errorf("depth = %d, want 5", depth)
+	}
+	if e.Processed() != 5 {
+		t.Errorf("Processed() = %d, want 5", e.Processed())
+	}
+}
+
+func TestPastSchedulingClamps(t *testing.T) {
+	e := New(1)
+	order := []string{}
+	e.After(time.Second, func() {
+		e.At(0, func() { order = append(order, "clamped") })
+		order = append(order, "outer")
+	})
+	if err := e.Run(time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(order) != 2 || order[0] != "outer" || order[1] != "clamped" {
+		t.Errorf("order = %v, want [outer clamped]", order)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []int64 {
+		e := New(seed)
+		var draws []int64
+		for i := 0; i < 20; i++ {
+			e.After(time.Duration(i)*time.Second, func() {
+				draws = append(draws, e.Rand().Int63())
+			})
+		}
+		if err := e.Run(time.Hour); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return draws
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical draws")
+	}
+}
+
+func TestStep(t *testing.T) {
+	e := New(1)
+	fired := 0
+	e.After(time.Second, func() { fired++ })
+	e.After(2*time.Second, func() { fired++ })
+	if !e.Step() || fired != 1 {
+		t.Fatalf("first Step: fired=%d", fired)
+	}
+	if !e.Step() || fired != 2 {
+		t.Fatalf("second Step: fired=%d", fired)
+	}
+	if e.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+}
+
+// Property: for any set of delays, events execute in sorted order.
+func TestPropertyEventOrdering(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 200 {
+			raw = raw[:200]
+		}
+		e := New(7)
+		var fired []time.Duration
+		for _, r := range raw {
+			d := time.Duration(r%1_000_000) * time.Microsecond
+			e.At(d, func() { fired = append(fired, d) })
+		}
+		if err := e.Run(time.Hour); err != nil {
+			return false
+		}
+		if len(fired) != len(raw) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewRandIndependentStreams(t *testing.T) {
+	e := New(5)
+	r1, r2 := e.NewRand(), e.NewRand()
+	if r1.Int63() == r2.Int63() && r1.Int63() == r2.Int63() && r1.Int63() == r2.Int63() {
+		t.Error("derived streams appear identical")
+	}
+}

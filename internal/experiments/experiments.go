@@ -1,0 +1,439 @@
+// Package experiments defines one reproducible experiment per table and
+// figure of the paper's evaluation, plus the ablations DESIGN.md calls out.
+//
+// The paper's figures come from four probe viewpoints over two channels:
+// Figures 2, 7, 11, 15 share the TELE-probe/popular-channel trace; 3, 8,
+// 12, 16 the TELE/unpopular trace; 4, 9, 13, 17 the Mason/popular trace;
+// 5, 10, 14, 18 the Mason/unpopular trace; Table 1 uses all four. A Runner
+// therefore executes two scenario runs (popular and unpopular, each with
+// TELE, CNC and Mason probes measuring concurrently, as the paper's hosts
+// did) and derives every figure from the cached traces. Figure 6 runs its
+// own 28-day schedule of smaller runs.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"pplivesim/internal/analysis"
+	"pplivesim/internal/capture"
+	"pplivesim/internal/core"
+	"pplivesim/internal/fit"
+	"pplivesim/internal/isp"
+	"pplivesim/internal/workload"
+)
+
+// Scale sizes experiment runs. Paper-shaped results emerge from Default;
+// Quick is for benchmarks and smoke tests.
+type Scale struct {
+	// Population multiplies the standard channel populations.
+	Population float64
+	// Watch is how long probes observe (the paper's probes watched 2 h).
+	Watch time.Duration
+	// WarmUp and ArrivalWindow control swarm formation before probes join.
+	WarmUp        time.Duration
+	ArrivalWindow time.Duration
+
+	// Fig6Days is the number of simulated days for Figure 6 (paper: 28).
+	Fig6Days int
+	// Fig6Population and Fig6Watch size each per-day run.
+	Fig6Population float64
+	Fig6Watch      time.Duration
+}
+
+// DefaultScale balances paper shape against runtime: half-population swarms
+// watched for 40 minutes reproduce every qualitative result.
+func DefaultScale() Scale {
+	return Scale{
+		Population:     0.5,
+		Watch:          40 * time.Minute,
+		WarmUp:         8 * time.Minute,
+		ArrivalWindow:  6 * time.Minute,
+		Fig6Days:       28,
+		Fig6Population: 0.12,
+		Fig6Watch:      15 * time.Minute,
+	}
+}
+
+// PaperScale is the full-size configuration (≈1300-viewer popular channel,
+// two-hour watches) for the patient.
+func PaperScale() Scale {
+	s := DefaultScale()
+	s.Population = 1.0
+	s.Watch = 2 * time.Hour
+	return s
+}
+
+// QuickScale is for benchmarks: small swarms, minutes of virtual time.
+func QuickScale() Scale {
+	return Scale{
+		Population:     0.12,
+		Watch:          10 * time.Minute,
+		WarmUp:         4 * time.Minute,
+		ArrivalWindow:  3 * time.Minute,
+		Fig6Days:       7,
+		Fig6Population: 0.08,
+		Fig6Watch:      8 * time.Minute,
+	}
+}
+
+// Probe names used across runs.
+const (
+	ProbeTELE  = "tele"
+	ProbeCNC   = "cnc"
+	ProbeMason = "mason"
+)
+
+// RunOutputs caches one scenario run with per-probe analysis reports.
+type RunOutputs struct {
+	Result  *core.Result
+	Reports map[string]*analysis.Report
+	Wall    time.Duration
+}
+
+// Runner executes and caches the shared scenario runs.
+type Runner struct {
+	Scale Scale
+	Seed  int64
+
+	popular   *RunOutputs
+	unpopular *RunOutputs
+}
+
+// NewRunner creates a runner with the given scale and base seed.
+func NewRunner(scale Scale, seed int64) *Runner {
+	return &Runner{Scale: scale, Seed: seed}
+}
+
+// standardProbes places the paper's measuring hosts: two Chinese
+// residential ISPs and the US campus.
+func standardProbes() []core.ProbeSpec {
+	return []core.ProbeSpec{
+		{Name: ProbeTELE, ISP: isp.TELE},
+		{Name: ProbeCNC, ISP: isp.CNC},
+		{Name: ProbeMason, ISP: isp.Foreign},
+	}
+}
+
+// buildScenario assembles a standard scenario.
+func (r *Runner) buildScenario(name string, popular bool, seedOffset int64, population float64, watch time.Duration) core.Scenario {
+	sc := core.Scenario{
+		Name:          name,
+		Seed:          r.Seed + seedOffset,
+		Churn:         workload.DefaultChurn(),
+		Probes:        standardProbes(),
+		ArrivalWindow: r.Scale.ArrivalWindow,
+		WarmUp:        r.Scale.WarmUp,
+		Watch:         watch,
+	}
+	if popular {
+		sc.Spec = workload.PopularSpec()
+		sc.Viewers = workload.PopularPopulation().Scale(population)
+	} else {
+		sc.Spec = workload.UnpopularSpec()
+		sc.Viewers = workload.UnpopularPopulation().Scale(population)
+	}
+	return sc
+}
+
+// analyzeAll produces per-probe reports for a finished run.
+func analyzeAll(res *core.Result) map[string]*analysis.Report {
+	out := make(map[string]*analysis.Report, len(res.Probes))
+	for _, p := range res.Probes {
+		matched := capture.Match(p.Recorder.Records(), res.Trackers)
+		out[p.Name] = analysis.Analyze(analysis.Input{
+			Records:  p.Recorder.Records(),
+			Matched:  matched,
+			Resolver: res.Registry,
+			Trackers: res.Trackers,
+			Source:   res.SourceAddr,
+			ProbeISP: p.ISP,
+		})
+	}
+	return out
+}
+
+// runScenario executes a scenario and analyzes its probes.
+func runScenario(sc core.Scenario) (*RunOutputs, error) {
+	start := time.Now()
+	res, err := core.RunScenario(sc)
+	if err != nil {
+		return nil, err
+	}
+	return &RunOutputs{
+		Result:  res,
+		Reports: analyzeAll(res),
+		Wall:    time.Since(start),
+	}, nil
+}
+
+// Popular returns (running once, then cached) the popular-channel run.
+func (r *Runner) Popular() (*RunOutputs, error) {
+	if r.popular != nil {
+		return r.popular, nil
+	}
+	out, err := runScenario(r.buildScenario("popular", true, 0, r.Scale.Population, r.Scale.Watch))
+	if err != nil {
+		return nil, err
+	}
+	r.popular = out
+	return out, nil
+}
+
+// Unpopular returns (running once, then cached) the unpopular-channel run.
+func (r *Runner) Unpopular() (*RunOutputs, error) {
+	if r.unpopular != nil {
+		return r.unpopular, nil
+	}
+	out, err := runScenario(r.buildScenario("unpopular", false, 1, r.Scale.Population, r.Scale.Watch))
+	if err != nil {
+		return nil, err
+	}
+	r.unpopular = out
+	return out, nil
+}
+
+// report fetches a probe's report from a cached run.
+func report(out *RunOutputs, probe string) (*analysis.Report, error) {
+	rep, ok := out.Reports[probe]
+	if !ok {
+		return nil, fmt.Errorf("experiments: probe %q missing from run", probe)
+	}
+	return rep, nil
+}
+
+// ---- formatting helpers ----
+
+func formatCounts(b *strings.Builder, counts map[isp.ISP]int) {
+	for _, c := range isp.All() {
+		fmt.Fprintf(b, "  %-8s %8d\n", c, counts[c])
+	}
+}
+
+func formatUint64(b *strings.Builder, counts map[isp.ISP]uint64) {
+	for _, c := range isp.All() {
+		fmt.Fprintf(b, "  %-8s %12d\n", c, counts[c])
+	}
+}
+
+// sourceLabels orders the X_p/X_s columns the way Figures 2-5(b) do.
+func sourceLabels(rep *analysis.Report) []analysis.ListSource {
+	var keys []analysis.ListSource
+	for k := range rep.ReturnedBySource {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].ISP != keys[j].ISP {
+			return keys[i].ISP < keys[j].ISP
+		}
+		return !keys[i].Tracker && keys[j].Tracker
+	})
+	return keys
+}
+
+// FigureABC renders the three panels of Figures 2-5 for one probe report.
+func FigureABC(title string, rep *analysis.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "(a) returned peer addresses by ISP (with duplicates); unique addresses: %d\n", rep.UniqueListed)
+	formatCounts(&b, rep.ReturnedByISP)
+	fmt.Fprintf(&b, "    potential locality (same-ISP share of returned addresses): %.1f%%\n", 100*rep.PotentialLocality)
+
+	fmt.Fprintf(&b, "(b) returned addresses by list source (X_p = regular peers, X_s = trackers)\n")
+	for _, src := range sourceLabels(rep) {
+		byISP := rep.ReturnedBySource[src]
+		total := 0
+		for _, n := range byISP {
+			total += n
+		}
+		fmt.Fprintf(&b, "  %-10s total %7d |", src.Label(), total)
+		for _, c := range isp.All() {
+			fmt.Fprintf(&b, " %s=%d", c, byISP[c])
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+
+	fmt.Fprintf(&b, "(c) data transmissions (up) and downloaded bytes (down) by ISP\n")
+	for _, c := range isp.All() {
+		fmt.Fprintf(&b, "  %-8s tx=%8d bytes=%12d\n", c, rep.TransmissionsByISP[c], rep.BytesByISP[c])
+	}
+	fmt.Fprintf(&b, "  (source server: tx=%d bytes=%d, tallied separately)\n", rep.SourceTransmissions, rep.SourceBytes)
+	fmt.Fprintf(&b, "    traffic locality (same-ISP share of downloaded bytes): %.1f%%\n", 100*rep.TrafficLocality)
+	return b.String()
+}
+
+// ResponseTimes renders a Figures 7-10 panel for one probe report.
+func ResponseTimes(title string, rep *analysis.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for _, g := range isp.Groups() {
+		st := rep.ListRT[g]
+		fmt.Fprintf(&b, "  %-6s peers: avg response %.4f s over %d peer-list requests\n",
+			g, st.Mean.Seconds(), st.Count)
+	}
+	fmt.Fprintf(&b, "  unanswered peer-list requests: %d\n", rep.UnansweredLists)
+	return b.String()
+}
+
+// DataRTRow renders one Table 1 row.
+func DataRTRow(label string, rep *analysis.Report) string {
+	var cells []string
+	for _, g := range isp.Groups() {
+		st := rep.DataRT[g]
+		cells = append(cells, fmt.Sprintf("%s=%.4fs(n=%d)", g, st.Mean.Seconds(), st.Count))
+	}
+	return fmt.Sprintf("  %-18s %s", label, strings.Join(cells, "  "))
+}
+
+// Contributions renders a Figures 11-14 panel for one probe report.
+func Contributions(title string, rep *analysis.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	connected := 0
+	for _, n := range rep.ConnectedByISP {
+		connected += n
+	}
+	fmt.Fprintf(&b, "(a) unique connected peers (data transfers): %d of %d unique listed\n", connected, rep.UniqueListed)
+	formatCounts(&b, rep.ConnectedByISP)
+	fmt.Fprintf(&b, "(b) data-request rank distribution fits\n")
+	fmt.Fprintf(&b, "  stretched exponential: c=%.2f a=%.3f b=%.3f R2=%.6f\n",
+		rep.SEFit.C, rep.SEFit.A, rep.SEFit.B, rep.SEFit.R2)
+	fmt.Fprintf(&b, "  zipf (power law):      alpha=%.3f R2=%.6f\n", rep.ZipfFit.Alpha, rep.ZipfFit.R2)
+	verdict := "stretched exponential fits better (as the paper finds)"
+	if rep.ZipfFit.R2 > rep.SEFit.R2 {
+		verdict = "zipf fits better (DIVERGES from the paper)"
+	}
+	fmt.Fprintf(&b, "  -> %s\n", verdict)
+	fmt.Fprintf(&b, "(c) contribution concentration\n")
+	fmt.Fprintf(&b, "  top 10%% of connected peers receive %.1f%% of data requests\n", 100*rep.TopRequestShare)
+	fmt.Fprintf(&b, "  top 10%% of connected peers upload  %.1f%% of received bytes\n", 100*rep.TopByteShare)
+	return b.String()
+}
+
+// RTTCorrelation renders a Figures 15-18 panel for one probe report.
+func RTTCorrelation(title string, rep *analysis.Report) string {
+	return fmt.Sprintf("%s\n  correlation(log #data-requests, log RTT) = %.3f (paper: clearly negative)\n",
+		title, rep.RTTCorrelation)
+}
+
+// Fig6Point is one day's traffic locality for one probe.
+type Fig6Point struct {
+	Day      int
+	Probe    string
+	Locality float64
+}
+
+// Fig6 runs the 28-day schedule: for each day, a popular and an unpopular
+// run with day-scaled populations, measuring traffic locality at the CNC,
+// TELE, and Mason probes (the paper averaged two probes per ISP; we run one
+// per ISP per day).
+func (r *Runner) Fig6(progress func(day int)) (popular, unpopular []Fig6Point, err error) {
+	for day := 0; day < r.Scale.Fig6Days; day++ {
+		if progress != nil {
+			progress(day)
+		}
+		f := workload.DayFactor(day)
+		ff := workload.ForeignDayFactor(day)
+		for _, isPopular := range []bool{true, false} {
+			pop := r.Scale.Fig6Population
+			name := fmt.Sprintf("fig6-day%d-popular", day)
+			if !isPopular {
+				name = fmt.Sprintf("fig6-day%d-unpopular", day)
+			}
+			sc := r.buildScenario(name, isPopular, int64(1000+day*10)+boolInt(isPopular), pop, r.Scale.Fig6Watch)
+			// Day-to-day audience variation: domestic rhythm plus the much
+			// more volatile foreign contingent.
+			scaled := make(workload.Population, len(sc.Viewers))
+			for cat, n := range sc.Viewers {
+				factor := f
+				if cat == isp.Foreign {
+					factor = f * ff
+				}
+				v := int(float64(n)*factor + 0.5)
+				if v < 1 {
+					v = 1
+				}
+				scaled[cat] = v
+			}
+			sc.Viewers = scaled
+			sc.WarmUp = r.Scale.Fig6Watch / 3
+			sc.ArrivalWindow = r.Scale.Fig6Watch / 4
+			out, err := runScenario(sc)
+			if err != nil {
+				return nil, nil, err
+			}
+			for _, probe := range []string{ProbeCNC, ProbeTELE, ProbeMason} {
+				rep, err := report(out, probe)
+				if err != nil {
+					return nil, nil, err
+				}
+				pt := Fig6Point{Day: day + 1, Probe: probe, Locality: rep.TrafficLocality}
+				if isPopular {
+					popular = append(popular, pt)
+				} else {
+					unpopular = append(unpopular, pt)
+				}
+			}
+		}
+	}
+	return popular, unpopular, nil
+}
+
+func boolInt(v bool) int64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// RenderFig6 formats the four-week locality series and summary statistics.
+func RenderFig6(popular, unpopular []Fig6Point) string {
+	var b strings.Builder
+	render := func(title string, pts []Fig6Point) {
+		fmt.Fprintf(&b, "%s\n", title)
+		byProbe := map[string][]float64{}
+		fmt.Fprintf(&b, "  day:")
+		days := 0
+		for _, pt := range pts {
+			if pt.Day > days {
+				days = pt.Day
+			}
+		}
+		for d := 1; d <= days; d++ {
+			fmt.Fprintf(&b, " %5d", d)
+		}
+		fmt.Fprintf(&b, "\n")
+		for _, probe := range []string{ProbeCNC, ProbeTELE, ProbeMason} {
+			fmt.Fprintf(&b, "  %-4s", probe)
+			for _, pt := range pts {
+				if pt.Probe == probe {
+					fmt.Fprintf(&b, " %5.1f", 100*pt.Locality)
+					byProbe[probe] = append(byProbe[probe], pt.Locality)
+				}
+			}
+			fmt.Fprintf(&b, "\n")
+		}
+		for _, probe := range []string{ProbeCNC, ProbeTELE, ProbeMason} {
+			vals := byProbe[probe]
+			if len(vals) == 0 {
+				continue
+			}
+			mean := fit.Mean(vals)
+			var varsum float64
+			for _, v := range vals {
+				varsum += (v - mean) * (v - mean)
+			}
+			std := 0.0
+			if len(vals) > 1 {
+				std = varsum / float64(len(vals)-1)
+			}
+			fmt.Fprintf(&b, "  %-5s mean=%.1f%% var=%.4f\n", probe, 100*mean, std)
+		}
+	}
+	render("(a) popular programs: traffic locality (%) per day", popular)
+	render("(b) unpopular programs: traffic locality (%) per day", unpopular)
+	b.WriteString("  expectation: China probes stable, Mason varies much more (foreign audience volatility)\n")
+	return b.String()
+}

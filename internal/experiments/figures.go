@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"pplivesim/internal/analysis"
+	"pplivesim/internal/fit"
+	"pplivesim/internal/isp"
+	"pplivesim/internal/plot"
+)
+
+// FigureWriter renders the paper's figures as SVG files in a directory.
+type FigureWriter struct {
+	Dir    string
+	Width  int
+	Height int
+}
+
+// NewFigureWriter creates a writer with default geometry.
+func NewFigureWriter(dir string) *FigureWriter {
+	return &FigureWriter{Dir: dir, Width: 640, Height: 420}
+}
+
+func (fw *FigureWriter) write(name string, p *plot.Plot) error {
+	if err := os.MkdirAll(fw.Dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(fw.Dir, name+".svg"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return fw.render(f, p)
+}
+
+func (fw *FigureWriter) render(w io.Writer, p *plot.Plot) error {
+	return p.RenderSVG(w, fw.Width, fw.Height)
+}
+
+// WriteReturnedBars renders panel (a) of Figures 2-5: returned addresses by
+// ISP.
+func (fw *FigureWriter) WriteReturnedBars(name, title string, rep *analysis.Report) error {
+	p := plot.New(title, "ISP", "# returned addresses")
+	labels := make([]string, 0, isp.Count)
+	values := make([]float64, 0, isp.Count)
+	for _, c := range isp.All() {
+		labels = append(labels, c.String())
+		values = append(values, float64(rep.ReturnedByISP[c]))
+	}
+	if err := p.SetBars(labels, values); err != nil {
+		return err
+	}
+	return fw.write(name, p)
+}
+
+// WriteTrafficBars renders panel (c): downloaded bytes by ISP.
+func (fw *FigureWriter) WriteTrafficBars(name, title string, rep *analysis.Report) error {
+	p := plot.New(title, "ISP", "downloaded bytes")
+	labels := make([]string, 0, isp.Count)
+	values := make([]float64, 0, isp.Count)
+	for _, c := range isp.All() {
+		labels = append(labels, c.String())
+		values = append(values, float64(rep.BytesByISP[c]))
+	}
+	if err := p.SetBars(labels, values); err != nil {
+		return err
+	}
+	return fw.write(name, p)
+}
+
+// WriteResponseScatter renders Figures 7-10: per-group peer-list response
+// times along the playback.
+func (fw *FigureWriter) WriteResponseScatter(name, title string, rep *analysis.Report) error {
+	p := plot.New(title, "peer-list request (minutes into watch)", "response time (s)")
+	for _, g := range isp.Groups() {
+		pts := rep.ListRTSeries[g]
+		if len(pts) == 0 {
+			continue
+		}
+		xs := make([]float64, 0, len(pts))
+		ys := make([]float64, 0, len(pts))
+		for _, pt := range pts {
+			// The paper clips the visual at 3 s for comparability.
+			if pt.RT.Seconds() > 3 {
+				continue
+			}
+			xs = append(xs, pt.At.Minutes())
+			ys = append(ys, pt.RT.Seconds())
+		}
+		if len(xs) == 0 {
+			continue
+		}
+		if err := p.AddScatter(g.String(), xs, ys); err != nil {
+			return err
+		}
+	}
+	return fw.write(name, p)
+}
+
+// WriteRankDistribution renders panel (b) of Figures 11-14: the data-request
+// rank distribution in log-log scale with the fitted stretched-exponential
+// curve overlaid.
+func (fw *FigureWriter) WriteRankDistribution(name, title string, rep *analysis.Report) error {
+	var requests []float64
+	for _, act := range rep.Peers {
+		if act.Requests > 0 {
+			requests = append(requests, float64(act.Requests))
+		}
+	}
+	ranked := fit.Ranked(requests)
+	if len(ranked) == 0 {
+		return fmt.Errorf("experiments: no request data for %s", name)
+	}
+	p := plot.New(title, "rank", "# data requests")
+	p.XLog, p.YLog = true, true
+	xs := make([]float64, len(ranked))
+	for i := range ranked {
+		xs[i] = float64(i + 1)
+	}
+	if err := p.AddScatter("data", xs, ranked); err != nil {
+		return err
+	}
+	if rep.SEFit.C > 0 {
+		fys := make([]float64, len(ranked))
+		for i := range fys {
+			fys[i] = math.Max(rep.SEFit.Eval(i+1), 1e-3)
+		}
+		if err := p.AddLine(fmt.Sprintf("SE fit c=%.2f", rep.SEFit.C), xs, fys); err != nil {
+			return err
+		}
+	}
+	return fw.write(name, p)
+}
+
+// WriteContributionCDF renders panel (c) of Figures 11-14: the CDF of
+// per-peer byte contributions (ascending, as the paper plots it).
+func (fw *FigureWriter) WriteContributionCDF(name, title string, rep *analysis.Report) error {
+	var bytes []float64
+	for _, act := range rep.Peers {
+		if act.Bytes > 0 {
+			bytes = append(bytes, float64(act.Bytes))
+		}
+	}
+	if len(bytes) == 0 {
+		return fmt.Errorf("experiments: no contribution data for %s", name)
+	}
+	cdf := fit.CDF(bytes)
+	xs := make([]float64, len(cdf))
+	for i := range cdf {
+		xs[i] = float64(i + 1)
+	}
+	p := plot.New(title, "peers (ascending contribution)", "cumulative share of bytes")
+	if err := p.AddLine("CDF", xs, cdf); err != nil {
+		return err
+	}
+	return fw.write(name, p)
+}
+
+// WriteRTTScatter renders Figures 15-18: per-peer request counts (log) and
+// RTTs (log) against contribution rank.
+func (fw *FigureWriter) WriteRTTScatter(name, title string, rep *analysis.Report) error {
+	var xs, reqs, rtts []float64
+	rank := 0
+	for _, act := range rep.Peers {
+		if act.Requests == 0 || act.RTT <= 0 {
+			continue
+		}
+		rank++
+		xs = append(xs, float64(rank))
+		reqs = append(reqs, float64(act.Requests))
+		rtts = append(rtts, act.RTT.Seconds())
+	}
+	if len(xs) == 0 {
+		return fmt.Errorf("experiments: no RTT data for %s", name)
+	}
+	p := plot.New(title, "remote host (rank by # requests)", "# requests / RTT (s), log")
+	p.YLog = true
+	if err := p.AddScatter("# data requests", xs, reqs); err != nil {
+		return err
+	}
+	if err := p.AddScatter("RTT (s)", xs, rtts); err != nil {
+		return err
+	}
+	return fw.write(name, p)
+}
+
+// WriteFig6 renders the four-week locality series.
+func (fw *FigureWriter) WriteFig6(name, title string, points []Fig6Point) error {
+	p := plot.New(title, "day", "traffic locality (%)")
+	for _, probe := range []string{ProbeCNC, ProbeTELE, ProbeMason} {
+		var xs, ys []float64
+		for _, pt := range points {
+			if pt.Probe != probe {
+				continue
+			}
+			xs = append(xs, float64(pt.Day))
+			ys = append(ys, 100*pt.Locality)
+		}
+		if len(xs) == 0 {
+			continue
+		}
+		if err := p.AddLine(probe, xs, ys); err != nil {
+			return err
+		}
+	}
+	return fw.write(name, p)
+}
+
+// WriteAll renders every figure for one probe report under a prefix, e.g.
+// fig2a, fig2c, fig7, fig11b, fig11c, fig15 for the TELE/popular view.
+func (fw *FigureWriter) WriteAll(prefix string, abcTitle string, rep *analysis.Report, rtFig, contribFig, rttFig string) error {
+	steps := []func() error{
+		func() error {
+			return fw.WriteReturnedBars(prefix+"a-returned", abcTitle+" (a) returned addresses", rep)
+		},
+		func() error {
+			return fw.WriteTrafficBars(prefix+"c-traffic", abcTitle+" (c) downloaded bytes", rep)
+		},
+		func() error {
+			return fw.WriteResponseScatter(rtFig, abcTitle+" peer-list response times", rep)
+		},
+		func() error {
+			return fw.WriteRankDistribution(contribFig+"b-rank", abcTitle+" request rank distribution", rep)
+		},
+		func() error {
+			return fw.WriteContributionCDF(contribFig+"c-cdf", abcTitle+" contribution CDF", rep)
+		},
+		func() error {
+			return fw.WriteRTTScatter(rttFig, abcTitle+" requests vs RTT", rep)
+		},
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,265 @@
+// Package fit provides the statistical machinery behind the paper's
+// analysis: least-squares regression with R², Pearson correlation, rank
+// distributions, CDFs, and the two competing models of §3.4 — the Zipf
+// (power-law) fit and the stretched-exponential fit.
+//
+// The stretched-exponential rank distribution is y_i^c = -a·log(i) + b
+// (equation (1) of the paper): plotting y^c against log rank gives a
+// straight line. Following the paper (and Guo et al., PODC'08), c is chosen
+// by grid search for the best coefficient of determination.
+package fit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrInsufficientData is returned when a fit needs more points.
+var ErrInsufficientData = errors.New("fit: insufficient data")
+
+// Linear is a least-squares line y = Slope·x + Intercept with its
+// coefficient of determination.
+type Linear struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// LeastSquares fits y = slope·x + intercept, returning the fit and R².
+func LeastSquares(xs, ys []float64) (Linear, error) {
+	n := len(xs)
+	if n != len(ys) {
+		return Linear{}, fmt.Errorf("fit: mismatched lengths %d and %d", len(xs), len(ys))
+	}
+	if n < 2 {
+		return Linear{}, ErrInsufficientData
+	}
+	var sumX, sumY float64
+	for i := range xs {
+		sumX += xs[i]
+		sumY += ys[i]
+	}
+	meanX, meanY := sumX/float64(n), sumY/float64(n)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-meanX, ys[i]-meanY
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Linear{}, fmt.Errorf("fit: degenerate x values")
+	}
+	slope := sxy / sxx
+	intercept := meanY - slope*meanX
+	r2 := 1.0
+	if syy > 0 {
+		var ssRes float64
+		for i := range xs {
+			r := ys[i] - (slope*xs[i] + intercept)
+			ssRes += r * r
+		}
+		r2 = 1 - ssRes/syy
+	}
+	return Linear{Slope: slope, Intercept: intercept, R2: r2}, nil
+}
+
+// Pearson returns the Pearson correlation coefficient of two equal-length
+// series.
+func Pearson(xs, ys []float64) (float64, error) {
+	n := len(xs)
+	if n != len(ys) {
+		return 0, fmt.Errorf("fit: mismatched lengths %d and %d", len(xs), len(ys))
+	}
+	if n < 2 {
+		return 0, ErrInsufficientData
+	}
+	var sumX, sumY float64
+	for i := range xs {
+		sumX += xs[i]
+		sumY += ys[i]
+	}
+	meanX, meanY := sumX/float64(n), sumY/float64(n)
+	var sxx, syy, sxy float64
+	for i := range xs {
+		dx, dy := xs[i]-meanX, ys[i]-meanY
+		sxx += dx * dx
+		syy += dy * dy
+		sxy += dx * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, fmt.Errorf("fit: zero variance")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// Ranked returns values sorted descending: the rank distribution the paper
+// plots (rank 1 = largest).
+func Ranked(values []float64) []float64 {
+	out := make([]float64, len(values))
+	copy(out, values)
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out
+}
+
+// Zipf is a power-law rank fit y_i ∝ i^(-Alpha), fitted in log-log space.
+type Zipf struct {
+	Alpha float64 // positive for decaying distributions
+	C     float64 // log-space intercept
+	R2    float64
+}
+
+// FitZipf fits ranked (descending) positive values to a Zipf law by
+// regressing log(y) on log(rank).
+func FitZipf(ranked []float64) (Zipf, error) {
+	xs := make([]float64, 0, len(ranked))
+	ys := make([]float64, 0, len(ranked))
+	for i, v := range ranked {
+		if v <= 0 {
+			continue
+		}
+		xs = append(xs, math.Log(float64(i+1)))
+		ys = append(ys, math.Log(v))
+	}
+	lin, err := LeastSquares(xs, ys)
+	if err != nil {
+		return Zipf{}, err
+	}
+	return Zipf{Alpha: -lin.Slope, C: lin.Intercept, R2: lin.R2}, nil
+}
+
+// StretchedExponential is the rank fit y_i^c = -a·log(i) + b.
+type StretchedExponential struct {
+	C  float64
+	A  float64
+	B  float64
+	R2 float64
+}
+
+// Eval returns the fitted value at rank i (1-based).
+func (se StretchedExponential) Eval(rank int) float64 {
+	y := se.B - se.A*math.Log(float64(rank))
+	if y <= 0 {
+		return 0
+	}
+	return math.Pow(y, 1/se.C)
+}
+
+// FitStretchedExponential fits ranked (descending) positive values to the
+// stretched-exponential rank distribution, grid-searching the stretch
+// factor c over (0,1] in steps of 0.05 for maximum R², exactly as the
+// paper's figures report (c values like 0.2, 0.3, 0.35, 0.4).
+func FitStretchedExponential(ranked []float64) (StretchedExponential, error) {
+	var xs, raw []float64
+	for i, v := range ranked {
+		if v <= 0 {
+			continue
+		}
+		xs = append(xs, math.Log(float64(i+1)))
+		raw = append(raw, v)
+	}
+	if len(raw) < 3 {
+		return StretchedExponential{}, ErrInsufficientData
+	}
+	best := StretchedExponential{R2: math.Inf(-1)}
+	ys := make([]float64, len(raw))
+	for c := 0.05; c <= 1.0001; c += 0.05 {
+		for i, v := range raw {
+			ys[i] = math.Pow(v, c)
+		}
+		lin, err := LeastSquares(xs, ys)
+		if err != nil {
+			continue
+		}
+		if lin.R2 > best.R2 {
+			best = StretchedExponential{C: c, A: -lin.Slope, B: lin.Intercept, R2: lin.R2}
+		}
+	}
+	if math.IsInf(best.R2, -1) {
+		return StretchedExponential{}, ErrInsufficientData
+	}
+	return best, nil
+}
+
+// CDF returns the cumulative distribution of ranked-ascending contribution
+// shares: out[i] is the fraction of the total contributed by the i+1
+// smallest contributors. The input need not be sorted.
+func CDF(values []float64) []float64 {
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	var total float64
+	for _, v := range sorted {
+		total += v
+	}
+	out := make([]float64, len(sorted))
+	if total == 0 {
+		return out
+	}
+	var cum float64
+	for i, v := range sorted {
+		cum += v
+		out[i] = cum / total
+	}
+	return out
+}
+
+// TopShare returns the fraction of the total contributed by the top
+// fraction f of contributors (e.g. f=0.1 for the paper's "top 10%" figures).
+func TopShare(values []float64, f float64) float64 {
+	if len(values) == 0 || f <= 0 {
+		return 0
+	}
+	ranked := Ranked(values)
+	k := int(math.Ceil(f * float64(len(ranked))))
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	var top, total float64
+	for i, v := range ranked {
+		total += v
+		if i < k {
+			top += v
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return top / total
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}
+
+// Quantile returns the q-quantile (0..1) of the values using nearest-rank on
+// a sorted copy.
+func Quantile(values []float64, q float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	idx := int(q * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

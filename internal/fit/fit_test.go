@@ -1,0 +1,289 @@
+package fit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLeastSquaresExactLine(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3*x - 7
+	}
+	lin, err := LeastSquares(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lin.Slope-3) > 1e-12 || math.Abs(lin.Intercept+7) > 1e-12 {
+		t.Errorf("fit = %+v, want slope 3 intercept -7", lin)
+	}
+	if math.Abs(lin.R2-1) > 1e-12 {
+		t.Errorf("R2 = %f, want 1", lin.R2)
+	}
+}
+
+func TestLeastSquaresNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var xs, ys []float64
+	for i := 0; i < 200; i++ {
+		x := float64(i)
+		xs = append(xs, x)
+		ys = append(ys, 2*x+5+rng.NormFloat64()*3)
+	}
+	lin, err := LeastSquares(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lin.Slope-2) > 0.05 {
+		t.Errorf("slope = %f, want ≈2", lin.Slope)
+	}
+	if lin.R2 < 0.99 {
+		t.Errorf("R2 = %f, want > 0.99 on mild noise", lin.R2)
+	}
+}
+
+func TestLeastSquaresErrors(t *testing.T) {
+	if _, err := LeastSquares([]float64{1}, []float64{1}); err != ErrInsufficientData {
+		t.Errorf("short input err = %v", err)
+	}
+	if _, err := LeastSquares([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := LeastSquares([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("degenerate x accepted")
+	}
+}
+
+func TestPearsonSigns(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	up := []float64{2, 4, 6, 8, 10}
+	down := []float64{10, 8, 6, 4, 2}
+	r, err := Pearson(xs, up)
+	if err != nil || math.Abs(r-1) > 1e-12 {
+		t.Errorf("Pearson up = %f, %v; want 1", r, err)
+	}
+	r, err = Pearson(xs, down)
+	if err != nil || math.Abs(r+1) > 1e-12 {
+		t.Errorf("Pearson down = %f, %v; want -1", r, err)
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1, 2}, []float64{3}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); err == nil {
+		t.Error("zero variance accepted")
+	}
+}
+
+func TestRanked(t *testing.T) {
+	got := Ranked([]float64{3, 1, 4, 1, 5})
+	want := []float64{5, 4, 3, 1, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranked = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFitZipfRecoversAlpha(t *testing.T) {
+	ranked := make([]float64, 200)
+	for i := range ranked {
+		ranked[i] = 1000 * math.Pow(float64(i+1), -0.8)
+	}
+	z, err := FitZipf(ranked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(z.Alpha-0.8) > 1e-9 || z.R2 < 0.9999 {
+		t.Errorf("zipf = %+v, want alpha 0.8 R2≈1", z)
+	}
+}
+
+func TestFitSERecoversParameters(t *testing.T) {
+	// Generate exact SE data: y_i = (b - a·log i)^(1/c).
+	const c, a = 0.35, 5.0
+	n := 300
+	b := 1 + a*math.Log(float64(n)) // ensures y_n = 1
+	ranked := make([]float64, n)
+	for i := range ranked {
+		y := b - a*math.Log(float64(i+1))
+		ranked[i] = math.Pow(y, 1/c)
+	}
+	se, err := FitStretchedExponential(ranked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(se.C-c) > 0.051 {
+		t.Errorf("c = %f, want ≈%f", se.C, c)
+	}
+	if se.R2 < 0.999 {
+		t.Errorf("R2 = %f, want ≈1", se.R2)
+	}
+	if math.Abs(se.A-a)/a > 0.25 {
+		t.Errorf("a = %f, want ≈%f", se.A, a)
+	}
+}
+
+// The paper's central fitting claim: SE-generated data fits SE much better
+// than Zipf, and the discrimination works in our implementation.
+func TestSEBeatsZipfOnSEData(t *testing.T) {
+	const c, a = 0.35, 5.483
+	n := 326 // the paper's Fig. 11 peer count
+	b := 1 + a*math.Log(float64(n))
+	ranked := make([]float64, n)
+	for i := range ranked {
+		y := b - a*math.Log(float64(i+1))
+		if y < 0 {
+			y = 0
+		}
+		ranked[i] = math.Pow(y, 1/c)
+	}
+	se, err := FitStretchedExponential(ranked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := FitZipf(ranked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if se.R2 <= z.R2 {
+		t.Errorf("SE R2 %f not better than Zipf R2 %f on SE data", se.R2, z.R2)
+	}
+}
+
+func TestSEEvalInvertsFit(t *testing.T) {
+	const c, a = 0.4, 10.0
+	n := 100
+	b := 1 + a*math.Log(float64(n))
+	ranked := make([]float64, n)
+	for i := range ranked {
+		ranked[i] = math.Pow(b-a*math.Log(float64(i+1)), 1/c)
+	}
+	se, err := FitStretchedExponential(ranked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rank := range []int{1, 10, 50} {
+		got := se.Eval(rank)
+		want := ranked[rank-1]
+		if math.Abs(got-want)/want > 0.2 {
+			t.Errorf("Eval(%d) = %f, want ≈%f", rank, got, want)
+		}
+	}
+}
+
+func TestFitSEInsufficient(t *testing.T) {
+	if _, err := FitStretchedExponential([]float64{1, 2}); err != ErrInsufficientData {
+		t.Errorf("err = %v, want ErrInsufficientData", err)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	cdf := CDF([]float64{1, 1, 2})
+	want := []float64{0.25, 0.5, 1.0}
+	for i := range want {
+		if math.Abs(cdf[i]-want[i]) > 1e-12 {
+			t.Fatalf("CDF = %v, want %v", cdf, want)
+		}
+	}
+	zero := CDF([]float64{0, 0})
+	if zero[0] != 0 || zero[1] != 0 {
+		t.Errorf("zero-total CDF = %v", zero)
+	}
+}
+
+func TestTopShare(t *testing.T) {
+	// 10 contributors; the top one holds 91 of 100 units.
+	values := []float64{91, 1, 1, 1, 1, 1, 1, 1, 1, 1}
+	if got := TopShare(values, 0.1); math.Abs(got-0.91) > 1e-12 {
+		t.Errorf("TopShare(0.1) = %f, want 0.91", got)
+	}
+	if got := TopShare(values, 1.0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("TopShare(1.0) = %f, want 1", got)
+	}
+	if got := TopShare(nil, 0.1); got != 0 {
+		t.Errorf("TopShare(nil) = %f", got)
+	}
+}
+
+func TestMeanAndQuantile(t *testing.T) {
+	vals := []float64{4, 1, 3, 2}
+	if got := Mean(vals); got != 2.5 {
+		t.Errorf("Mean = %f", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %f", got)
+	}
+	if got := Quantile(vals, 0); got != 1 {
+		t.Errorf("Quantile(0) = %f", got)
+	}
+	if got := Quantile(vals, 1); got != 4 {
+		t.Errorf("Quantile(1) = %f", got)
+	}
+	if got := Quantile(vals, 0.5); got != 3 {
+		t.Errorf("Quantile(0.5) = %f", got)
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("Quantile(nil) = %f", got)
+	}
+}
+
+// Property: R² of any least-squares fit on non-degenerate data is ≤ 1, and
+// Pearson is within [-1, 1].
+func TestPropertyStatBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(50)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(i) + rng.Float64()
+			ys[i] = rng.NormFloat64() * 10
+		}
+		lin, err := LeastSquares(xs, ys)
+		if err != nil {
+			return true
+		}
+		if lin.R2 > 1+1e-9 {
+			return false
+		}
+		r, err := Pearson(xs, ys)
+		if err != nil {
+			return true
+		}
+		return r >= -1-1e-9 && r <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: TopShare is monotone in f and bounded by [0,1].
+func TestPropertyTopShareMonotone(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		values := make([]float64, len(raw))
+		for i, r := range raw {
+			values[i] = float64(r)
+		}
+		prev := 0.0
+		for _, frac := range []float64{0.1, 0.25, 0.5, 0.75, 1.0} {
+			s := TopShare(values, frac)
+			if s < prev-1e-9 || s < 0 || s > 1+1e-9 {
+				return false
+			}
+			prev = s
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(6))}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,178 @@
+// Package ipam manages a synthetic IPv4 address space.
+//
+// It provides CIDR prefix parsing, sequential allocation of unique host
+// addresses out of registered prefixes, and a binary prefix trie for
+// longest-prefix-match lookups. The asnmap package builds its IP→ASN
+// registry on top of this, mirroring how the paper resolved captured peer
+// addresses to ISPs through Team Cymru's prefix database.
+package ipam
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Prefix is a parsed IPv4 CIDR block.
+type Prefix struct {
+	p netip.Prefix
+}
+
+// ParsePrefix parses an IPv4 CIDR such as "58.32.0.0/11".
+func ParsePrefix(cidr string) (Prefix, error) {
+	p, err := netip.ParsePrefix(cidr)
+	if err != nil {
+		return Prefix{}, fmt.Errorf("parse prefix %q: %w", cidr, err)
+	}
+	if !p.Addr().Is4() {
+		return Prefix{}, fmt.Errorf("prefix %q: only IPv4 is supported", cidr)
+	}
+	return Prefix{p: p.Masked()}, nil
+}
+
+// MustParsePrefix is ParsePrefix for static tables; it panics on error.
+func MustParsePrefix(cidr string) Prefix {
+	p, err := ParsePrefix(cidr)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Contains reports whether addr falls inside the prefix.
+func (p Prefix) Contains(addr netip.Addr) bool { return p.p.Contains(addr) }
+
+// Bits returns the prefix length.
+func (p Prefix) Bits() int { return p.p.Bits() }
+
+// Addr returns the network address of the prefix.
+func (p Prefix) Addr() netip.Addr { return p.p.Addr() }
+
+// Size returns the number of addresses covered by the prefix.
+func (p Prefix) Size() uint64 { return 1 << (32 - uint(p.p.Bits())) }
+
+// String returns the CIDR form.
+func (p Prefix) String() string { return p.p.String() }
+
+// addrToU32 converts an IPv4 address to its numeric value.
+func addrToU32(a netip.Addr) uint32 {
+	b := a.As4()
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+// u32ToAddr converts a numeric value back to an IPv4 address.
+func u32ToAddr(v uint32) netip.Addr {
+	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+}
+
+// Pool allocates unique host addresses sequentially from a set of prefixes.
+// Network (.0) and broadcast-style terminal addresses are skipped for /24 and
+// shorter prefixes to keep addresses realistic.
+type Pool struct {
+	prefixes []Prefix
+	cursor   int    // index into prefixes
+	next     uint32 // next candidate offset within prefixes[cursor]
+}
+
+// NewPool creates a pool drawing from the given prefixes in order.
+func NewPool(prefixes ...Prefix) *Pool {
+	cp := make([]Prefix, len(prefixes))
+	copy(cp, prefixes)
+	return &Pool{prefixes: cp, next: 1} // skip the network address
+}
+
+// ErrExhausted is returned when a pool has no addresses left.
+var ErrExhausted = fmt.Errorf("ipam: address pool exhausted")
+
+// Alloc returns the next unallocated address from the pool.
+func (p *Pool) Alloc() (netip.Addr, error) {
+	for p.cursor < len(p.prefixes) {
+		pre := p.prefixes[p.cursor]
+		size := pre.Size()
+		// Reserve the first (network) and last (broadcast) offsets.
+		if uint64(p.next) < size-1 {
+			addr := u32ToAddr(addrToU32(pre.Addr()) + p.next)
+			p.next++
+			return addr, nil
+		}
+		p.cursor++
+		p.next = 1
+	}
+	return netip.Addr{}, ErrExhausted
+}
+
+// Remaining returns how many addresses the pool can still allocate.
+func (p *Pool) Remaining() uint64 {
+	var total uint64
+	for i := p.cursor; i < len(p.prefixes); i++ {
+		size := p.prefixes[i].Size() - 2 // minus network and broadcast
+		if i == p.cursor {
+			used := uint64(p.next) - 1
+			if used > size {
+				used = size
+			}
+			total += size - used
+		} else {
+			total += size
+		}
+	}
+	return total
+}
+
+// trieNode is a node in the binary prefix trie.
+type trieNode struct {
+	children [2]*trieNode
+	hasValue bool
+	value    int
+}
+
+// Trie maps IPv4 prefixes to integer labels with longest-prefix-match
+// semantics, like a routing table or an IP→ASN database.
+type Trie struct {
+	root trieNode
+	n    int
+}
+
+// NewTrie returns an empty trie.
+func NewTrie() *Trie { return &Trie{} }
+
+// Len returns the number of prefixes inserted.
+func (t *Trie) Len() int { return t.n }
+
+// Insert associates label with the prefix, replacing any existing label on
+// the exact same prefix.
+func (t *Trie) Insert(p Prefix, label int) {
+	v := addrToU32(p.Addr())
+	node := &t.root
+	for i := 0; i < p.Bits(); i++ {
+		bit := (v >> (31 - uint(i))) & 1
+		if node.children[bit] == nil {
+			node.children[bit] = &trieNode{}
+		}
+		node = node.children[bit]
+	}
+	if !node.hasValue {
+		t.n++
+	}
+	node.hasValue = true
+	node.value = label
+}
+
+// Lookup returns the label of the longest prefix containing addr.
+func (t *Trie) Lookup(addr netip.Addr) (label int, ok bool) {
+	if !addr.Is4() {
+		return 0, false
+	}
+	v := addrToU32(addr)
+	node := &t.root
+	if node.hasValue {
+		label, ok = node.value, true
+	}
+	for i := 0; i < 32 && node != nil; i++ {
+		bit := (v >> (31 - uint(i))) & 1
+		node = node.children[bit]
+		if node != nil && node.hasValue {
+			label, ok = node.value, true
+		}
+	}
+	return label, ok
+}

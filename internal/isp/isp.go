@@ -1,0 +1,94 @@
+// Package isp defines the ISP taxonomy the paper's analysis is grouped by.
+//
+// The paper's notation: TELE is ChinaTelecom, CNC is ChinaNetcom, CER is
+// CERNET (China Education and Research Network), OtherCN covers smaller
+// Chinese ISPs (China Unicom, China Railway Internet, ...), and Foreign
+// covers ISPs outside China. Response-time figures further collapse
+// CER+OtherCN+Foreign into an OTHER group relative to the probe.
+package isp
+
+import "fmt"
+
+// ISP identifies one of the paper's ISP categories.
+type ISP int
+
+// The ISP categories used throughout the paper.
+const (
+	TELE    ISP = iota + 1 // ChinaTelecom
+	CNC                    // ChinaNetcom
+	CER                    // CERNET
+	OtherCN                // smaller Chinese ISPs
+	Foreign                // ISPs outside China
+)
+
+// All lists every category in presentation order (the order the paper's bar
+// charts use).
+func All() []ISP { return []ISP{TELE, CNC, CER, OtherCN, Foreign} }
+
+// Count is the number of ISP categories.
+const Count = 5
+
+// String returns the paper's label for the category.
+func (i ISP) String() string {
+	switch i {
+	case TELE:
+		return "TELE"
+	case CNC:
+		return "CNC"
+	case CER:
+		return "CER"
+	case OtherCN:
+		return "OtherCN"
+	case Foreign:
+		return "Foreign"
+	default:
+		return fmt.Sprintf("ISP(%d)", int(i))
+	}
+}
+
+// Valid reports whether i is one of the defined categories.
+func (i ISP) Valid() bool { return i >= TELE && i <= Foreign }
+
+// Domestic reports whether the ISP is inside China.
+func (i ISP) Domestic() bool { return i == TELE || i == CNC || i == CER || i == OtherCN }
+
+// Group is the three-way grouping used by the response-time analysis
+// (Figs. 7-10): replies are grouped as TELE, CNC, or OTHER (= CER + OtherCN
+// + Foreign).
+type Group int
+
+// Response-time groups.
+const (
+	GroupTELE Group = iota + 1
+	GroupCNC
+	GroupOTHER
+)
+
+// Groups lists the response-time groups in presentation order.
+func Groups() []Group { return []Group{GroupTELE, GroupCNC, GroupOTHER} }
+
+// String returns the group label.
+func (g Group) String() string {
+	switch g {
+	case GroupTELE:
+		return "TELE"
+	case GroupCNC:
+		return "CNC"
+	case GroupOTHER:
+		return "OTHER"
+	default:
+		return fmt.Sprintf("Group(%d)", int(g))
+	}
+}
+
+// GroupOf maps an ISP category to its response-time group.
+func GroupOf(i ISP) Group {
+	switch i {
+	case TELE:
+		return GroupTELE
+	case CNC:
+		return GroupCNC
+	default:
+		return GroupOTHER
+	}
+}

@@ -1,0 +1,77 @@
+package isp
+
+import "testing"
+
+func TestAllCategories(t *testing.T) {
+	all := All()
+	if len(all) != Count {
+		t.Fatalf("All() has %d entries, Count = %d", len(all), Count)
+	}
+	seen := map[ISP]bool{}
+	for _, c := range all {
+		if !c.Valid() {
+			t.Errorf("%v not valid", c)
+		}
+		if seen[c] {
+			t.Errorf("%v duplicated", c)
+		}
+		seen[c] = true
+		if c.String() == "" {
+			t.Errorf("%v has empty name", c)
+		}
+	}
+	if ISP(0).Valid() || ISP(99).Valid() {
+		t.Error("out-of-range values reported valid")
+	}
+}
+
+func TestStringsMatchPaperNotation(t *testing.T) {
+	cases := map[ISP]string{
+		TELE: "TELE", CNC: "CNC", CER: "CER", OtherCN: "OtherCN", Foreign: "Foreign",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", c, got, want)
+		}
+	}
+	if ISP(42).String() == "" {
+		t.Error("unknown ISP String empty")
+	}
+}
+
+func TestDomestic(t *testing.T) {
+	for _, c := range []ISP{TELE, CNC, CER, OtherCN} {
+		if !c.Domestic() {
+			t.Errorf("%v not domestic", c)
+		}
+	}
+	if Foreign.Domestic() {
+		t.Error("Foreign reported domestic")
+	}
+}
+
+func TestGroupOf(t *testing.T) {
+	cases := map[ISP]Group{
+		TELE:    GroupTELE,
+		CNC:     GroupCNC,
+		CER:     GroupOTHER,
+		OtherCN: GroupOTHER,
+		Foreign: GroupOTHER,
+	}
+	for c, want := range cases {
+		if got := GroupOf(c); got != want {
+			t.Errorf("GroupOf(%v) = %v, want %v", c, got, want)
+		}
+	}
+	if len(Groups()) != 3 {
+		t.Errorf("Groups() = %v", Groups())
+	}
+	for _, g := range Groups() {
+		if g.String() == "" {
+			t.Errorf("group %d has empty name", g)
+		}
+	}
+	if Group(9).String() == "" {
+		t.Error("unknown group String empty")
+	}
+}

@@ -1,0 +1,124 @@
+package peer
+
+import (
+	"math/rand"
+	"net/netip"
+	"sort"
+	"time"
+
+	"pplivesim/internal/node"
+	"pplivesim/internal/wire"
+)
+
+// fakeEnv is a manual-clock node.Env capturing every send, for white-box
+// protocol tests.
+type fakeEnv struct {
+	addr    netip.Addr
+	now     time.Duration
+	rng     *rand.Rand
+	sent    []sentMsg
+	timers  []*fakeTimer
+	backlog time.Duration
+}
+
+type sentMsg struct {
+	to  netip.Addr
+	msg wire.Message
+}
+
+type fakeTimer struct {
+	at        time.Duration
+	period    time.Duration // 0 for one-shot
+	fn        func()
+	cancelled bool
+}
+
+func newFakeEnv(addr string) *fakeEnv {
+	return &fakeEnv{addr: netip.MustParseAddr(addr), rng: rand.New(rand.NewSource(1))}
+}
+
+var _ node.Env = (*fakeEnv)(nil)
+
+func (e *fakeEnv) Addr() netip.Addr             { return e.addr }
+func (e *fakeEnv) Now() time.Duration           { return e.now }
+func (e *fakeEnv) Rand() *rand.Rand             { return e.rng }
+func (e *fakeEnv) UplinkBacklog() time.Duration { return e.backlog }
+
+func (e *fakeEnv) Send(to netip.Addr, msg wire.Message) {
+	e.sent = append(e.sent, sentMsg{to: to, msg: msg})
+}
+
+func (e *fakeEnv) After(d time.Duration, fn func()) node.Cancel {
+	t := &fakeTimer{at: e.now + d, fn: fn}
+	e.timers = append(e.timers, t)
+	return func() bool {
+		was := !t.cancelled
+		t.cancelled = true
+		return was
+	}
+}
+
+func (e *fakeEnv) Every(d time.Duration, fn func()) node.Cancel {
+	t := &fakeTimer{at: e.now + d, period: d, fn: fn}
+	e.timers = append(e.timers, t)
+	return func() bool {
+		was := !t.cancelled
+		t.cancelled = true
+		return was
+	}
+}
+
+// Advance moves the clock forward, firing due timers in time order.
+func (e *fakeEnv) Advance(d time.Duration) {
+	target := e.now + d
+	for {
+		var next *fakeTimer
+		for _, t := range e.timers {
+			if t.cancelled || t.at > target {
+				continue
+			}
+			if next == nil || t.at < next.at {
+				next = t
+			}
+		}
+		if next == nil {
+			break
+		}
+		e.now = next.at
+		if next.period > 0 {
+			next.at += next.period
+		} else {
+			next.cancelled = true
+		}
+		next.fn()
+	}
+	e.now = target
+}
+
+// take drains and returns captured sends.
+func (e *fakeEnv) take() []sentMsg {
+	out := e.sent
+	e.sent = nil
+	return out
+}
+
+// sentTo filters captured (not yet drained) sends by destination.
+func (e *fakeEnv) sentTo(to netip.Addr) []wire.Message {
+	var out []wire.Message
+	for _, s := range e.sent {
+		if s.to == to {
+			out = append(out, s.msg)
+		}
+	}
+	return out
+}
+
+// kinds summarizes captured message types.
+func kinds(msgs []sentMsg) []wire.Type {
+	out := make([]wire.Type, len(msgs))
+	for i, m := range msgs {
+		out[i] = m.msg.Kind()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

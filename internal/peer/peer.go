@@ -1,0 +1,1206 @@
+// Package peer implements the PPLive-style live-streaming client whose
+// emergent behaviour the paper measures, plus the channel's stream source.
+//
+// The client follows the protocol the paper reverse-engineered (§2):
+//
+//  1. Contact the bootstrap server for the channel list, then the chosen
+//     channel's playlink and tracker set (one tracker per group).
+//  2. Query trackers for active peers, pick a random subset of each returned
+//     list, and connect immediately.
+//  3. On every new connection, first ask the new neighbor for its peer list,
+//     then request video data.
+//  4. Gossip with connected neighbors every 20 seconds, enclosing its own
+//     peer list; repliers return up to 60 recently connected peers.
+//  5. Once playback is satisfactory, cut tracker queries to every 5 minutes;
+//     discovery then flows almost entirely through neighbor referral.
+//
+// No topology information is used anywhere. Locality emerges from the
+// decentralized latency-based referral dynamics, which is the paper's
+// central finding.
+package peer
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"time"
+
+	"pplivesim/internal/node"
+	"pplivesim/internal/stream"
+	"pplivesim/internal/wire"
+)
+
+// Phase is the client lifecycle stage.
+type Phase int
+
+// Lifecycle stages.
+const (
+	PhaseInit      Phase = iota + 1 // created, not started
+	PhaseBootstrap                  // resolving channel list / playlink
+	PhaseStartup                    // joined, filling the buffer
+	PhaseSteady                     // playback satisfactory
+	PhaseStopped                    // left the channel
+)
+
+// String returns the phase name.
+func (p Phase) String() string {
+	switch p {
+	case PhaseInit:
+		return "init"
+	case PhaseBootstrap:
+		return "bootstrap"
+	case PhaseStartup:
+		return "startup"
+	case PhaseSteady:
+		return "steady"
+	case PhaseStopped:
+		return "stopped"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// neighbor tracks one connected peer.
+type neighbor struct {
+	addr      netip.Addr
+	connected time.Duration // when the connection was established
+	lastHeard time.Duration
+	buffer    wire.BufferMap
+	bufferAt  time.Duration // when the buffer map was received
+	bufferMax uint64        // highest piece set in the map
+	bufferAny bool          // whether the map had any piece at all
+
+	outstanding map[uint64]pendingReq // batch start seq → request detail
+
+	// Service quality estimation. score is an EWMA of data response times;
+	// minRTT is the fastest application-level response observed, the same
+	// estimator the paper's analysis uses for proximity.
+	score    time.Duration
+	minRTT   time.Duration
+	requests uint64
+	replies  uint64
+	bytes    uint64
+}
+
+// pendingReq tracks one outstanding data request (a batch of count
+// consecutive sub-pieces starting at the keying sequence).
+type pendingReq struct {
+	at    time.Duration
+	count int
+}
+
+// setBuffer stores a freshly announced buffer map, precomputing the highest
+// announced piece for live-edge extrapolation.
+func (nb *neighbor) setBuffer(bm wire.BufferMap, at time.Duration) {
+	// Copy the bitmap: announce messages are shared across receivers in the
+	// simulated transport, and learnHas mutates our view.
+	nb.buffer = wire.BufferMap{Start: bm.Start, Bits: append([]byte(nil), bm.Bits...)}
+	nb.bufferAt = at
+	nb.bufferAny = false
+	nb.bufferMax = 0
+	for i := len(bm.Bits) - 1; i >= 0; i-- {
+		b := bm.Bits[i]
+		if b == 0 {
+			continue
+		}
+		hi := 7
+		for b&(1<<hi) == 0 {
+			hi--
+		}
+		nb.bufferMax = bm.Start + uint64(i*8+hi)
+		nb.bufferAny = true
+		break
+	}
+}
+
+// knowledgeWindow is the coverage span (in sub-pieces) we track per
+// neighbor when proofs outrun the announced map.
+const knowledgeWindow = 2048
+
+// learnHas records proof (a data reply or Have hint) that the neighbor held
+// pieces [lo, hi], marking them into our view of its map. If the proof falls
+// beyond the tracked window — hints race ahead of periodic announcements on
+// a live stream — the window is re-anchored around the new high-water mark,
+// preserving whatever old knowledge still overlaps.
+func (nb *neighbor) learnHas(lo, hi uint64, at time.Duration) {
+	if nb.buffer.Bits == nil || hi >= nb.buffer.Start+nb.buffer.Window() {
+		start := uint64(0)
+		if hi+1 > knowledgeWindow {
+			start = hi + 1 - knowledgeWindow
+		}
+		fresh := wire.BufferMap{Start: start, Bits: make([]byte, knowledgeWindow/8)}
+		if nb.buffer.Bits != nil {
+			end := nb.buffer.Start + nb.buffer.Window()
+			for seq := start; seq < end; seq++ {
+				if nb.buffer.Has(seq) {
+					fresh.Set(seq)
+				}
+			}
+		}
+		nb.buffer = fresh
+	}
+	for seq := lo; seq <= hi; seq++ {
+		nb.buffer.Set(seq)
+	}
+	if !nb.bufferAny || hi > nb.bufferMax {
+		nb.bufferMax = hi
+		nb.bufferAny = true
+		nb.bufferAt = at
+	}
+}
+
+// covers reports whether the neighbor is known to hold sub-piece seq:
+// announced in its last buffer map or proven by a data reply since. Assumed
+// (extrapolated) coverage is deliberately absent — swarms with holes turn
+// optimism into decline storms; knowledge here is only what the neighbor
+// actually demonstrated.
+func (nb *neighbor) covers(seq uint64, _ time.Duration, _ float64) bool {
+	return nb.buffer.Has(seq)
+}
+
+// Client is one PPLive-style peer.
+type Client struct {
+	env node.Env
+	cfg Config
+
+	phase    Phase
+	source   netip.Addr
+	trackers []netip.Addr
+	buffer   *stream.Buffer
+
+	neighbors  map[netip.Addr]*neighbor
+	pending    map[netip.Addr]time.Duration // outstanding handshakes
+	known      map[netip.Addr]bool          // every address ever learned
+	candidates []netip.Addr                 // not-yet-tried addresses (FIFO)
+
+	// recent is the referral source: most recently connected peers first,
+	// deduplicated, capped at cfg.ReferralSize.
+	recent []netip.Addr
+
+	outstandingTotal int
+	// inflight indexes every outstanding sequence for O(1) scheduler skips
+	// (the per-neighbor outstanding maps hold the timing detail).
+	inflight map[uint64]struct{}
+
+	// sortedCache caches sortedNeighborAddrs between membership changes;
+	// sortedNbs caches the corresponding neighbor pointers for the
+	// scheduler's hot path.
+	sortedCache []netip.Addr
+	sortedNbs   []*neighbor
+	sortedDirty bool
+
+	// lastMapTo rate-limits decline-triggered buffer-map piggybacks.
+	lastMapTo map[netip.Addr]time.Duration
+
+	cancels      []node.Cancel
+	trackerTimer node.Cancel
+
+	stats Stats
+
+	// onStopped, if set, runs after Stop completes (used by orchestration).
+	onStopped func()
+}
+
+// Stats counts client-side protocol activity.
+type Stats struct {
+	TrackerQueries       uint64
+	GossipSent           uint64
+	GossipReplies        uint64
+	ListsReceived        uint64
+	AddrsLearned         uint64
+	HandshakesSent       uint64
+	HandshakesAccepted   uint64
+	HandshakesRejected   uint64
+	HandshakeTimeouts    uint64
+	InboundAccepted      uint64
+	InboundRejected      uint64
+	DataRequestsSent     uint64
+	DataRepliesGot       uint64
+	DataNoHaves          uint64
+	DataBusies           uint64
+	DataBytesGot         uint64
+	DataRequestsServed   uint64
+	DataRequestsDeclined uint64
+	DataRequestsShed     uint64
+	RequestTimeouts      uint64
+}
+
+// New creates a client bound to env. Call Start to join the channel.
+func New(env node.Env, cfg Config) (*Client, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Client{
+		env:       env,
+		cfg:       cfg,
+		phase:     PhaseInit,
+		neighbors: make(map[netip.Addr]*neighbor),
+		pending:   make(map[netip.Addr]time.Duration),
+		known:     make(map[netip.Addr]bool),
+		inflight:  make(map[uint64]struct{}),
+	}, nil
+}
+
+var _ node.Handler = (*Client)(nil)
+
+// Phase returns the current lifecycle stage.
+func (c *Client) Phase() Phase { return c.phase }
+
+// Addr returns the client's address.
+func (c *Client) Addr() netip.Addr { return c.env.Addr() }
+
+// Stats returns a snapshot of protocol counters.
+func (c *Client) Stats() Stats { return c.stats }
+
+// BufferStats returns playback buffer counters (zero value before join).
+func (c *Client) BufferStats() stream.Stats {
+	if c.buffer == nil {
+		return stream.Stats{}
+	}
+	return c.buffer.Stats()
+}
+
+// NumNeighbors returns the connected neighbor count.
+func (c *Client) NumNeighbors() int { return len(c.neighbors) }
+
+// Neighbors returns the connected neighbor addresses.
+func (c *Client) Neighbors() []netip.Addr {
+	out := make([]netip.Addr, 0, len(c.neighbors))
+	for a := range c.neighbors {
+		out = append(out, a)
+	}
+	return out
+}
+
+// SetOnStopped registers a callback invoked after Stop.
+func (c *Client) SetOnStopped(fn func()) { c.onStopped = fn }
+
+// Start begins the join flow: contact the bootstrap server. In the real
+// client this is preceded by DNS queries for the server addresses; the
+// simulation provides the bootstrap address directly.
+func (c *Client) Start() {
+	if c.phase != PhaseInit {
+		return
+	}
+	c.phase = PhaseBootstrap
+	c.env.Send(c.cfg.Bootstrap, &wire.ChannelListRequest{})
+	// Retry bootstrap contact until the playlink resolves.
+	var retry func()
+	retry = func() {
+		if c.phase != PhaseBootstrap {
+			return
+		}
+		c.env.Send(c.cfg.Bootstrap, &wire.ChannelListRequest{})
+		c.cancels = append(c.cancels, c.env.After(2*time.Second, retry))
+	}
+	c.cancels = append(c.cancels, c.env.After(2*time.Second, retry))
+}
+
+// Stop leaves the channel: withdraw tracker announcements and disarm timers.
+func (c *Client) Stop() {
+	if c.phase == PhaseStopped {
+		return
+	}
+	for _, tr := range c.trackers {
+		c.env.Send(tr, &wire.TrackerAnnounce{Channel: c.cfg.Channel.Channel, Leaving: true})
+	}
+	for _, cancel := range c.cancels {
+		cancel()
+	}
+	c.cancels = nil
+	if c.trackerTimer != nil {
+		c.trackerTimer()
+		c.trackerTimer = nil
+	}
+	c.phase = PhaseStopped
+	if c.onStopped != nil {
+		c.onStopped()
+	}
+}
+
+// HandleMessage implements node.Handler.
+func (c *Client) HandleMessage(from netip.Addr, msg wire.Message) {
+	if c.phase == PhaseStopped {
+		return
+	}
+	switch m := msg.(type) {
+	case *wire.ChannelListResponse:
+		c.handleChannelList(m)
+	case *wire.PlaylinkResponse:
+		c.handlePlaylink(m)
+	case *wire.TrackerResponse:
+		c.handleTrackerResponse(m)
+	case *wire.Handshake:
+		c.handleHandshake(from, m)
+	case *wire.HandshakeAck:
+		c.handleHandshakeAck(from, m)
+	case *wire.PeerListRequest:
+		c.handlePeerListRequest(from, m)
+	case *wire.PeerListReply:
+		c.handlePeerListReply(from, m)
+	case *wire.BufferMapAnnounce:
+		c.handleBufferMap(from, m)
+	case *wire.DataRequest:
+		c.handleDataRequest(from, m)
+	case *wire.DataReply:
+		c.handleDataReply(from, m)
+	case *wire.Have:
+		c.handleHave(from, m)
+	default:
+	}
+}
+
+func (c *Client) handleChannelList(m *wire.ChannelListResponse) {
+	if c.phase != PhaseBootstrap || c.buffer != nil {
+		return
+	}
+	// The user picks the configured channel from the list; verify it exists.
+	for _, info := range m.Channels {
+		if info.ID == c.cfg.Channel.Channel {
+			c.env.Send(c.cfg.Bootstrap, &wire.PlaylinkRequest{Channel: info.ID})
+			return
+		}
+	}
+}
+
+func (c *Client) handlePlaylink(m *wire.PlaylinkResponse) {
+	if c.phase != PhaseBootstrap || m.Channel != c.cfg.Channel.Channel {
+		return
+	}
+	buf, err := stream.NewBuffer(c.cfg.Channel, c.env.Now(), c.cfg.StartupDelay, c.cfg.BufferWindow)
+	if err != nil {
+		// Config was validated in New; a failure here is a programming error.
+		panic(fmt.Sprintf("peer: buffer: %v", err))
+	}
+	c.buffer = buf
+	c.source = m.Source
+	c.trackers = append([]netip.Addr(nil), m.Trackers...)
+	c.phase = PhaseStartup
+
+	c.announceTrackers(false)
+	c.queryTrackers()
+	c.scheduleTrackerQueries(c.cfg.TrackerIntervalStartup)
+
+	c.cancels = append(c.cancels,
+		c.env.Every(c.cfg.AnnounceInterval, func() { c.announceTrackers(false) }),
+		c.env.Every(c.cfg.GossipInterval, c.gossip),
+		c.env.Every(c.cfg.BufferMapInterval, c.announceBufferMap),
+		c.env.Every(c.cfg.SchedInterval, c.schedulerTick),
+	)
+
+	// The source is always a data neighbor of last resort.
+	c.addNeighbor(m.Source, wire.BufferMap{})
+}
+
+// scheduleTrackerQueries (re)installs the periodic tracker query at the given
+// interval, replacing any previous schedule.
+func (c *Client) scheduleTrackerQueries(interval time.Duration) {
+	if c.trackerTimer != nil {
+		c.trackerTimer()
+	}
+	c.trackerTimer = c.env.Every(interval, func() {
+		c.queryTrackers()
+		// Once playback is satisfactory, back off to the steady period
+		// (the paper measures five minutes).
+		if c.phase == PhaseSteady {
+			c.scheduleTrackerQueries(c.cfg.TrackerIntervalSteady)
+			c.phase = PhaseSteady
+		}
+	})
+}
+
+func (c *Client) announceTrackers(leaving bool) {
+	for _, tr := range c.trackers {
+		c.env.Send(tr, &wire.TrackerAnnounce{Channel: c.cfg.Channel.Channel, Leaving: leaving})
+	}
+}
+
+func (c *Client) queryTrackers() {
+	for _, tr := range c.trackers {
+		c.stats.TrackerQueries++
+		c.env.Send(tr, &wire.TrackerQuery{Channel: c.cfg.Channel.Channel})
+	}
+}
+
+// gossip queries up to GossipFanout random neighbors for their peer lists,
+// enclosing our own list, per the measured 20-second cadence.
+func (c *Client) gossip() {
+	if c.buffer == nil {
+		return
+	}
+	// Housekeeping runs every round even when there is nobody to query:
+	// silent-neighbor eviction, pending-handshake expiry, table trimming.
+	c.evictSilent()
+	c.trimNeighbors()
+	c.maybeSteady()
+
+	targets := c.sampleNeighbors(c.cfg.GossipFanout)
+	if len(targets) == 0 {
+		return
+	}
+	own := c.ownPeerList()
+	for _, addr := range targets {
+		c.stats.GossipSent++
+		c.env.Send(addr, &wire.PeerListRequest{Channel: c.cfg.Channel.Channel, OwnPeers: own})
+	}
+}
+
+// trimNeighbors prunes the table back toward MaxNeighbors. With latency
+// bias the highest-RTT neighbors go first — the steady-state counterpart of
+// the handshake race, and the mechanism that concentrates the table on
+// nearby (in practice same-ISP) peers. With the bias ablated, pruning is
+// random.
+func (c *Client) trimNeighbors() {
+	for len(c.sortedNeighbors()) > c.cfg.MaxNeighbors {
+		var victim *neighbor
+		if c.cfg.LatencyBias {
+			victim = c.worstNeighbor()
+		} else {
+			pool := c.sortedNeighbors()
+			victim = pool[c.env.Rand().Intn(len(pool))]
+		}
+		if victim == nil {
+			return
+		}
+		c.dropNeighbor(victim.addr)
+	}
+}
+
+// ownPeerList returns the list the client maintains (its recent neighbors),
+// enclosed in gossip requests as the paper describes.
+func (c *Client) ownPeerList() []netip.Addr {
+	out := make([]netip.Addr, len(c.recent))
+	copy(out, c.recent)
+	return out
+}
+
+// sortedNeighborAddrs returns the connected non-source neighbor addresses in
+// address order, cached between membership changes — it runs on the data
+// scheduler's hot path. Deterministic ordering keeps whole runs reproducible
+// (map iteration order is randomized in Go). Callers must not mutate the
+// returned slice.
+func (c *Client) sortedNeighborAddrs() []netip.Addr {
+	if !c.sortedDirty {
+		return c.sortedCache
+	}
+	pool := c.sortedCache[:0]
+	for a := range c.neighbors {
+		if a == c.source {
+			continue
+		}
+		pool = append(pool, a)
+	}
+	sort.Slice(pool, func(i, j int) bool { return pool[i].Less(pool[j]) })
+	c.sortedCache = pool
+	c.sortedNbs = c.sortedNbs[:0]
+	for _, a := range pool {
+		c.sortedNbs = append(c.sortedNbs, c.neighbors[a])
+	}
+	c.sortedDirty = false
+	return pool
+}
+
+// sortedNeighbors returns neighbor pointers in the same deterministic order.
+func (c *Client) sortedNeighbors() []*neighbor {
+	c.sortedNeighborAddrs()
+	return c.sortedNbs
+}
+
+// sampleNeighbors picks up to k distinct connected neighbors uniformly,
+// excluding the source (gossip targets are regular peers).
+func (c *Client) sampleNeighbors(k int) []netip.Addr {
+	pool := append([]netip.Addr(nil), c.sortedNeighborAddrs()...)
+	rng := c.env.Rand()
+	if len(pool) <= k {
+		return pool
+	}
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(len(pool)-i)
+		pool[i], pool[j] = pool[j], pool[i]
+	}
+	return pool[:k]
+}
+
+// learn absorbs peer addresses into the candidate pool.
+func (c *Client) learn(addrs []netip.Addr) {
+	self := c.env.Addr()
+	for _, a := range addrs {
+		c.stats.AddrsLearned++
+		if a == self || c.known[a] {
+			continue
+		}
+		c.known[a] = true
+		c.candidates = append(c.candidates, a)
+	}
+}
+
+// connectFromList implements "randomly selects a number of peers from the
+// list and connects to them immediately": pick ConnectFanout random fresh
+// addresses from the just-received list and handshake at once (or, with
+// latency bias ablated, after a random defer).
+func (c *Client) connectFromList(addrs []netip.Addr) {
+	if c.buffer == nil {
+		return
+	}
+	fresh := make([]netip.Addr, 0, len(addrs))
+	self := c.env.Addr()
+	for _, a := range addrs {
+		if a == self {
+			continue
+		}
+		if _, connected := c.neighbors[a]; connected {
+			continue
+		}
+		if _, inflight := c.pending[a]; inflight {
+			continue
+		}
+		fresh = append(fresh, a)
+	}
+	rng := c.env.Rand()
+	rng.Shuffle(len(fresh), func(i, j int) { fresh[i], fresh[j] = fresh[j], fresh[i] })
+	n := c.cfg.ConnectFanout
+	for _, a := range fresh {
+		if n == 0 {
+			break
+		}
+		if len(c.pending) >= c.cfg.MaxPending {
+			break
+		}
+		// Keep probing even at capacity: the ack race against the current
+		// worst neighbor (see handleHandshakeAck) is what makes selection
+		// latency-based over time.
+		c.sendHandshake(a)
+		n--
+	}
+}
+
+func (c *Client) sendHandshake(a netip.Addr) {
+	c.pending[a] = c.env.Now()
+	c.stats.HandshakesSent++
+	hs := &wire.Handshake{Channel: c.cfg.Channel.Channel}
+	if c.cfg.LatencyBias {
+		c.env.Send(a, hs)
+		return
+	}
+	// Ablation: defer by a uniform random delay (0..2s) so slot acquisition
+	// no longer correlates with proximity.
+	delay := time.Duration(c.env.Rand().Int63n(int64(2 * time.Second)))
+	c.cancels = append(c.cancels, c.env.After(delay, func() {
+		if c.phase != PhaseStopped {
+			c.env.Send(a, hs)
+		}
+	}))
+}
+
+func (c *Client) handleTrackerResponse(m *wire.TrackerResponse) {
+	if m.Channel != c.cfg.Channel.Channel || c.buffer == nil {
+		return
+	}
+	c.stats.ListsReceived++
+	c.learn(m.Peers)
+	c.connectFromList(m.Peers)
+}
+
+func (c *Client) handleHandshake(from netip.Addr, m *wire.Handshake) {
+	if c.buffer == nil || m.Channel != c.cfg.Channel.Channel {
+		return
+	}
+	// Accept inbound connections up to twice the outbound cap: PPLive peers
+	// are generous acceptors, which is what makes clusters highly connected.
+	accept := len(c.sortedNeighborAddrs()) < 2*c.cfg.MaxNeighbors
+	ack := &wire.HandshakeAck{
+		Channel:  c.cfg.Channel.Channel,
+		Accepted: accept,
+	}
+	if accept {
+		ack.Buffer = c.buffer.Snapshot()
+		c.stats.InboundAccepted++
+		c.addNeighbor(from, wire.BufferMap{})
+	} else {
+		c.stats.InboundRejected++
+	}
+	c.env.Send(from, ack)
+}
+
+func (c *Client) handleHandshakeAck(from netip.Addr, m *wire.HandshakeAck) {
+	if _, ok := c.pending[from]; !ok {
+		return
+	}
+	started := c.pending[from]
+	delete(c.pending, from)
+	if !m.Accepted || c.buffer == nil {
+		c.stats.HandshakesRejected++
+		return
+	}
+	rtt := c.env.Now() - started
+	if len(c.sortedNeighborAddrs()) >= c.cfg.MaxNeighbors {
+		// Table full: the newcomer must beat the slowest current neighbor
+		// on measured latency, otherwise the race is lost. This rolling
+		// replacement is what turns connect-on-list-arrival into
+		// latency-based neighbor selection over a whole session.
+		if !c.cfg.LatencyBias {
+			c.stats.HandshakesRejected++
+			return
+		}
+		worst := c.worstNeighbor()
+		if worst == nil || rtt >= neighborRTTEstimate(worst) {
+			c.stats.HandshakesRejected++
+			return
+		}
+		c.dropNeighbor(worst.addr)
+	}
+	c.stats.HandshakesAccepted++
+	nb := c.addNeighbor(from, m.Buffer)
+	nb.minRTT = rtt
+	nb.score = rtt
+	// "Upon the establishment of a new connection, the client will first ask
+	// the newly connected peer for its peer list ... then request video data."
+	c.stats.GossipSent++
+	c.env.Send(from, &wire.PeerListRequest{Channel: c.cfg.Channel.Channel, OwnPeers: c.ownPeerList()})
+}
+
+// addNeighbor registers (or refreshes) a connected neighbor and records it
+// as a recent connection for referral.
+func (c *Client) addNeighbor(a netip.Addr, bm wire.BufferMap) *neighbor {
+	if nb, ok := c.neighbors[a]; ok {
+		nb.lastHeard = c.env.Now()
+		if bm.Bits != nil {
+			nb.setBuffer(bm, c.env.Now())
+		}
+		return nb
+	}
+	nb := &neighbor{
+		addr:        a,
+		connected:   c.env.Now(),
+		lastHeard:   c.env.Now(),
+		outstanding: make(map[uint64]pendingReq),
+	}
+	nb.setBuffer(bm, c.env.Now())
+	c.neighbors[a] = nb
+	c.sortedDirty = true
+	if a != c.source {
+		c.pushRecent(a)
+	}
+	return nb
+}
+
+// neighborRTTEstimate is the latency yardstick for replacement decisions:
+// the measured minimum response time when available, otherwise a neutral
+// default so unmeasured neighbors are replaceable but not free kills.
+func neighborRTTEstimate(nb *neighbor) time.Duration {
+	if nb.minRTT > 0 {
+		return nb.minRTT
+	}
+	return 400 * time.Millisecond
+}
+
+// worstNeighbor returns the connected neighbor with the highest latency
+// estimate (excluding the source), or nil if none.
+func (c *Client) worstNeighbor() *neighbor {
+	var worst *neighbor
+	for _, nb := range c.sortedNeighbors() {
+		if worst == nil || neighborRTTEstimate(nb) > neighborRTTEstimate(worst) {
+			worst = nb
+		}
+	}
+	return worst
+}
+
+// pushRecent records a as the most recent connection, deduplicating and
+// capping at ReferralSize.
+func (c *Client) pushRecent(a netip.Addr) {
+	for i, existing := range c.recent {
+		if existing == a {
+			copy(c.recent[1:i+1], c.recent[:i])
+			c.recent[0] = a
+			return
+		}
+	}
+	c.recent = append(c.recent, netip.Addr{})
+	copy(c.recent[1:], c.recent)
+	c.recent[0] = a
+	if len(c.recent) > c.cfg.ReferralSize {
+		c.recent = c.recent[:c.cfg.ReferralSize]
+	}
+}
+
+func (c *Client) handlePeerListRequest(from netip.Addr, m *wire.PeerListRequest) {
+	if c.buffer == nil || m.Channel != c.cfg.Channel.Channel {
+		return
+	}
+	// The requester's enclosed list is free gossip: absorb it.
+	c.learn(m.OwnPeers)
+	if nb, ok := c.neighbors[from]; ok {
+		nb.lastHeard = c.env.Now()
+	}
+	reply := &wire.PeerListReply{Channel: c.cfg.Channel.Channel}
+	if c.cfg.ReferralEnabled {
+		reply.Peers = c.referralList(from)
+	}
+	c.env.Send(from, reply)
+}
+
+// referralList returns up to ReferralSize recently connected peers, excluding
+// the requester itself.
+func (c *Client) referralList(requester netip.Addr) []netip.Addr {
+	out := make([]netip.Addr, 0, len(c.recent))
+	for _, a := range c.recent {
+		if a == requester {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+func (c *Client) handlePeerListReply(from netip.Addr, m *wire.PeerListReply) {
+	if c.buffer == nil || m.Channel != c.cfg.Channel.Channel {
+		return
+	}
+	c.stats.GossipReplies++
+	c.stats.ListsReceived++
+	if nb, ok := c.neighbors[from]; ok {
+		nb.lastHeard = c.env.Now()
+	}
+	c.learn(m.Peers)
+	// "Once the client receives a peer list ... connects to them immediately."
+	c.connectFromList(m.Peers)
+}
+
+func (c *Client) handleBufferMap(from netip.Addr, m *wire.BufferMapAnnounce) {
+	nb, ok := c.neighbors[from]
+	if !ok || m.Channel != c.cfg.Channel.Channel {
+		return
+	}
+	nb.setBuffer(m.Buffer, c.env.Now())
+	nb.lastHeard = c.env.Now()
+}
+
+func (c *Client) announceBufferMap() {
+	if c.buffer == nil {
+		return
+	}
+	bm := c.buffer.Snapshot()
+	for _, a := range c.sortedNeighborAddrs() {
+		c.env.Send(a, &wire.BufferMapAnnounce{Channel: c.cfg.Channel.Channel, Buffer: bm})
+	}
+}
+
+// evictSilent drops neighbors not heard from within NeighborSilence and
+// expires handshakes that never got an ack (departed peers, lost datagrams)
+// so the pending window cannot clog permanently.
+func (c *Client) evictSilent() {
+	now := c.env.Now()
+	for a, nb := range c.neighbors {
+		if a == c.source {
+			continue
+		}
+		if now-nb.lastHeard > c.cfg.NeighborSilence {
+			c.dropNeighbor(a)
+		}
+	}
+	for a, at := range c.pending {
+		if now-at > c.cfg.HandshakeTimeout {
+			delete(c.pending, a)
+			c.stats.HandshakeTimeouts++
+		}
+	}
+}
+
+func (c *Client) dropNeighbor(a netip.Addr) {
+	nb, ok := c.neighbors[a]
+	if !ok {
+		return
+	}
+	for seq, req := range nb.outstanding {
+		c.clearOutstanding(nb, seq, req)
+	}
+	delete(c.neighbors, a)
+	c.sortedDirty = true
+}
+
+// maybeSteady transitions to the steady phase once playback is satisfactory:
+// the buffer holds a healthy share of the pieces between playhead and edge.
+func (c *Client) maybeSteady() {
+	if c.phase != PhaseStartup || c.buffer == nil {
+		return
+	}
+	st := c.buffer.Stats()
+	if st.Received > uint64(c.cfg.BufferWindow/4) && len(c.neighbors) > 2 {
+		c.phase = PhaseSteady
+		c.scheduleTrackerQueries(c.cfg.TrackerIntervalSteady)
+	}
+}
+
+// schedulerTick drives playback and the data request plane.
+func (c *Client) schedulerTick() {
+	if c.buffer == nil {
+		return
+	}
+	now := c.env.Now()
+	c.buffer.AdvanceTo(now)
+	c.expireRequests(now)
+
+	if c.outstandingTotal >= c.cfg.MaxOutstanding {
+		return
+	}
+
+	// Determine wanted sub-pieces, skipping those already in flight and
+	// bounding prefetch to FetchLead ahead of the playhead (pieces newer
+	// than that are too close to the live edge to be widely announced yet).
+	budget := (c.cfg.MaxOutstanding - c.outstandingTotal) * c.cfg.BatchCount
+	limit := c.buffer.Playhead() + uint64(c.cfg.FetchLead.Seconds()*c.cfg.Channel.Rate())
+	want := c.buffer.Want(now, budget, limit, c.inFlight)
+	if len(want) == 0 {
+		c.maybeSteady()
+		return
+	}
+
+	// Pieces within two seconds of their deadline are urgent: they go only
+	// to proven holders or the source, never to extrapolated coverage.
+	urgentBound := c.buffer.Playhead() + uint64(5*c.cfg.Channel.Rate())
+
+	// Keep urgent pieces in deadline order but randomize the rest, so that
+	// peers wanting the same region fetch different pieces and can then
+	// trade (sequential fetching would synchronize the whole swarm onto the
+	// same few providers).
+	split := len(want)
+	for i, seq := range want {
+		if seq >= urgentBound {
+			split = i
+			break
+		}
+	}
+	rng := c.env.Rand()
+	tail := want[split:]
+	shuffleBlocks(rng, tail, c.cfg.BatchCount)
+
+	// Assign wanted sequences to providers, batching contiguous runs the
+	// chosen provider actually covers (up to BatchCount).
+	rate := c.cfg.Channel.Rate()
+	for i := 0; i < len(want); {
+		seq := want[i]
+		target := c.pickProvider(seq, now, seq < urgentBound)
+		if target == nil {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(want) && j-i < c.cfg.BatchCount && want[j] == want[j-1]+1 &&
+			c.neighborCovers(target, want[j], now, rate) {
+			j++
+		}
+		c.sendDataRequest(target, seq, j-i, now)
+		i = j
+		if c.outstandingTotal >= c.cfg.MaxOutstanding {
+			break
+		}
+	}
+}
+
+// shuffleBlocks randomizes the order of blockSize-sized contiguous blocks of
+// seqs in place, preserving intra-block contiguity so batching still works.
+func shuffleBlocks(rng *rand.Rand, seqs []uint64, blockSize int) {
+	if blockSize < 1 || len(seqs) <= blockSize {
+		if blockSize == 1 {
+			rng.Shuffle(len(seqs), func(i, j int) { seqs[i], seqs[j] = seqs[j], seqs[i] })
+		}
+		return
+	}
+	n := (len(seqs) + blockSize - 1) / blockSize
+	order := rng.Perm(n)
+	out := make([]uint64, 0, len(seqs))
+	for _, b := range order {
+		lo := b * blockSize
+		hi := lo + blockSize
+		if hi > len(seqs) {
+			hi = len(seqs)
+		}
+		out = append(out, seqs[lo:hi]...)
+	}
+	copy(seqs, out)
+}
+
+// neighborCovers is covers() with the source treated as holding everything
+// already emitted.
+func (c *Client) neighborCovers(nb *neighbor, seq uint64, now time.Duration, rate float64) bool {
+	if nb.addr == c.source {
+		return seq <= c.cfg.Channel.EdgeSeq(now)
+	}
+	return nb.covers(seq, now, rate)
+}
+
+// inFlight reports whether seq is covered by any outstanding request.
+func (c *Client) inFlight(seq uint64) bool {
+	_, ok := c.inflight[seq]
+	return ok
+}
+
+// expireRequests times out unanswered data requests, penalizing the
+// neighbor's service score.
+func (c *Client) expireRequests(now time.Duration) {
+	for _, nb := range c.neighbors {
+		for seq, req := range nb.outstanding {
+			if now-req.at > c.cfg.RequestTimeout {
+				c.clearOutstanding(nb, seq, req)
+				c.stats.RequestTimeouts++
+				// A timeout is strong evidence of overload or departure.
+				nb.score = ewma(nb.score, 2*c.cfg.RequestTimeout)
+			}
+		}
+	}
+}
+
+// clearOutstanding removes a pending request and its inflight coverage.
+func (c *Client) clearOutstanding(nb *neighbor, seq uint64, req pendingReq) {
+	delete(nb.outstanding, seq)
+	c.outstandingTotal--
+	for i := 0; i < req.count; i++ {
+		delete(c.inflight, seq+uint64(i))
+	}
+}
+
+// pickProvider chooses a neighbor to serve sub-piece seq.
+//
+// With PreferFastNeighbors, selection is ε-greedy over the inverse of the
+// observed service-time EWMA: mostly the fastest covering neighbor, with a
+// 15% exploration share spread across the others. This is the
+// performance-driven concentration that produces the paper's
+// stretched-exponential request distribution (§3.4) and the negative
+// rank–RTT correlation (§3.5). The source is a last resort — except for
+// urgent pieces, which only go to neighbors whose buffer map proves
+// possession (extrapolated coverage is not good enough near a deadline).
+func (c *Client) pickProvider(seq uint64, now time.Duration, urgent bool) *neighbor {
+	rate := c.cfg.Channel.Rate()
+	var candidates []*neighbor
+	for _, nb := range c.sortedNeighbors() {
+		if len(nb.outstanding) >= c.cfg.MaxOutstandingPerNeighbor {
+			continue
+		}
+		if urgent {
+			if !nb.buffer.Has(seq) {
+				continue
+			}
+		} else if !nb.covers(seq, now, rate) {
+			continue
+		}
+		candidates = append(candidates, nb)
+	}
+	if len(candidates) == 0 {
+		// Urgent pieces fall back to the source unconditionally. Non-urgent
+		// pieces may prefetch from the source with small probability: this
+		// seeds each fresh piece into a few peers, and the mesh (buffer
+		// maps + referral clusters) spreads it from there. Without the
+		// seeding nobody holds new pieces early and the source degenerates
+		// into a CDN at deadline time.
+		if !urgent && c.env.Rand().Float64() >= c.cfg.SourcePrefetchProb {
+			return nil
+		}
+		if src, ok := c.neighbors[c.source]; ok && len(src.outstanding) < c.cfg.MaxOutstandingPerNeighbor {
+			return src
+		}
+		return nil
+	}
+	rng := c.env.Rand()
+	if !c.cfg.PreferFastNeighbors {
+		return candidates[rng.Intn(len(candidates))]
+	}
+	// ε-greedy: explore uniformly 8% of the time.
+	if rng.Float64() < 0.08 {
+		return candidates[rng.Intn(len(candidates))]
+	}
+	best := candidates[0]
+	for _, nb := range candidates[1:] {
+		if score(nb) < score(best) {
+			best = nb
+		}
+	}
+	return best
+}
+
+// score orders neighbors by expected service time; never-measured neighbors
+// rank in the middle so they get tried.
+func score(nb *neighbor) time.Duration {
+	if nb.score == 0 {
+		return 500 * time.Millisecond
+	}
+	return nb.score
+}
+
+func ewma(old, sample time.Duration) time.Duration {
+	if old == 0 {
+		return sample
+	}
+	const alpha = 0.25
+	return time.Duration((1-alpha)*float64(old) + alpha*float64(sample))
+}
+
+func (c *Client) sendDataRequest(nb *neighbor, seq uint64, count int, now time.Duration) {
+	nb.outstanding[seq] = pendingReq{at: now, count: count}
+	c.outstandingTotal++
+	for i := 0; i < count; i++ {
+		c.inflight[seq+uint64(i)] = struct{}{}
+	}
+	nb.requests++
+	c.stats.DataRequestsSent++
+	c.env.Send(nb.addr, &wire.DataRequest{
+		Channel: c.cfg.Channel.Channel,
+		Seq:     seq,
+		Count:   uint16(count),
+	})
+}
+
+// handleDataRequest serves a neighbor's request with the prefix run of
+// pieces we hold, unless our uplink is already overloaded.
+func (c *Client) handleDataRequest(from netip.Addr, m *wire.DataRequest) {
+	if c.buffer == nil || m.Channel != c.cfg.Channel.Channel {
+		return
+	}
+	if nb, ok := c.neighbors[from]; ok {
+		nb.lastHeard = c.env.Now()
+	}
+	// An overloaded uplink sheds load with a tiny busy reply, redirecting
+	// the requester quickly. Accepted requests still ride the growing
+	// uplink queue — the application-layer queuing behind the paper's
+	// load-dependent response times.
+	if c.env.UplinkBacklog() > c.cfg.ServeQueueLimit {
+		c.stats.DataRequestsShed++
+		c.env.Send(from, &wire.DataReply{
+			Channel:  c.cfg.Channel.Channel,
+			Seq:      m.Seq,
+			Count:    0,
+			PieceLen: uint16(c.cfg.Channel.SubPieceLen),
+			Busy:     true,
+		})
+		return
+	}
+	count := int(m.Count)
+	if count == 0 {
+		count = 1
+	}
+	run := 0
+	for run < count && c.buffer.Has(m.Seq+uint64(run)) {
+		run++
+	}
+	if run == 0 {
+		// Explicit no-have: a tiny reply (Count=0) so the requester can
+		// reschedule immediately instead of burning a timeout. Piggyback a
+		// fresh buffer map (rate-limited per peer) so the requester's stale
+		// view of us gets corrected at exactly the moment it misfired.
+		c.stats.DataRequestsDeclined++
+		c.env.Send(from, &wire.DataReply{
+			Channel:  c.cfg.Channel.Channel,
+			Seq:      m.Seq,
+			Count:    0,
+			PieceLen: uint16(c.cfg.Channel.SubPieceLen),
+		})
+		now := c.env.Now()
+		if last, ok := c.lastMapTo[from]; !ok || now-last >= time.Second {
+			if c.lastMapTo == nil {
+				c.lastMapTo = make(map[netip.Addr]time.Duration)
+			}
+			c.lastMapTo[from] = now
+			c.env.Send(from, &wire.BufferMapAnnounce{
+				Channel: c.cfg.Channel.Channel,
+				Buffer:  c.buffer.Snapshot(),
+			})
+		}
+		return
+	}
+	c.stats.DataRequestsServed++
+	c.env.Send(from, &wire.DataReply{
+		Channel:  c.cfg.Channel.Channel,
+		Seq:      m.Seq,
+		Count:    uint16(run),
+		PieceLen: uint16(c.cfg.Channel.SubPieceLen),
+	})
+}
+
+func (c *Client) handleDataReply(from netip.Addr, m *wire.DataReply) {
+	if c.buffer == nil || m.Channel != c.cfg.Channel.Channel {
+		return
+	}
+	nb, ok := c.neighbors[from]
+	if !ok {
+		return
+	}
+	now := c.env.Now()
+	nb.lastHeard = now
+
+	if m.Count == 0 {
+		// Miss: clear the in-flight slot. For busy signals, penalize the
+		// neighbor's service score so the scheduler spreads load away; for
+		// no-haves, the piggybacked buffer map corrects our stale view.
+		if req, ok := nb.outstanding[m.Seq]; ok {
+			c.clearOutstanding(nb, m.Seq, req)
+		}
+		if m.Busy {
+			c.stats.DataBusies++
+			// Penalize proportionally: a busy signal means "currently about
+			// twice as slow as usual", steering load away without burying
+			// genuinely fast neighbors.
+			nb.score = ewma(nb.score, 2*score(nb))
+		} else {
+			c.stats.DataNoHaves++
+		}
+		return
+	}
+
+	if req, ok := nb.outstanding[m.Seq]; ok {
+		c.clearOutstanding(nb, m.Seq, req)
+		rt := now - req.at
+		nb.score = ewma(nb.score, rt)
+		if nb.minRTT == 0 || rt < nb.minRTT {
+			nb.minRTT = rt
+		}
+	}
+	nb.replies++
+	nb.bytes += uint64(m.PayloadLen())
+	nb.learnHas(m.Seq, m.Seq+uint64(m.Count)-1, now)
+	c.stats.DataRepliesGot++
+	c.stats.DataBytesGot += uint64(m.PayloadLen())
+	fresh := false
+	for i := uint64(0); i < uint64(m.Count); i++ {
+		if c.buffer.Mark(m.Seq + i) {
+			fresh = true
+		}
+	}
+	if fresh {
+		c.gossipHave(m.Seq, m.Count, from)
+	}
+}
+
+// gossipHave hints freshly acquired pieces to a few random neighbors,
+// making piece availability spread exponentially through the mesh instead
+// of waiting for periodic buffer-map rounds.
+func (c *Client) gossipHave(seq uint64, count uint16, from netip.Addr) {
+	if c.cfg.HintFanout <= 0 {
+		return
+	}
+	pool := c.sortedNeighborAddrs()
+	if len(pool) == 0 {
+		return
+	}
+	rng := c.env.Rand()
+	msg := &wire.Have{Channel: c.cfg.Channel.Channel, Seq: seq, Count: count}
+	sent := 0
+	for attempts := 0; sent < c.cfg.HintFanout && attempts < 3*c.cfg.HintFanout; attempts++ {
+		a := pool[rng.Intn(len(pool))]
+		if a == from {
+			continue
+		}
+		c.env.Send(a, msg)
+		sent++
+	}
+}
+
+// handleHave records a neighbor's per-piece availability hint.
+func (c *Client) handleHave(from netip.Addr, m *wire.Have) {
+	nb, ok := c.neighbors[from]
+	if !ok || m.Channel != c.cfg.Channel.Channel || m.Count == 0 {
+		return
+	}
+	nb.lastHeard = c.env.Now()
+	nb.learnHas(m.Seq, m.Seq+uint64(m.Count)-1, c.env.Now())
+}

@@ -1,0 +1,170 @@
+package peer
+
+import (
+	"net/netip"
+	"time"
+
+	"pplivesim/internal/node"
+	"pplivesim/internal/stream"
+	"pplivesim/internal/wire"
+)
+
+// Source is a channel's origin server: it holds every sub-piece up to the
+// live edge and serves data requests, acting as the injection point and the
+// provider of last resort. Like PPLive's seed servers it also answers
+// peer-list requests with its recently seen clients, which seeds the very
+// first overlay edges of a young channel.
+type Source struct {
+	env  node.Env
+	spec stream.Spec
+
+	// start is the instant the channel went live (sequence 0's emission).
+	start time.Duration
+
+	// recent tracks recently seen client addresses for referral.
+	recent    []netip.Addr
+	recentIdx map[netip.Addr]bool
+	maxRecent int
+
+	// Stats.
+	served      uint64
+	servedBytes uint64
+	shed        uint64
+}
+
+// NewSource creates a source for the channel, live since the current
+// instant.
+func NewSource(env node.Env, spec stream.Spec) (*Source, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &Source{
+		env:       env,
+		spec:      spec,
+		start:     env.Now(),
+		recentIdx: make(map[netip.Addr]bool),
+		maxRecent: wire.MaxPeerList,
+	}, nil
+}
+
+var _ node.Handler = (*Source)(nil)
+
+// Addr returns the source's address.
+func (s *Source) Addr() netip.Addr { return s.env.Addr() }
+
+// Spec returns the channel spec.
+func (s *Source) Spec() stream.Spec { return s.spec }
+
+// edge returns the newest emitted sequence at now.
+func (s *Source) edge(now time.Duration) uint64 {
+	return s.spec.EdgeSeq(now - s.start)
+}
+
+// Has reports whether the source can serve sub-piece seq at now.
+func (s *Source) Has(seq uint64, now time.Duration) bool {
+	return seq <= s.edge(now)
+}
+
+// Stats reports data requests served and payload bytes sent.
+func (s *Source) Stats() (served, servedBytes uint64) {
+	return s.served, s.servedBytes
+}
+
+// note records a client contact for referral.
+func (s *Source) note(a netip.Addr) {
+	if s.recentIdx[a] {
+		return
+	}
+	s.recentIdx[a] = true
+	s.recent = append(s.recent, a)
+	if len(s.recent) > s.maxRecent {
+		evicted := s.recent[0]
+		s.recent = s.recent[1:]
+		delete(s.recentIdx, evicted)
+	}
+}
+
+// bufferMap returns a map covering the trailing window up to the live edge,
+// all bits set.
+func (s *Source) bufferMap(now time.Duration) wire.BufferMap {
+	const window = 2048
+	edge := s.edge(now)
+	start := uint64(0)
+	if edge+1 > window {
+		start = edge + 1 - window
+	}
+	bits := make([]byte, window/8)
+	for i := range bits {
+		bits[i] = 0xff
+	}
+	bm := wire.BufferMap{Start: start, Bits: bits}
+	// Clear bits beyond the edge.
+	for seq := edge + 1; seq < start+window; seq++ {
+		// Bits beyond edge must be unset; rebuild precisely.
+		idx := seq - start
+		bm.Bits[idx/8] &^= 1 << (idx % 8)
+	}
+	return bm
+}
+
+// HandleMessage implements node.Handler.
+func (s *Source) HandleMessage(from netip.Addr, msg wire.Message) {
+	switch m := msg.(type) {
+	case *wire.Handshake:
+		if m.Channel != s.spec.Channel {
+			return
+		}
+		s.note(from)
+		s.env.Send(from, &wire.HandshakeAck{
+			Channel:  s.spec.Channel,
+			Accepted: true,
+			Buffer:   s.bufferMap(s.env.Now()),
+		})
+	case *wire.PeerListRequest:
+		if m.Channel != s.spec.Channel {
+			return
+		}
+		s.note(from)
+		peers := make([]netip.Addr, 0, len(s.recent))
+		for _, a := range s.recent {
+			if a != from {
+				peers = append(peers, a)
+			}
+		}
+		s.env.Send(from, &wire.PeerListReply{Channel: s.spec.Channel, Peers: peers})
+	case *wire.DataRequest:
+		if m.Channel != s.spec.Channel {
+			return
+		}
+		s.note(from)
+		// Shed load once the uplink backs up: a saturated origin stops
+		// answering rather than queueing replies past their deadlines.
+		if s.env.UplinkBacklog() > 2*time.Second {
+			s.shed++
+			return
+		}
+		now := s.env.Now()
+		count := int(m.Count)
+		if count == 0 {
+			count = 1
+		}
+		run := 0
+		for run < count && s.Has(m.Seq+uint64(run), now) {
+			run++
+		}
+		if run == 0 {
+			return
+		}
+		s.served++
+		s.servedBytes += uint64(run * s.spec.SubPieceLen)
+		s.env.Send(from, &wire.DataReply{
+			Channel:  s.spec.Channel,
+			Seq:      m.Seq,
+			Count:    uint16(run),
+			PieceLen: uint16(s.spec.SubPieceLen),
+		})
+	case *wire.BufferMapAnnounce:
+		// Sources ignore client buffer maps.
+	default:
+	}
+}

@@ -1,0 +1,346 @@
+// Package plot renders simple, dependency-free SVG charts — line, scatter,
+// and bar — with linear or logarithmic axes. cmd/experiments uses it to
+// draw the paper's figures (ISP bar charts, response-time scatters, rank
+// distributions in log and SE scales, locality time series) from fresh
+// simulation data.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Kind selects how a series is drawn.
+type Kind int
+
+// Series kinds.
+const (
+	Line Kind = iota + 1
+	Scatter
+)
+
+// Series is one named data set.
+type Series struct {
+	Name string
+	Kind Kind
+	X, Y []float64
+}
+
+// Plot is a single chart.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	XLog   bool
+	YLog   bool
+
+	series []Series
+
+	barLabels []string
+	barValues []float64
+}
+
+// palette holds the series colors.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b", "#17becf",
+}
+
+// New creates an empty plot.
+func New(title, xLabel, yLabel string) *Plot {
+	return &Plot{Title: title, XLabel: xLabel, YLabel: yLabel}
+}
+
+// AddLine appends a line series.
+func (p *Plot) AddLine(name string, xs, ys []float64) error {
+	return p.add(Series{Name: name, Kind: Line, X: xs, Y: ys})
+}
+
+// AddScatter appends a scatter series.
+func (p *Plot) AddScatter(name string, xs, ys []float64) error {
+	return p.add(Series{Name: name, Kind: Scatter, X: xs, Y: ys})
+}
+
+func (p *Plot) add(s Series) error {
+	if len(s.X) != len(s.Y) {
+		return fmt.Errorf("plot: series %q: %d x values vs %d y values", s.Name, len(s.X), len(s.Y))
+	}
+	if len(p.barLabels) > 0 {
+		return fmt.Errorf("plot: cannot mix series with bars")
+	}
+	p.series = append(p.series, s)
+	return nil
+}
+
+// SetBars configures a categorical bar chart (exclusive with series).
+func (p *Plot) SetBars(labels []string, values []float64) error {
+	if len(labels) != len(values) {
+		return fmt.Errorf("plot: %d labels vs %d values", len(labels), len(values))
+	}
+	if len(p.series) > 0 {
+		return fmt.Errorf("plot: cannot mix bars with series")
+	}
+	p.barLabels = append([]string(nil), labels...)
+	p.barValues = append([]float64(nil), values...)
+	return nil
+}
+
+// Geometry constants.
+const (
+	marginLeft   = 64.0
+	marginRight  = 16.0
+	marginTop    = 34.0
+	marginBottom = 48.0
+)
+
+// axis maps data values to pixels, linearly or logarithmically.
+type axis struct {
+	min, max float64
+	log      bool
+	lo, hi   float64 // pixel range
+}
+
+func (a axis) pos(v float64) float64 {
+	min, max, val := a.min, a.max, v
+	if a.log {
+		min, max, val = math.Log10(a.min), math.Log10(a.max), math.Log10(v)
+	}
+	if max == min {
+		return (a.lo + a.hi) / 2
+	}
+	frac := (val - min) / (max - min)
+	return a.lo + frac*(a.hi-a.lo)
+}
+
+// niceTicks returns 4-7 round tick values covering [min,max].
+func niceTicks(min, max float64) []float64 {
+	if max <= min {
+		return []float64{min}
+	}
+	span := max - min
+	step := math.Pow(10, math.Floor(math.Log10(span/4)))
+	for span/step > 7 {
+		switch {
+		case span/(step*2) <= 7:
+			step *= 2
+		case span/(step*5) <= 7:
+			step *= 5
+		default:
+			step *= 10
+		}
+	}
+	var ticks []float64
+	for v := math.Ceil(min/step) * step; v <= max+step/1e6; v += step {
+		ticks = append(ticks, v)
+	}
+	return ticks
+}
+
+// logTicks returns powers of ten covering [min,max].
+func logTicks(min, max float64) []float64 {
+	var ticks []float64
+	for e := math.Floor(math.Log10(min)); e <= math.Ceil(math.Log10(max)); e++ {
+		v := math.Pow(10, e)
+		if v >= min/1.0001 && v <= max*1.0001 {
+			ticks = append(ticks, v)
+		}
+	}
+	return ticks
+}
+
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 1e6 || av < 1e-3:
+		return fmt.Sprintf("%.0e", v)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.2f", v), "0"), ".")
+	default:
+		return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.3f", v), "0"), ".")
+	}
+}
+
+// dataRange computes the plotted extent of all series.
+func (p *Plot) dataRange() (xmin, xmax, ymin, ymax float64, ok bool) {
+	first := true
+	for _, s := range p.series {
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if p.XLog && x <= 0 || p.YLog && y <= 0 {
+				continue
+			}
+			if first {
+				xmin, xmax, ymin, ymax = x, x, y, y
+				first = false
+				continue
+			}
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	return xmin, xmax, ymin, ymax, !first
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// RenderSVG writes the chart as a standalone SVG document.
+func (p *Plot) RenderSVG(w io.Writer, width, height int) error {
+	if width < 160 || height < 120 {
+		return fmt.Errorf("plot: size %dx%d too small", width, height)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif" font-size="11">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="18" text-anchor="middle" font-size="13">%s</text>`+"\n", width/2, esc(p.Title))
+
+	plotW := float64(width) - marginLeft - marginRight
+	plotH := float64(height) - marginTop - marginBottom
+
+	if len(p.barLabels) > 0 {
+		p.renderBars(&b, plotW, plotH, width, height)
+	} else if err := p.renderSeries(&b, plotW, plotH, width, height); err != nil {
+		return err
+	}
+
+	// Axis labels.
+	fmt.Fprintf(&b, `<text x="%f" y="%d" text-anchor="middle">%s</text>`+"\n",
+		marginLeft+plotW/2, height-8, esc(p.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%f" text-anchor="middle" transform="rotate(-90 14 %f)">%s</text>`+"\n",
+		marginTop+plotH/2, marginTop+plotH/2, esc(p.YLabel))
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (p *Plot) frame(b *strings.Builder, plotW, plotH float64) {
+	fmt.Fprintf(b, `<rect x="%f" y="%f" width="%f" height="%f" fill="none" stroke="#444"/>`+"\n",
+		marginLeft, marginTop, plotW, plotH)
+}
+
+func (p *Plot) renderBars(b *strings.Builder, plotW, plotH float64, width, height int) {
+	p.frame(b, plotW, plotH)
+	maxV := 0.0
+	for _, v := range p.barValues {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	ticks := niceTicks(0, maxV)
+	yAxis := axis{min: 0, max: ticks[len(ticks)-1], lo: marginTop + plotH, hi: marginTop}
+	for _, tv := range ticks {
+		y := yAxis.pos(tv)
+		fmt.Fprintf(b, `<line x1="%f" y1="%f" x2="%f" y2="%f" stroke="#ddd"/>`+"\n",
+			marginLeft, y, marginLeft+plotW, y)
+		fmt.Fprintf(b, `<text x="%f" y="%f" text-anchor="end">%s</text>`+"\n",
+			marginLeft-6, y+4, formatTick(tv))
+	}
+	n := len(p.barValues)
+	slot := plotW / float64(n)
+	barW := slot * 0.6
+	for i, v := range p.barValues {
+		x := marginLeft + float64(i)*slot + (slot-barW)/2
+		y := yAxis.pos(v)
+		fmt.Fprintf(b, `<rect x="%f" y="%f" width="%f" height="%f" fill="%s"/>`+"\n",
+			x, y, barW, marginTop+plotH-y, palette[i%len(palette)])
+		fmt.Fprintf(b, `<text x="%f" y="%f" text-anchor="middle">%s</text>`+"\n",
+			x+barW/2, marginTop+plotH+16, esc(p.barLabels[i]))
+	}
+}
+
+func (p *Plot) renderSeries(b *strings.Builder, plotW, plotH float64, width, height int) error {
+	xmin, xmax, ymin, ymax, ok := p.dataRange()
+	if !ok {
+		return fmt.Errorf("plot: no plottable data")
+	}
+	// Pad linear ranges slightly; keep log ranges on data.
+	if !p.XLog {
+		pad := (xmax - xmin) * 0.04
+		if pad == 0 {
+			pad = math.Abs(xmax)*0.1 + 1
+		}
+		xmin, xmax = xmin-pad, xmax+pad
+	}
+	if !p.YLog {
+		pad := (ymax - ymin) * 0.06
+		if pad == 0 {
+			pad = math.Abs(ymax)*0.1 + 1
+		}
+		ymin, ymax = ymin-pad, ymax+pad
+	}
+	xAxis := axis{min: xmin, max: xmax, log: p.XLog, lo: marginLeft, hi: marginLeft + plotW}
+	yAxis := axis{min: ymin, max: ymax, log: p.YLog, lo: marginTop + plotH, hi: marginTop}
+
+	p.frame(b, plotW, plotH)
+	var xticks, yticks []float64
+	if p.XLog {
+		xticks = logTicks(xmin, xmax)
+	} else {
+		xticks = niceTicks(xmin, xmax)
+	}
+	if p.YLog {
+		yticks = logTicks(ymin, ymax)
+	} else {
+		yticks = niceTicks(ymin, ymax)
+	}
+	for _, tv := range xticks {
+		x := xAxis.pos(tv)
+		fmt.Fprintf(b, `<line x1="%f" y1="%f" x2="%f" y2="%f" stroke="#ddd"/>`+"\n",
+			x, marginTop, x, marginTop+plotH)
+		fmt.Fprintf(b, `<text x="%f" y="%f" text-anchor="middle">%s</text>`+"\n",
+			x, marginTop+plotH+16, formatTick(tv))
+	}
+	for _, tv := range yticks {
+		y := yAxis.pos(tv)
+		fmt.Fprintf(b, `<line x1="%f" y1="%f" x2="%f" y2="%f" stroke="#ddd"/>`+"\n",
+			marginLeft, y, marginLeft+plotW, y)
+		fmt.Fprintf(b, `<text x="%f" y="%f" text-anchor="end">%s</text>`+"\n",
+			marginLeft-6, y+4, formatTick(tv))
+	}
+
+	for si, s := range p.series {
+		color := palette[si%len(palette)]
+		switch s.Kind {
+		case Line:
+			var pts []string
+			for i := range s.X {
+				if p.XLog && s.X[i] <= 0 || p.YLog && s.Y[i] <= 0 {
+					continue
+				}
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", xAxis.pos(s.X[i]), yAxis.pos(s.Y[i])))
+			}
+			if len(pts) > 0 {
+				fmt.Fprintf(b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+					strings.Join(pts, " "), color)
+			}
+		case Scatter:
+			for i := range s.X {
+				if p.XLog && s.X[i] <= 0 || p.YLog && s.Y[i] <= 0 {
+					continue
+				}
+				fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="2" fill="%s" fill-opacity="0.7"/>`+"\n",
+					xAxis.pos(s.X[i]), yAxis.pos(s.Y[i]), color)
+			}
+		default:
+			return fmt.Errorf("plot: series %q has unknown kind %d", s.Name, s.Kind)
+		}
+		// Legend entry.
+		ly := marginTop + 14 + float64(si)*14
+		fmt.Fprintf(b, `<rect x="%f" y="%f" width="10" height="10" fill="%s"/>`+"\n",
+			marginLeft+plotW-110, ly-9, color)
+		fmt.Fprintf(b, `<text x="%f" y="%f">%s</text>`+"\n",
+			marginLeft+plotW-96, ly, esc(s.Name))
+	}
+	return nil
+}

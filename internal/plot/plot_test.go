@@ -1,0 +1,180 @@
+package plot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// renderOK renders and verifies the output is well-formed XML.
+func renderOK(t *testing.T, p *Plot) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := p.RenderSVG(&buf, 640, 400); err != nil {
+		t.Fatal(err)
+	}
+	dec := xml.NewDecoder(bytes.NewReader(buf.Bytes()))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("malformed SVG: %v\n%s", err, buf.String())
+		}
+	}
+	return buf.String()
+}
+
+func TestLinePlot(t *testing.T) {
+	p := New("locality over days", "day", "locality (%)")
+	if err := p.AddLine("TELE", []float64{1, 2, 3, 4}, []float64{80, 85, 82, 88}); err != nil {
+		t.Fatal(err)
+	}
+	svg := renderOK(t, p)
+	for _, want := range []string{"polyline", "locality over days", "TELE", "locality (%)"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestScatterLogLog(t *testing.T) {
+	p := New("rank distribution", "rank", "requests")
+	p.XLog, p.YLog = true, true
+	xs, ys := make([]float64, 50), make([]float64, 50)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+		ys[i] = 1000 * math.Pow(float64(i+1), -0.8)
+	}
+	if err := p.AddScatter("data", xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	svg := renderOK(t, p)
+	if !strings.Contains(svg, "circle") {
+		t.Error("scatter produced no circles")
+	}
+	// Log ticks are powers of ten.
+	if !strings.Contains(svg, ">10<") && !strings.Contains(svg, ">100<") {
+		t.Error("no power-of-ten ticks on log axes")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	p := New("returned by ISP", "", "count")
+	err := p.SetBars([]string{"TELE", "CNC", "CER"}, []float64{100, 40, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := renderOK(t, p)
+	if strings.Count(svg, "<rect") < 4 { // background + frame + 3 bars
+		t.Error("missing bar rects")
+	}
+	for _, label := range []string{"TELE", "CNC", "CER"} {
+		if !strings.Contains(svg, label) {
+			t.Errorf("missing bar label %s", label)
+		}
+	}
+}
+
+func TestMixingBarsAndSeriesRejected(t *testing.T) {
+	p := New("t", "x", "y")
+	if err := p.AddLine("l", []float64{1}, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetBars([]string{"a"}, []float64{1}); err == nil {
+		t.Error("bars accepted after series")
+	}
+	q := New("t", "x", "y")
+	if err := q.SetBars([]string{"a"}, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.AddLine("l", []float64{1}, []float64{1}); err == nil {
+		t.Error("series accepted after bars")
+	}
+}
+
+func TestMismatchedSeriesRejected(t *testing.T) {
+	p := New("t", "x", "y")
+	if err := p.AddLine("l", []float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestEmptyPlotRejected(t *testing.T) {
+	p := New("t", "x", "y")
+	var buf bytes.Buffer
+	if err := p.RenderSVG(&buf, 640, 400); err == nil {
+		t.Error("empty plot rendered")
+	}
+	if err := p.RenderSVG(&buf, 10, 10); err == nil {
+		t.Error("tiny canvas accepted")
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	p := New(`<&"> title`, "x<y", "a&b")
+	if err := p.AddLine("s<1>", []float64{1, 2}, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, p) // would fail XML parsing if unescaped
+}
+
+func TestNiceTicks(t *testing.T) {
+	cases := []struct{ min, max float64 }{
+		{0, 100}, {0, 7}, {-5, 5}, {0.001, 0.009}, {12345, 98765},
+	}
+	for _, c := range cases {
+		ticks := niceTicks(c.min, c.max)
+		if len(ticks) < 2 || len(ticks) > 8 {
+			t.Errorf("niceTicks(%f,%f) = %v (%d ticks)", c.min, c.max, ticks, len(ticks))
+		}
+		for i := 1; i < len(ticks); i++ {
+			if ticks[i] <= ticks[i-1] {
+				t.Errorf("ticks not increasing: %v", ticks)
+			}
+		}
+	}
+}
+
+// Property: rendering arbitrary finite data never errors and always yields
+// parseable XML.
+func TestPropertyRenderRobust(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := New("t", "x", "y")
+		n := 1 + rng.Intn(60)
+		xs, ys := make([]float64, n), make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+			ys[i] = rng.NormFloat64() * 100
+		}
+		kind := rng.Intn(2)
+		var err error
+		if kind == 0 {
+			err = p.AddLine("s", xs, ys)
+		} else {
+			err = p.AddScatter("s", xs, ys)
+		}
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := p.RenderSVG(&buf, 400, 300); err != nil {
+			return false
+		}
+		dec := xml.NewDecoder(bytes.NewReader(buf.Bytes()))
+		for {
+			if _, err := dec.Token(); err != nil {
+				return err.Error() == "EOF"
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(8))}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,234 @@
+// Package simnet binds protocol nodes (internal/node) to the discrete-event
+// engine (internal/eventsim) and the simulated underlay (internal/underlay).
+//
+// A World owns one engine and one network, allocates addresses from the
+// synthetic internet plan, and spawns node environments. With CodecCheck
+// enabled, every datagram is round-tripped through the wire codec before
+// delivery, proving the simulation exchanges exactly what the real protocol
+// would put on the wire (integration tests enable this; large experiments
+// skip it for speed — sizes are always computed from the codec either way).
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"pplivesim/internal/asnmap"
+	"pplivesim/internal/eventsim"
+	"pplivesim/internal/ipam"
+	"pplivesim/internal/isp"
+	"pplivesim/internal/node"
+	"pplivesim/internal/underlay"
+	"pplivesim/internal/wire"
+)
+
+// World wires together the engine, underlay, and address plan.
+type World struct {
+	Engine   *eventsim.Engine
+	Network  *underlay.Network
+	Registry *asnmap.Registry
+
+	// CodecCheck round-trips every datagram through the wire codec before
+	// delivery, failing loudly on any encode/decode mismatch.
+	CodecCheck bool
+
+	pools map[isp.ISP]*ipam.Pool
+	envs  map[netip.Addr]*Env
+}
+
+// NewWorld builds a world with the default underlay configuration and the
+// synthetic internet address plan.
+func NewWorld(seed int64) *World {
+	return NewWorldConfig(seed, underlay.DefaultConfig())
+}
+
+// NewWorldConfig builds a world with a custom underlay configuration.
+func NewWorldConfig(seed int64, cfg underlay.Config) *World {
+	eng := eventsim.New(seed)
+	return &World{
+		Engine:   eng,
+		Network:  underlay.New(eng, cfg),
+		Registry: asnmap.SyntheticInternet(),
+		pools:    make(map[isp.ISP]*ipam.Pool),
+		envs:     make(map[netip.Addr]*Env),
+	}
+}
+
+// AllocAddr allocates a fresh address in the given ISP category.
+func (w *World) AllocAddr(category isp.ISP) (netip.Addr, error) {
+	pool, ok := w.pools[category]
+	if !ok {
+		var err error
+		pool, err = w.Registry.PoolFor(category)
+		if err != nil {
+			return netip.Addr{}, err
+		}
+		w.pools[category] = pool
+	}
+	addr, err := pool.Alloc()
+	if err != nil {
+		return netip.Addr{}, fmt.Errorf("alloc %s address: %w", category, err)
+	}
+	return addr, nil
+}
+
+// HostSpec configures a spawned node's host.
+type HostSpec struct {
+	ISP       isp.ISP
+	UploadBps float64       // access uplink capacity, bytes/sec
+	ProcDelay time.Duration // per-datagram application processing delay
+}
+
+// Spawn allocates an address, attaches a host, and returns the node's
+// environment. The handler may be installed later via SetHandler (services
+// typically construct themselves around the env).
+func (w *World) Spawn(spec HostSpec) (*Env, error) {
+	addr, err := w.AllocAddr(spec.ISP)
+	if err != nil {
+		return nil, err
+	}
+	return w.SpawnAt(addr, spec)
+}
+
+// SpawnAt attaches a host at a specific address (which must belong to the
+// registry so analysis can resolve it).
+func (w *World) SpawnAt(addr netip.Addr, spec HostSpec) (*Env, error) {
+	host := &underlay.Host{
+		Addr:      addr,
+		ISP:       spec.ISP,
+		UploadBps: spec.UploadBps,
+		ProcDelay: spec.ProcDelay,
+	}
+	env := &Env{world: w, host: host, rng: w.Engine.NewRand()}
+	if err := w.Network.Attach(host, env.deliver); err != nil {
+		return nil, err
+	}
+	w.envs[addr] = env
+	return env, nil
+}
+
+// Env implements node.Env over the simulated world.
+type Env struct {
+	world   *World
+	host    *underlay.Host
+	rng     *rand.Rand
+	handler node.Handler
+
+	// Taps observe every datagram into/out of this node (the capture
+	// package uses them as its Wireshark equivalent).
+	recvTaps []Tap
+	sendTaps []Tap
+
+	closed bool
+}
+
+var _ node.Env = (*Env)(nil)
+
+// Tap observes a datagram at a node boundary.
+type Tap func(peer netip.Addr, msg wire.Message, size int)
+
+// Addr implements node.Env.
+func (e *Env) Addr() netip.Addr { return e.host.Addr }
+
+// ISP returns the host's ISP category.
+func (e *Env) ISP() isp.ISP { return e.host.ISP }
+
+// Host exposes the underlying underlay host (for stats).
+func (e *Env) Host() *underlay.Host { return e.host }
+
+// Now implements node.Env.
+func (e *Env) Now() time.Duration { return e.world.Engine.Now() }
+
+// Rand implements node.Env.
+func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// After implements node.Env.
+func (e *Env) After(d time.Duration, fn func()) node.Cancel {
+	t := e.world.Engine.After(d, func() {
+		if !e.closed {
+			fn()
+		}
+	})
+	return t.Stop
+}
+
+// Every implements node.Env. The periodic timer self-cancels once the env
+// closes, so departed nodes do not keep feeding the event queue.
+func (e *Env) Every(d time.Duration, fn func()) node.Cancel {
+	var t *eventsim.Timer
+	t = e.world.Engine.Every(d, func() {
+		if e.closed {
+			t.Stop()
+			return
+		}
+		fn()
+	})
+	return t.Stop
+}
+
+// UplinkBacklog implements node.Env.
+func (e *Env) UplinkBacklog() time.Duration {
+	return e.host.QueueDelay(e.world.Engine.Now())
+}
+
+// SetHandler installs the node's message handler.
+func (e *Env) SetHandler(h node.Handler) { e.handler = h }
+
+// TapRecv registers an observer for delivered datagrams.
+func (e *Env) TapRecv(t Tap) { e.recvTaps = append(e.recvTaps, t) }
+
+// TapSend registers an observer for outgoing datagrams.
+func (e *Env) TapSend(t Tap) { e.sendTaps = append(e.sendTaps, t) }
+
+// Send implements node.Env.
+func (e *Env) Send(to netip.Addr, msg wire.Message) {
+	if e.closed {
+		return
+	}
+	size := wire.Size(msg)
+	payload := any(msg)
+	if e.world.CodecCheck {
+		decoded, err := wire.Unmarshal(wire.Marshal(msg))
+		if err != nil {
+			panic(fmt.Sprintf("simnet: codec check failed for %s: %v", msg.Kind(), err))
+		}
+		payload = decoded
+	}
+	for _, tap := range e.sendTaps {
+		tap(to, msg, size)
+	}
+	e.world.Network.Send(e.host, to, size, payload)
+}
+
+// deliver is the underlay handler for this node.
+func (e *Env) deliver(from netip.Addr, size int, payload any) {
+	if e.closed {
+		return
+	}
+	msg, ok := payload.(wire.Message)
+	if !ok {
+		panic(fmt.Sprintf("simnet: non-wire payload %T delivered to %s", payload, e.host.Addr))
+	}
+	for _, tap := range e.recvTaps {
+		tap(from, msg, size)
+	}
+	if e.handler != nil {
+		e.handler.HandleMessage(from, msg)
+	}
+}
+
+// Close detaches the node from the network and disarms its timers. It is
+// idempotent.
+func (e *Env) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	e.world.Network.Detach(e.host.Addr)
+	delete(e.world.envs, e.host.Addr)
+}
+
+// Closed reports whether the env has been closed.
+func (e *Env) Closed() bool { return e.closed }

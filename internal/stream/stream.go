@@ -1,0 +1,274 @@
+// Package stream models live channels: sub-piece sequencing against a live
+// edge, and the sliding playback buffer a peer maintains.
+//
+// A live channel emits payload at a constant bitrate, divided into chunks
+// and further into sub-pieces of 1380 (or 690) bytes, exactly as the paper
+// describes PPLive's data plane. Sub-pieces are identified by a global
+// transmission sequence number, which the paper's trace matching keys on.
+package stream
+
+import (
+	"fmt"
+	"time"
+
+	"pplivesim/internal/wire"
+)
+
+// Spec describes a live channel.
+type Spec struct {
+	Channel     wire.ChannelID
+	Name        string
+	BitrateBps  int    // payload bytes per second
+	SubPieceLen int    // payload bytes per sub-piece (1380 or 690)
+	Rating      uint32 // popularity rating used by the channel list
+}
+
+// Validate checks the spec for usability.
+func (s Spec) Validate() error {
+	if s.BitrateBps <= 0 {
+		return fmt.Errorf("stream: channel %d: non-positive bitrate", s.Channel)
+	}
+	if s.SubPieceLen <= 0 {
+		return fmt.Errorf("stream: channel %d: non-positive sub-piece length", s.Channel)
+	}
+	return nil
+}
+
+// Info returns the channel-list entry for this spec.
+func (s Spec) Info() wire.ChannelInfo {
+	return wire.ChannelInfo{ID: s.Channel, Rating: s.Rating, Name: s.Name}
+}
+
+// Rate returns sub-pieces emitted per second.
+func (s Spec) Rate() float64 { return float64(s.BitrateBps) / float64(s.SubPieceLen) }
+
+// EdgeSeq returns the newest sub-piece sequence the source has emitted by
+// the given instant (the "live edge"). The first sub-piece (seq 0) appears
+// at t=0.
+func (s Spec) EdgeSeq(now time.Duration) uint64 {
+	if now < 0 {
+		return 0
+	}
+	return uint64(now.Seconds() * s.Rate())
+}
+
+// TimeOf returns the instant at which the source emits sub-piece seq.
+func (s Spec) TimeOf(seq uint64) time.Duration {
+	return time.Duration(float64(seq) / s.Rate() * float64(time.Second))
+}
+
+// DefaultSpec returns a 400 kbit/s channel with 1380-byte sub-pieces, typical
+// of 2008-era PPLive SD streams (≈36 sub-pieces per second).
+func DefaultSpec(ch wire.ChannelID, name string, rating uint32) Spec {
+	return Spec{
+		Channel:     ch,
+		Name:        name,
+		BitrateBps:  50_000,
+		SubPieceLen: wire.SubPieceSize,
+		Rating:      rating,
+	}
+}
+
+// Buffer is a peer's sliding playback buffer: a fixed window of sub-piece
+// slots that trails the playhead with some history (so the peer can serve
+// neighbors slightly behind it) and extends toward the live edge.
+type Buffer struct {
+	spec    Spec
+	join    time.Duration // when the peer joined
+	delay   time.Duration // startup buffering delay before playback begins
+	window  int           // ring capacity in sub-pieces
+	history int           // slots kept behind the playhead
+
+	startSeq uint64 // first sequence this peer plays
+	base     uint64 // lowest sequence retained in the ring
+	playhead uint64 // next sequence to be consumed
+	have     []bool // ring; slot for seq is have[seq%window]
+
+	received   uint64
+	duplicates uint64
+	stale      uint64 // arrived behind the retained window
+	playedOK   uint64
+	playedMiss uint64
+}
+
+// NewBuffer creates a playback buffer for a peer that joined at join time.
+// Playback starts delay after joining, from the live edge at join. The
+// window is the ring capacity in sub-pieces; a quarter of it is retained as
+// history behind the playhead.
+func NewBuffer(spec Spec, join, delay time.Duration, window int) (*Buffer, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if window <= 8 {
+		return nil, fmt.Errorf("stream: window %d too small", window)
+	}
+	start := spec.EdgeSeq(join)
+	return &Buffer{
+		spec:     spec,
+		join:     join,
+		delay:    delay,
+		window:   window,
+		history:  window / 4,
+		startSeq: start,
+		base:     start,
+		playhead: start,
+		have:     make([]bool, window),
+	}, nil
+}
+
+// Spec returns the channel spec the buffer was built for.
+func (b *Buffer) Spec() Spec { return b.spec }
+
+// StartSeq returns the first sequence this peer plays.
+func (b *Buffer) StartSeq() uint64 { return b.startSeq }
+
+// Playhead returns the next sequence to be consumed.
+func (b *Buffer) Playhead() uint64 { return b.playhead }
+
+// PlayheadAt returns the sequence the playhead should have reached by now.
+func (b *Buffer) PlayheadAt(now time.Duration) uint64 {
+	playStart := b.join + b.delay
+	if now <= playStart {
+		return b.startSeq
+	}
+	return b.startSeq + uint64((now-playStart).Seconds()*b.spec.Rate())
+}
+
+// Has reports whether the buffer holds sub-piece seq.
+func (b *Buffer) Has(seq uint64) bool {
+	if seq < b.base || seq >= b.base+uint64(b.window) {
+		return false
+	}
+	return b.have[seq%uint64(b.window)]
+}
+
+// Mark records receipt of sub-piece seq. It reports whether the piece was
+// new and inside the retained window.
+func (b *Buffer) Mark(seq uint64) bool {
+	if seq < b.base {
+		b.stale++
+		return false
+	}
+	if seq >= b.base+uint64(b.window) {
+		// Ahead of the ring (e.g. source burst): slide forward to cover it.
+		b.slideTo(seq - uint64(b.window) + 1)
+	}
+	idx := seq % uint64(b.window)
+	if b.have[idx] {
+		b.duplicates++
+		return false
+	}
+	b.have[idx] = true
+	b.received++
+	return true
+}
+
+// slideTo advances base to newBase, clearing vacated slots and accounting
+// any unplayed pieces that fall behind as misses is handled by AdvanceTo;
+// slideTo only manages ring storage.
+func (b *Buffer) slideTo(newBase uint64) {
+	if newBase <= b.base {
+		return
+	}
+	steps := newBase - b.base
+	if steps >= uint64(b.window) {
+		for i := range b.have {
+			b.have[i] = false
+		}
+		b.base = newBase
+		return
+	}
+	for ; b.base < newBase; b.base++ {
+		b.have[b.base%uint64(b.window)] = false
+	}
+}
+
+// AdvanceTo moves the playhead to its scheduled position at now, consuming
+// sub-pieces and recording continuity (played vs missed), then slides the
+// ring base to keep the configured history behind the playhead.
+func (b *Buffer) AdvanceTo(now time.Duration) {
+	target := b.PlayheadAt(now)
+	for b.playhead < target {
+		if b.Has(b.playhead) {
+			b.playedOK++
+		} else {
+			b.playedMiss++
+		}
+		b.playhead++
+	}
+	if b.playhead > b.startSeq+uint64(b.history) {
+		b.slideTo(b.playhead - uint64(b.history))
+	}
+}
+
+// Want returns up to max missing sequences the peer should fetch at now:
+// pieces in [playhead, min(edge, ring end, limit)) not yet held,
+// nearest-deadline first. limit (0 = unbounded) caps how far ahead of the
+// playhead the caller prefetches. The skip predicate (may be nil) filters
+// sequences the caller has already requested.
+func (b *Buffer) Want(now time.Duration, max int, limit uint64, skip func(uint64) bool) []uint64 {
+	if max <= 0 {
+		return nil
+	}
+	edge := b.spec.EdgeSeq(now)
+	end := b.base + uint64(b.window)
+	if edge+1 < end {
+		end = edge + 1
+	}
+	if limit != 0 && limit < end {
+		end = limit
+	}
+	out := make([]uint64, 0, max)
+	for seq := b.playhead; seq < end && len(out) < max; seq++ {
+		if b.Has(seq) {
+			continue
+		}
+		if skip != nil && skip(seq) {
+			continue
+		}
+		out = append(out, seq)
+	}
+	return out
+}
+
+// Snapshot produces a wire buffer map covering the retained window.
+func (b *Buffer) Snapshot() wire.BufferMap {
+	bits := make([]byte, (b.window+7)/8)
+	bm := wire.BufferMap{Start: b.base, Bits: bits}
+	for seq := b.base; seq < b.base+uint64(b.window); seq++ {
+		if b.have[seq%uint64(b.window)] {
+			bm.Set(seq)
+		}
+	}
+	return bm
+}
+
+// Stats summarizes buffer activity.
+type Stats struct {
+	Received   uint64 // new in-window sub-pieces stored
+	Duplicates uint64 // already-held receipts
+	Stale      uint64 // receipts behind the retained window
+	PlayedOK   uint64 // consumed on time
+	PlayedMiss uint64 // deadline passed without the piece
+}
+
+// Continuity returns the fraction of consumed sub-pieces that were present
+// at their deadline (1.0 when nothing has been consumed yet).
+func (s Stats) Continuity() float64 {
+	total := s.PlayedOK + s.PlayedMiss
+	if total == 0 {
+		return 1
+	}
+	return float64(s.PlayedOK) / float64(total)
+}
+
+// Stats returns a snapshot of the buffer's counters.
+func (b *Buffer) Stats() Stats {
+	return Stats{
+		Received:   b.received,
+		Duplicates: b.duplicates,
+		Stale:      b.stale,
+		PlayedOK:   b.playedOK,
+		PlayedMiss: b.playedMiss,
+	}
+}

@@ -1,0 +1,161 @@
+package tracefile
+
+import (
+	"bytes"
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"pplivesim/internal/capture"
+	"pplivesim/internal/wire"
+)
+
+func sampleRecords() []capture.Record {
+	return []capture.Record{
+		{
+			At: 1500 * time.Millisecond, Dir: capture.Out,
+			Peer: netip.MustParseAddr("58.32.0.2"),
+			Type: wire.TDataRequest, Size: 27, Seq: 42, Count: 1,
+		},
+		{
+			At: 1600 * time.Millisecond, Dir: capture.In,
+			Peer: netip.MustParseAddr("58.32.0.2"),
+			Type: wire.TDataReply, Size: 1410, Seq: 42, Count: 1, Payload: 1380,
+		},
+		{
+			At: 2 * time.Second, Dir: capture.In,
+			Peer: netip.MustParseAddr("61.128.0.1"),
+			Type: wire.TTrackerResponse, Size: 260,
+			Addrs: []netip.Addr{
+				netip.MustParseAddr("1.2.3.4"),
+				netip.MustParseAddr("5.6.7.8"),
+			},
+		},
+	}
+}
+
+func sampleHeader() Header {
+	return Header{
+		Probe:    "tele",
+		ProbeISP: "TELE",
+		Source:   "58.32.9.9",
+		Trackers: []string{"61.128.0.1", "60.0.0.1"},
+		Channel:  1,
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleHeader(), sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	hdr, records, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Probe != "tele" || hdr.Channel != 1 || hdr.Format != FormatV1 {
+		t.Errorf("header = %+v", hdr)
+	}
+	if !reflect.DeepEqual(records, sampleRecords()) {
+		t.Errorf("records round trip mismatch:\n got %+v\nwant %+v", records, sampleRecords())
+	}
+}
+
+func TestHeaderParseAddrs(t *testing.T) {
+	source, trackers, err := sampleHeader().ParseAddrs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if source != netip.MustParseAddr("58.32.9.9") {
+		t.Errorf("source = %v", source)
+	}
+	if len(trackers) != 2 || !trackers[netip.MustParseAddr("60.0.0.1")] {
+		t.Errorf("trackers = %v", trackers)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"bad header":  "not json\n",
+		"bad format":  `{"format":"other/9"}` + "\n",
+		"bad line":    `{"format":"pplive-trace/1"}` + "\nnot json\n",
+		"bad dir":     `{"format":"pplive-trace/1"}` + "\n" + `{"dir":"sideways","peer":"1.2.3.4"}` + "\n",
+		"bad peer":    `{"format":"pplive-trace/1"}` + "\n" + `{"dir":"in","peer":"nope"}` + "\n",
+		"bad address": `{"format":"pplive-trace/1"}` + "\n" + `{"dir":"in","peer":"1.2.3.4","addrs":["x"]}` + "\n",
+	}
+	for name, input := range cases {
+		if _, _, err := Read(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestMatchableAfterRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleHeader(), sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	hdr, records, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, trackers, err := hdr.ParseAddrs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := capture.Match(records, trackers)
+	if len(m.Transmissions) != 1 {
+		t.Errorf("matched %d transmissions after round trip", len(m.Transmissions))
+	}
+	if len(m.TrackerLists) != 1 {
+		t.Errorf("matched %d tracker lists after round trip", len(m.TrackerLists))
+	}
+}
+
+// Property: arbitrary records survive the round trip.
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(50)
+		records := make([]capture.Record, 0, n)
+		for i := 0; i < n; i++ {
+			rec := capture.Record{
+				At:   time.Duration(rng.Int63n(int64(time.Hour))),
+				Dir:  capture.Direction(1 + rng.Intn(2)),
+				Peer: netip.AddrFrom4([4]byte{byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))}),
+				Type: wire.Type(1 + rng.Intn(14)),
+				Size: rng.Intn(2000),
+				Seq:  rng.Uint64(),
+			}
+			// JSON drops sub-microsecond precision by design; stay on-grid.
+			rec.At = rec.At.Truncate(time.Microsecond)
+			records = append(records, rec)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, sampleHeader(), records); err != nil {
+			return false
+		}
+		_, got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(records) {
+			return false
+		}
+		for i := range records {
+			if got[i].At != records[i].At || got[i].Peer != records[i].Peer ||
+				got[i].Dir != records[i].Dir || got[i].Seq != records[i].Seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Error(err)
+	}
+}

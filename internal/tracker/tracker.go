@@ -1,0 +1,232 @@
+// Package tracker implements the PPLive-style control servers: the
+// bootstrap/channel server and the tracker servers.
+//
+// Per the paper (§2), the bootstrap server returns the active channel list
+// and, for a chosen channel, the playlink plus one tracker address from each
+// of five tracker groups deployed at different locations. Tracker servers
+// store the active peers of each channel and answer queries with a random
+// sample — they are "databases of active peers rather than for locality"
+// (§3.2): no topology awareness whatsoever.
+package tracker
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"pplivesim/internal/node"
+	"pplivesim/internal/wire"
+)
+
+// Groups is the number of tracker-server groups PPLive deploys (the paper
+// observes five, at different locations in China).
+const Groups = 5
+
+// DefaultMaxReply bounds the peers returned per tracker response; the paper
+// observes peer lists of at most 60 addresses.
+const DefaultMaxReply = wire.MaxPeerList
+
+// DefaultEntryTTL is how long an announced peer stays listed without a
+// re-announce.
+const DefaultEntryTTL = 2 * time.Minute
+
+// Server is one tracker server: a per-channel registry of active peers.
+type Server struct {
+	env      node.Env
+	maxReply int
+	entryTTL time.Duration
+
+	channels map[wire.ChannelID]map[netip.Addr]time.Duration // peer → last announce
+
+	// Stats.
+	announces, queries, served uint64
+}
+
+// NewServer creates a tracker server bound to env and installs itself as the
+// env's handler if env supports it (the caller typically does
+// env.SetHandler(server) explicitly; Server only needs node.Env).
+func NewServer(env node.Env) *Server {
+	return &Server{
+		env:      env,
+		maxReply: DefaultMaxReply,
+		entryTTL: DefaultEntryTTL,
+		channels: make(map[wire.ChannelID]map[netip.Addr]time.Duration),
+	}
+}
+
+var _ node.Handler = (*Server)(nil)
+
+// SetMaxReply overrides the per-response peer bound.
+func (s *Server) SetMaxReply(n int) {
+	if n > 0 {
+		s.maxReply = n
+	}
+}
+
+// ActivePeers returns the live (non-expired) peers of a channel.
+func (s *Server) ActivePeers(ch wire.ChannelID) []netip.Addr {
+	entries := s.channels[ch]
+	now := s.env.Now()
+	out := make([]netip.Addr, 0, len(entries))
+	for addr, seen := range entries {
+		if now-seen <= s.entryTTL {
+			out = append(out, addr)
+		}
+	}
+	return out
+}
+
+// Stats reports cumulative counters: announces received, queries received,
+// and peer addresses served.
+func (s *Server) Stats() (announces, queries, served uint64) {
+	return s.announces, s.queries, s.served
+}
+
+// HandleMessage implements node.Handler.
+func (s *Server) HandleMessage(from netip.Addr, msg wire.Message) {
+	switch m := msg.(type) {
+	case *wire.TrackerAnnounce:
+		s.handleAnnounce(from, m)
+	case *wire.TrackerQuery:
+		s.handleQuery(from, m)
+	default:
+		// Trackers ignore everything else, like a real server dropping
+		// unexpected datagrams.
+	}
+}
+
+func (s *Server) handleAnnounce(from netip.Addr, m *wire.TrackerAnnounce) {
+	s.announces++
+	entries, ok := s.channels[m.Channel]
+	if !ok {
+		if m.Leaving {
+			return
+		}
+		entries = make(map[netip.Addr]time.Duration)
+		s.channels[m.Channel] = entries
+	}
+	if m.Leaving {
+		delete(entries, from)
+		return
+	}
+	entries[from] = s.env.Now()
+}
+
+func (s *Server) handleQuery(from netip.Addr, m *wire.TrackerQuery) {
+	s.queries++
+	entries := s.channels[m.Channel]
+	now := s.env.Now()
+
+	// Collect live entries, dropping expired ones as we go. Sort before
+	// sampling: map iteration order would make runs non-deterministic.
+	candidates := make([]netip.Addr, 0, len(entries))
+	for addr, seen := range entries {
+		if now-seen > s.entryTTL {
+			delete(entries, addr)
+			continue
+		}
+		if addr == from {
+			continue
+		}
+		candidates = append(candidates, addr)
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].Less(candidates[j]) })
+
+	// Random sample without locality awareness: partial Fisher-Yates.
+	rng := s.env.Rand()
+	n := len(candidates)
+	k := s.maxReply
+	if k > n {
+		k = n
+	}
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(n-i)
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	}
+	peers := make([]netip.Addr, k)
+	copy(peers, candidates[:k])
+	s.served += uint64(k)
+
+	s.env.Send(from, &wire.TrackerResponse{Channel: m.Channel, Peers: peers})
+}
+
+// ChannelDirectory describes one channel as known to the bootstrap server.
+type ChannelDirectory struct {
+	Info   wire.ChannelInfo
+	Source netip.Addr
+	// TrackerGroups holds the tracker addresses per group; a playlink
+	// response samples one address from each group.
+	TrackerGroups [Groups][]netip.Addr
+}
+
+// Bootstrap is the bootstrap/channel server: first contact for every client.
+type Bootstrap struct {
+	env      node.Env
+	channels map[wire.ChannelID]*ChannelDirectory
+	order    []wire.ChannelID
+
+	// Stats.
+	listRequests, playlinkRequests uint64
+}
+
+// NewBootstrap creates an empty bootstrap server bound to env.
+func NewBootstrap(env node.Env) *Bootstrap {
+	return &Bootstrap{
+		env:      env,
+		channels: make(map[wire.ChannelID]*ChannelDirectory),
+	}
+}
+
+var _ node.Handler = (*Bootstrap)(nil)
+
+// AddChannel registers a channel directory entry.
+func (b *Bootstrap) AddChannel(dir ChannelDirectory) error {
+	if _, ok := b.channels[dir.Info.ID]; ok {
+		return fmt.Errorf("tracker: channel %d already registered", dir.Info.ID)
+	}
+	for g, addrs := range dir.TrackerGroups {
+		if len(addrs) == 0 {
+			return fmt.Errorf("tracker: channel %d: tracker group %d empty", dir.Info.ID, g)
+		}
+	}
+	cp := dir
+	b.channels[dir.Info.ID] = &cp
+	b.order = append(b.order, dir.Info.ID)
+	return nil
+}
+
+// Stats reports request counters.
+func (b *Bootstrap) Stats() (listRequests, playlinkRequests uint64) {
+	return b.listRequests, b.playlinkRequests
+}
+
+// HandleMessage implements node.Handler.
+func (b *Bootstrap) HandleMessage(from netip.Addr, msg wire.Message) {
+	switch m := msg.(type) {
+	case *wire.ChannelListRequest:
+		b.listRequests++
+		infos := make([]wire.ChannelInfo, 0, len(b.order))
+		for _, id := range b.order {
+			infos = append(infos, b.channels[id].Info)
+		}
+		b.env.Send(from, &wire.ChannelListResponse{Channels: infos})
+	case *wire.PlaylinkRequest:
+		b.playlinkRequests++
+		dir, ok := b.channels[m.Channel]
+		if !ok {
+			return // unknown channel: silently dropped, client will retry
+		}
+		rng := b.env.Rand()
+		trackers := make([]netip.Addr, 0, Groups)
+		for _, group := range dir.TrackerGroups {
+			trackers = append(trackers, group[rng.Intn(len(group))])
+		}
+		b.env.Send(from, &wire.PlaylinkResponse{
+			Channel:  m.Channel,
+			Source:   dir.Source,
+			Trackers: trackers,
+		})
+	default:
+	}
+}

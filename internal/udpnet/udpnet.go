@@ -1,0 +1,249 @@
+// Package udpnet binds protocol nodes (internal/node) to real UDP sockets,
+// so the exact same client, tracker, and source implementations that run in
+// the discrete-event simulation also run over a genuine network stack.
+//
+// Peer identity in the wire protocol is a 4-byte IPv4 address, so each node
+// binds its own loopback address (127.0.0.2, 127.0.0.3, ...) on a shared
+// port — Linux routes the whole 127/8 block to the loopback interface
+// without configuration. Every node runs a single-threaded executor
+// goroutine; datagrams and timers post onto it, preserving the
+// single-threaded semantics the protocol code was written against.
+package udpnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"pplivesim/internal/node"
+	"pplivesim/internal/wire"
+)
+
+// DefaultPort is the shared UDP port all loopback nodes bind.
+const DefaultPort = 42800
+
+// Node is a protocol endpoint on a real UDP socket.
+type Node struct {
+	addr  netip.Addr
+	port  uint16
+	conn  *net.UDPConn
+	start time.Time
+	rng   *rand.Rand
+
+	tasks chan func()
+	done  chan struct{}
+	wg    sync.WaitGroup
+
+	mu      sync.Mutex
+	handler node.Handler
+	closed  bool
+
+	// Stats.
+	sent, received, decodeErrors uint64
+}
+
+var _ node.Env = (*Node)(nil)
+
+// Listen binds a node at addr (e.g. 127.0.0.2) on the given port (0 means
+// DefaultPort) and starts its executor and reader.
+func Listen(addr netip.Addr, port uint16) (*Node, error) {
+	if !addr.Is4() {
+		return nil, fmt.Errorf("udpnet: address %v is not IPv4 (the wire protocol carries 4-byte addresses)", addr)
+	}
+	if port == 0 {
+		port = DefaultPort
+	}
+	conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: addr.AsSlice(), Port: int(port)})
+	if err != nil {
+		return nil, fmt.Errorf("udpnet: listen %v:%d: %w", addr, port, err)
+	}
+	n := &Node{
+		addr:  addr,
+		port:  port,
+		conn:  conn,
+		start: time.Now(),
+		rng:   rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(addr.As4()[3]))),
+		tasks: make(chan func(), 1024),
+		done:  make(chan struct{}),
+	}
+	n.wg.Add(2)
+	go n.loop()
+	go n.read()
+	return n, nil
+}
+
+// Addr implements node.Env.
+func (n *Node) Addr() netip.Addr { return n.addr }
+
+// Now implements node.Env: wall time since the node started.
+func (n *Node) Now() time.Duration { return time.Since(n.start) }
+
+// Rand implements node.Env.
+func (n *Node) Rand() *rand.Rand { return n.rng }
+
+// UplinkBacklog implements node.Env; the kernel owns real socket queues, so
+// the application-level backlog is reported as zero.
+func (n *Node) UplinkBacklog() time.Duration { return 0 }
+
+// SetHandler installs the message handler (called from the executor).
+func (n *Node) SetHandler(h node.Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handler = h
+}
+
+// Stats reports datagram counters.
+func (n *Node) Stats() (sent, received, decodeErrors uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.sent, n.received, n.decodeErrors
+}
+
+// post schedules fn on the executor; drops silently after Close.
+func (n *Node) post(fn func()) {
+	select {
+	case n.tasks <- fn:
+	case <-n.done:
+	}
+}
+
+// loop is the single-threaded executor.
+func (n *Node) loop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case fn := <-n.tasks:
+			fn()
+		case <-n.done:
+			// Drain whatever is already queued, then exit.
+			for {
+				select {
+				case fn := <-n.tasks:
+					fn()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// read pumps datagrams from the socket onto the executor.
+func (n *Node) read() {
+	defer n.wg.Done()
+	buf := make([]byte, 64<<10)
+	for {
+		sz, from, err := n.conn.ReadFromUDP(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		msg, err := wire.Unmarshal(buf[:sz])
+		if err != nil {
+			n.mu.Lock()
+			n.decodeErrors++
+			n.mu.Unlock()
+			continue
+		}
+		fromAddr, ok := netip.AddrFromSlice(from.IP.To4())
+		if !ok {
+			continue
+		}
+		n.mu.Lock()
+		n.received++
+		h := n.handler
+		n.mu.Unlock()
+		if h == nil {
+			continue
+		}
+		n.post(func() { h.HandleMessage(fromAddr, msg) })
+	}
+}
+
+// Send implements node.Env: marshal and transmit to the peer's loopback
+// address on the shared port.
+func (n *Node) Send(to netip.Addr, msg wire.Message) {
+	data := wire.Marshal(msg)
+	_, err := n.conn.WriteToUDP(data, &net.UDPAddr{IP: to.AsSlice(), Port: int(n.port)})
+	if err == nil {
+		n.mu.Lock()
+		n.sent++
+		n.mu.Unlock()
+	}
+}
+
+// After implements node.Env; the callback runs on the executor.
+func (n *Node) After(d time.Duration, fn func()) node.Cancel {
+	t := time.AfterFunc(d, func() { n.post(fn) })
+	return t.Stop
+}
+
+// Every implements node.Env; the callback runs on the executor.
+func (n *Node) Every(d time.Duration, fn func()) node.Cancel {
+	ticker := time.NewTicker(d)
+	stop := make(chan struct{})
+	var once sync.Once
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		for {
+			select {
+			case <-ticker.C:
+				n.post(fn)
+			case <-stop:
+				return
+			case <-n.done:
+				return
+			}
+		}
+	}()
+	return func() bool {
+		cancelled := false
+		once.Do(func() {
+			ticker.Stop()
+			close(stop)
+			cancelled = true
+		})
+		return cancelled
+	}
+}
+
+// Close shuts the socket and stops the executor, waiting for goroutines.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	n.mu.Unlock()
+	err := n.conn.Close()
+	close(n.done)
+	n.wg.Wait()
+	return err
+}
+
+// Do runs fn on the node's executor and waits for it — the safe way for
+// external code to inspect protocol state owned by the executor.
+func (n *Node) Do(fn func()) {
+	doneCh := make(chan struct{})
+	n.post(func() {
+		fn()
+		close(doneCh)
+	})
+	select {
+	case <-doneCh:
+	case <-n.done:
+	}
+}
+
+// udpAddr returns the node's socket address (test helper).
+func (n *Node) udpAddr() *net.UDPAddr {
+	return &net.UDPAddr{IP: n.addr.AsSlice(), Port: int(n.port)}
+}

@@ -1,0 +1,128 @@
+package udpnet
+
+import (
+	"net/netip"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pplivesim/internal/wire"
+)
+
+// listen binds a test node, skipping if loopback aliases are unavailable.
+func listen(t *testing.T, last byte, port uint16) *Node {
+	t.Helper()
+	n, err := Listen(netip.AddrFrom4([4]byte{127, 0, 0, last}), port)
+	if err != nil {
+		t.Skipf("loopback alias unavailable: %v", err)
+	}
+	t.Cleanup(func() { n.Close() })
+	return n
+}
+
+type countingHandler struct {
+	count atomic.Int64
+	last  atomic.Value // wire.Type
+}
+
+func (h *countingHandler) HandleMessage(_ netip.Addr, msg wire.Message) {
+	h.count.Add(1)
+	h.last.Store(msg.Kind())
+}
+
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func TestListenRejectsIPv6(t *testing.T) {
+	if _, err := Listen(netip.MustParseAddr("::1"), 0); err == nil {
+		t.Error("IPv6 address accepted")
+	}
+}
+
+func TestSendReceiveOverLoopback(t *testing.T) {
+	const port = 42811
+	a := listen(t, 2, port)
+	b := listen(t, 3, port)
+	h := &countingHandler{}
+	b.SetHandler(h)
+
+	a.Send(b.Addr(), &wire.Handshake{Channel: 7})
+	waitFor(t, func() bool { return h.count.Load() == 1 }, "datagram delivery")
+	if got, _ := h.last.Load().(wire.Type); got != wire.THandshake {
+		t.Errorf("delivered kind = %v", got)
+	}
+	sent, _, _ := a.Stats()
+	if sent != 1 {
+		t.Errorf("sender stats sent = %d", sent)
+	}
+	_, received, decodeErrs := b.Stats()
+	if received != 1 || decodeErrs != 0 {
+		t.Errorf("receiver stats = %d received %d decode errors", received, decodeErrs)
+	}
+}
+
+func TestGarbageDatagramCounted(t *testing.T) {
+	const port = 42812
+	a := listen(t, 2, port)
+	b := listen(t, 3, port)
+	b.SetHandler(&countingHandler{})
+	// Raw garbage straight through the socket.
+	a.conn.WriteToUDP([]byte("not a protocol datagram"), b.udpAddr())
+	waitFor(t, func() bool {
+		_, _, errs := b.Stats()
+		return errs == 1
+	}, "decode-error accounting")
+}
+
+func TestTimersRunOnExecutor(t *testing.T) {
+	const port = 42813
+	a := listen(t, 2, port)
+	var fired atomic.Int64
+	a.After(20*time.Millisecond, func() { fired.Add(1) })
+	cancel := a.Every(15*time.Millisecond, func() { fired.Add(1) })
+	waitFor(t, func() bool { return fired.Load() >= 3 }, "timer firings")
+	if !cancel() {
+		t.Error("Every cancel returned false")
+	}
+	if cancel() {
+		t.Error("second cancel returned true")
+	}
+}
+
+func TestDoSynchronizes(t *testing.T) {
+	const port = 42814
+	a := listen(t, 2, port)
+	value := 0
+	a.Do(func() { value = 42 })
+	if value != 42 {
+		t.Error("Do did not complete synchronously")
+	}
+}
+
+func TestCloseIdempotentAndStopsDelivery(t *testing.T) {
+	const port = 42815
+	a := listen(t, 2, port)
+	b := listen(t, 3, port)
+	h := &countingHandler{}
+	b.SetHandler(h)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	a.Send(b.Addr(), &wire.Handshake{Channel: 1})
+	time.Sleep(50 * time.Millisecond)
+	if h.count.Load() != 0 {
+		t.Error("closed node delivered a message")
+	}
+}

@@ -1,0 +1,300 @@
+// Package underlay models the physical network beneath the P2P overlay.
+//
+// It provides datagram delivery between hosts with three latency regimes
+// (intra-ISP, inter-ISP domestic, transoceanic), a stable per-host-pair
+// distance offset, per-packet jitter, probabilistic loss, and a serialized
+// uplink queue per host so that loaded peers exhibit the growing
+// application-layer queuing delay the paper observes during popular
+// broadcasts (§3.3). All behaviour is driven by the eventsim engine, so
+// deliveries are deterministic for a given seed.
+package underlay
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"pplivesim/internal/eventsim"
+	"pplivesim/internal/isp"
+)
+
+// Handler receives a delivered datagram. Payloads are passed by reference;
+// size is the on-the-wire size used for bandwidth accounting.
+type Handler func(from netip.Addr, size int, payload any)
+
+// Host is an attached endpoint.
+type Host struct {
+	Addr netip.Addr
+	ISP  isp.ISP
+
+	// UploadBps is the access uplink capacity in bytes per second. Every
+	// outgoing datagram serializes through this uplink.
+	UploadBps float64
+	// ProcDelay is a fixed per-datagram application processing delay added
+	// at the receiver before the handler runs.
+	ProcDelay time.Duration
+
+	handler     Handler
+	upBusyUntil time.Duration
+	queuedBytes int64 // bytes accepted but not yet on the wire
+
+	// Stats.
+	sentDatagrams, recvDatagrams uint64
+	sentBytes, recvBytes         uint64
+}
+
+// QueueDelay returns the current uplink backlog expressed as time: how long a
+// zero-size datagram enqueued now would wait before transmission starts.
+func (h *Host) QueueDelay(now time.Duration) time.Duration {
+	if h.upBusyUntil <= now {
+		return 0
+	}
+	return h.upBusyUntil - now
+}
+
+// Stats reports cumulative datagram/byte counters for the host.
+func (h *Host) Stats() (sentDatagrams, sentBytes, recvDatagrams, recvBytes uint64) {
+	return h.sentDatagrams, h.sentBytes, h.recvDatagrams, h.recvBytes
+}
+
+// Config tunes the latency, loss, and queuing model. Durations are one-way
+// propagation delays.
+type Config struct {
+	// IntraOWD is the base one-way delay between two hosts of the same ISP.
+	IntraOWD map[isp.ISP]time.Duration
+	// InterDomesticOWD is the base one-way delay between two distinct
+	// domestic (Chinese) ISPs; PoorPeering pairs get an extra penalty.
+	InterDomesticOWD time.Duration
+	// TransoceanicOWD is the base one-way delay between a domestic ISP and
+	// Foreign.
+	TransoceanicOWD time.Duration
+	// TeleCncPenalty is added on the TELE↔CNC path, whose interconnection
+	// was famously congested in 2008-era China.
+	TeleCncPenalty time.Duration
+
+	// PairSpread scales a deterministic per-host-pair multiplier drawn from
+	// [1-PairSpread, 1+PairSpread] applied to the base OWD, modeling
+	// geographic distance within a regime.
+	PairSpread float64
+	// JitterFrac is the mean of an exponential per-packet jitter expressed
+	// as a fraction of the base OWD.
+	JitterFrac float64
+
+	// Loss probabilities per datagram.
+	LossIntra         float64
+	LossInterDomestic float64
+	LossTransoceanic  float64
+
+	// MaxQueueDelay bounds a host's uplink backlog; datagrams that would
+	// push the backlog past the bound are dropped at the sender (tail drop),
+	// as a saturated residential uplink would.
+	MaxQueueDelay time.Duration
+
+	// TransoceanicBps models 2008-era international links: per-flow
+	// throughput across the China↔abroad boundary was severely limited
+	// (long RTTs, loss, congested trunks), so cross-border datagrams incur
+	// an extra serialization delay of size/TransoceanicBps on top of
+	// propagation. Zero disables the penalty.
+	TransoceanicBps float64
+}
+
+// DefaultConfig returns the model parameters used by all paper experiments.
+// The absolute values are calibrated so that same-ISP RTTs sit well below
+// cross-ISP RTTs and China↔US paths land in the hundreds of milliseconds,
+// matching the regimes the paper's response-time analysis depends on.
+func DefaultConfig() Config {
+	return Config{
+		IntraOWD: map[isp.ISP]time.Duration{
+			isp.TELE:    12 * time.Millisecond,
+			isp.CNC:     12 * time.Millisecond,
+			isp.CER:     8 * time.Millisecond,
+			isp.OtherCN: 15 * time.Millisecond,
+			isp.Foreign: 35 * time.Millisecond,
+		},
+		InterDomesticOWD:  28 * time.Millisecond,
+		TransoceanicOWD:   110 * time.Millisecond,
+		TeleCncPenalty:    18 * time.Millisecond,
+		PairSpread:        0.45,
+		JitterFrac:        0.15,
+		LossIntra:         0.004,
+		LossInterDomestic: 0.01,
+		LossTransoceanic:  0.03,
+		MaxQueueDelay:     8 * time.Second,
+		TransoceanicBps:   40 << 10,
+	}
+}
+
+// Network delivers datagrams between attached hosts.
+type Network struct {
+	eng   *eventsim.Engine
+	cfg   Config
+	hosts map[netip.Addr]*Host
+	rng   *rand.Rand
+
+	// Stats.
+	delivered, droppedLoss, droppedQueue, droppedNoHost uint64
+}
+
+// New creates a network on the given engine.
+func New(eng *eventsim.Engine, cfg Config) *Network {
+	return &Network{
+		eng:   eng,
+		cfg:   cfg,
+		hosts: make(map[netip.Addr]*Host),
+		rng:   eng.NewRand(),
+	}
+}
+
+// Attach registers a host and its receive handler. Attaching an address that
+// is already attached returns an error.
+func (n *Network) Attach(h *Host, handler Handler) error {
+	if _, ok := n.hosts[h.Addr]; ok {
+		return fmt.Errorf("underlay: address %s already attached", h.Addr)
+	}
+	if h.UploadBps <= 0 {
+		return fmt.Errorf("underlay: host %s has non-positive upload capacity", h.Addr)
+	}
+	h.handler = handler
+	n.hosts[h.Addr] = h
+	return nil
+}
+
+// Detach removes a host; subsequent datagrams to it are silently dropped,
+// like UDP to a departed peer.
+func (n *Network) Detach(addr netip.Addr) {
+	delete(n.hosts, addr)
+}
+
+// Lookup returns the attached host for addr, if any.
+func (n *Network) Lookup(addr netip.Addr) (*Host, bool) {
+	h, ok := n.hosts[addr]
+	return h, ok
+}
+
+// NumHosts returns the number of currently attached hosts.
+func (n *Network) NumHosts() int { return len(n.hosts) }
+
+// Stats reports delivery counters: delivered datagrams and the three drop
+// classes (random loss, sender queue overflow, destination not attached).
+func (n *Network) Stats() (delivered, droppedLoss, droppedQueue, droppedNoHost uint64) {
+	return n.delivered, n.droppedLoss, n.droppedQueue, n.droppedNoHost
+}
+
+// pairKey produces a symmetric deterministic hash for a host pair.
+func pairKey(a, b netip.Addr) uint64 {
+	if b.Less(a) {
+		a, b = b, a
+	}
+	h := fnv.New64a()
+	ab, bb := a.As4(), b.As4()
+	h.Write(ab[:])
+	h.Write(bb[:])
+	return h.Sum64()
+}
+
+// baseOWD returns the regime base one-way delay for an ISP pair.
+func (n *Network) baseOWD(a, b isp.ISP) time.Duration {
+	if a == b {
+		if d, ok := n.cfg.IntraOWD[a]; ok {
+			return d
+		}
+		return 20 * time.Millisecond
+	}
+	if a.Domestic() && b.Domestic() {
+		d := n.cfg.InterDomesticOWD
+		if (a == isp.TELE && b == isp.CNC) || (a == isp.CNC && b == isp.TELE) {
+			d += n.cfg.TeleCncPenalty
+		}
+		return d
+	}
+	return n.cfg.TransoceanicOWD
+}
+
+// PairOWD returns the stable (jitter-free) one-way delay between two hosts:
+// the regime base scaled by the deterministic per-pair distance multiplier.
+// This is the ground-truth proximity that trace-based RTT estimation should
+// approximate.
+func (n *Network) PairOWD(a, b *Host) time.Duration {
+	base := n.baseOWD(a.ISP, b.ISP)
+	key := pairKey(a.Addr, b.Addr)
+	// Map the hash to [1-spread, 1+spread].
+	u := float64(key%1_000_003) / 1_000_003.0
+	mult := 1 + n.cfg.PairSpread*(2*u-1)
+	return time.Duration(float64(base) * mult)
+}
+
+// lossProb returns the per-datagram loss probability for an ISP pair.
+func (n *Network) lossProb(a, b isp.ISP) float64 {
+	if a == b {
+		return n.cfg.LossIntra
+	}
+	if a.Domestic() && b.Domestic() {
+		return n.cfg.LossInterDomestic
+	}
+	return n.cfg.LossTransoceanic
+}
+
+// Send transmits a datagram from an attached host to a destination address.
+// Delivery (if the datagram survives loss, queue bounds, and the destination
+// still being attached) invokes the destination's handler at the computed
+// arrival instant. Send never blocks; it returns false if the datagram was
+// dropped at the sender's uplink queue bound.
+func (n *Network) Send(from *Host, to netip.Addr, size int, payload any) bool {
+	if size < 0 {
+		size = 0
+	}
+	now := n.eng.Now()
+
+	// Sender uplink serialization with bounded backlog.
+	txTime := time.Duration(float64(size) / from.UploadBps * float64(time.Second))
+	start := now
+	if from.upBusyUntil > start {
+		start = from.upBusyUntil
+	}
+	if start-now > n.cfg.MaxQueueDelay {
+		n.droppedQueue++
+		return false
+	}
+	departure := start + txTime
+	from.upBusyUntil = departure
+	from.sentDatagrams++
+	from.sentBytes += uint64(size)
+
+	// Random loss along the path. The destination's ISP must be resolvable
+	// even if it detaches before arrival; use the current view, falling back
+	// to dropping on unknown destinations at send time.
+	dst, ok := n.hosts[to]
+	if !ok {
+		n.droppedNoHost++
+		return true // accepted by the uplink; lost in the network
+	}
+	if n.rng.Float64() < n.lossProb(from.ISP, dst.ISP) {
+		n.droppedLoss++
+		return true
+	}
+
+	owd := n.PairOWD(from, dst)
+	jitter := time.Duration(n.rng.ExpFloat64() * n.cfg.JitterFrac * float64(owd))
+	arrival := departure + owd + jitter + dst.ProcDelay
+	if n.cfg.TransoceanicBps > 0 && from.ISP.Domestic() != dst.ISP.Domestic() {
+		arrival += time.Duration(float64(size) / n.cfg.TransoceanicBps * float64(time.Second))
+	}
+
+	fromAddr := from.Addr
+	n.eng.At(arrival, func() {
+		cur, ok := n.hosts[to]
+		if !ok || cur != dst {
+			n.droppedNoHost++
+			return
+		}
+		dst.recvDatagrams++
+		dst.recvBytes += uint64(size)
+		n.delivered++
+		if dst.handler != nil {
+			dst.handler(fromAddr, size, payload)
+		}
+	})
+	return true
+}

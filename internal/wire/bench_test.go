@@ -1,0 +1,43 @@
+package wire
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func BenchmarkMarshalDataReply(b *testing.B) {
+	m := &DataReply{Channel: 1, Seq: 12345, Count: 1, PieceLen: SubPieceSize}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Marshal(m)
+	}
+}
+
+func BenchmarkUnmarshalDataReply(b *testing.B) {
+	data := Marshal(&DataReply{Channel: 1, Seq: 12345, Count: 1, PieceLen: SubPieceSize})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarshalPeerList(b *testing.B) {
+	peers := make([]netip.Addr, MaxPeerList)
+	for i := range peers {
+		peers[i] = netip.AddrFrom4([4]byte{58, 32, byte(i), 1})
+	}
+	m := &PeerListReply{Channel: 1, Peers: peers}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Marshal(m)
+	}
+}
+
+func BenchmarkSize(b *testing.B) {
+	m := &DataReply{Channel: 1, Seq: 12345, Count: 8, PieceLen: SubPieceSize}
+	for i := 0; i < b.N; i++ {
+		_ = Size(m)
+	}
+}

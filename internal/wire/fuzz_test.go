@@ -1,0 +1,43 @@
+package wire
+
+import (
+	"net/netip"
+	"testing"
+)
+
+// FuzzUnmarshal drives the decoder with arbitrary datagrams; it must never
+// panic, and anything it accepts must re-encode canonically.
+func FuzzUnmarshal(f *testing.F) {
+	seeds := []Message{
+		&ChannelListRequest{},
+		&ChannelListResponse{Channels: []ChannelInfo{{ID: 1, Rating: 5, Name: "ch"}}},
+		&PlaylinkResponse{Channel: 1, Source: netip.MustParseAddr("1.2.3.4"),
+			Trackers: []netip.Addr{netip.MustParseAddr("5.6.7.8")}},
+		&TrackerResponse{Channel: 1, Peers: []netip.Addr{netip.MustParseAddr("9.9.9.9")}},
+		&HandshakeAck{Channel: 1, Accepted: true, Buffer: BufferMap{Start: 10, Bits: []byte{0xff}}},
+		&PeerListRequest{Channel: 1, OwnPeers: []netip.Addr{netip.MustParseAddr("2.2.2.2")}},
+		&DataRequest{Channel: 1, Seq: 99, Count: 4},
+		&DataReply{Channel: 1, Seq: 99, Count: 1, PieceLen: 690},
+		&Have{Channel: 1, Seq: 5, Count: 2},
+		&AsnQuery{Addr: netip.MustParseAddr("58.32.0.1")},
+		&AsnResponse{Addr: netip.MustParseAddr("58.32.0.1"), Found: true, ASN: 4134, ISP: 1, Name: "CHINANET"},
+	}
+	for _, m := range seeds {
+		f.Add(Marshal(m))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x50, 0x4C, 1, 1, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		// Accepted datagrams must re-encode to exactly the input
+		// (canonical encoding) — modulo nothing: header, body, CRC.
+		again := Marshal(msg)
+		if string(again) != string(data) {
+			t.Fatalf("non-canonical accept:\n in  %x\n out %x", data, again)
+		}
+	})
+}

@@ -1,0 +1,73 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Unmarshal never panics and never succeeds on random garbage
+// (the CRC makes accidental acceptance astronomically unlikely).
+func TestPropertyUnmarshalGarbage(t *testing.T) {
+	f := func(raw []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Unmarshal panicked on %x: %v", raw, r)
+			}
+		}()
+		_, err := Unmarshal(raw)
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: single-byte corruption of a valid datagram is always rejected.
+func TestPropertyBitflipRejected(t *testing.T) {
+	valid := Marshal(&DataRequest{Channel: 3, Seq: 12345, Count: 4})
+	f := func(pos uint16, bit uint8) bool {
+		b := append([]byte(nil), valid...)
+		b[int(pos)%len(b)] ^= 1 << (bit % 8)
+		_, err := Unmarshal(b)
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: truncating a valid datagram at any point is rejected.
+func TestPropertyTruncationRejected(t *testing.T) {
+	valid := Marshal(&PeerListReply{Channel: 1, Peers: nil})
+	for cut := 0; cut < len(valid); cut++ {
+		if _, err := Unmarshal(valid[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+// Property: every message type round-trips through marshal→unmarshal→marshal
+// to identical bytes (canonical encoding).
+func TestPropertyCanonicalEncoding(t *testing.T) {
+	msgs := []Message{
+		&ChannelListRequest{},
+		&PlaylinkRequest{Channel: 9},
+		&TrackerQuery{Channel: 9},
+		&Handshake{Channel: 9},
+		&DataRequest{Channel: 9, Seq: 77, Count: 3},
+		&DataReply{Channel: 9, Seq: 77, Count: 2, PieceLen: 690},
+		&Have{Channel: 9, Seq: 13, Count: 8},
+	}
+	for _, m := range msgs {
+		first := Marshal(m)
+		decoded, err := Unmarshal(first)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Kind(), err)
+		}
+		second := Marshal(decoded)
+		if string(first) != string(second) {
+			t.Errorf("%s: non-canonical encoding", m.Kind())
+		}
+	}
+}

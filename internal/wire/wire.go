@@ -1,0 +1,834 @@
+// Package wire defines the PPLive-style datagram protocol spoken by every
+// component: bootstrap/channel server, tracker servers, and peers.
+//
+// The message set follows the protocol behaviour the paper reverse-engineered
+// (§2): channel-list and playlink exchanges with the bootstrap server,
+// tracker peer-list queries, neighbor peer-list exchange where the requester
+// encloses its own list and the replier returns up to 60 addresses, buffer-
+// map announcements, and sub-piece data request/reply carrying transmission
+// sequence numbers (which the paper's trace matching keys on).
+//
+// Messages marshal to a compact binary format: a fixed header (magic,
+// version, type, body length) followed by the body and a CRC32 trailer.
+// The same encoding drives both the simulated underlay (which only needs
+// WireSize) and the real-UDP transport used by the examples.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"net/netip"
+)
+
+// Protocol constants.
+const (
+	Version byte = 1
+
+	// MaxPeerList is the maximum number of addresses in any peer list; the
+	// paper observes lists of no more than 60 addresses.
+	MaxPeerList = 60
+
+	// SubPieceSize and SubPieceSizeSmall are the two sub-piece payload sizes
+	// the paper reports (1380 and 690 bytes).
+	SubPieceSize      = 1380
+	SubPieceSizeSmall = 690
+
+	headerLen  = 2 + 1 + 1 + 4 // magic, version, type, body length
+	trailerLen = 4             // crc32
+)
+
+// Type identifies a message kind.
+type Type byte
+
+// Message kinds.
+const (
+	TChannelListRequest Type = iota + 1
+	TChannelListResponse
+	TPlaylinkRequest
+	TPlaylinkResponse
+	TTrackerAnnounce
+	TTrackerQuery
+	TTrackerResponse
+	THandshake
+	THandshakeAck
+	TPeerListRequest
+	TPeerListReply
+	TBufferMap
+	TDataRequest
+	TDataReply
+	THave
+	TAsnQuery
+	TAsnResponse
+	maxType
+)
+
+// String returns a short name for the type.
+func (t Type) String() string {
+	switch t {
+	case TChannelListRequest:
+		return "ChannelListRequest"
+	case TChannelListResponse:
+		return "ChannelListResponse"
+	case TPlaylinkRequest:
+		return "PlaylinkRequest"
+	case TPlaylinkResponse:
+		return "PlaylinkResponse"
+	case TTrackerAnnounce:
+		return "TrackerAnnounce"
+	case TTrackerQuery:
+		return "TrackerQuery"
+	case TTrackerResponse:
+		return "TrackerResponse"
+	case THandshake:
+		return "Handshake"
+	case THandshakeAck:
+		return "HandshakeAck"
+	case TPeerListRequest:
+		return "PeerListRequest"
+	case TPeerListReply:
+		return "PeerListReply"
+	case TBufferMap:
+		return "BufferMap"
+	case TDataRequest:
+		return "DataRequest"
+	case TDataReply:
+		return "DataReply"
+	case THave:
+		return "Have"
+	case TAsnQuery:
+		return "AsnQuery"
+	case TAsnResponse:
+		return "AsnResponse"
+	default:
+		return fmt.Sprintf("Type(%d)", byte(t))
+	}
+}
+
+// Decoding errors.
+var (
+	ErrShort       = errors.New("wire: datagram too short")
+	ErrBadMagic    = errors.New("wire: bad magic")
+	ErrBadVersion  = errors.New("wire: unsupported version")
+	ErrBadType     = errors.New("wire: unknown message type")
+	ErrBadChecksum = errors.New("wire: checksum mismatch")
+	ErrTruncated   = errors.New("wire: truncated body")
+	ErrOversized   = errors.New("wire: field exceeds protocol bound")
+)
+
+// Message is implemented by every protocol message.
+type Message interface {
+	// Kind returns the message type tag.
+	Kind() Type
+	// appendBody appends the binary body encoding.
+	appendBody(b []byte) []byte
+	// readBody decodes the body, returning the remaining bytes.
+	readBody(b []byte) ([]byte, error)
+}
+
+// ChannelID identifies a live channel.
+type ChannelID uint32
+
+// ChannelInfo is one entry of the bootstrap server's channel list.
+type ChannelInfo struct {
+	ID     ChannelID
+	Rating uint32 // access-count based popularity rating
+	Name   string
+}
+
+// ChannelListRequest asks the bootstrap server for the active channel list.
+type ChannelListRequest struct{}
+
+// Kind implements Message.
+func (*ChannelListRequest) Kind() Type                        { return TChannelListRequest }
+func (*ChannelListRequest) appendBody(b []byte) []byte        { return b }
+func (*ChannelListRequest) readBody(b []byte) ([]byte, error) { return b, nil }
+
+// ChannelListResponse carries the active channel list.
+type ChannelListResponse struct {
+	Channels []ChannelInfo
+}
+
+// Kind implements Message.
+func (*ChannelListResponse) Kind() Type { return TChannelListResponse }
+
+func (m *ChannelListResponse) appendBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(len(m.Channels)))
+	for _, c := range m.Channels {
+		b = binary.BigEndian.AppendUint32(b, uint32(c.ID))
+		b = binary.BigEndian.AppendUint32(b, c.Rating)
+		b = appendString(b, c.Name)
+	}
+	return b
+}
+
+func (m *ChannelListResponse) readBody(b []byte) ([]byte, error) {
+	n, b, err := readUint16(b)
+	if err != nil {
+		return nil, err
+	}
+	m.Channels = make([]ChannelInfo, 0, n)
+	for i := 0; i < int(n); i++ {
+		var c ChannelInfo
+		var id, rating uint32
+		if id, b, err = readUint32(b); err != nil {
+			return nil, err
+		}
+		if rating, b, err = readUint32(b); err != nil {
+			return nil, err
+		}
+		if c.Name, b, err = readString(b); err != nil {
+			return nil, err
+		}
+		c.ID, c.Rating = ChannelID(id), rating
+		m.Channels = append(m.Channels, c)
+	}
+	return b, nil
+}
+
+// PlaylinkRequest asks the bootstrap server for a channel's playlink and
+// tracker set.
+type PlaylinkRequest struct {
+	Channel ChannelID
+}
+
+// Kind implements Message.
+func (*PlaylinkRequest) Kind() Type { return TPlaylinkRequest }
+
+func (m *PlaylinkRequest) appendBody(b []byte) []byte {
+	return binary.BigEndian.AppendUint32(b, uint32(m.Channel))
+}
+
+func (m *PlaylinkRequest) readBody(b []byte) ([]byte, error) {
+	v, b, err := readUint32(b)
+	m.Channel = ChannelID(v)
+	return b, err
+}
+
+// PlaylinkResponse returns the channel source and one tracker address per
+// tracker group (the paper observes five groups).
+type PlaylinkResponse struct {
+	Channel  ChannelID
+	Source   netip.Addr   // the channel's stream source
+	Trackers []netip.Addr // one address per tracker group
+}
+
+// Kind implements Message.
+func (*PlaylinkResponse) Kind() Type { return TPlaylinkResponse }
+
+func (m *PlaylinkResponse) appendBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(m.Channel))
+	b = appendAddr(b, m.Source)
+	return appendAddrList(b, m.Trackers)
+}
+
+func (m *PlaylinkResponse) readBody(b []byte) ([]byte, error) {
+	v, b, err := readUint32(b)
+	if err != nil {
+		return nil, err
+	}
+	m.Channel = ChannelID(v)
+	if m.Source, b, err = readAddr(b); err != nil {
+		return nil, err
+	}
+	m.Trackers, b, err = readAddrList(b)
+	return b, err
+}
+
+// TrackerAnnounce registers (or withdraws) the sender as an active peer of a
+// channel with a tracker server.
+type TrackerAnnounce struct {
+	Channel ChannelID
+	Leaving bool
+}
+
+// Kind implements Message.
+func (*TrackerAnnounce) Kind() Type { return TTrackerAnnounce }
+
+func (m *TrackerAnnounce) appendBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(m.Channel))
+	return append(b, boolByte(m.Leaving))
+}
+
+func (m *TrackerAnnounce) readBody(b []byte) ([]byte, error) {
+	v, b, err := readUint32(b)
+	if err != nil {
+		return nil, err
+	}
+	m.Channel = ChannelID(v)
+	if len(b) < 1 {
+		return nil, ErrTruncated
+	}
+	m.Leaving = b[0] != 0
+	return b[1:], nil
+}
+
+// TrackerQuery asks a tracker server for active peers of a channel.
+type TrackerQuery struct {
+	Channel ChannelID
+}
+
+// Kind implements Message.
+func (*TrackerQuery) Kind() Type { return TTrackerQuery }
+
+func (m *TrackerQuery) appendBody(b []byte) []byte {
+	return binary.BigEndian.AppendUint32(b, uint32(m.Channel))
+}
+
+func (m *TrackerQuery) readBody(b []byte) ([]byte, error) {
+	v, b, err := readUint32(b)
+	m.Channel = ChannelID(v)
+	return b, err
+}
+
+// TrackerResponse carries a tracker's peer list.
+type TrackerResponse struct {
+	Channel ChannelID
+	Peers   []netip.Addr
+}
+
+// Kind implements Message.
+func (*TrackerResponse) Kind() Type { return TTrackerResponse }
+
+func (m *TrackerResponse) appendBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(m.Channel))
+	return appendAddrList(b, m.Peers)
+}
+
+func (m *TrackerResponse) readBody(b []byte) ([]byte, error) {
+	v, b, err := readUint32(b)
+	if err != nil {
+		return nil, err
+	}
+	m.Channel = ChannelID(v)
+	m.Peers, b, err = readAddrList(b)
+	return b, err
+}
+
+// Handshake opens a neighbor relationship for a channel.
+type Handshake struct {
+	Channel ChannelID
+}
+
+// Kind implements Message.
+func (*Handshake) Kind() Type { return THandshake }
+
+func (m *Handshake) appendBody(b []byte) []byte {
+	return binary.BigEndian.AppendUint32(b, uint32(m.Channel))
+}
+
+func (m *Handshake) readBody(b []byte) ([]byte, error) {
+	v, b, err := readUint32(b)
+	m.Channel = ChannelID(v)
+	return b, err
+}
+
+// HandshakeAck accepts or rejects a handshake; on accept it carries the
+// responder's current buffer map so the new neighbor can schedule requests
+// immediately.
+type HandshakeAck struct {
+	Channel  ChannelID
+	Accepted bool
+	Buffer   BufferMap
+}
+
+// Kind implements Message.
+func (*HandshakeAck) Kind() Type { return THandshakeAck }
+
+func (m *HandshakeAck) appendBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(m.Channel))
+	b = append(b, boolByte(m.Accepted))
+	return m.Buffer.append(b)
+}
+
+func (m *HandshakeAck) readBody(b []byte) ([]byte, error) {
+	v, b, err := readUint32(b)
+	if err != nil {
+		return nil, err
+	}
+	m.Channel = ChannelID(v)
+	if len(b) < 1 {
+		return nil, ErrTruncated
+	}
+	m.Accepted = b[0] != 0
+	return m.Buffer.read(b[1:])
+}
+
+// PeerListRequest asks a neighbor for its peer list; per the paper the
+// requester encloses the peer list it maintains itself.
+type PeerListRequest struct {
+	Channel  ChannelID
+	OwnPeers []netip.Addr
+}
+
+// Kind implements Message.
+func (*PeerListRequest) Kind() Type { return TPeerListRequest }
+
+func (m *PeerListRequest) appendBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(m.Channel))
+	return appendAddrList(b, m.OwnPeers)
+}
+
+func (m *PeerListRequest) readBody(b []byte) ([]byte, error) {
+	v, b, err := readUint32(b)
+	if err != nil {
+		return nil, err
+	}
+	m.Channel = ChannelID(v)
+	m.OwnPeers, b, err = readAddrList(b)
+	return b, err
+}
+
+// PeerListReply returns a neighbor's recently connected peers (≤60).
+type PeerListReply struct {
+	Channel ChannelID
+	Peers   []netip.Addr
+}
+
+// Kind implements Message.
+func (*PeerListReply) Kind() Type { return TPeerListReply }
+
+func (m *PeerListReply) appendBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(m.Channel))
+	return appendAddrList(b, m.Peers)
+}
+
+func (m *PeerListReply) readBody(b []byte) ([]byte, error) {
+	v, b, err := readUint32(b)
+	if err != nil {
+		return nil, err
+	}
+	m.Channel = ChannelID(v)
+	m.Peers, b, err = readAddrList(b)
+	return b, err
+}
+
+// BufferMap describes which sub-pieces a peer holds: a window starting at
+// Start with one bit per sub-piece.
+type BufferMap struct {
+	Start uint64 // first sub-piece sequence covered
+	Bits  []byte // little-endian bitmap; bit i covers Start+i
+}
+
+// Has reports whether the map covers sub-piece seq.
+func (bm *BufferMap) Has(seq uint64) bool {
+	if seq < bm.Start {
+		return false
+	}
+	i := seq - bm.Start
+	byteIdx := i / 8
+	if byteIdx >= uint64(len(bm.Bits)) {
+		return false
+	}
+	return bm.Bits[byteIdx]&(1<<(i%8)) != 0
+}
+
+// Set marks sub-piece seq as held; out-of-window seqs are ignored.
+func (bm *BufferMap) Set(seq uint64) {
+	if seq < bm.Start {
+		return
+	}
+	i := seq - bm.Start
+	byteIdx := i / 8
+	if byteIdx >= uint64(len(bm.Bits)) {
+		return
+	}
+	bm.Bits[byteIdx] |= 1 << (i % 8)
+}
+
+// Window returns the number of sub-pieces covered by the map.
+func (bm *BufferMap) Window() uint64 { return uint64(len(bm.Bits)) * 8 }
+
+func (bm *BufferMap) append(b []byte) []byte {
+	b = binary.BigEndian.AppendUint64(b, bm.Start)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(bm.Bits)))
+	return append(b, bm.Bits...)
+}
+
+func (bm *BufferMap) read(b []byte) ([]byte, error) {
+	if len(b) < 10 {
+		return nil, ErrTruncated
+	}
+	bm.Start = binary.BigEndian.Uint64(b)
+	n := int(binary.BigEndian.Uint16(b[8:]))
+	b = b[10:]
+	if len(b) < n {
+		return nil, ErrTruncated
+	}
+	bm.Bits = append([]byte(nil), b[:n]...)
+	return b[n:], nil
+}
+
+// BufferMapAnnounce advertises the sender's buffer map to a neighbor.
+type BufferMapAnnounce struct {
+	Channel ChannelID
+	Buffer  BufferMap
+}
+
+// Kind implements Message.
+func (*BufferMapAnnounce) Kind() Type { return TBufferMap }
+
+func (m *BufferMapAnnounce) appendBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(m.Channel))
+	return m.Buffer.append(b)
+}
+
+func (m *BufferMapAnnounce) readBody(b []byte) ([]byte, error) {
+	v, b, err := readUint32(b)
+	if err != nil {
+		return nil, err
+	}
+	m.Channel = ChannelID(v)
+	return m.Buffer.read(b)
+}
+
+// DataRequest asks a neighbor for Count consecutive sub-pieces starting at
+// transmission sequence Seq. Full-fidelity probe peers always use Count=1
+// (one datagram per sub-piece, the shape the paper's traces have); coarse
+// background peers batch. The paper's trace matching pairs requests and
+// replies on (peer address, sequence number).
+type DataRequest struct {
+	Channel ChannelID
+	Seq     uint64
+	Count   uint16
+}
+
+// Kind implements Message.
+func (*DataRequest) Kind() Type { return TDataRequest }
+
+func (m *DataRequest) appendBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(m.Channel))
+	b = binary.BigEndian.AppendUint64(b, m.Seq)
+	return binary.BigEndian.AppendUint16(b, m.Count)
+}
+
+func (m *DataRequest) readBody(b []byte) ([]byte, error) {
+	v, b, err := readUint32(b)
+	if err != nil {
+		return nil, err
+	}
+	m.Channel = ChannelID(v)
+	if len(b) < 10 {
+		return nil, ErrTruncated
+	}
+	m.Seq = binary.BigEndian.Uint64(b)
+	m.Count = binary.BigEndian.Uint16(b[8:])
+	return b[10:], nil
+}
+
+// DataReply carries Count consecutive sub-pieces of PieceLen bytes each,
+// starting at Seq. The codec emits Count*PieceLen filler bytes so
+// on-the-wire sizes are faithful without shipping real video. Count=0
+// signals a miss: Busy distinguishes "overloaded, try elsewhere" from
+// "don't have it".
+type DataReply struct {
+	Channel  ChannelID
+	Seq      uint64
+	Count    uint16
+	PieceLen uint16
+	Busy     bool
+}
+
+// PayloadLen returns the total video payload carried.
+func (m *DataReply) PayloadLen() int { return int(m.Count) * int(m.PieceLen) }
+
+// Kind implements Message.
+func (*DataReply) Kind() Type { return TDataReply }
+
+func (m *DataReply) appendBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(m.Channel))
+	b = binary.BigEndian.AppendUint64(b, m.Seq)
+	b = binary.BigEndian.AppendUint16(b, m.Count)
+	b = binary.BigEndian.AppendUint16(b, m.PieceLen)
+	b = append(b, boolByte(m.Busy))
+	return append(b, make([]byte, m.PayloadLen())...)
+}
+
+func (m *DataReply) readBody(b []byte) ([]byte, error) {
+	v, b, err := readUint32(b)
+	if err != nil {
+		return nil, err
+	}
+	m.Channel = ChannelID(v)
+	if len(b) < 13 {
+		return nil, ErrTruncated
+	}
+	m.Seq = binary.BigEndian.Uint64(b)
+	m.Count = binary.BigEndian.Uint16(b[8:])
+	m.PieceLen = binary.BigEndian.Uint16(b[10:])
+	m.Busy = b[12] != 0
+	b = b[13:]
+	if len(b) < m.PayloadLen() {
+		return nil, ErrTruncated
+	}
+	return b[m.PayloadLen():], nil
+}
+
+// Have is a per-piece availability hint: the sender just acquired Count
+// consecutive sub-pieces starting at Seq. Gossiping these to a few random
+// neighbors makes piece propagation exponential instead of waiting for the
+// next periodic buffer-map announcement — the swarming behaviour mesh-pull
+// streaming systems rely on.
+type Have struct {
+	Channel ChannelID
+	Seq     uint64
+	Count   uint16
+}
+
+// Kind implements Message.
+func (*Have) Kind() Type { return THave }
+
+func (m *Have) appendBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(m.Channel))
+	b = binary.BigEndian.AppendUint64(b, m.Seq)
+	return binary.BigEndian.AppendUint16(b, m.Count)
+}
+
+func (m *Have) readBody(b []byte) ([]byte, error) {
+	v, b, err := readUint32(b)
+	if err != nil {
+		return nil, err
+	}
+	m.Channel = ChannelID(v)
+	if len(b) < 10 {
+		return nil, ErrTruncated
+	}
+	m.Seq = binary.BigEndian.Uint64(b)
+	m.Count = binary.BigEndian.Uint16(b[8:])
+	return b[10:], nil
+}
+
+// AsnQuery asks the IP→ASN mapping service (the simulation's Team Cymru
+// equivalent) to resolve an address.
+type AsnQuery struct {
+	Addr netip.Addr
+}
+
+// Kind implements Message.
+func (*AsnQuery) Kind() Type { return TAsnQuery }
+
+func (m *AsnQuery) appendBody(b []byte) []byte { return appendAddr(b, m.Addr) }
+
+func (m *AsnQuery) readBody(b []byte) ([]byte, error) {
+	var err error
+	m.Addr, b, err = readAddr(b)
+	return b, err
+}
+
+// AsnResponse resolves an address to its origin AS. Found=false means the
+// address is outside every registered prefix.
+type AsnResponse struct {
+	Addr  netip.Addr
+	Found bool
+	ASN   uint32
+	ISP   byte // isp.ISP value
+	Name  string
+}
+
+// Kind implements Message.
+func (*AsnResponse) Kind() Type { return TAsnResponse }
+
+func (m *AsnResponse) appendBody(b []byte) []byte {
+	b = appendAddr(b, m.Addr)
+	b = append(b, boolByte(m.Found))
+	b = binary.BigEndian.AppendUint32(b, m.ASN)
+	b = append(b, m.ISP)
+	return appendString(b, m.Name)
+}
+
+func (m *AsnResponse) readBody(b []byte) ([]byte, error) {
+	var err error
+	if m.Addr, b, err = readAddr(b); err != nil {
+		return nil, err
+	}
+	if len(b) < 6 {
+		return nil, ErrTruncated
+	}
+	m.Found = b[0] != 0
+	m.ASN = binary.BigEndian.Uint32(b[1:])
+	m.ISP = b[5]
+	m.Name, b, err = readString(b[6:])
+	return b, err
+}
+
+// newMessage allocates an empty message of the given type.
+func newMessage(t Type) (Message, error) {
+	switch t {
+	case TChannelListRequest:
+		return &ChannelListRequest{}, nil
+	case TChannelListResponse:
+		return &ChannelListResponse{}, nil
+	case TPlaylinkRequest:
+		return &PlaylinkRequest{}, nil
+	case TPlaylinkResponse:
+		return &PlaylinkResponse{}, nil
+	case TTrackerAnnounce:
+		return &TrackerAnnounce{}, nil
+	case TTrackerQuery:
+		return &TrackerQuery{}, nil
+	case TTrackerResponse:
+		return &TrackerResponse{}, nil
+	case THandshake:
+		return &Handshake{}, nil
+	case THandshakeAck:
+		return &HandshakeAck{}, nil
+	case TPeerListRequest:
+		return &PeerListRequest{}, nil
+	case TPeerListReply:
+		return &PeerListReply{}, nil
+	case TBufferMap:
+		return &BufferMapAnnounce{}, nil
+	case TDataRequest:
+		return &DataRequest{}, nil
+	case TDataReply:
+		return &DataReply{}, nil
+	case THave:
+		return &Have{}, nil
+	case TAsnQuery:
+		return &AsnQuery{}, nil
+	case TAsnResponse:
+		return &AsnResponse{}, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadType, byte(t))
+	}
+}
+
+// Marshal encodes a message into a self-delimiting datagram.
+func Marshal(m Message) []byte {
+	body := m.appendBody(nil)
+	out := make([]byte, 0, headerLen+len(body)+trailerLen)
+	out = binary.BigEndian.AppendUint16(out, magicValue)
+	out = append(out, Version, byte(m.Kind()))
+	out = binary.BigEndian.AppendUint32(out, uint32(len(body)))
+	out = append(out, body...)
+	sum := crc32.ChecksumIEEE(out)
+	return binary.BigEndian.AppendUint32(out, sum)
+}
+
+// Size returns the wire size of a message without materializing filler
+// payload more than once. It equals len(Marshal(m)).
+func Size(m Message) int {
+	return headerLen + len(m.appendBody(nil)) + trailerLen
+}
+
+// Unmarshal decodes one datagram produced by Marshal.
+func Unmarshal(b []byte) (Message, error) {
+	if len(b) < headerLen+trailerLen {
+		return nil, ErrShort
+	}
+	if binary.BigEndian.Uint16(b) != magicValue {
+		return nil, ErrBadMagic
+	}
+	if b[2] != Version {
+		return nil, ErrBadVersion
+	}
+	t := Type(b[3])
+	bodyLen := int(binary.BigEndian.Uint32(b[4:]))
+	if len(b) != headerLen+bodyLen+trailerLen {
+		return nil, ErrTruncated
+	}
+	wantSum := binary.BigEndian.Uint32(b[headerLen+bodyLen:])
+	if crc32.ChecksumIEEE(b[:headerLen+bodyLen]) != wantSum {
+		return nil, ErrBadChecksum
+	}
+	m, err := newMessage(t)
+	if err != nil {
+		return nil, err
+	}
+	rest, err := m.readBody(b[headerLen : headerLen+bodyLen])
+	if err != nil {
+		return nil, fmt.Errorf("decode %s: %w", t, err)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("decode %s: %d trailing body bytes", t, len(rest))
+	}
+	return m, nil
+}
+
+// magicValue identifies protocol datagrams ("PL" for P2P Live).
+const magicValue uint16 = 0x504C
+
+// Encoding helpers.
+
+func boolByte(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+func appendAddr(b []byte, a netip.Addr) []byte {
+	v := a.As4()
+	return append(b, v[:]...)
+}
+
+func readAddr(b []byte) (netip.Addr, []byte, error) {
+	if len(b) < 4 {
+		return netip.Addr{}, nil, ErrTruncated
+	}
+	return netip.AddrFrom4([4]byte(b[:4])), b[4:], nil
+}
+
+func appendAddrList(b []byte, addrs []netip.Addr) []byte {
+	n := len(addrs)
+	if n > 255 {
+		n = 255
+	}
+	b = append(b, byte(n))
+	for _, a := range addrs[:n] {
+		b = appendAddr(b, a)
+	}
+	return b
+}
+
+func readAddrList(b []byte) ([]netip.Addr, []byte, error) {
+	if len(b) < 1 {
+		return nil, nil, ErrTruncated
+	}
+	n := int(b[0])
+	b = b[1:]
+	if len(b) < n*4 {
+		return nil, nil, ErrTruncated
+	}
+	addrs := make([]netip.Addr, n)
+	for i := range addrs {
+		addrs[i] = netip.AddrFrom4([4]byte(b[:4]))
+		b = b[4:]
+	}
+	return addrs, b, nil
+}
+
+func appendString(b []byte, s string) []byte {
+	if len(s) > 255 {
+		s = s[:255]
+	}
+	b = append(b, byte(len(s)))
+	return append(b, s...)
+}
+
+func readString(b []byte) (string, []byte, error) {
+	if len(b) < 1 {
+		return "", nil, ErrTruncated
+	}
+	n := int(b[0])
+	b = b[1:]
+	if len(b) < n {
+		return "", nil, ErrTruncated
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+func readUint16(b []byte) (uint16, []byte, error) {
+	if len(b) < 2 {
+		return 0, nil, ErrTruncated
+	}
+	return binary.BigEndian.Uint16(b), b[2:], nil
+}
+
+func readUint32(b []byte) (uint32, []byte, error) {
+	if len(b) < 4 {
+		return 0, nil, ErrTruncated
+	}
+	return binary.BigEndian.Uint32(b), b[4:], nil
+}

@@ -1,0 +1,272 @@
+package wire
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func addr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	b := Marshal(m)
+	if len(b) != Size(m) {
+		t.Errorf("%s: Size() = %d, marshaled length = %d", m.Kind(), Size(m), len(b))
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatalf("%s: Unmarshal: %v", m.Kind(), err)
+	}
+	if got.Kind() != m.Kind() {
+		t.Fatalf("round trip changed type: %s → %s", m.Kind(), got.Kind())
+	}
+	return got
+}
+
+func TestRoundTripAllTypes(t *testing.T) {
+	msgs := []Message{
+		&ChannelListRequest{},
+		&ChannelListResponse{Channels: []ChannelInfo{
+			{ID: 1, Rating: 990000, Name: "CCTV-5"},
+			{ID: 2, Rating: 12, Name: "niche channel"},
+		}},
+		&PlaylinkRequest{Channel: 7},
+		&PlaylinkResponse{
+			Channel:  7,
+			Source:   addr("58.32.0.9"),
+			Trackers: []netip.Addr{addr("61.128.0.1"), addr("60.0.0.1"), addr("59.64.0.1"), addr("61.129.0.1"), addr("60.1.0.1")},
+		},
+		&TrackerAnnounce{Channel: 7, Leaving: true},
+		&TrackerQuery{Channel: 7},
+		&TrackerResponse{Channel: 7, Peers: []netip.Addr{addr("1.2.3.4"), addr("5.6.7.8")}},
+		&Handshake{Channel: 7},
+		&HandshakeAck{Channel: 7, Accepted: true, Buffer: BufferMap{Start: 100, Bits: []byte{0xff, 0x01}}},
+		&PeerListRequest{Channel: 7, OwnPeers: []netip.Addr{addr("9.9.9.9")}},
+		&PeerListReply{Channel: 7, Peers: []netip.Addr{addr("2.2.2.2"), addr("3.3.3.3")}},
+		&BufferMapAnnounce{Channel: 7, Buffer: BufferMap{Start: 42, Bits: []byte{0x0f}}},
+		&DataRequest{Channel: 7, Seq: 123456789, Count: 1},
+		&DataReply{Channel: 7, Seq: 123456789, Count: 1, PieceLen: SubPieceSize},
+		&DataReply{Channel: 7, Seq: 42, Count: 16, PieceLen: SubPieceSize},
+	}
+	for _, m := range msgs {
+		got := roundTrip(t, m)
+		if !reflect.DeepEqual(normalize(got), normalize(m)) {
+			t.Errorf("%s round trip mismatch:\n got %#v\nwant %#v", m.Kind(), got, m)
+		}
+	}
+}
+
+// normalize maps nil and empty slices to a canonical form for DeepEqual.
+func normalize(m Message) Message {
+	switch v := m.(type) {
+	case *TrackerResponse:
+		if len(v.Peers) == 0 {
+			v.Peers = nil
+		}
+	case *PeerListRequest:
+		if len(v.OwnPeers) == 0 {
+			v.OwnPeers = nil
+		}
+	case *PeerListReply:
+		if len(v.Peers) == 0 {
+			v.Peers = nil
+		}
+	case *PlaylinkResponse:
+		if len(v.Trackers) == 0 {
+			v.Trackers = nil
+		}
+	case *ChannelListResponse:
+		if len(v.Channels) == 0 {
+			v.Channels = nil
+		}
+	}
+	return m
+}
+
+func TestDataReplyWireSizeIncludesPayload(t *testing.T) {
+	small := Size(&DataReply{Count: 0, PieceLen: SubPieceSize})
+	one := Size(&DataReply{Count: 1, PieceLen: SubPieceSize})
+	batch := Size(&DataReply{Count: 16, PieceLen: SubPieceSize})
+	if one-small != SubPieceSize {
+		t.Errorf("single payload delta = %d, want %d", one-small, SubPieceSize)
+	}
+	if batch-small != 16*SubPieceSize {
+		t.Errorf("batch payload delta = %d, want %d", batch-small, 16*SubPieceSize)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	valid := Marshal(&Handshake{Channel: 3})
+
+	t.Run("short", func(t *testing.T) {
+		if _, err := Unmarshal(valid[:5]); err != ErrShort {
+			t.Errorf("err = %v, want ErrShort", err)
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		b := append([]byte(nil), valid...)
+		b[0] ^= 0xff
+		if _, err := Unmarshal(b); err != ErrBadMagic {
+			t.Errorf("err = %v, want ErrBadMagic", err)
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		b := append([]byte(nil), valid...)
+		b[2] = 99
+		if _, err := Unmarshal(b); err != ErrBadVersion {
+			t.Errorf("err = %v, want ErrBadVersion", err)
+		}
+	})
+	t.Run("corrupt body", func(t *testing.T) {
+		b := append([]byte(nil), valid...)
+		b[len(b)-6] ^= 0xff // inside body
+		if _, err := Unmarshal(b); err != ErrBadChecksum {
+			t.Errorf("err = %v, want ErrBadChecksum", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		b := append([]byte(nil), valid...)
+		if _, err := Unmarshal(b[:len(b)-1]); err != ErrTruncated {
+			t.Errorf("err = %v, want ErrTruncated", err)
+		}
+	})
+	t.Run("unknown type", func(t *testing.T) {
+		raw := []byte{0x50, 0x4C, Version, byte(maxType) + 10, 0, 0, 0, 0}
+		sum := crc32.ChecksumIEEE(raw)
+		raw = binary.BigEndian.AppendUint32(raw, sum)
+		if _, err := Unmarshal(raw); err == nil {
+			t.Error("unknown type decoded without error")
+		}
+	})
+}
+
+func TestBufferMapHasSet(t *testing.T) {
+	bm := BufferMap{Start: 100, Bits: make([]byte, 4)} // covers 100..131
+	for _, seq := range []uint64{100, 101, 115, 131} {
+		if bm.Has(seq) {
+			t.Errorf("fresh map Has(%d) = true", seq)
+		}
+		bm.Set(seq)
+		if !bm.Has(seq) {
+			t.Errorf("after Set, Has(%d) = false", seq)
+		}
+	}
+	// Out of window: ignored, no panic.
+	bm.Set(99)
+	bm.Set(132)
+	if bm.Has(99) || bm.Has(132) {
+		t.Error("out-of-window seq reported as held")
+	}
+	if bm.Window() != 32 {
+		t.Errorf("Window() = %d, want 32", bm.Window())
+	}
+}
+
+func TestPeerListTruncationAt255(t *testing.T) {
+	peers := make([]netip.Addr, 300)
+	for i := range peers {
+		peers[i] = netip.AddrFrom4([4]byte{10, 0, byte(i / 256), byte(i % 256)})
+	}
+	m := &PeerListReply{Channel: 1, Peers: peers}
+	got, err := Unmarshal(Marshal(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, ok := got.(*PeerListReply)
+	if !ok {
+		t.Fatalf("decoded %T", got)
+	}
+	if len(reply.Peers) != 255 {
+		t.Errorf("decoded %d peers, want truncation to 255", len(reply.Peers))
+	}
+}
+
+// Property: DataRequest round-trips for arbitrary channel/seq.
+func TestPropertyDataRequestRoundTrip(t *testing.T) {
+	f := func(ch uint32, seq uint64, count uint16) bool {
+		m := &DataRequest{Channel: ChannelID(ch), Seq: seq, Count: count}
+		got, err := Unmarshal(Marshal(m))
+		if err != nil {
+			return false
+		}
+		g, ok := got.(*DataRequest)
+		return ok && g.Channel == m.Channel && g.Seq == m.Seq && g.Count == m.Count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: peer lists of arbitrary IPv4 addresses round-trip.
+func TestPropertyPeerListRoundTrip(t *testing.T) {
+	f := func(raw [][4]byte) bool {
+		if len(raw) > 60 {
+			raw = raw[:60]
+		}
+		peers := make([]netip.Addr, len(raw))
+		for i, b := range raw {
+			peers[i] = netip.AddrFrom4(b)
+		}
+		m := &PeerListReply{Channel: 5, Peers: peers}
+		got, err := Unmarshal(Marshal(m))
+		if err != nil {
+			return false
+		}
+		g, ok := got.(*PeerListReply)
+		if !ok || len(g.Peers) != len(peers) {
+			return false
+		}
+		for i := range peers {
+			if g.Peers[i] != peers[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(6))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: BufferMap encoding round-trips and Has() is preserved.
+func TestPropertyBufferMapRoundTrip(t *testing.T) {
+	f := func(start uint64, bits []byte) bool {
+		if len(bits) > 512 {
+			bits = bits[:512]
+		}
+		m := &BufferMapAnnounce{Channel: 1, Buffer: BufferMap{Start: start, Bits: bits}}
+		got, err := Unmarshal(Marshal(m))
+		if err != nil {
+			return false
+		}
+		g, ok := got.(*BufferMapAnnounce)
+		if !ok || g.Buffer.Start != start || len(g.Buffer.Bits) != len(bits) {
+			return false
+		}
+		for i := range bits {
+			if g.Buffer.Bits[i] != bits[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(8))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	for tt := TChannelListRequest; tt < maxType; tt++ {
+		if s := tt.String(); s == "" || s[0] == 'T' && len(s) > 4 && s[:4] == "Type" {
+			t.Errorf("Type(%d) has fallback String %q", byte(tt), s)
+		}
+	}
+	if Type(200).String() == "" {
+		t.Error("unknown type String is empty")
+	}
+}

@@ -1,0 +1,184 @@
+// Package workload generates scenario populations: per-ISP viewer counts for
+// popular and unpopular channels, access-capacity distributions, churn
+// processes, and the 28-day schedule behind the paper's Figure 6.
+//
+// The paper measured from Oct 11 to Nov 7 2008 with probes in TELE, CNC,
+// CER, and a US campus. Channel popularity in China drives the per-ISP mix:
+// a popular channel is dominated by TELE viewers (China Telecom covers most
+// residential users), an unpopular one has a smaller, CNC-tilted audience,
+// and only a thin slice of either audience is outside China.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"pplivesim/internal/isp"
+	"pplivesim/internal/stream"
+	"pplivesim/internal/wire"
+)
+
+// Population is the steady-state concurrent viewer count per ISP.
+type Population map[isp.ISP]int
+
+// Total returns the total concurrent viewers.
+func (p Population) Total() int {
+	sum := 0
+	for _, n := range p {
+		sum += n
+	}
+	return sum
+}
+
+// Scale returns a copy with every count multiplied by f (rounded, min 1 for
+// non-zero inputs).
+func (p Population) Scale(f float64) Population {
+	out := make(Population, len(p))
+	for k, n := range p {
+		if n == 0 {
+			continue
+		}
+		scaled := int(math.Round(float64(n) * f))
+		if scaled < 1 {
+			scaled = 1
+		}
+		out[k] = scaled
+	}
+	return out
+}
+
+// PopularPopulation models a prime-time popular channel: TELE-dominated with
+// meaningful CNC and Foreign contingents (PPLive "has a large number of
+// users outside China as well").
+func PopularPopulation() Population {
+	return Population{
+		isp.TELE:    720,
+		isp.CNC:     330,
+		isp.CER:     45,
+		isp.OtherCN: 105,
+		isp.Foreign: 130,
+	}
+}
+
+// UnpopularPopulation models a niche channel: a small audience in which CNC
+// slightly outnumbers TELE (as Figure 3(a) shows for returned addresses) and
+// very few Foreign viewers (the paper attributes the Mason probe's poor
+// locality on this channel to exactly that scarcity).
+func UnpopularPopulation() Population {
+	return Population{
+		isp.TELE:    70,
+		isp.CNC:     85,
+		isp.CER:     10,
+		isp.OtherCN: 28,
+		isp.Foreign: 12,
+	}
+}
+
+// Churn configures the background-viewer session process.
+type Churn struct {
+	// Enabled turns churn on; when off, the initial population stays for
+	// the whole run.
+	Enabled bool
+	// MeanSession is the mean viewer session length (log-normal-ish:
+	// exponential clipped below at MinSession).
+	MeanSession time.Duration
+	// MinSession clips very short sessions.
+	MinSession time.Duration
+	// ReplacementDelay is the mean delay before a departed viewer's
+	// replacement joins (keeps the population roughly stationary while
+	// growing the set of unique addresses the probes observe, as in the
+	// real traces).
+	ReplacementDelay time.Duration
+}
+
+// DefaultChurn matches live-TV viewing: mean half-hour sessions.
+func DefaultChurn() Churn {
+	return Churn{
+		Enabled:          true,
+		MeanSession:      30 * time.Minute,
+		MinSession:       2 * time.Minute,
+		ReplacementDelay: 30 * time.Second,
+	}
+}
+
+// SessionLength draws one session duration.
+func (c Churn) SessionLength(rng *rand.Rand) time.Duration {
+	d := time.Duration(rng.ExpFloat64() * float64(c.MeanSession))
+	if d < c.MinSession {
+		d = c.MinSession
+	}
+	return d
+}
+
+// UploadCapacity draws an access uplink capacity (bytes/sec) for a viewer in
+// the given ISP: 2008-era residential ADSL in China (512 kbit/s – 1 Mbit/s
+// up), campus connectivity on CERNET, and residential broadband abroad
+// (PPLive's overseas audience was overwhelmingly consumer DSL/cable; modest
+// asymmetric uplinks, slightly richer than Chinese ADSL).
+func UploadCapacity(rng *rand.Rand, category isp.ISP) float64 {
+	uniform := func(lo, hi float64) float64 { return lo + rng.Float64()*(hi-lo) }
+	switch category {
+	case isp.CER:
+		return uniform(150<<10, 400<<10)
+	case isp.Foreign:
+		return uniform(56<<10, 144<<10)
+	default: // TELE, CNC, OtherCN residential ADSL
+		return uniform(48<<10, 112<<10)
+	}
+}
+
+// ProcDelay draws a per-host application processing delay.
+func ProcDelay(rng *rand.Rand) time.Duration {
+	return time.Duration(2+rng.Intn(8)) * time.Millisecond
+}
+
+// PopularSpec returns the popular channel's stream spec.
+func PopularSpec() stream.Spec {
+	return stream.DefaultSpec(1, "popular-live", 950_000)
+}
+
+// UnpopularSpec returns the unpopular channel's stream spec.
+func UnpopularSpec() stream.Spec {
+	return stream.DefaultSpec(2, "unpopular-live", 1_200)
+}
+
+// SpecFor returns the spec for a channel ID used by the standard scenarios.
+func SpecFor(ch wire.ChannelID) (stream.Spec, error) {
+	switch ch {
+	case 1:
+		return PopularSpec(), nil
+	case 2:
+		return UnpopularSpec(), nil
+	default:
+		return stream.Spec{}, fmt.Errorf("workload: unknown standard channel %d", ch)
+	}
+}
+
+// DayFactor returns the population multiplier for day d (0-based) of the
+// 4-week window: a weekly rhythm (weekend bumps) plus a deterministic
+// per-day wobble. Day 0 is a Saturday (Oct 11 2008 was).
+func DayFactor(day int) float64 {
+	weekday := day % 7
+	base := 1.0
+	if weekday == 0 || weekday == 1 { // Sat, Sun
+		base = 1.25
+	}
+	// Deterministic wobble in [0.85, 1.15] from a hash of the day.
+	h := uint64(day)*2654435761 + 12345
+	h ^= h >> 13
+	wobble := 0.85 + 0.30*float64(h%1000)/1000.0
+	return base * wobble
+}
+
+// ForeignDayFactor is the day multiplier applied to the Foreign contingent
+// only. The paper finds the Mason probe's locality "varies significantly
+// even for the popular program because the popular program in China is not
+// necessarily popular outside China" — foreign interest is much more
+// volatile, so its wobble is wider.
+func ForeignDayFactor(day int) float64 {
+	h := uint64(day)*40503 + 99991
+	h ^= h >> 11
+	return 0.25 + 1.6*float64(h%1000)/1000.0
+}

@@ -1,0 +1,110 @@
+// Package pplive is a from-scratch reproduction of the system studied in
+// "A Case Study of Traffic Locality in Internet P2P Live Streaming Systems"
+// (ICDCS 2009): a PPLive-style P2P live-streaming network — bootstrap and
+// tracker servers, stream sources, and clients with decentralized,
+// latency-based, neighbor-referral peer selection — running over a
+// discrete-event underlay simulator with ISP-level latency regimes, plus
+// the measurement and analysis apparatus the paper used (probe-side packet
+// capture, trace matching, IP→ASN resolution, locality and rank-distribution
+// statistics).
+//
+// The top-level API runs scenarios and analyzes probe traces:
+//
+//	sc := pplive.PopularScenario(42, 1.0)
+//	sc.Probes = []pplive.ProbeSpec{{Name: "tele", ISP: pplive.TELE}}
+//	res, err := pplive.RunScenario(sc)
+//	rep := pplive.AnalyzeProbe(res, 0)
+//	fmt.Printf("traffic locality: %.2f\n", rep.TrafficLocality)
+//
+// Experiment presets mirroring every figure and table of the paper live in
+// the Experiments registry; `cmd/experiments` regenerates them all.
+package pplive
+
+import (
+	"fmt"
+
+	"pplivesim/internal/analysis"
+	"pplivesim/internal/capture"
+	"pplivesim/internal/core"
+	"pplivesim/internal/isp"
+	"pplivesim/internal/workload"
+)
+
+// Re-exported orchestration types. These alias the implementation types so
+// the whole public surface lives in this package.
+type (
+	// Scenario fully describes one simulation run.
+	Scenario = core.Scenario
+	// ProbeSpec places one instrumented measurement client.
+	ProbeSpec = core.ProbeSpec
+	// Behaviour toggles mechanism ablations.
+	Behaviour = core.Behaviour
+	// Result is a completed run: probe traces plus resolution context.
+	Result = core.Result
+	// ProbeResult is one probe's captured trace.
+	ProbeResult = core.ProbeResult
+	// Population is the per-ISP concurrent viewer count.
+	Population = workload.Population
+	// Churn configures the background-viewer session process.
+	Churn = workload.Churn
+	// Report is a full per-probe analysis covering every figure panel.
+	Report = analysis.Report
+	// ISP identifies one of the paper's ISP categories.
+	ISP = isp.ISP
+)
+
+// The ISP categories used throughout the paper.
+const (
+	TELE    = isp.TELE
+	CNC     = isp.CNC
+	CER     = isp.CER
+	OtherCN = isp.OtherCN
+	Foreign = isp.Foreign
+)
+
+// RunScenario builds and runs a scenario.
+func RunScenario(sc Scenario) (*Result, error) { return core.RunScenario(sc) }
+
+// PopularScenario returns the paper's popular-channel setting at the given
+// population scale (1.0 ≈ 1300 concurrent viewers), with default two-hour
+// probe timing. Callers add probes.
+func PopularScenario(seed int64, scale float64) Scenario {
+	return Scenario{
+		Name:    "popular",
+		Seed:    seed,
+		Spec:    workload.PopularSpec(),
+		Viewers: workload.PopularPopulation().Scale(scale),
+		Churn:   workload.DefaultChurn(),
+	}
+}
+
+// UnpopularScenario returns the paper's unpopular-channel setting at the
+// given population scale (1.0 ≈ 200 concurrent viewers).
+func UnpopularScenario(seed int64, scale float64) Scenario {
+	return Scenario{
+		Name:    "unpopular",
+		Seed:    seed,
+		Spec:    workload.UnpopularSpec(),
+		Viewers: workload.UnpopularPopulation().Scale(scale),
+		Churn:   workload.DefaultChurn(),
+	}
+}
+
+// AnalyzeProbe runs the paper's full analysis pipeline over one probe of a
+// completed run: trace matching (request/reply pairing), IP→ASN resolution,
+// and every figure statistic.
+func AnalyzeProbe(res *Result, probe int) (*Report, error) {
+	if probe < 0 || probe >= len(res.Probes) {
+		return nil, fmt.Errorf("pplive: probe index %d out of range (have %d)", probe, len(res.Probes))
+	}
+	p := res.Probes[probe]
+	matched := capture.Match(p.Recorder.Records(), res.Trackers)
+	return analysis.Analyze(analysis.Input{
+		Records:  p.Recorder.Records(),
+		Matched:  matched,
+		Resolver: res.Registry,
+		Trackers: res.Trackers,
+		Source:   res.SourceAddr,
+		ProbeISP: p.ISP,
+	}), nil
+}

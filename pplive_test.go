@@ -1,0 +1,56 @@
+package pplive_test
+
+import (
+	"testing"
+	"time"
+
+	"pplivesim"
+)
+
+func TestScenarioPresets(t *testing.T) {
+	pop := pplive.PopularScenario(1, 1.0)
+	unpop := pplive.UnpopularScenario(1, 1.0)
+	if pop.Viewers.Total() <= unpop.Viewers.Total() {
+		t.Errorf("popular audience %d not above unpopular %d",
+			pop.Viewers.Total(), unpop.Viewers.Total())
+	}
+	if pop.Spec.Channel == unpop.Spec.Channel {
+		t.Error("presets share a channel id")
+	}
+	half := pplive.PopularScenario(1, 0.5)
+	if half.Viewers.Total() >= pop.Viewers.Total() {
+		t.Error("scale did not reduce the audience")
+	}
+}
+
+func TestRunAndAnalyze(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario run")
+	}
+	sc := pplive.PopularScenario(3, 0.08)
+	sc.Watch = 6 * time.Minute
+	sc.WarmUp = 3 * time.Minute
+	sc.ArrivalWindow = 2 * time.Minute
+	sc.Probes = []pplive.ProbeSpec{{Name: "tele", ISP: pplive.TELE}}
+
+	res, err := pplive.RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := pplive.AnalyzeProbe(res, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ProbeISP != pplive.TELE {
+		t.Errorf("report probe ISP = %v", rep.ProbeISP)
+	}
+	if rep.TrafficLocality <= 0 || rep.TrafficLocality > 1 {
+		t.Errorf("traffic locality %f out of range", rep.TrafficLocality)
+	}
+	if len(rep.Peers) == 0 {
+		t.Error("no peer activity recorded")
+	}
+	if _, err := pplive.AnalyzeProbe(res, 5); err == nil {
+		t.Error("out-of-range probe index accepted")
+	}
+}
