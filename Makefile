@@ -1,0 +1,48 @@
+GO ?= go
+
+# Hot-path microbenchmarks that gate performance work (see README
+# "Performance"). The top-level Fig*/Table* benchmarks each run a full
+# scenario; use `make bench-scenarios` for those.
+HOTPATH_PKGS = ./internal/eventsim ./internal/wire
+BENCHTIME ?= 2s
+
+.PHONY: fast full bench bench-scenarios clean
+
+# Fast lane: static checks plus every -short test under the race detector.
+# Scenario-scale tests skip themselves in -short mode, so this finishes in
+# about a minute and is the pre-commit gate.
+fast:
+	$(GO) vet ./...
+	$(GO) test -race -short ./...
+
+# Full lane: build everything and run the whole suite, including the
+# multi-minute scenario tests (tier-1 verify).
+full:
+	$(GO) build ./...
+	$(GO) test ./...
+
+# Hot-path benchmarks, also exported as BENCH_hotpath.json
+# ([{"name":..., "ns_per_op":..., "bytes_per_op":..., "allocs_per_op":...}]).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) $(HOTPATH_PKGS) | tee bench_hotpath.txt
+	awk 'BEGIN { print "[" } \
+	  /^Benchmark/ { ns=""; bytes=""; allocs=""; \
+	    for (i = 2; i <= NF; i++) { \
+	      if ($$(i) == "ns/op") ns = $$(i-1); \
+	      if ($$(i) == "B/op") bytes = $$(i-1); \
+	      if ($$(i) == "allocs/op") allocs = $$(i-1); \
+	    } \
+	    if (ns == "") next; \
+	    if (n++) print ","; \
+	    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+	      $$1, ns, (bytes == "" ? "null" : bytes), (allocs == "" ? "null" : allocs); \
+	  } \
+	  END { print "\n]" }' bench_hotpath.txt > BENCH_hotpath.json
+	@echo "wrote BENCH_hotpath.json"
+
+# Scenario-scale benchmarks: one full simulation per table/figure.
+bench-scenarios:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x .
+
+clean:
+	rm -f bench_hotpath.txt BENCH_hotpath.json core.test

@@ -208,6 +208,7 @@ func run() error {
 	only := flag.String("only", "", "run only sections whose id contains this substring")
 	out := flag.String("out", "", "also append sections to this file")
 	plots := flag.String("plots", "", "also render SVG figures into this directory")
+	workers := flag.Int("workers", 0, "max concurrent scenario runs (0 = GOMAXPROCS); results are identical at any setting")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -239,10 +240,19 @@ func run() error {
 	}
 
 	runner := experiments.NewRunner(scale, *seed)
+	runner.Workers = *workers
 	emit(fmt.Sprintf("experiment run: scale=%s seed=%d population×%.2f watch=%s fig6days=%d\n\n",
 		*scaleName, *seed, scale.Population, scale.Watch, scale.Fig6Days))
 
 	start := time.Now()
+	if *only == "" {
+		// The full report derives most sections from the two shared traces;
+		// run them concurrently before the sequential section sweep.
+		fmt.Fprintln(os.Stderr, "== warming shared runs (popular + unpopular in parallel) ==")
+		if err := runner.Warm(); err != nil {
+			return err
+		}
+	}
 	for _, s := range sections() {
 		if *only != "" && !strings.Contains(s.id, *only) {
 			continue

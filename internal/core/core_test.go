@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -205,6 +206,80 @@ func TestLocalityEmerges(t *testing.T) {
 	}
 	if cont := p.Client.BufferStats().Continuity(); cont < 0.9 {
 		t.Errorf("probe continuity %.3f, want healthy playback", cont)
+	}
+}
+
+// TestContinuityShortRegression is the fast-lane guard for the playback
+// fix: a churning small swarm must keep the probe's playback essentially
+// gapless, and the mesh — not the source server — must carry the stream.
+// Before the scheduler fixes (late availability knowledge, a 5-second
+// urgent window funnelling requests to the source, and the source shedding
+// silently) this scenario degraded into a source-fed CDN with poor
+// continuity.
+func TestContinuityShortRegression(t *testing.T) {
+	sc := smallScenario(7)
+	sc.Name = "continuity-regression"
+	sc.Churn = workload.DefaultChurn()
+	res, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Probes[0]
+	bs := p.Client.BufferStats()
+	if cont := bs.Continuity(); cont < 0.9 {
+		t.Errorf("probe continuity = %.3f, want >= 0.9 (stats %+v)", cont, bs)
+	}
+
+	// The source must stay a seeder, not become the swarm's CDN: the probe
+	// should pull well over half its bytes from regular peers.
+	m := capture.Match(p.Recorder.Records(), res.Trackers)
+	var sourceBytes, totalBytes uint64
+	for _, tx := range m.Transmissions {
+		totalBytes += uint64(tx.Bytes)
+		if tx.Peer == res.SourceAddr {
+			sourceBytes += uint64(tx.Bytes)
+		}
+	}
+	if totalBytes == 0 {
+		t.Fatal("probe downloaded nothing")
+	}
+	if share := float64(sourceBytes) / float64(totalBytes); share > 0.5 {
+		t.Errorf("source served %.1f%% of probe bytes, want the mesh to carry the stream (<= 50%%)", 100*share)
+	}
+}
+
+// TestContinuityAcrossSeeds guards the playback fix at seeds other than the
+// headline one: the popular-channel swarm must sustain healthy playback for
+// the probe regardless of the arrival/churn draw.
+func TestContinuityAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-minute scenarios")
+	}
+	for _, seed := range []int64{3, 21} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			sc := Scenario{
+				Name:          "continuity-sweep",
+				Seed:          seed,
+				Spec:          workload.PopularSpec(),
+				Viewers:       workload.PopularPopulation().Scale(0.25),
+				Churn:         workload.DefaultChurn(),
+				Probes:        []ProbeSpec{{Name: "tele", ISP: isp.TELE}},
+				ArrivalWindow: 4 * time.Minute,
+				WarmUp:        6 * time.Minute,
+				Watch:         20 * time.Minute,
+			}
+			res, err := RunScenario(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bs := res.Probes[0].Client.BufferStats()
+			t.Logf("seed %d: continuity %.3f (stats %+v)", seed, bs.Continuity(), bs)
+			if cont := bs.Continuity(); cont < 0.9 {
+				t.Errorf("probe continuity %.3f at seed %d, want >= 0.9", cont, seed)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"pplivesim/internal/isp"
+	"pplivesim/internal/workload"
+)
+
+// TestDiagLocalityScenario dumps swarm-health detail for the locality
+// scenario. It is a diagnostic harness, not an assertion suite: set
+// PPLIVE_DIAG=1 to run it.
+func TestDiagLocalityScenario(t *testing.T) {
+	if os.Getenv("PPLIVE_DIAG") == "" {
+		t.Skip("diagnostic; set PPLIVE_DIAG=1 to run")
+	}
+	sc := Scenario{
+		Name:          "diag-locality",
+		Seed:          7,
+		Spec:          workload.PopularSpec(),
+		Viewers:       workload.PopularPopulation().Scale(0.25),
+		Churn:         workload.DefaultChurn(),
+		Probes:        []ProbeSpec{{Name: "tele", ISP: isp.TELE}},
+		ArrivalWindow: 4 * time.Minute,
+		WarmUp:        6 * time.Minute,
+		Watch:         20 * time.Minute,
+	}
+	sim, err := Build(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Periodic swarm-health samples (per-minute deltas).
+	eng := sim.World().Engine
+	net := sim.World().Network
+	var pDeliv, pLoss, pQueue, pNoHost uint64
+	var pSrcSent, pRecvSum, pOKSum, pMissSum uint64
+	var pProbeRecv, pProbeSent, pProbeGot, pProbeTO uint64
+	for m := 4; m <= 26; m++ {
+		at := time.Duration(m) * time.Minute
+		eng.At(at, func() {
+			deliv, loss, queue, noHost := net.Stats()
+			var srcSent uint64
+			var srcQ time.Duration
+			if h, ok := net.Lookup(sim.sourceAddr); ok {
+				_, srcSent, _, _ = h.Stats()
+				srcQ = h.QueueDelay(eng.Now())
+			}
+			var recvSum, okSum, missSum uint64
+			for _, c := range sim.BackgroundClients() {
+				bs := c.BufferStats()
+				recvSum += bs.Received
+				okSum += bs.PlayedOK
+				missSum += bs.PlayedMiss
+			}
+			t.Logf("t=%-5v net Δdeliv=%-7d Δloss=%-5d ΔqueueDrop=%-6d ΔnoHost=%-5d | src Δbytes=%-9d q=%-8v | bg Δrecv=%-6d Δok=%-6d Δmiss=%-6d hosts=%d",
+				eng.Now(), deliv-pDeliv, loss-pLoss, queue-pQueue, noHost-pNoHost,
+				srcSent-pSrcSent, srcQ, recvSum-pRecvSum, okSum-pOKSum, missSum-pMissSum, net.NumHosts())
+			pDeliv, pLoss, pQueue, pNoHost = deliv, loss, queue, noHost
+			pSrcSent, pRecvSum, pOKSum, pMissSum = srcSent, recvSum, okSum, missSum
+			for _, p := range sim.probes {
+				bs := p.Client.BufferStats()
+				st := p.Client.Stats()
+				t.Logf("      probe cont=%.3f Δrecv=%-5d dup=%-5d | Δsent=%-5d Δgot=%-5d Δtimeouts=%-5d busy=%d nbrs=%d",
+					bs.Continuity(), bs.Received-pProbeRecv, bs.Duplicates,
+					st.DataRequestsSent-pProbeSent, st.DataRepliesGot-pProbeGot, st.RequestTimeouts-pProbeTO,
+					st.DataBusies, p.Client.NumNeighbors())
+				pProbeRecv, pProbeSent, pProbeGot, pProbeTO = bs.Received, st.DataRequestsSent, st.DataRepliesGot, st.RequestTimeouts
+			}
+		})
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Background swarm health at the end.
+	var live, lowCont int
+	var contSum float64
+	for _, c := range sim.BackgroundClients() {
+		bs := c.BufferStats()
+		if bs.PlayedOK+bs.PlayedMiss == 0 {
+			continue
+		}
+		live++
+		cont := bs.Continuity()
+		contSum += cont
+		if cont < 0.8 {
+			lowCont++
+		}
+	}
+	t.Logf("background: %d with playback, mean continuity %.3f, %d below 0.8",
+		live, contSum/float64(live), lowCont)
+	p := res.Probes[0]
+	t.Logf("probe final: %+v", p.Client.BufferStats())
+	t.Logf("probe stats: %+v", p.Client.Stats())
+}

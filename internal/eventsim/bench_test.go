@@ -9,6 +9,7 @@ import (
 // of independent events.
 func BenchmarkScheduleAndRun(b *testing.B) {
 	e := New(1)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		e.After(time.Duration(i%1000)*time.Microsecond, func() {})
 		if i%1024 == 1023 {
@@ -26,6 +27,7 @@ func BenchmarkScheduleAndRun(b *testing.B) {
 // pattern of protocol retransmission timers.
 func BenchmarkTimerChurn(b *testing.B) {
 	e := New(1)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		t := e.After(time.Minute, func() {})
 		t.Stop()
@@ -35,5 +37,46 @@ func BenchmarkTimerChurn(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	}
+}
+
+// BenchmarkPeriodicTimers measures the dominant steady-state workload of a
+// swarm simulation: thousands of periodic timers (gossip, buffer-map
+// announces, scheduler ticks) firing repeatedly.
+func BenchmarkPeriodicTimers(b *testing.B) {
+	e := New(1)
+	b.ReportAllocs()
+	fired := 0
+	for i := 0; i < 1000; i++ {
+		// Spread periods so firings interleave like real peer ticks.
+		e.Every(time.Duration(250+i)*time.Millisecond, func() { fired++ })
+	}
+	b.ResetTimer()
+	target := e.Processed() + uint64(b.N)
+	for e.Processed() < target {
+		if !e.Step() {
+			b.Fatal("queue drained")
+		}
+	}
+}
+
+// BenchmarkAtArg measures the datagram-delivery fast path: a non-capturing
+// callback plus pooled argument, which must not allocate per event.
+func BenchmarkAtArg(b *testing.B) {
+	e := New(1)
+	b.ReportAllocs()
+	var sink int
+	fn := func(a any) { sink += a.(int) }
+	arg := any(1)
+	for i := 0; i < b.N; i++ {
+		e.AtArg(e.Now()+time.Duration(i%1000)*time.Microsecond, fn, arg)
+		if i%1024 == 1023 {
+			if err := e.Run(e.Now() + time.Second); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := e.Run(e.Now() + time.Hour); err != nil {
+		b.Fatal(err)
 	}
 }

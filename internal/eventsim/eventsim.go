@@ -4,13 +4,23 @@
 // events. Events scheduled for the same instant fire in the order they were
 // scheduled (FIFO tie-breaking via a monotonically increasing sequence
 // number), which makes every run a pure function of its inputs and seed.
+//
+// Internals are built for throughput: scheduled events live in a slab
+// (free-list reuse, no per-event heap allocation), near-future events go
+// through a bucketed timer wheel (the dominant case: datagram deliveries and
+// sub-second periodic ticks), and only far-future events touch the overflow
+// binary heap. Cancellation is lazy — a stopped timer marks its slab item
+// dead and the queue entry is skipped (and its slot reclaimed) when it
+// surfaces; when dead entries pile up they are compacted out eagerly so
+// Pending always reflects live load.
 package eventsim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
+	"math/bits"
 	"math/rand"
+	"slices"
 	"time"
 )
 
@@ -21,65 +31,80 @@ var ErrStopped = errors.New("eventsim: simulation stopped")
 // Event is a callback scheduled to run at a virtual instant.
 type Event func()
 
-// item is a scheduled event inside the heap.
+// Timer wheel geometry. Slots cover slotWidth each; the wheel spans
+// wheelSize*slotWidth (~8 s) of virtual time ahead of the active slot, which
+// comfortably holds datagram deliveries and sub-10s periodic ticks. Longer
+// timers overflow into the binary heap and migrate into the wheel as their
+// slot comes due.
+const (
+	slotWidth = 8 * time.Millisecond
+	wheelSize = 1024 // must be a power of two
+	wheelMask = wheelSize - 1
+)
+
+// entry is one queue position: where and when, plus the slab reference.
+type entry struct {
+	at   time.Duration
+	seq  uint64
+	slot int32
+	gen  uint32
+}
+
+func entryLess(a, b entry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// Slab item states.
+const (
+	statePending uint8 = iota // scheduled, queue entry outstanding
+	stateFiring               // periodic item inside its callback
+	stateDead                 // cancelled, queue entry (if any) is garbage
+)
+
+// item is a scheduled event's slab cell. Generation counters make stale
+// Timer handles harmless after the slot is recycled.
 type item struct {
-	at    time.Duration
-	seq   uint64
-	fn    Event
-	index int
-	dead  bool
+	fn       Event
+	argFn    func(any)
+	arg      any
+	gen      uint32
+	state    uint8
+	periodic bool
 }
 
-// eventHeap orders items by (at, seq).
-type eventHeap []*item
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	it, ok := x.(*item)
-	if !ok {
-		panic("eventsim: pushed non-item")
-	}
-	it.index = len(*h)
-	*h = append(*h, it)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	it.index = -1
-	*h = old[:n-1]
-	return it
-}
-
-// Timer is a handle for a scheduled event that can be cancelled.
+// Timer is a handle for a scheduled event that can be cancelled. The zero
+// value is inert.
 type Timer struct {
-	it *item
+	e    *Engine
+	slot int32
+	gen  uint32
 }
 
-// Stop cancels the timer. It reports whether the event had not yet fired.
-// Stopping an already-fired or already-stopped timer is a no-op.
-func (t *Timer) Stop() bool {
-	if t == nil || t.it == nil || t.it.dead {
+// Stop cancels the timer. It reports whether the event had not yet fired
+// (for periodic timers: whether it was still active). Stopping an
+// already-fired or already-stopped timer is a no-op.
+func (t Timer) Stop() bool {
+	e := t.e
+	if e == nil {
 		return false
 	}
-	t.it.dead = true
-	t.it.fn = nil
+	it := &e.items[t.slot]
+	if it.gen != t.gen || it.state == stateDead {
+		return false
+	}
+	if it.state == stateFiring {
+		// Periodic timer stopped from inside its own callback: no queue
+		// entry is outstanding; the re-arm path reclaims the slot.
+		it.state = stateDead
+		return true
+	}
+	it.state = stateDead
+	e.live--
+	e.dead++
+	e.maybeCompact()
 	return true
 }
 
@@ -89,12 +114,32 @@ func (t *Timer) Stop() bool {
 type Engine struct {
 	now     time.Duration
 	seq     uint64
-	queue   eventHeap
 	rng     *rand.Rand
 	stopped bool
 
-	// Processed counts events executed so far (cancelled events excluded).
+	// processed counts events executed so far (cancelled events excluded).
 	processed uint64
+
+	// Slab of scheduled events plus its free list.
+	items []item
+	free  []int32
+
+	live int // scheduled and not cancelled
+	dead int // cancelled but still queued (lazy deletion)
+
+	// cur is the active slot: every pending entry with slot number <=
+	// curSlot, sorted by (at, seq); cur[:curPos] is consumed.
+	cur     []entry
+	curPos  int
+	curSlot int64
+
+	// wheel buckets hold entries for slot numbers in
+	// (curSlot, curSlot+wheelSize); occupied is its non-empty bitmap.
+	wheel    [wheelSize][]entry
+	occupied [wheelSize / 64]uint64
+
+	// heap holds entries at least a full wheel revolution ahead.
+	heap []entry
 }
 
 // New creates an engine whose random streams derive from seed.
@@ -120,28 +165,308 @@ func (e *Engine) NewRand() *rand.Rand {
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
-// Pending returns the number of events currently scheduled (including
-// cancelled ones not yet drained).
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of live scheduled events. Cancelled events
+// awaiting lazy removal are not counted.
+func (e *Engine) Pending() int { return e.live }
 
-// At schedules fn to run at the absolute virtual time at. Times in the past
-// are clamped to the current instant. It returns a cancellable timer handle.
-func (e *Engine) At(at time.Duration, fn Event) *Timer {
-	if fn == nil {
-		panic("eventsim: nil event")
+// allocSlot takes a slab cell from the free list, growing the slab if empty.
+func (e *Engine) allocSlot() int32 {
+	if n := len(e.free); n > 0 {
+		s := e.free[n-1]
+		e.free = e.free[:n-1]
+		return s
 	}
+	e.items = append(e.items, item{})
+	return int32(len(e.items) - 1)
+}
+
+// freeSlot recycles a slab cell, invalidating outstanding Timer handles.
+func (e *Engine) freeSlot(slot int32) {
+	it := &e.items[slot]
+	it.fn = nil
+	it.argFn = nil
+	it.arg = nil
+	it.gen++
+	it.state = statePending
+	it.periodic = false
+	e.free = append(e.free, slot)
+}
+
+// enqueue places a queue entry for the given slab cell at time at.
+func (e *Engine) enqueue(at time.Duration, slot int32, gen uint32) {
 	if at < e.now {
 		at = e.now
 	}
-	it := &item{at: at, seq: e.seq, fn: fn}
+	ent := entry{at: at, seq: e.seq, slot: slot, gen: gen}
 	e.seq++
-	heap.Push(&e.queue, it)
-	return &Timer{it: it}
+	s := int64(at / slotWidth)
+	switch {
+	case s <= e.curSlot:
+		e.insertCur(ent)
+	case s-e.curSlot < wheelSize:
+		b := s & wheelMask
+		if len(e.wheel[b]) == 0 {
+			e.occupied[b>>6] |= 1 << (b & 63)
+		}
+		e.wheel[b] = append(e.wheel[b], ent)
+	default:
+		e.heapPush(ent)
+	}
+	e.live++
+}
+
+// insertCur inserts into the active slot's sorted pending suffix. New
+// entries carry the highest seq, so ties land after existing equal-time
+// entries (FIFO preserved).
+func (e *Engine) insertCur(ent entry) {
+	lo, hi := e.curPos, len(e.cur)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if entryLess(e.cur[mid], ent) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	e.cur = append(e.cur, entry{})
+	copy(e.cur[lo+1:], e.cur[lo:])
+	e.cur[lo] = ent
+}
+
+// nextOccupied returns the slot number of the first occupied wheel bucket
+// after curSlot, or -1 if the wheel is empty.
+func (e *Engine) nextOccupied() int64 {
+	startB := (e.curSlot + 1) & wheelMask
+	wi := startB >> 6
+	w := e.occupied[wi] &^ ((1 << (startB & 63)) - 1)
+	const words = wheelSize / 64
+	for k := 0; ; k++ {
+		if w != 0 {
+			b := wi<<6 + int64(bits.TrailingZeros64(w))
+			return e.curSlot + 1 + ((b - startB) & wheelMask)
+		}
+		if k == words {
+			return -1
+		}
+		wi = (wi + 1) & (words - 1)
+		w = e.occupied[wi]
+	}
+}
+
+// advance moves the active slot to the next one holding entries, pulling in
+// due overflow-heap entries, and sorts it. It reports whether anything is
+// queued at all.
+func (e *Engine) advance() bool {
+	e.cur = e.cur[:0]
+	e.curPos = 0
+	target := e.nextOccupied()
+	if len(e.heap) > 0 {
+		hs := int64(e.heap[0].at / slotWidth)
+		if target == -1 || hs < target {
+			target = hs
+		}
+	}
+	if target == -1 {
+		return false
+	}
+	e.curSlot = target
+	b := target & wheelMask
+	if len(e.wheel[b]) > 0 {
+		e.cur = append(e.cur, e.wheel[b]...)
+		e.wheel[b] = e.wheel[b][:0]
+		e.occupied[b>>6] &^= 1 << (b & 63)
+	}
+	end := time.Duration(target+1) * slotWidth
+	for len(e.heap) > 0 && e.heap[0].at < end {
+		e.cur = append(e.cur, e.heapPop())
+	}
+	slices.SortFunc(e.cur, func(a, b entry) int {
+		if entryLess(a, b) {
+			return -1
+		}
+		if entryLess(b, a) {
+			return 1
+		}
+		return 0
+	})
+	return true
+}
+
+// peek returns the next live entry without consuming it, lazily collecting
+// dead entries it skips over.
+func (e *Engine) peek() (entry, bool) {
+	for {
+		for e.curPos < len(e.cur) {
+			ent := e.cur[e.curPos]
+			it := &e.items[ent.slot]
+			if it.gen == ent.gen && it.state != stateDead {
+				return ent, true
+			}
+			e.curPos++
+			if it.gen == ent.gen {
+				e.dead--
+				e.freeSlot(ent.slot)
+			}
+		}
+		if !e.advance() {
+			return entry{}, false
+		}
+	}
+}
+
+// fire consumes and executes the entry peek returned.
+func (e *Engine) fire(ent entry) {
+	e.curPos++
+	it := &e.items[ent.slot]
+	fn, argFn, arg := it.fn, it.argFn, it.arg
+	e.live--
+	if it.periodic {
+		it.state = stateFiring
+	} else {
+		e.freeSlot(ent.slot)
+	}
+	e.now = ent.at
+	e.processed++
+	if argFn != nil {
+		argFn(arg)
+	} else {
+		fn()
+	}
+}
+
+// maybeCompact sweeps dead entries out of the queue once they outnumber the
+// live ones, so cancel-heavy workloads (retransmission timers) cannot bloat
+// the queue or skew capacity planning built on Pending.
+func (e *Engine) maybeCompact() {
+	if e.dead < 64 || e.dead <= e.live {
+		return
+	}
+	keep := func(ent entry) bool {
+		it := &e.items[ent.slot]
+		if it.gen == ent.gen && it.state != stateDead {
+			return true
+		}
+		if it.gen == ent.gen {
+			e.dead--
+			e.freeSlot(ent.slot)
+		}
+		return false
+	}
+	out := e.cur[:e.curPos]
+	for _, ent := range e.cur[e.curPos:] {
+		if keep(ent) {
+			out = append(out, ent)
+		}
+	}
+	e.cur = out
+	for b := range e.wheel {
+		lst := e.wheel[b]
+		if len(lst) == 0 {
+			continue
+		}
+		o := lst[:0]
+		for _, ent := range lst {
+			if keep(ent) {
+				o = append(o, ent)
+			}
+		}
+		e.wheel[b] = o
+		if len(o) == 0 {
+			e.occupied[b>>6] &^= 1 << (b & 63)
+		}
+	}
+	o := e.heap[:0]
+	for _, ent := range e.heap {
+		if keep(ent) {
+			o = append(o, ent)
+		}
+	}
+	e.heap = o
+	for i := len(e.heap)/2 - 1; i >= 0; i-- {
+		e.siftDown(i)
+	}
+}
+
+// Overflow heap: a plain binary min-heap over (at, seq), no indices — entries
+// are removed only from the top or rebuilt wholesale during compaction.
+
+func (e *Engine) heapPush(ent entry) {
+	e.heap = append(e.heap, ent)
+	i := len(e.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !entryLess(e.heap[i], e.heap[parent]) {
+			break
+		}
+		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
+		i = parent
+	}
+}
+
+func (e *Engine) heapPop() entry {
+	top := e.heap[0]
+	n := len(e.heap) - 1
+	e.heap[0] = e.heap[n]
+	e.heap = e.heap[:n]
+	if n > 0 {
+		e.siftDown(0)
+	}
+	return top
+}
+
+func (e *Engine) siftDown(i int) {
+	n := len(e.heap)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		min := l
+		if r := l + 1; r < n && entryLess(e.heap[r], e.heap[l]) {
+			min = r
+		}
+		if !entryLess(e.heap[min], e.heap[i]) {
+			return
+		}
+		e.heap[i], e.heap[min] = e.heap[min], e.heap[i]
+		i = min
+	}
+}
+
+// At schedules fn to run at the absolute virtual time at. Times in the past
+// are clamped to the current instant. It returns a cancellable timer handle.
+func (e *Engine) At(at time.Duration, fn Event) Timer {
+	if fn == nil {
+		panic("eventsim: nil event")
+	}
+	slot := e.allocSlot()
+	it := &e.items[slot]
+	it.fn = fn
+	gen := it.gen
+	e.enqueue(at, slot, gen)
+	return Timer{e: e, slot: slot, gen: gen}
+}
+
+// AtArg schedules fn(arg) at the absolute virtual time at. It exists for
+// high-rate callers (datagram delivery): a non-capturing fn plus a pooled
+// arg schedules an event with zero per-event allocation, where a capturing
+// closure passed to At would allocate every time.
+func (e *Engine) AtArg(at time.Duration, fn func(any), arg any) Timer {
+	if fn == nil {
+		panic("eventsim: nil event")
+	}
+	slot := e.allocSlot()
+	it := &e.items[slot]
+	it.argFn = fn
+	it.arg = arg
+	gen := it.gen
+	e.enqueue(at, slot, gen)
+	return Timer{e: e, slot: slot, gen: gen}
 }
 
 // After schedules fn to run d after the current instant. Negative delays are
 // clamped to zero.
-func (e *Engine) After(d time.Duration, fn Event) *Timer {
+func (e *Engine) After(d time.Duration, fn Event) Timer {
 	if d < 0 {
 		d = 0
 	}
@@ -150,21 +475,35 @@ func (e *Engine) After(d time.Duration, fn Event) *Timer {
 
 // Every schedules fn to run repeatedly with the given period, starting one
 // period from now. The returned timer cancels future firings when stopped.
-// The period must be positive.
-func (e *Engine) Every(period time.Duration, fn Event) *Timer {
+// The period must be positive. A periodic timer occupies a single slab cell
+// for its whole life, so the handle stays valid across re-arms.
+func (e *Engine) Every(period time.Duration, fn Event) Timer {
 	if period <= 0 {
 		panic(fmt.Sprintf("eventsim: non-positive period %v", period))
 	}
-	t := &Timer{}
-	var tick func()
-	tick = func() {
-		fn()
-		if !t.it.dead {
-			t.it = e.After(period, tick).it
-		}
+	if fn == nil {
+		panic("eventsim: nil event")
 	}
-	t.it = e.After(period, tick).it
-	return t
+	slot := e.allocSlot()
+	gen := e.items[slot].gen
+	tick := func() {
+		fn()
+		it := &e.items[slot]
+		if it.gen != gen || it.state != stateFiring {
+			// Stopped from inside fn: reclaim the cell.
+			if it.gen == gen {
+				e.freeSlot(slot)
+			}
+			return
+		}
+		it.state = statePending
+		e.enqueue(e.now+period, slot, gen)
+	}
+	it := &e.items[slot]
+	it.fn = tick
+	it.periodic = true
+	e.enqueue(e.now+period, slot, gen)
+	return Timer{e: e, slot: slot, gen: gen}
 }
 
 // Stop halts the simulation: Run returns ErrStopped after the current event
@@ -176,25 +515,19 @@ func (e *Engine) Stop() { e.stopped = true }
 // returns nil on normal completion (drain or horizon) and ErrStopped if
 // stopped.
 func (e *Engine) Run(horizon time.Duration) error {
-	for len(e.queue) > 0 {
+	for e.live > 0 {
 		if e.stopped {
 			return ErrStopped
 		}
-		next := e.queue[0]
+		next, ok := e.peek()
+		if !ok {
+			break
+		}
 		if next.at > horizon {
 			e.now = horizon
 			return nil
 		}
-		popped, ok := heap.Pop(&e.queue).(*item)
-		if !ok {
-			panic("eventsim: heap returned non-item")
-		}
-		if popped.dead {
-			continue
-		}
-		e.now = popped.at
-		e.processed++
-		popped.fn()
+		e.fire(next)
 	}
 	if e.now < horizon {
 		e.now = horizon
@@ -208,18 +541,10 @@ func (e *Engine) Run(horizon time.Duration) error {
 // Step executes the single next pending event, if any, regardless of horizon.
 // It reports whether an event was executed. Useful for fine-grained tests.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		popped, ok := heap.Pop(&e.queue).(*item)
-		if !ok {
-			panic("eventsim: heap returned non-item")
-		}
-		if popped.dead {
-			continue
-		}
-		e.now = popped.at
-		e.processed++
-		popped.fn()
-		return true
+	next, ok := e.peek()
+	if !ok {
+		return false
 	}
-	return false
+	e.fire(next)
+	return true
 }

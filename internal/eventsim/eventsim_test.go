@@ -100,7 +100,7 @@ func TestTimerStop(t *testing.T) {
 func TestEvery(t *testing.T) {
 	e := New(1)
 	count := 0
-	var timer *Timer
+	var timer Timer
 	timer = e.Every(time.Second, func() {
 		count++
 		if count == 3 {

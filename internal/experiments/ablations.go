@@ -55,19 +55,37 @@ func localityOf(sc core.Scenario) (float64, error) {
 	return rep.TrafficLocality, nil
 }
 
+// localityPair runs the base and ablated scenarios of one ablation
+// concurrently (they are independent simulations).
+func (r *Runner) localityPair(base, ablated core.Scenario) (baseLoc, ablatedLoc float64, err error) {
+	err = parallelDo(r.Workers,
+		func() (err error) { baseLoc, err = localityOf(base); return },
+		func() (err error) { ablatedLoc, err = localityOf(ablated); return },
+	)
+	return baseLoc, ablatedLoc, err
+}
+
 // AblationReferral disables neighbor referral (tracker-only discovery) and
-// also runs the genuine BitTorrent baseline for reference.
+// also runs the genuine BitTorrent baseline for reference. All three runs
+// execute concurrently.
 func (r *Runner) AblationReferral() (AblationOutcome, error) {
-	base, err := localityOf(r.ablationScenario("ablate-referral-base", 0, core.Behaviour{}))
-	if err != nil {
-		return AblationOutcome{}, err
-	}
-	ablated, err := localityOf(r.ablationScenario("ablate-referral", 1, core.Behaviour{DisableReferral: true}))
-	if err != nil {
-		return AblationOutcome{}, err
-	}
-	btViewers := workload.PopularPopulation().Scale(r.Scale.Fig6Population)
-	bt, err := bittorrent.RunLocality(r.Seed+777, btViewers, isp.TELE, r.Scale.Fig6Watch+10*time.Minute)
+	var base, ablated float64
+	var bt *bittorrent.LocalityResult
+	err := parallelDo(r.Workers,
+		func() (err error) {
+			base, err = localityOf(r.ablationScenario("ablate-referral-base", 0, core.Behaviour{}))
+			return
+		},
+		func() (err error) {
+			ablated, err = localityOf(r.ablationScenario("ablate-referral", 1, core.Behaviour{DisableReferral: true}))
+			return
+		},
+		func() (err error) {
+			btViewers := workload.PopularPopulation().Scale(r.Scale.Fig6Population)
+			bt, err = bittorrent.RunLocality(r.Seed+777, btViewers, isp.TELE, r.Scale.Fig6Watch+10*time.Minute)
+			return
+		},
+	)
 	if err != nil {
 		return AblationOutcome{}, err
 	}
@@ -83,11 +101,10 @@ func (r *Runner) AblationReferral() (AblationOutcome, error) {
 
 // AblationLatencyBias disables connect-on-list-arrival latency bias.
 func (r *Runner) AblationLatencyBias() (AblationOutcome, error) {
-	base, err := localityOf(r.ablationScenario("ablate-latency-base", 10, core.Behaviour{}))
-	if err != nil {
-		return AblationOutcome{}, err
-	}
-	ablated, err := localityOf(r.ablationScenario("ablate-latency", 11, core.Behaviour{DisableLatencyBias: true}))
+	base, ablated, err := r.localityPair(
+		r.ablationScenario("ablate-latency-base", 10, core.Behaviour{}),
+		r.ablationScenario("ablate-latency", 11, core.Behaviour{DisableLatencyBias: true}),
+	)
 	if err != nil {
 		return AblationOutcome{}, err
 	}
@@ -100,11 +117,10 @@ func (r *Runner) AblationLatencyBias() (AblationOutcome, error) {
 
 // AblationPreference disables performance-weighted data scheduling.
 func (r *Runner) AblationPreference() (AblationOutcome, error) {
-	base, err := localityOf(r.ablationScenario("ablate-pref-base", 20, core.Behaviour{}))
-	if err != nil {
-		return AblationOutcome{}, err
-	}
-	ablated, err := localityOf(r.ablationScenario("ablate-pref", 21, core.Behaviour{DisablePreference: true}))
+	base, ablated, err := r.localityPair(
+		r.ablationScenario("ablate-pref-base", 20, core.Behaviour{}),
+		r.ablationScenario("ablate-pref", 21, core.Behaviour{DisablePreference: true}),
+	)
 	if err != nil {
 		return AblationOutcome{}, err
 	}
@@ -150,13 +166,19 @@ func (r *Runner) AblationFidelity() (FidelityOutcome, error) {
 		}
 		return rep.TrafficLocality, out.Result.EventsProcessed, nil
 	}
-	cl, ce, err := mk(false, 0)
+	var out FidelityOutcome
+	err := parallelDo(r.Workers,
+		func() (err error) {
+			out.CoarseLocality, out.CoarseEvents, err = mk(false, 0)
+			return
+		},
+		func() (err error) {
+			out.FullLocality, out.FullEvents, err = mk(true, 1)
+			return
+		},
+	)
 	if err != nil {
 		return FidelityOutcome{}, err
 	}
-	fl, fe, err := mk(true, 1)
-	if err != nil {
-		return FidelityOutcome{}, err
-	}
-	return FidelityOutcome{CoarseLocality: cl, FullLocality: fl, CoarseEvents: ce, FullEvents: fe}, nil
+	return out, nil
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"pplivesim/internal/analysis"
@@ -93,13 +94,23 @@ type RunOutputs struct {
 	Wall    time.Duration
 }
 
-// Runner executes and caches the shared scenario runs.
+// Runner executes and caches the shared scenario runs. Methods are safe for
+// concurrent use: the shared popular/unpopular runs execute exactly once, and
+// multi-run experiments (Fig6, ablations) fan their independent scenarios out
+// over a worker pool of Workers OS threads. Each scenario engine stays
+// single-threaded, so parallel execution never changes results.
 type Runner struct {
 	Scale Scale
 	Seed  int64
+	// Workers bounds scenario-level parallelism (0 = GOMAXPROCS).
+	Workers int
 
+	popOnce   sync.Once
 	popular   *RunOutputs
+	popErr    error
+	unpopOnce sync.Once
 	unpopular *RunOutputs
+	unpopErr  error
 }
 
 // NewRunner creates a runner with the given scale and base seed.
@@ -171,28 +182,27 @@ func runScenario(sc core.Scenario) (*RunOutputs, error) {
 
 // Popular returns (running once, then cached) the popular-channel run.
 func (r *Runner) Popular() (*RunOutputs, error) {
-	if r.popular != nil {
-		return r.popular, nil
-	}
-	out, err := runScenario(r.buildScenario("popular", true, 0, r.Scale.Population, r.Scale.Watch))
-	if err != nil {
-		return nil, err
-	}
-	r.popular = out
-	return out, nil
+	r.popOnce.Do(func() {
+		r.popular, r.popErr = runScenario(r.buildScenario("popular", true, 0, r.Scale.Population, r.Scale.Watch))
+	})
+	return r.popular, r.popErr
 }
 
 // Unpopular returns (running once, then cached) the unpopular-channel run.
 func (r *Runner) Unpopular() (*RunOutputs, error) {
-	if r.unpopular != nil {
-		return r.unpopular, nil
-	}
-	out, err := runScenario(r.buildScenario("unpopular", false, 1, r.Scale.Population, r.Scale.Watch))
-	if err != nil {
-		return nil, err
-	}
-	r.unpopular = out
-	return out, nil
+	r.unpopOnce.Do(func() {
+		r.unpopular, r.unpopErr = runScenario(r.buildScenario("unpopular", false, 1, r.Scale.Population, r.Scale.Watch))
+	})
+	return r.unpopular, r.unpopErr
+}
+
+// Warm executes the two shared scenario runs concurrently, so a report that
+// derives many sections from both traces pays for the slower run only.
+func (r *Runner) Warm() error {
+	return parallelDo(r.Workers,
+		func() error { _, err := r.Popular(); return err },
+		func() error { _, err := r.Unpopular(); return err },
+	)
 }
 
 // report fetches a probe's report from a cached run.
@@ -328,12 +338,19 @@ type Fig6Point struct {
 // Fig6 runs the 28-day schedule: for each day, a popular and an unpopular
 // run with day-scaled populations, measuring traffic locality at the CNC,
 // TELE, and Mason probes (the paper averaged two probes per ISP; we run one
-// per ISP per day).
+// per ISP per day). The 2×Fig6Days runs are independent simulations, so they
+// fan out over the runner's worker pool; results are assembled in day order
+// afterwards, keeping output identical to a sequential sweep. The progress
+// callback reports each day as its popular-channel run starts (days may
+// begin out of order under parallelism).
 func (r *Runner) Fig6(progress func(day int)) (popular, unpopular []Fig6Point, err error) {
+	type fig6Job struct {
+		day     int
+		popular bool
+		sc      core.Scenario
+	}
+	jobs := make([]fig6Job, 0, 2*r.Scale.Fig6Days)
 	for day := 0; day < r.Scale.Fig6Days; day++ {
-		if progress != nil {
-			progress(day)
-		}
 		f := workload.DayFactor(day)
 		ff := workload.ForeignDayFactor(day)
 		for _, isPopular := range []bool{true, false} {
@@ -360,21 +377,44 @@ func (r *Runner) Fig6(progress func(day int)) (popular, unpopular []Fig6Point, e
 			sc.Viewers = scaled
 			sc.WarmUp = r.Scale.Fig6Watch / 3
 			sc.ArrivalWindow = r.Scale.Fig6Watch / 4
-			out, err := runScenario(sc)
+			jobs = append(jobs, fig6Job{day: day, popular: isPopular, sc: sc})
+		}
+	}
+
+	var progressMu sync.Mutex
+	outs := make([]*RunOutputs, len(jobs))
+	tasks := make([]func() error, len(jobs))
+	for i := range jobs {
+		i := i
+		tasks[i] = func() error {
+			if progress != nil && jobs[i].popular {
+				progressMu.Lock()
+				progress(jobs[i].day)
+				progressMu.Unlock()
+			}
+			out, err := runScenario(jobs[i].sc)
+			if err != nil {
+				return fmt.Errorf("%s: %w", jobs[i].sc.Name, err)
+			}
+			outs[i] = out
+			return nil
+		}
+	}
+	if err := parallelDo(r.Workers, tasks...); err != nil {
+		return nil, nil, err
+	}
+
+	for i, job := range jobs {
+		for _, probe := range []string{ProbeCNC, ProbeTELE, ProbeMason} {
+			rep, err := report(outs[i], probe)
 			if err != nil {
 				return nil, nil, err
 			}
-			for _, probe := range []string{ProbeCNC, ProbeTELE, ProbeMason} {
-				rep, err := report(out, probe)
-				if err != nil {
-					return nil, nil, err
-				}
-				pt := Fig6Point{Day: day + 1, Probe: probe, Locality: rep.TrafficLocality}
-				if isPopular {
-					popular = append(popular, pt)
-				} else {
-					unpopular = append(unpopular, pt)
-				}
+			pt := Fig6Point{Day: job.day + 1, Probe: probe, Locality: rep.TrafficLocality}
+			if job.popular {
+				popular = append(popular, pt)
+			} else {
+				unpopular = append(unpopular, pt)
 			}
 		}
 	}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Scenario runs are embarrassingly parallel: every engine is single-threaded
+// and self-contained (own event queue, own RNG, own underlay), so fanning
+// runs out over OS threads changes wall time but not one bit of any result.
+// parallelDo is the one concurrency primitive the package uses — everything
+// above it (Fig6 days, ablation pairs, the popular/unpopular warm-up) stays
+// deterministic because each task writes only to its own pre-allocated slot.
+
+// workerCount resolves a worker-pool size: requested if positive, otherwise
+// GOMAXPROCS, always clamped to the number of tasks.
+func workerCount(requested, tasks int) int {
+	n := requested
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > tasks {
+		n = tasks
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// parallelDo runs the tasks over a bounded worker pool and waits for all of
+// them. Every task runs regardless of other tasks' failures; the returned
+// error is the first failure in task order, so error reporting is
+// deterministic even though completion order is not.
+func parallelDo(workers int, tasks ...func() error) error {
+	if len(tasks) == 0 {
+		return nil
+	}
+	if workers = workerCount(workers, len(tasks)); workers == 1 {
+		var first error
+		for _, task := range tasks {
+			if err := task(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, len(tasks))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = tasks[i]()
+			}
+		}()
+	}
+	for i := range tasks {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkerCount(t *testing.T) {
+	cases := []struct {
+		requested, tasks, wantMax, wantMin int
+	}{
+		{4, 10, 4, 4},     // honored
+		{8, 3, 3, 3},      // clamped to task count
+		{0, 2, 2, 1},      // default: GOMAXPROCS, clamped
+		{-1, 100, 100, 1}, // negative treated as default
+	}
+	for _, c := range cases {
+		got := workerCount(c.requested, c.tasks)
+		if got < c.wantMin || got > c.wantMax {
+			t.Errorf("workerCount(%d, %d) = %d, want in [%d, %d]",
+				c.requested, c.tasks, got, c.wantMin, c.wantMax)
+		}
+	}
+}
+
+func TestParallelDoRunsEveryTask(t *testing.T) {
+	for _, workers := range []int{1, 2, 16} {
+		var ran [40]atomic.Bool
+		tasks := make([]func() error, len(ran))
+		for i := range tasks {
+			i := i
+			tasks[i] = func() error { ran[i].Store(true); return nil }
+		}
+		if err := parallelDo(workers, tasks...); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range ran {
+			if !ran[i].Load() {
+				t.Errorf("workers=%d: task %d never ran", workers, i)
+			}
+		}
+	}
+}
+
+func TestParallelDoFirstErrorByTaskOrder(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	var done sync.WaitGroup
+	done.Add(1)
+	tasks := []func() error{
+		func() error { done.Wait(); return errA },       // finishes last
+		func() error { defer done.Done(); return errB }, // fails first in time
+		func() error { return nil },
+	}
+	if err := parallelDo(3, tasks...); err != errA {
+		t.Errorf("err = %v, want first error in task order (%v)", err, errA)
+	}
+	// Later tasks still run after an earlier failure.
+	var ran atomic.Bool
+	err := parallelDo(1,
+		func() error { return fmt.Errorf("boom") },
+		func() error { ran.Store(true); return nil },
+	)
+	if err == nil || !ran.Load() {
+		t.Errorf("err=%v ran=%v, want error surfaced and all tasks run", err, ran.Load())
+	}
+}
+
+func TestParallelDoNoTasks(t *testing.T) {
+	if err := parallelDo(4); err != nil {
+		t.Errorf("no tasks returned %v", err)
+	}
+}

@@ -121,7 +121,7 @@ func DefaultConfig(spec stream.Spec, bootstrap netip.Addr) Config {
 		HandshakeTimeout:          8 * time.Second,
 		ReferralSize:              60,
 		BufferMapInterval:         5 * time.Second,
-		HintFanout:                3,
+		HintFanout:                6,
 		SchedInterval:             250 * time.Millisecond,
 		FetchLead:                 18 * time.Second,
 		BatchCount:                1,
@@ -147,7 +147,7 @@ func BackgroundConfig(spec stream.Spec, bootstrap netip.Addr) Config {
 	cfg.BatchCount = 8
 	cfg.MaxOutstandingPerNeighbor = 6
 	cfg.MaxOutstanding = 24
-	cfg.BufferMapInterval = 10 * time.Second // hints carry the freshness
+	cfg.BufferMapInterval = 5 * time.Second // hints carry the freshness
 	return cfg
 }
 

@@ -23,7 +23,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/netip"
-	"sort"
+	"slices"
 	"time"
 
 	"pplivesim/internal/node"
@@ -94,8 +94,9 @@ type pendingReq struct {
 // announced piece for live-edge extrapolation.
 func (nb *neighbor) setBuffer(bm wire.BufferMap, at time.Duration) {
 	// Copy the bitmap: announce messages are shared across receivers in the
-	// simulated transport, and learnHas mutates our view.
-	nb.buffer = wire.BufferMap{Start: bm.Start, Bits: append([]byte(nil), bm.Bits...)}
+	// simulated transport, and learnHas mutates our view. The backing array
+	// is reused across announce rounds.
+	nb.buffer = wire.BufferMap{Start: bm.Start, Bits: append(nb.buffer.Bits[:0], bm.Bits...)}
 	nb.bufferAt = at
 	nb.bufferAny = false
 	nb.bufferMax = 0
@@ -122,19 +123,31 @@ const knowledgeWindow = 2048
 // pieces [lo, hi], marking them into our view of its map. If the proof falls
 // beyond the tracked window — hints race ahead of periodic announcements on
 // a live stream — the window is re-anchored around the new high-water mark,
-// preserving whatever old knowledge still overlaps.
+// preserving whatever old knowledge still overlaps. The new window leaves
+// slack above hi so the re-anchor amortizes: at the live edge every fresh
+// Have lands past the window end, and without slack each one would trigger
+// a full rebuild.
 func (nb *neighbor) learnHas(lo, hi uint64, at time.Duration) {
 	if nb.buffer.Bits == nil || hi >= nb.buffer.Start+nb.buffer.Window() {
+		const slack = knowledgeWindow / 4
 		start := uint64(0)
-		if hi+1 > knowledgeWindow {
-			start = hi + 1 - knowledgeWindow
+		if hi+1+slack > knowledgeWindow {
+			// Keep start byte-aligned so successive re-anchors copy whole
+			// bytes instead of walking bits.
+			start = (hi + 1 + slack - knowledgeWindow) &^ 7
 		}
 		fresh := wire.BufferMap{Start: start, Bits: make([]byte, knowledgeWindow/8)}
 		if nb.buffer.Bits != nil {
-			end := nb.buffer.Start + nb.buffer.Window()
-			for seq := start; seq < end; seq++ {
-				if nb.buffer.Has(seq) {
-					fresh.Set(seq)
+			if off := start - nb.buffer.Start; start >= nb.buffer.Start && off%8 == 0 {
+				if bo := int(off / 8); bo < len(nb.buffer.Bits) {
+					copy(fresh.Bits, nb.buffer.Bits[bo:])
+				}
+			} else {
+				end := nb.buffer.Start + nb.buffer.Window()
+				for seq := start; seq < end; seq++ {
+					if nb.buffer.Has(seq) {
+						fresh.Set(seq)
+					}
 				}
 			}
 		}
@@ -159,6 +172,17 @@ func (nb *neighbor) covers(seq uint64, _ time.Duration, _ float64) bool {
 	return nb.buffer.Has(seq)
 }
 
+// akey packs an IPv4 address into the uint32 key used by the per-datagram
+// maps. The simulation's address plan is IPv4-only; the zero Addr (source
+// unset during bootstrap) folds to 0, which ipam never allocates.
+func akey(a netip.Addr) uint32 {
+	if !a.Is4() {
+		return 0
+	}
+	b := a.As4()
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
 // Client is one PPLive-style peer.
 type Client struct {
 	env node.Env
@@ -169,10 +193,13 @@ type Client struct {
 	trackers []netip.Addr
 	buffer   *stream.Buffer
 
-	neighbors  map[netip.Addr]*neighbor
-	pending    map[netip.Addr]time.Duration // outstanding handshakes
-	known      map[netip.Addr]bool          // every address ever learned
-	candidates []netip.Addr                 // not-yet-tried addresses (FIFO)
+	// The per-datagram maps are keyed by the packed IPv4 address (akey):
+	// hashing a 4-byte integer is several times cheaper than the 24-byte
+	// netip.Addr struct, and these maps sit on every message's path.
+	neighbors  map[uint32]*neighbor
+	pending    map[uint32]time.Duration // outstanding handshakes
+	known      map[uint32]bool          // every address ever learned
+	candidates []netip.Addr             // not-yet-tried addresses (FIFO)
 
 	// recent is the referral source: most recently connected peers first,
 	// deduplicated, capped at cfg.ReferralSize.
@@ -183,15 +210,21 @@ type Client struct {
 	// (the per-neighbor outstanding maps hold the timing detail).
 	inflight map[uint64]struct{}
 
-	// sortedCache caches sortedNeighborAddrs between membership changes;
-	// sortedNbs caches the corresponding neighbor pointers for the
+	// sortedCache holds the connected non-source neighbor addresses in
+	// address order, maintained incrementally on membership changes;
+	// sortedNbs holds the corresponding neighbor pointers for the
 	// scheduler's hot path.
 	sortedCache []netip.Addr
 	sortedNbs   []*neighbor
-	sortedDirty bool
+
+	// Scheduler-tick scratch state, reused every SchedInterval so the hot
+	// path stays allocation-free.
+	wantScratch []uint64
+	candScratch []*neighbor
+	inFlightFn  func(uint64) bool
 
 	// lastMapTo rate-limits decline-triggered buffer-map piggybacks.
-	lastMapTo map[netip.Addr]time.Duration
+	lastMapTo map[uint32]time.Duration
 
 	cancels      []node.Cancel
 	trackerTimer node.Cancel
@@ -235,9 +268,9 @@ func New(env node.Env, cfg Config) (*Client, error) {
 		env:       env,
 		cfg:       cfg,
 		phase:     PhaseInit,
-		neighbors: make(map[netip.Addr]*neighbor),
-		pending:   make(map[netip.Addr]time.Duration),
-		known:     make(map[netip.Addr]bool),
+		neighbors: make(map[uint32]*neighbor),
+		pending:   make(map[uint32]time.Duration),
+		known:     make(map[uint32]bool),
 		inflight:  make(map[uint64]struct{}),
 	}, nil
 }
@@ -267,8 +300,8 @@ func (c *Client) NumNeighbors() int { return len(c.neighbors) }
 // Neighbors returns the connected neighbor addresses.
 func (c *Client) Neighbors() []netip.Addr {
 	out := make([]netip.Addr, 0, len(c.neighbors))
-	for a := range c.neighbors {
-		out = append(out, a)
+	for _, nb := range c.neighbors {
+		out = append(out, nb.addr)
 	}
 	return out
 }
@@ -476,29 +509,34 @@ func (c *Client) ownPeerList() []netip.Addr {
 }
 
 // sortedNeighborAddrs returns the connected non-source neighbor addresses in
-// address order, cached between membership changes — it runs on the data
-// scheduler's hot path. Deterministic ordering keeps whole runs reproducible
-// (map iteration order is randomized in Go). Callers must not mutate the
-// returned slice.
+// address order — it runs on the data scheduler's hot path. The order is
+// maintained incrementally on add/drop (binary insert/remove) rather than
+// re-sorted. Deterministic ordering keeps whole runs reproducible (map
+// iteration order is randomized in Go). Callers must not mutate the returned
+// slice.
 func (c *Client) sortedNeighborAddrs() []netip.Addr {
-	if !c.sortedDirty {
-		return c.sortedCache
+	return c.sortedCache
+}
+
+// sortedInsert adds a non-source neighbor to the maintained order.
+func (c *Client) sortedInsert(a netip.Addr, nb *neighbor) {
+	i, found := slices.BinarySearchFunc(c.sortedCache, a, netip.Addr.Compare)
+	if found {
+		c.sortedNbs[i] = nb
+		return
 	}
-	pool := c.sortedCache[:0]
-	for a := range c.neighbors {
-		if a == c.source {
-			continue
-		}
-		pool = append(pool, a)
+	c.sortedCache = slices.Insert(c.sortedCache, i, a)
+	c.sortedNbs = slices.Insert(c.sortedNbs, i, nb)
+}
+
+// sortedRemove drops a neighbor from the maintained order.
+func (c *Client) sortedRemove(a netip.Addr) {
+	i, found := slices.BinarySearchFunc(c.sortedCache, a, netip.Addr.Compare)
+	if !found {
+		return
 	}
-	sort.Slice(pool, func(i, j int) bool { return pool[i].Less(pool[j]) })
-	c.sortedCache = pool
-	c.sortedNbs = c.sortedNbs[:0]
-	for _, a := range pool {
-		c.sortedNbs = append(c.sortedNbs, c.neighbors[a])
-	}
-	c.sortedDirty = false
-	return pool
+	c.sortedCache = slices.Delete(c.sortedCache, i, i+1)
+	c.sortedNbs = slices.Delete(c.sortedNbs, i, i+1)
 }
 
 // sortedNeighbors returns neighbor pointers in the same deterministic order.
@@ -527,10 +565,10 @@ func (c *Client) learn(addrs []netip.Addr) {
 	self := c.env.Addr()
 	for _, a := range addrs {
 		c.stats.AddrsLearned++
-		if a == self || c.known[a] {
+		if a == self || c.known[akey(a)] {
 			continue
 		}
-		c.known[a] = true
+		c.known[akey(a)] = true
 		c.candidates = append(c.candidates, a)
 	}
 }
@@ -549,10 +587,10 @@ func (c *Client) connectFromList(addrs []netip.Addr) {
 		if a == self {
 			continue
 		}
-		if _, connected := c.neighbors[a]; connected {
+		if _, connected := c.neighbors[akey(a)]; connected {
 			continue
 		}
-		if _, inflight := c.pending[a]; inflight {
+		if _, inflight := c.pending[akey(a)]; inflight {
 			continue
 		}
 		fresh = append(fresh, a)
@@ -576,7 +614,7 @@ func (c *Client) connectFromList(addrs []netip.Addr) {
 }
 
 func (c *Client) sendHandshake(a netip.Addr) {
-	c.pending[a] = c.env.Now()
+	c.pending[akey(a)] = c.env.Now()
 	c.stats.HandshakesSent++
 	hs := &wire.Handshake{Channel: c.cfg.Channel.Channel}
 	if c.cfg.LatencyBias {
@@ -624,11 +662,11 @@ func (c *Client) handleHandshake(from netip.Addr, m *wire.Handshake) {
 }
 
 func (c *Client) handleHandshakeAck(from netip.Addr, m *wire.HandshakeAck) {
-	if _, ok := c.pending[from]; !ok {
+	started, ok := c.pending[akey(from)]
+	if !ok {
 		return
 	}
-	started := c.pending[from]
-	delete(c.pending, from)
+	delete(c.pending, akey(from))
 	if !m.Accepted || c.buffer == nil {
 		c.stats.HandshakesRejected++
 		return
@@ -663,7 +701,7 @@ func (c *Client) handleHandshakeAck(from netip.Addr, m *wire.HandshakeAck) {
 // addNeighbor registers (or refreshes) a connected neighbor and records it
 // as a recent connection for referral.
 func (c *Client) addNeighbor(a netip.Addr, bm wire.BufferMap) *neighbor {
-	if nb, ok := c.neighbors[a]; ok {
+	if nb, ok := c.neighbors[akey(a)]; ok {
 		nb.lastHeard = c.env.Now()
 		if bm.Bits != nil {
 			nb.setBuffer(bm, c.env.Now())
@@ -677,9 +715,9 @@ func (c *Client) addNeighbor(a netip.Addr, bm wire.BufferMap) *neighbor {
 		outstanding: make(map[uint64]pendingReq),
 	}
 	nb.setBuffer(bm, c.env.Now())
-	c.neighbors[a] = nb
-	c.sortedDirty = true
+	c.neighbors[akey(a)] = nb
 	if a != c.source {
+		c.sortedInsert(a, nb)
 		c.pushRecent(a)
 	}
 	return nb
@@ -731,7 +769,7 @@ func (c *Client) handlePeerListRequest(from netip.Addr, m *wire.PeerListRequest)
 	}
 	// The requester's enclosed list is free gossip: absorb it.
 	c.learn(m.OwnPeers)
-	if nb, ok := c.neighbors[from]; ok {
+	if nb, ok := c.neighbors[akey(from)]; ok {
 		nb.lastHeard = c.env.Now()
 	}
 	reply := &wire.PeerListReply{Channel: c.cfg.Channel.Channel}
@@ -760,7 +798,7 @@ func (c *Client) handlePeerListReply(from netip.Addr, m *wire.PeerListReply) {
 	}
 	c.stats.GossipReplies++
 	c.stats.ListsReceived++
-	if nb, ok := c.neighbors[from]; ok {
+	if nb, ok := c.neighbors[akey(from)]; ok {
 		nb.lastHeard = c.env.Now()
 	}
 	c.learn(m.Peers)
@@ -769,7 +807,7 @@ func (c *Client) handlePeerListReply(from netip.Addr, m *wire.PeerListReply) {
 }
 
 func (c *Client) handleBufferMap(from netip.Addr, m *wire.BufferMapAnnounce) {
-	nb, ok := c.neighbors[from]
+	nb, ok := c.neighbors[akey(from)]
 	if !ok || m.Channel != c.cfg.Channel.Channel {
 		return
 	}
@@ -792,12 +830,12 @@ func (c *Client) announceBufferMap() {
 // so the pending window cannot clog permanently.
 func (c *Client) evictSilent() {
 	now := c.env.Now()
-	for a, nb := range c.neighbors {
-		if a == c.source {
+	for _, nb := range c.neighbors {
+		if nb.addr == c.source {
 			continue
 		}
 		if now-nb.lastHeard > c.cfg.NeighborSilence {
-			c.dropNeighbor(a)
+			c.dropNeighbor(nb.addr)
 		}
 	}
 	for a, at := range c.pending {
@@ -809,15 +847,15 @@ func (c *Client) evictSilent() {
 }
 
 func (c *Client) dropNeighbor(a netip.Addr) {
-	nb, ok := c.neighbors[a]
+	nb, ok := c.neighbors[akey(a)]
 	if !ok {
 		return
 	}
 	for seq, req := range nb.outstanding {
 		c.clearOutstanding(nb, seq, req)
 	}
-	delete(c.neighbors, a)
-	c.sortedDirty = true
+	delete(c.neighbors, akey(a))
+	c.sortedRemove(a)
 }
 
 // maybeSteady transitions to the steady phase once playback is satisfactory:
@@ -851,7 +889,11 @@ func (c *Client) schedulerTick() {
 	// than that are too close to the live edge to be widely announced yet).
 	budget := (c.cfg.MaxOutstanding - c.outstandingTotal) * c.cfg.BatchCount
 	limit := c.buffer.Playhead() + uint64(c.cfg.FetchLead.Seconds()*c.cfg.Channel.Rate())
-	want := c.buffer.Want(now, budget, limit, c.inFlight)
+	if c.inFlightFn == nil {
+		c.inFlightFn = c.inFlight
+	}
+	want := c.buffer.AppendWant(c.wantScratch[:0], now, budget, limit, c.inFlightFn)
+	c.wantScratch = want[:0]
 	if len(want) == 0 {
 		c.maybeSteady()
 		return
@@ -859,7 +901,7 @@ func (c *Client) schedulerTick() {
 
 	// Pieces within two seconds of their deadline are urgent: they go only
 	// to proven holders or the source, never to extrapolated coverage.
-	urgentBound := c.buffer.Playhead() + uint64(5*c.cfg.Channel.Rate())
+	urgentBound := c.buffer.Playhead() + uint64(2*c.cfg.Channel.Rate())
 
 	// Keep urgent pieces in deadline order but randomize the rest, so that
 	// peers wanting the same region fetch different pieces and can then
@@ -901,25 +943,29 @@ func (c *Client) schedulerTick() {
 
 // shuffleBlocks randomizes the order of blockSize-sized contiguous blocks of
 // seqs in place, preserving intra-block contiguity so batching still works.
+// A trailing partial block stays in place (it holds the newest, least-spread
+// sequences anyway), which lets the permutation run as allocation-free
+// element swaps between equal-sized blocks.
 func shuffleBlocks(rng *rand.Rand, seqs []uint64, blockSize int) {
-	if blockSize < 1 || len(seqs) <= blockSize {
-		if blockSize == 1 {
-			rng.Shuffle(len(seqs), func(i, j int) { seqs[i], seqs[j] = seqs[j], seqs[i] })
-		}
+	if blockSize == 1 {
+		rng.Shuffle(len(seqs), func(i, j int) { seqs[i], seqs[j] = seqs[j], seqs[i] })
 		return
 	}
-	n := (len(seqs) + blockSize - 1) / blockSize
-	order := rng.Perm(n)
-	out := make([]uint64, 0, len(seqs))
-	for _, b := range order {
-		lo := b * blockSize
-		hi := lo + blockSize
-		if hi > len(seqs) {
-			hi = len(seqs)
-		}
-		out = append(out, seqs[lo:hi]...)
+	if blockSize < 1 || len(seqs) <= blockSize {
+		return
 	}
-	copy(seqs, out)
+	n := len(seqs) / blockSize
+	for i := n - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		if i == j {
+			continue
+		}
+		a := seqs[i*blockSize : (i+1)*blockSize]
+		b := seqs[j*blockSize : (j+1)*blockSize]
+		for k := range a {
+			a[k], b[k] = b[k], a[k]
+		}
+	}
 }
 
 // neighborCovers is covers() with the source treated as holding everything
@@ -940,14 +986,24 @@ func (c *Client) inFlight(seq uint64) bool {
 // expireRequests times out unanswered data requests, penalizing the
 // neighbor's service score.
 func (c *Client) expireRequests(now time.Duration) {
-	for _, nb := range c.neighbors {
-		for seq, req := range nb.outstanding {
-			if now-req.at > c.cfg.RequestTimeout {
-				c.clearOutstanding(nb, seq, req)
-				c.stats.RequestTimeouts++
-				// A timeout is strong evidence of overload or departure.
-				nb.score = ewma(nb.score, 2*c.cfg.RequestTimeout)
-			}
+	for _, nb := range c.sortedNbs {
+		c.expireNeighbor(nb, now)
+	}
+	if src, ok := c.neighbors[akey(c.source)]; ok {
+		c.expireNeighbor(src, now)
+	}
+}
+
+func (c *Client) expireNeighbor(nb *neighbor, now time.Duration) {
+	if len(nb.outstanding) == 0 {
+		return
+	}
+	for seq, req := range nb.outstanding {
+		if now-req.at > c.cfg.RequestTimeout {
+			c.clearOutstanding(nb, seq, req)
+			c.stats.RequestTimeouts++
+			// A timeout is strong evidence of overload or departure.
+			nb.score = ewma(nb.score, 2*c.cfg.RequestTimeout)
 		}
 	}
 }
@@ -973,7 +1029,7 @@ func (c *Client) clearOutstanding(nb *neighbor, seq uint64, req pendingReq) {
 // possession (extrapolated coverage is not good enough near a deadline).
 func (c *Client) pickProvider(seq uint64, now time.Duration, urgent bool) *neighbor {
 	rate := c.cfg.Channel.Rate()
-	var candidates []*neighbor
+	candidates := c.candScratch[:0]
 	for _, nb := range c.sortedNeighbors() {
 		if len(nb.outstanding) >= c.cfg.MaxOutstandingPerNeighbor {
 			continue
@@ -987,6 +1043,7 @@ func (c *Client) pickProvider(seq uint64, now time.Duration, urgent bool) *neigh
 		}
 		candidates = append(candidates, nb)
 	}
+	c.candScratch = candidates[:0]
 	if len(candidates) == 0 {
 		// Urgent pieces fall back to the source unconditionally. Non-urgent
 		// pieces may prefetch from the source with small probability: this
@@ -997,7 +1054,7 @@ func (c *Client) pickProvider(seq uint64, now time.Duration, urgent bool) *neigh
 		if !urgent && c.env.Rand().Float64() >= c.cfg.SourcePrefetchProb {
 			return nil
 		}
-		if src, ok := c.neighbors[c.source]; ok && len(src.outstanding) < c.cfg.MaxOutstandingPerNeighbor {
+		if src, ok := c.neighbors[akey(c.source)]; ok && len(src.outstanding) < c.cfg.MaxOutstandingPerNeighbor {
 			return src
 		}
 		return nil
@@ -1057,7 +1114,7 @@ func (c *Client) handleDataRequest(from netip.Addr, m *wire.DataRequest) {
 	if c.buffer == nil || m.Channel != c.cfg.Channel.Channel {
 		return
 	}
-	if nb, ok := c.neighbors[from]; ok {
+	if nb, ok := c.neighbors[akey(from)]; ok {
 		nb.lastHeard = c.env.Now()
 	}
 	// An overloaded uplink sheds load with a tiny busy reply, redirecting
@@ -1096,11 +1153,11 @@ func (c *Client) handleDataRequest(from netip.Addr, m *wire.DataRequest) {
 			PieceLen: uint16(c.cfg.Channel.SubPieceLen),
 		})
 		now := c.env.Now()
-		if last, ok := c.lastMapTo[from]; !ok || now-last >= time.Second {
+		if last, ok := c.lastMapTo[akey(from)]; !ok || now-last >= time.Second {
 			if c.lastMapTo == nil {
-				c.lastMapTo = make(map[netip.Addr]time.Duration)
+				c.lastMapTo = make(map[uint32]time.Duration)
 			}
-			c.lastMapTo[from] = now
+			c.lastMapTo[akey(from)] = now
 			c.env.Send(from, &wire.BufferMapAnnounce{
 				Channel: c.cfg.Channel.Channel,
 				Buffer:  c.buffer.Snapshot(),
@@ -1121,7 +1178,7 @@ func (c *Client) handleDataReply(from netip.Addr, m *wire.DataReply) {
 	if c.buffer == nil || m.Channel != c.cfg.Channel.Channel {
 		return
 	}
-	nb, ok := c.neighbors[from]
+	nb, ok := c.neighbors[akey(from)]
 	if !ok {
 		return
 	}
@@ -1197,7 +1254,7 @@ func (c *Client) gossipHave(seq uint64, count uint16, from netip.Addr) {
 
 // handleHave records a neighbor's per-piece availability hint.
 func (c *Client) handleHave(from netip.Addr, m *wire.Have) {
-	nb, ok := c.neighbors[from]
+	nb, ok := c.neighbors[akey(from)]
 	if !ok || m.Channel != c.cfg.Channel.Channel || m.Count == 0 {
 		return
 	}

@@ -233,7 +233,7 @@ func TestReferralListAndEnclosedGossip(t *testing.T) {
 		t.Errorf("referral = %v, want [n2 n1]", reply.Peers)
 	}
 	// The enclosed address was absorbed as a candidate.
-	if !c.known[enclosed] {
+	if !c.known[akey(enclosed)] {
 		t.Error("enclosed gossip address not learned")
 	}
 }
@@ -393,7 +393,7 @@ func TestHaveHintUpdatesCoverageAndPropagates(t *testing.T) {
 
 	seq := c.buffer.StartSeq()
 	c.HandleMessage(n1, &wire.Have{Channel: 1, Seq: seq, Count: 2})
-	nb := c.neighbors[n1]
+	nb := c.neighbors[akey(n1)]
 	if !nb.covers(seq, env.Now(), testChannel().Rate()) || !nb.covers(seq+1, env.Now(), testChannel().Rate()) {
 		t.Error("Have hint not recorded as coverage")
 	}
@@ -426,8 +426,8 @@ func TestLatencySwapReplacesWorstNeighbor(t *testing.T) {
 		c.HandleMessage(trackerAddrs[0], &wire.TrackerResponse{Channel: 1, Peers: []netip.Addr{a}})
 		c.HandleMessage(a, &wire.HandshakeAck{Channel: 1, Accepted: true})
 	}
-	c.neighbors[slow].minRTT = 900 * time.Millisecond
-	c.neighbors[fast].minRTT = 30 * time.Millisecond
+	c.neighbors[akey(slow)].minRTT = 900 * time.Millisecond
+	c.neighbors[akey(fast)].minRTT = 30 * time.Millisecond
 	env.take()
 
 	// A new candidate acks quickly: it must replace the slow neighbor.
@@ -435,13 +435,13 @@ func TestLatencySwapReplacesWorstNeighbor(t *testing.T) {
 	c.HandleMessage(trackerAddrs[0], &wire.TrackerResponse{Channel: 1, Peers: []netip.Addr{closer}})
 	env.Advance(20 * time.Millisecond)
 	c.HandleMessage(closer, &wire.HandshakeAck{Channel: 1, Accepted: true})
-	if _, ok := c.neighbors[closer]; !ok {
+	if _, ok := c.neighbors[akey(closer)]; !ok {
 		t.Fatal("fast candidate not admitted")
 	}
-	if _, ok := c.neighbors[slow]; ok {
+	if _, ok := c.neighbors[akey(slow)]; ok {
 		t.Error("slow neighbor survived the swap")
 	}
-	if _, ok := c.neighbors[fast]; !ok {
+	if _, ok := c.neighbors[akey(fast)]; !ok {
 		t.Error("fast neighbor was evicted instead")
 	}
 }
@@ -462,7 +462,7 @@ func TestLatencySwapDisabledRejectsWhenFull(t *testing.T) {
 	c.HandleMessage(trackerAddrs[0], &wire.TrackerResponse{Channel: 1, Peers: []netip.Addr{second}})
 	env.Advance(3 * time.Second)
 	c.HandleMessage(second, &wire.HandshakeAck{Channel: 1, Accepted: true})
-	if _, ok := c.neighbors[second]; ok {
+	if _, ok := c.neighbors[akey(second)]; ok {
 		t.Error("full table admitted newcomer with latency bias ablated")
 	}
 	if c.Stats().HandshakesRejected == 0 {
@@ -538,7 +538,7 @@ func TestRequestTimeoutExpiresAndPenalizes(t *testing.T) {
 	env.Advance(time.Second)
 	env.take()
 
-	nb := c.neighbors[n1]
+	nb := c.neighbors[akey(n1)]
 	sentRequests := len(nb.outstanding)
 	if sentRequests == 0 {
 		t.Fatal("no outstanding requests to expire")

@@ -137,10 +137,19 @@ func (s *Source) HandleMessage(from netip.Addr, msg wire.Message) {
 			return
 		}
 		s.note(from)
-		// Shed load once the uplink backs up: a saturated origin stops
-		// answering rather than queueing replies past their deadlines.
+		// Shed load once the uplink backs up: a saturated origin answers
+		// with a tiny busy reply rather than queueing full replies past
+		// their deadlines — the requester frees its source slot at once
+		// instead of burning a request timeout on it.
 		if s.env.UplinkBacklog() > 2*time.Second {
 			s.shed++
+			s.env.Send(from, &wire.DataReply{
+				Channel:  s.spec.Channel,
+				Seq:      m.Seq,
+				Count:    0,
+				PieceLen: uint16(s.spec.SubPieceLen),
+				Busy:     true,
+			})
 			return
 		}
 		now := s.env.Now()

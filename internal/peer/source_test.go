@@ -95,8 +95,16 @@ func TestSourceShedsWhenBacklogged(t *testing.T) {
 	env.backlog = 5 * time.Second
 	client := netip.MustParseAddr("58.32.0.1")
 	src.HandleMessage(client, &wire.DataRequest{Channel: 1, Seq: 0, Count: 1})
-	if got := env.sentTo(client); len(got) != 0 {
-		t.Errorf("backlogged source replied: %v", got)
+	// Shedding must be explicit: a tiny Busy reply lets the requester
+	// reschedule at once instead of burning a request timeout (a silent
+	// drop here is what let the saturated source death-spiral the swarm).
+	got := env.sentTo(client)
+	if len(got) != 1 {
+		t.Fatalf("backlogged source sent %d messages, want 1 busy reply", len(got))
+	}
+	reply, ok := got[0].(*wire.DataReply)
+	if !ok || !reply.Busy || reply.Count != 0 {
+		t.Errorf("reply = %#v, want empty Busy DataReply", got[0])
 	}
 	if src.shed != 1 {
 		t.Errorf("shed counter = %d", src.shed)

@@ -157,7 +157,7 @@ func (e *Env) After(d time.Duration, fn func()) node.Cancel {
 // Every implements node.Env. The periodic timer self-cancels once the env
 // closes, so departed nodes do not keep feeding the event queue.
 func (e *Env) Every(d time.Duration, fn func()) node.Cancel {
-	var t *eventsim.Timer
+	var t eventsim.Timer
 	t = e.world.Engine.Every(d, func() {
 		if e.closed {
 			t.Stop()

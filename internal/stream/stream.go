@@ -207,8 +207,14 @@ func (b *Buffer) AdvanceTo(now time.Duration) {
 // playhead the caller prefetches. The skip predicate (may be nil) filters
 // sequences the caller has already requested.
 func (b *Buffer) Want(now time.Duration, max int, limit uint64, skip func(uint64) bool) []uint64 {
+	return b.AppendWant(nil, now, max, limit, skip)
+}
+
+// AppendWant is Want appending into dst, so per-tick schedulers can reuse a
+// scratch slice instead of allocating one per invocation.
+func (b *Buffer) AppendWant(dst []uint64, now time.Duration, max int, limit uint64, skip func(uint64) bool) []uint64 {
 	if max <= 0 {
-		return nil
+		return dst
 	}
 	edge := b.spec.EdgeSeq(now)
 	end := b.base + uint64(b.window)
@@ -218,29 +224,41 @@ func (b *Buffer) Want(now time.Duration, max int, limit uint64, skip func(uint64
 	if limit != 0 && limit < end {
 		end = limit
 	}
-	out := make([]uint64, 0, max)
-	for seq := b.playhead; seq < end && len(out) < max; seq++ {
+	base := len(dst)
+	for seq := b.playhead; seq < end && len(dst)-base < max; seq++ {
 		if b.Has(seq) {
 			continue
 		}
 		if skip != nil && skip(seq) {
 			continue
 		}
-		out = append(out, seq)
+		dst = append(dst, seq)
 	}
-	return out
+	return dst
 }
 
-// Snapshot produces a wire buffer map covering the retained window.
+// Snapshot produces a wire buffer map covering the retained window. Bit i of
+// the map covers base+i, whose ring slot is (base+i)%window — a rotation of
+// the ring, assembled byte-at-a-time with a wrapping cursor instead of a
+// division per sub-piece (announces snapshot frequently enough to matter).
 func (b *Buffer) Snapshot() wire.BufferMap {
 	bits := make([]byte, (b.window+7)/8)
-	bm := wire.BufferMap{Start: b.base, Bits: bits}
-	for seq := b.base; seq < b.base+uint64(b.window); seq++ {
-		if b.have[seq%uint64(b.window)] {
-			bm.Set(seq)
+	ri := int(b.base % uint64(b.window))
+	n := b.window
+	for i := range bits {
+		var v byte
+		for j := 0; j < 8 && i*8+j < n; j++ {
+			if b.have[ri] {
+				v |= 1 << j
+			}
+			ri++
+			if ri == n {
+				ri = 0
+			}
 		}
+		bits[i] = v
 	}
-	return bm
+	return wire.BufferMap{Start: b.base, Bits: bits}
 }
 
 // Stats summarizes buffer activity.

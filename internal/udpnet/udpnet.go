@@ -166,11 +166,21 @@ func (n *Node) read() {
 	}
 }
 
+// sendBufs pools marshal buffers: Send runs on many executors concurrently
+// and must not allocate a fresh datagram buffer per call.
+var sendBufs = sync.Pool{New: func() any {
+	b := make([]byte, 0, 2048)
+	return &b
+}}
+
 // Send implements node.Env: marshal and transmit to the peer's loopback
 // address on the shared port.
 func (n *Node) Send(to netip.Addr, msg wire.Message) {
-	data := wire.Marshal(msg)
+	bp := sendBufs.Get().(*[]byte)
+	data := wire.AppendMarshal((*bp)[:0], msg)
 	_, err := n.conn.WriteToUDP(data, &net.UDPAddr{IP: to.AsSlice(), Port: int(n.port)})
+	*bp = data
+	sendBufs.Put(bp)
 	if err == nil {
 		n.mu.Lock()
 		n.sent++

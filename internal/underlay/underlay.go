@@ -37,6 +37,7 @@ type Host struct {
 	ProcDelay time.Duration
 
 	handler     Handler
+	detached    bool // set by Detach; in-flight datagrams check it on arrival
 	upBusyUntil time.Duration
 	queuedBytes int64 // bytes accepted but not yet on the wire
 
@@ -128,13 +129,50 @@ func DefaultConfig() Config {
 
 // Network delivers datagrams between attached hosts.
 type Network struct {
-	eng   *eventsim.Engine
-	cfg   Config
-	hosts map[netip.Addr]*Host
+	eng *eventsim.Engine
+	cfg Config
+	// hosts is keyed by the packed IPv4 address (hostKey): the lookup sits
+	// on every datagram send, and hashing a uint32 is several times cheaper
+	// than the netip.Addr struct.
+	hosts map[uint32]*Host
 	rng   *rand.Rand
+
+	// freeDeliveries recycles in-flight datagram records; with a
+	// single-threaded engine a plain slice beats sync.Pool.
+	freeDeliveries []*delivery
 
 	// Stats.
 	delivered, droppedLoss, droppedQueue, droppedNoHost uint64
+}
+
+// delivery is one in-flight datagram, scheduled via Engine.AtArg so sending
+// allocates nothing once the free list warms up.
+type delivery struct {
+	n       *Network
+	dst     *Host
+	from    netip.Addr
+	size    int
+	payload any
+}
+
+// deliverDatagram is the arrival event for every datagram (non-capturing:
+// one shared func value, state rides in the pooled delivery).
+var deliverDatagram = func(a any) {
+	d := a.(*delivery)
+	n := d.n
+	if d.dst.detached {
+		n.droppedNoHost++
+	} else {
+		d.dst.recvDatagrams++
+		d.dst.recvBytes += uint64(d.size)
+		n.delivered++
+		if d.dst.handler != nil {
+			d.dst.handler(d.from, d.size, d.payload)
+		}
+	}
+	d.dst = nil
+	d.payload = nil
+	n.freeDeliveries = append(n.freeDeliveries, d)
 }
 
 // New creates a network on the given engine.
@@ -142,34 +180,48 @@ func New(eng *eventsim.Engine, cfg Config) *Network {
 	return &Network{
 		eng:   eng,
 		cfg:   cfg,
-		hosts: make(map[netip.Addr]*Host),
+		hosts: make(map[uint32]*Host),
 		rng:   eng.NewRand(),
 	}
+}
+
+// hostKey packs an IPv4 address into the hosts map key. The simulation's
+// address plan is IPv4-only; non-IPv4 folds to 0, which is never allocated.
+func hostKey(a netip.Addr) uint32 {
+	if !a.Is4() {
+		return 0
+	}
+	b := a.As4()
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
 }
 
 // Attach registers a host and its receive handler. Attaching an address that
 // is already attached returns an error.
 func (n *Network) Attach(h *Host, handler Handler) error {
-	if _, ok := n.hosts[h.Addr]; ok {
+	if _, ok := n.hosts[hostKey(h.Addr)]; ok {
 		return fmt.Errorf("underlay: address %s already attached", h.Addr)
 	}
 	if h.UploadBps <= 0 {
 		return fmt.Errorf("underlay: host %s has non-positive upload capacity", h.Addr)
 	}
 	h.handler = handler
-	n.hosts[h.Addr] = h
+	h.detached = false
+	n.hosts[hostKey(h.Addr)] = h
 	return nil
 }
 
 // Detach removes a host; subsequent datagrams to it are silently dropped,
 // like UDP to a departed peer.
 func (n *Network) Detach(addr netip.Addr) {
-	delete(n.hosts, addr)
+	if h, ok := n.hosts[hostKey(addr)]; ok {
+		h.detached = true
+		delete(n.hosts, hostKey(addr))
+	}
 }
 
 // Lookup returns the attached host for addr, if any.
 func (n *Network) Lookup(addr netip.Addr) (*Host, bool) {
-	h, ok := n.hosts[addr]
+	h, ok := n.hosts[hostKey(addr)]
 	return h, ok
 }
 
@@ -265,7 +317,7 @@ func (n *Network) Send(from *Host, to netip.Addr, size int, payload any) bool {
 	// Random loss along the path. The destination's ISP must be resolvable
 	// even if it detaches before arrival; use the current view, falling back
 	// to dropping on unknown destinations at send time.
-	dst, ok := n.hosts[to]
+	dst, ok := n.hosts[hostKey(to)]
 	if !ok {
 		n.droppedNoHost++
 		return true // accepted by the uplink; lost in the network
@@ -282,19 +334,14 @@ func (n *Network) Send(from *Host, to netip.Addr, size int, payload any) bool {
 		arrival += time.Duration(float64(size) / n.cfg.TransoceanicBps * float64(time.Second))
 	}
 
-	fromAddr := from.Addr
-	n.eng.At(arrival, func() {
-		cur, ok := n.hosts[to]
-		if !ok || cur != dst {
-			n.droppedNoHost++
-			return
-		}
-		dst.recvDatagrams++
-		dst.recvBytes += uint64(size)
-		n.delivered++
-		if dst.handler != nil {
-			dst.handler(fromAddr, size, payload)
-		}
-	})
+	var d *delivery
+	if k := len(n.freeDeliveries); k > 0 {
+		d = n.freeDeliveries[k-1]
+		n.freeDeliveries = n.freeDeliveries[:k-1]
+	} else {
+		d = &delivery{}
+	}
+	d.n, d.dst, d.from, d.size, d.payload = n, dst, from.Addr, size, payload
+	n.eng.AtArg(arrival, deliverDatagram, d)
 	return true
 }

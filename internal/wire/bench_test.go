@@ -37,7 +37,19 @@ func BenchmarkMarshalPeerList(b *testing.B) {
 
 func BenchmarkSize(b *testing.B) {
 	m := &DataReply{Channel: 1, Seq: 12345, Count: 8, PieceLen: SubPieceSize}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = Size(m)
+	}
+}
+
+// BenchmarkAppendMarshalDataReply measures the pooled-buffer encode path
+// used by the real-UDP transport.
+func BenchmarkAppendMarshalDataReply(b *testing.B) {
+	m := &DataReply{Channel: 1, Seq: 12345, Count: 1, PieceLen: SubPieceSize}
+	buf := make([]byte, 0, 2048)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendMarshal(buf[:0], m)
 	}
 }

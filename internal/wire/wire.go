@@ -123,6 +123,9 @@ type Message interface {
 	Kind() Type
 	// appendBody appends the binary body encoding.
 	appendBody(b []byte) []byte
+	// bodySize returns len(appendBody(nil)) without encoding anything, so
+	// the simulated underlay can size datagrams allocation-free.
+	bodySize() int
 	// readBody decodes the body, returning the remaining bytes.
 	readBody(b []byte) ([]byte, error)
 }
@@ -143,6 +146,7 @@ type ChannelListRequest struct{}
 // Kind implements Message.
 func (*ChannelListRequest) Kind() Type                        { return TChannelListRequest }
 func (*ChannelListRequest) appendBody(b []byte) []byte        { return b }
+func (*ChannelListRequest) bodySize() int                     { return 0 }
 func (*ChannelListRequest) readBody(b []byte) ([]byte, error) { return b, nil }
 
 // ChannelListResponse carries the active channel list.
@@ -161,6 +165,14 @@ func (m *ChannelListResponse) appendBody(b []byte) []byte {
 		b = appendString(b, c.Name)
 	}
 	return b
+}
+
+func (m *ChannelListResponse) bodySize() int {
+	n := 2
+	for _, c := range m.Channels {
+		n += 4 + 4 + stringSize(c.Name)
+	}
+	return n
 }
 
 func (m *ChannelListResponse) readBody(b []byte) ([]byte, error) {
@@ -200,6 +212,8 @@ func (m *PlaylinkRequest) appendBody(b []byte) []byte {
 	return binary.BigEndian.AppendUint32(b, uint32(m.Channel))
 }
 
+func (*PlaylinkRequest) bodySize() int { return 4 }
+
 func (m *PlaylinkRequest) readBody(b []byte) ([]byte, error) {
 	v, b, err := readUint32(b)
 	m.Channel = ChannelID(v)
@@ -222,6 +236,8 @@ func (m *PlaylinkResponse) appendBody(b []byte) []byte {
 	b = appendAddr(b, m.Source)
 	return appendAddrList(b, m.Trackers)
 }
+
+func (m *PlaylinkResponse) bodySize() int { return 4 + 4 + addrListSize(m.Trackers) }
 
 func (m *PlaylinkResponse) readBody(b []byte) ([]byte, error) {
 	v, b, err := readUint32(b)
@@ -251,6 +267,8 @@ func (m *TrackerAnnounce) appendBody(b []byte) []byte {
 	return append(b, boolByte(m.Leaving))
 }
 
+func (*TrackerAnnounce) bodySize() int { return 4 + 1 }
+
 func (m *TrackerAnnounce) readBody(b []byte) ([]byte, error) {
 	v, b, err := readUint32(b)
 	if err != nil {
@@ -276,6 +294,8 @@ func (m *TrackerQuery) appendBody(b []byte) []byte {
 	return binary.BigEndian.AppendUint32(b, uint32(m.Channel))
 }
 
+func (*TrackerQuery) bodySize() int { return 4 }
+
 func (m *TrackerQuery) readBody(b []byte) ([]byte, error) {
 	v, b, err := readUint32(b)
 	m.Channel = ChannelID(v)
@@ -295,6 +315,8 @@ func (m *TrackerResponse) appendBody(b []byte) []byte {
 	b = binary.BigEndian.AppendUint32(b, uint32(m.Channel))
 	return appendAddrList(b, m.Peers)
 }
+
+func (m *TrackerResponse) bodySize() int { return 4 + addrListSize(m.Peers) }
 
 func (m *TrackerResponse) readBody(b []byte) ([]byte, error) {
 	v, b, err := readUint32(b)
@@ -317,6 +339,8 @@ func (*Handshake) Kind() Type { return THandshake }
 func (m *Handshake) appendBody(b []byte) []byte {
 	return binary.BigEndian.AppendUint32(b, uint32(m.Channel))
 }
+
+func (*Handshake) bodySize() int { return 4 }
 
 func (m *Handshake) readBody(b []byte) ([]byte, error) {
 	v, b, err := readUint32(b)
@@ -341,6 +365,8 @@ func (m *HandshakeAck) appendBody(b []byte) []byte {
 	b = append(b, boolByte(m.Accepted))
 	return m.Buffer.append(b)
 }
+
+func (m *HandshakeAck) bodySize() int { return 4 + 1 + m.Buffer.size() }
 
 func (m *HandshakeAck) readBody(b []byte) ([]byte, error) {
 	v, b, err := readUint32(b)
@@ -370,6 +396,8 @@ func (m *PeerListRequest) appendBody(b []byte) []byte {
 	return appendAddrList(b, m.OwnPeers)
 }
 
+func (m *PeerListRequest) bodySize() int { return 4 + addrListSize(m.OwnPeers) }
+
 func (m *PeerListRequest) readBody(b []byte) ([]byte, error) {
 	v, b, err := readUint32(b)
 	if err != nil {
@@ -393,6 +421,8 @@ func (m *PeerListReply) appendBody(b []byte) []byte {
 	b = binary.BigEndian.AppendUint32(b, uint32(m.Channel))
 	return appendAddrList(b, m.Peers)
 }
+
+func (m *PeerListReply) bodySize() int { return 4 + addrListSize(m.Peers) }
 
 func (m *PeerListReply) readBody(b []byte) ([]byte, error) {
 	v, b, err := readUint32(b)
@@ -446,6 +476,8 @@ func (bm *BufferMap) append(b []byte) []byte {
 	return append(b, bm.Bits...)
 }
 
+func (bm *BufferMap) size() int { return 8 + 2 + len(bm.Bits) }
+
 func (bm *BufferMap) read(b []byte) ([]byte, error) {
 	if len(b) < 10 {
 		return nil, ErrTruncated
@@ -473,6 +505,8 @@ func (m *BufferMapAnnounce) appendBody(b []byte) []byte {
 	b = binary.BigEndian.AppendUint32(b, uint32(m.Channel))
 	return m.Buffer.append(b)
 }
+
+func (m *BufferMapAnnounce) bodySize() int { return 4 + m.Buffer.size() }
 
 func (m *BufferMapAnnounce) readBody(b []byte) ([]byte, error) {
 	v, b, err := readUint32(b)
@@ -502,6 +536,8 @@ func (m *DataRequest) appendBody(b []byte) []byte {
 	b = binary.BigEndian.AppendUint64(b, m.Seq)
 	return binary.BigEndian.AppendUint16(b, m.Count)
 }
+
+func (*DataRequest) bodySize() int { return 4 + 8 + 2 }
 
 func (m *DataRequest) readBody(b []byte) ([]byte, error) {
 	v, b, err := readUint32(b)
@@ -542,8 +578,10 @@ func (m *DataReply) appendBody(b []byte) []byte {
 	b = binary.BigEndian.AppendUint16(b, m.Count)
 	b = binary.BigEndian.AppendUint16(b, m.PieceLen)
 	b = append(b, boolByte(m.Busy))
-	return append(b, make([]byte, m.PayloadLen())...)
+	return appendZeros(b, m.PayloadLen())
 }
+
+func (m *DataReply) bodySize() int { return 4 + 8 + 2 + 2 + 1 + m.PayloadLen() }
 
 func (m *DataReply) readBody(b []byte) ([]byte, error) {
 	v, b, err := readUint32(b)
@@ -585,6 +623,8 @@ func (m *Have) appendBody(b []byte) []byte {
 	return binary.BigEndian.AppendUint16(b, m.Count)
 }
 
+func (*Have) bodySize() int { return 4 + 8 + 2 }
+
 func (m *Have) readBody(b []byte) ([]byte, error) {
 	v, b, err := readUint32(b)
 	if err != nil {
@@ -609,6 +649,8 @@ type AsnQuery struct {
 func (*AsnQuery) Kind() Type { return TAsnQuery }
 
 func (m *AsnQuery) appendBody(b []byte) []byte { return appendAddr(b, m.Addr) }
+
+func (*AsnQuery) bodySize() int { return 4 }
 
 func (m *AsnQuery) readBody(b []byte) ([]byte, error) {
 	var err error
@@ -636,6 +678,8 @@ func (m *AsnResponse) appendBody(b []byte) []byte {
 	b = append(b, m.ISP)
 	return appendString(b, m.Name)
 }
+
+func (m *AsnResponse) bodySize() int { return 4 + 1 + 4 + 1 + stringSize(m.Name) }
 
 func (m *AsnResponse) readBody(b []byte) ([]byte, error) {
 	var err error
@@ -696,20 +740,27 @@ func newMessage(t Type) (Message, error) {
 
 // Marshal encodes a message into a self-delimiting datagram.
 func Marshal(m Message) []byte {
-	body := m.appendBody(nil)
-	out := make([]byte, 0, headerLen+len(body)+trailerLen)
-	out = binary.BigEndian.AppendUint16(out, magicValue)
-	out = append(out, Version, byte(m.Kind()))
-	out = binary.BigEndian.AppendUint32(out, uint32(len(body)))
-	out = append(out, body...)
-	sum := crc32.ChecksumIEEE(out)
-	return binary.BigEndian.AppendUint32(out, sum)
+	return AppendMarshal(make([]byte, 0, Size(m)), m)
 }
 
-// Size returns the wire size of a message without materializing filler
-// payload more than once. It equals len(Marshal(m)).
+// AppendMarshal appends the encoded datagram to dst and returns the extended
+// slice. Transports that reuse send buffers call this to marshal without a
+// per-datagram allocation.
+func AppendMarshal(dst []byte, m Message) []byte {
+	start := len(dst)
+	dst = binary.BigEndian.AppendUint16(dst, magicValue)
+	dst = append(dst, Version, byte(m.Kind()))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(m.bodySize()))
+	dst = m.appendBody(dst)
+	sum := crc32.ChecksumIEEE(dst[start:])
+	return binary.BigEndian.AppendUint32(dst, sum)
+}
+
+// Size returns the wire size of a message without encoding it. It equals
+// len(Marshal(m)) and never allocates — the simulated underlay calls it for
+// every datagram.
 func Size(m Message) int {
-	return headerLen + len(m.appendBody(nil)) + trailerLen
+	return headerLen + m.bodySize() + trailerLen
 }
 
 // Unmarshal decodes one datagram produced by Marshal.
@@ -751,6 +802,22 @@ const magicValue uint16 = 0x504C
 
 // Encoding helpers.
 
+// zeroChunk feeds appendZeros so filler payload never allocates a scratch
+// slice per datagram.
+var zeroChunk [4096]byte
+
+func appendZeros(b []byte, n int) []byte {
+	for n > 0 {
+		c := n
+		if c > len(zeroChunk) {
+			c = len(zeroChunk)
+		}
+		b = append(b, zeroChunk[:c]...)
+		n -= c
+	}
+	return b
+}
+
 func boolByte(v bool) byte {
 	if v {
 		return 1
@@ -768,6 +835,14 @@ func readAddr(b []byte) (netip.Addr, []byte, error) {
 		return netip.Addr{}, nil, ErrTruncated
 	}
 	return netip.AddrFrom4([4]byte(b[:4])), b[4:], nil
+}
+
+func addrListSize(addrs []netip.Addr) int {
+	n := len(addrs)
+	if n > 255 {
+		n = 255
+	}
+	return 1 + 4*n
 }
 
 func appendAddrList(b []byte, addrs []netip.Addr) []byte {
@@ -797,6 +872,13 @@ func readAddrList(b []byte) ([]netip.Addr, []byte, error) {
 		b = b[4:]
 	}
 	return addrs, b, nil
+}
+
+func stringSize(s string) int {
+	if len(s) > 255 {
+		return 1 + 255
+	}
+	return 1 + len(s)
 }
 
 func appendString(b []byte, s string) []byte {

@@ -52,11 +52,17 @@ func TestRoundTripAllTypes(t *testing.T) {
 		&DataRequest{Channel: 7, Seq: 123456789, Count: 1},
 		&DataReply{Channel: 7, Seq: 123456789, Count: 1, PieceLen: SubPieceSize},
 		&DataReply{Channel: 7, Seq: 42, Count: 16, PieceLen: SubPieceSize},
+		&Have{Channel: 7, Seq: 987654, Count: 3},
+		&AsnQuery{Addr: addr("202.96.0.1")},
+		&AsnResponse{Addr: addr("202.96.0.1"), Found: true, ASN: 4134, ISP: 1, Name: "CHINANET"},
 	}
 	for _, m := range msgs {
 		got := roundTrip(t, m)
 		if !reflect.DeepEqual(normalize(got), normalize(m)) {
 			t.Errorf("%s round trip mismatch:\n got %#v\nwant %#v", m.Kind(), got, m)
+		}
+		if want := len(m.appendBody(nil)); m.bodySize() != want {
+			t.Errorf("%s: bodySize() = %d, encoded body = %d", m.Kind(), m.bodySize(), want)
 		}
 	}
 }
