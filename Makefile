@@ -6,7 +6,7 @@ GO ?= go
 HOTPATH_PKGS = ./internal/eventsim ./internal/wire
 BENCHTIME ?= 2s
 
-.PHONY: fast full bench bench-scenarios clean
+.PHONY: fast full bench bench-sched bench-scenarios clean
 
 # Fast lane: static checks plus every -short test under the race detector.
 # Scenario-scale tests skip themselves in -short mode, so this finishes in
@@ -40,9 +40,28 @@ bench:
 	  END { print "\n]" }' bench_hotpath.txt > BENCH_hotpath.json
 	@echo "wrote BENCH_hotpath.json"
 
+# Scheduler benchmarks (request-scheduling hot path in internal/peer), also
+# exported as BENCH_sched.json in the same shape as BENCH_hotpath.json.
+bench-sched:
+	$(GO) test -run '^$$' -bench 'Scheduler|PickProvider' -benchmem -benchtime $(BENCHTIME) ./internal/peer | tee bench_sched.txt
+	awk 'BEGIN { print "[" } \
+	  /^Benchmark/ { ns=""; bytes=""; allocs=""; \
+	    for (i = 2; i <= NF; i++) { \
+	      if ($$(i) == "ns/op") ns = $$(i-1); \
+	      if ($$(i) == "B/op") bytes = $$(i-1); \
+	      if ($$(i) == "allocs/op") allocs = $$(i-1); \
+	    } \
+	    if (ns == "") next; \
+	    if (n++) print ","; \
+	    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+	      $$1, ns, (bytes == "" ? "null" : bytes), (allocs == "" ? "null" : allocs); \
+	  } \
+	  END { print "\n]" }' bench_sched.txt > BENCH_sched.json
+	@echo "wrote BENCH_sched.json"
+
 # Scenario-scale benchmarks: one full simulation per table/figure.
 bench-scenarios:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x .
 
 clean:
-	rm -f bench_hotpath.txt BENCH_hotpath.json core.test
+	rm -f bench_hotpath.txt BENCH_hotpath.json bench_sched.txt BENCH_sched.json core.test

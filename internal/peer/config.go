@@ -171,6 +171,11 @@ func (c *Config) Validate() error {
 	if c.MaxNeighbors <= 0 || c.ConnectFanout <= 0 || c.MaxPending <= 0 {
 		return fmt.Errorf("peer: non-positive neighbor limits")
 	}
+	// The scheduler packs neighbor indices into 10 bits of its score-order
+	// keys (see buildSchedPlan); the table can hold up to 2*MaxNeighbors.
+	if c.MaxNeighbors > 512 {
+		return fmt.Errorf("peer: max neighbors %d out of range (limit 512)", c.MaxNeighbors)
+	}
 	if c.ReferralSize <= 0 || c.ReferralSize > 255 {
 		return fmt.Errorf("peer: referral size %d out of range", c.ReferralSize)
 	}

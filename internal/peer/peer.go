@@ -21,6 +21,7 @@ package peer
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"net/netip"
 	"slices"
@@ -71,7 +72,14 @@ type neighbor struct {
 	bufferMax uint64        // highest piece set in the map
 	bufferAny bool          // whether the map had any piece at all
 
-	outstanding map[uint64]pendingReq // batch start seq → request detail
+	// outstanding holds the in-flight requests to this neighbor. The count is
+	// capped (MaxOutstandingPerNeighbor) and small, so a flat slice with
+	// linear lookup beats a map on every path that touches it.
+	outstanding []pendingReq
+
+	// planIdx is this neighbor's row in the current scheduler plan (see
+	// sched.go), -1 when not part of it (the source, or before any tick).
+	planIdx int
 
 	// Service quality estimation. score is an EWMA of data response times;
 	// minRTT is the fastest application-level response observed, the same
@@ -84,10 +92,21 @@ type neighbor struct {
 }
 
 // pendingReq tracks one outstanding data request (a batch of count
-// consecutive sub-pieces starting at the keying sequence).
+// consecutive sub-pieces starting at seq).
 type pendingReq struct {
+	seq   uint64
 	at    time.Duration
 	count int
+}
+
+// findOutstanding returns the index of the request keyed by seq, or -1.
+func (nb *neighbor) findOutstanding(seq uint64) int {
+	for i := range nb.outstanding {
+		if nb.outstanding[i].seq == seq {
+			return i
+		}
+	}
+	return -1
 }
 
 // setBuffer stores a freshly announced buffer map, precomputing the highest
@@ -96,20 +115,20 @@ func (nb *neighbor) setBuffer(bm wire.BufferMap, at time.Duration) {
 	// Copy the bitmap: announce messages are shared across receivers in the
 	// simulated transport, and learnHas mutates our view. The backing array
 	// is reused across announce rounds.
-	nb.buffer = wire.BufferMap{Start: bm.Start, Bits: append(nb.buffer.Bits[:0], bm.Bits...)}
+	nb.buffer = wire.BufferMap{
+		Start:   bm.Start,
+		Words:   append(nb.buffer.Words[:0], bm.Words...),
+		ByteLen: bm.ByteLen,
+	}
 	nb.bufferAt = at
 	nb.bufferAny = false
 	nb.bufferMax = 0
-	for i := len(bm.Bits) - 1; i >= 0; i-- {
-		b := bm.Bits[i]
-		if b == 0 {
+	for i := len(bm.Words) - 1; i >= 0; i-- {
+		w := bm.Words[i]
+		if w == 0 {
 			continue
 		}
-		hi := 7
-		for b&(1<<hi) == 0 {
-			hi--
-		}
-		nb.bufferMax = bm.Start + uint64(i*8+hi)
+		nb.bufferMax = bm.Start + uint64(i*64+bits.Len64(w)-1)
 		nb.bufferAny = true
 		break
 	}
@@ -128,34 +147,24 @@ const knowledgeWindow = 2048
 // Have lands past the window end, and without slack each one would trigger
 // a full rebuild.
 func (nb *neighbor) learnHas(lo, hi uint64, at time.Duration) {
-	if nb.buffer.Bits == nil || hi >= nb.buffer.Start+nb.buffer.Window() {
+	if nb.buffer.Words == nil || hi >= nb.buffer.Start+nb.buffer.Window() {
 		const slack = knowledgeWindow / 4
 		start := uint64(0)
 		if hi+1+slack > knowledgeWindow {
-			// Keep start byte-aligned so successive re-anchors copy whole
-			// bytes instead of walking bits.
+			// Keep start byte-aligned: the wire format's window granularity,
+			// so re-anchoring never shifts which sequences the window can
+			// describe relative to an announced map.
 			start = (hi + 1 + slack - knowledgeWindow) &^ 7
 		}
-		fresh := wire.BufferMap{Start: start, Bits: make([]byte, knowledgeWindow/8)}
-		if nb.buffer.Bits != nil {
-			if off := start - nb.buffer.Start; start >= nb.buffer.Start && off%8 == 0 {
-				if bo := int(off / 8); bo < len(nb.buffer.Bits) {
-					copy(fresh.Bits, nb.buffer.Bits[bo:])
-				}
-			} else {
-				end := nb.buffer.Start + nb.buffer.Window()
-				for seq := start; seq < end; seq++ {
-					if nb.buffer.Has(seq) {
-						fresh.Set(seq)
-					}
-				}
+		fresh := wire.MakeBufferMap(start, knowledgeWindow)
+		if nb.buffer.Words != nil {
+			for w := range fresh.Words {
+				fresh.Words[w] = nb.buffer.WordAt(start + uint64(w)*64)
 			}
 		}
 		nb.buffer = fresh
 	}
-	for seq := lo; seq <= hi; seq++ {
-		nb.buffer.Set(seq)
-	}
+	nb.buffer.SetRange(lo, hi)
 	if !nb.bufferAny || hi > nb.bufferMax {
 		nb.bufferMax = hi
 		nb.bufferAny = true
@@ -206,9 +215,12 @@ type Client struct {
 	recent []netip.Addr
 
 	outstandingTotal int
-	// inflight indexes every outstanding sequence for O(1) scheduler skips
-	// (the per-neighbor outstanding maps hold the timing detail).
-	inflight map[uint64]struct{}
+	// inflight indexes every outstanding sequence as a sliding-window bit set
+	// so the want scan can mask whole words out at once (the per-neighbor
+	// outstanding maps hold the timing detail). Created on playlink, sized to
+	// the buffer window plus the span requests can outlive it by (timeout
+	// drift), per BitRing's aliasing precondition.
+	inflight *stream.BitRing
 
 	// sortedCache holds the connected non-source neighbor addresses in
 	// address order, maintained incrementally on membership changes;
@@ -220,11 +232,25 @@ type Client struct {
 	// Scheduler-tick scratch state, reused every SchedInterval so the hot
 	// path stays allocation-free.
 	wantScratch []uint64
-	candScratch []*neighbor
-	inFlightFn  func(uint64) bool
+
+	// Per-tick scheduler plan (see sched.go): transposed candidate masks for
+	// the tick's want range, plus the eligibility mask that evolves as
+	// requests are booked.
+	planOrg    uint64
+	planWords  int
+	planGroups int
+	planRows   []uint64 // gather scratch: per group, 64 rows × planWords
+	planCand   []uint64 // candidate masks, indexed (g*planWords + w)*64 + b
+	planElig   []uint64 // per-group eligibility masks
+	planOrder  []uint64 // neighbor indices sorted by (score, index)
 
 	// lastMapTo rate-limits decline-triggered buffer-map piggybacks.
 	lastMapTo map[uint32]time.Duration
+
+	// emitRequest, when set, replaces the wire send for scheduled data
+	// requests; benchmarks use it to measure scheduling cost without the
+	// message-construction cost. All bookkeeping still runs.
+	emitRequest func(to netip.Addr, seq uint64, count int)
 
 	cancels      []node.Cancel
 	trackerTimer node.Cancel
@@ -271,7 +297,6 @@ func New(env node.Env, cfg Config) (*Client, error) {
 		neighbors: make(map[uint32]*neighbor),
 		pending:   make(map[uint32]time.Duration),
 		known:     make(map[uint32]bool),
-		inflight:  make(map[uint64]struct{}),
 	}, nil
 }
 
@@ -407,6 +432,11 @@ func (c *Client) handlePlaylink(m *wire.PlaylinkResponse) {
 		panic(fmt.Sprintf("peer: buffer: %v", err))
 	}
 	c.buffer = buf
+	// In-flight sequences live between (playhead − timeout drift) and the
+	// prefetch bound: expired requests linger up to RequestTimeout plus one
+	// scheduler interval past the window, so size the ring for both.
+	drift := int((c.cfg.RequestTimeout+c.cfg.SchedInterval).Seconds()*c.cfg.Channel.Rate()) + 64
+	c.inflight = stream.NewBitRing(c.cfg.BufferWindow + drift)
 	c.source = m.Source
 	c.trackers = append([]netip.Addr(nil), m.Trackers...)
 	c.phase = PhaseStartup
@@ -703,16 +733,16 @@ func (c *Client) handleHandshakeAck(from netip.Addr, m *wire.HandshakeAck) {
 func (c *Client) addNeighbor(a netip.Addr, bm wire.BufferMap) *neighbor {
 	if nb, ok := c.neighbors[akey(a)]; ok {
 		nb.lastHeard = c.env.Now()
-		if bm.Bits != nil {
+		if bm.Words != nil {
 			nb.setBuffer(bm, c.env.Now())
 		}
 		return nb
 	}
 	nb := &neighbor{
-		addr:        a,
-		connected:   c.env.Now(),
-		lastHeard:   c.env.Now(),
-		outstanding: make(map[uint64]pendingReq),
+		addr:      a,
+		connected: c.env.Now(),
+		lastHeard: c.env.Now(),
+		planIdx:   -1,
 	}
 	nb.setBuffer(bm, c.env.Now())
 	c.neighbors[akey(a)] = nb
@@ -851,8 +881,8 @@ func (c *Client) dropNeighbor(a netip.Addr) {
 	if !ok {
 		return
 	}
-	for seq, req := range nb.outstanding {
-		c.clearOutstanding(nb, seq, req)
+	for len(nb.outstanding) > 0 {
+		c.clearOutstanding(nb, len(nb.outstanding)-1)
 	}
 	delete(c.neighbors, akey(a))
 	c.sortedRemove(a)
@@ -889,15 +919,16 @@ func (c *Client) schedulerTick() {
 	// than that are too close to the live edge to be widely announced yet).
 	budget := (c.cfg.MaxOutstanding - c.outstandingTotal) * c.cfg.BatchCount
 	limit := c.buffer.Playhead() + uint64(c.cfg.FetchLead.Seconds()*c.cfg.Channel.Rate())
-	if c.inFlightFn == nil {
-		c.inFlightFn = c.inFlight
-	}
-	want := c.buffer.AppendWant(c.wantScratch[:0], now, budget, limit, c.inFlightFn)
+	want := c.buffer.AppendWantRing(c.wantScratch[:0], now, budget, limit, c.inflight)
 	c.wantScratch = want[:0]
 	if len(want) == 0 {
 		c.maybeSteady()
 		return
 	}
+
+	// Precompute every neighbor's coverage of the want range while want is
+	// still sorted (its ends bound the range); picks below are mask lookups.
+	c.buildSchedPlan(want[0], want[len(want)-1])
 
 	// Pieces within two seconds of their deadline are urgent: they go only
 	// to proven holders or the source, never to extrapolated coverage.
@@ -979,8 +1010,7 @@ func (c *Client) neighborCovers(nb *neighbor, seq uint64, now time.Duration, rat
 
 // inFlight reports whether seq is covered by any outstanding request.
 func (c *Client) inFlight(seq uint64) bool {
-	_, ok := c.inflight[seq]
-	return ok
+	return c.inflight != nil && c.inflight.Has(seq)
 }
 
 // expireRequests times out unanswered data requests, penalizing the
@@ -995,85 +1025,29 @@ func (c *Client) expireRequests(now time.Duration) {
 }
 
 func (c *Client) expireNeighbor(nb *neighbor, now time.Duration) {
-	if len(nb.outstanding) == 0 {
-		return
-	}
-	for seq, req := range nb.outstanding {
-		if now-req.at > c.cfg.RequestTimeout {
-			c.clearOutstanding(nb, seq, req)
+	for i := 0; i < len(nb.outstanding); {
+		if now-nb.outstanding[i].at > c.cfg.RequestTimeout {
+			c.clearOutstanding(nb, i)
 			c.stats.RequestTimeouts++
 			// A timeout is strong evidence of overload or departure.
 			nb.score = ewma(nb.score, 2*c.cfg.RequestTimeout)
+		} else {
+			i++
 		}
 	}
 }
 
-// clearOutstanding removes a pending request and its inflight coverage.
-func (c *Client) clearOutstanding(nb *neighbor, seq uint64, req pendingReq) {
-	delete(nb.outstanding, seq)
+// clearOutstanding removes the pending request at index i (swap-remove; the
+// slice is unordered) and its inflight coverage.
+func (c *Client) clearOutstanding(nb *neighbor, i int) {
+	req := nb.outstanding[i]
+	last := len(nb.outstanding) - 1
+	nb.outstanding[i] = nb.outstanding[last]
+	nb.outstanding = nb.outstanding[:last]
 	c.outstandingTotal--
-	for i := 0; i < req.count; i++ {
-		delete(c.inflight, seq+uint64(i))
+	for k := 0; k < req.count; k++ {
+		c.inflight.Clear(req.seq + uint64(k))
 	}
-}
-
-// pickProvider chooses a neighbor to serve sub-piece seq.
-//
-// With PreferFastNeighbors, selection is ε-greedy over the inverse of the
-// observed service-time EWMA: mostly the fastest covering neighbor, with a
-// 15% exploration share spread across the others. This is the
-// performance-driven concentration that produces the paper's
-// stretched-exponential request distribution (§3.4) and the negative
-// rank–RTT correlation (§3.5). The source is a last resort — except for
-// urgent pieces, which only go to neighbors whose buffer map proves
-// possession (extrapolated coverage is not good enough near a deadline).
-func (c *Client) pickProvider(seq uint64, now time.Duration, urgent bool) *neighbor {
-	rate := c.cfg.Channel.Rate()
-	candidates := c.candScratch[:0]
-	for _, nb := range c.sortedNeighbors() {
-		if len(nb.outstanding) >= c.cfg.MaxOutstandingPerNeighbor {
-			continue
-		}
-		if urgent {
-			if !nb.buffer.Has(seq) {
-				continue
-			}
-		} else if !nb.covers(seq, now, rate) {
-			continue
-		}
-		candidates = append(candidates, nb)
-	}
-	c.candScratch = candidates[:0]
-	if len(candidates) == 0 {
-		// Urgent pieces fall back to the source unconditionally. Non-urgent
-		// pieces may prefetch from the source with small probability: this
-		// seeds each fresh piece into a few peers, and the mesh (buffer
-		// maps + referral clusters) spreads it from there. Without the
-		// seeding nobody holds new pieces early and the source degenerates
-		// into a CDN at deadline time.
-		if !urgent && c.env.Rand().Float64() >= c.cfg.SourcePrefetchProb {
-			return nil
-		}
-		if src, ok := c.neighbors[akey(c.source)]; ok && len(src.outstanding) < c.cfg.MaxOutstandingPerNeighbor {
-			return src
-		}
-		return nil
-	}
-	rng := c.env.Rand()
-	if !c.cfg.PreferFastNeighbors {
-		return candidates[rng.Intn(len(candidates))]
-	}
-	// ε-greedy: explore uniformly 8% of the time.
-	if rng.Float64() < 0.08 {
-		return candidates[rng.Intn(len(candidates))]
-	}
-	best := candidates[0]
-	for _, nb := range candidates[1:] {
-		if score(nb) < score(best) {
-			best = nb
-		}
-	}
-	return best
 }
 
 // score orders neighbors by expected service time; never-measured neighbors
@@ -1094,13 +1068,18 @@ func ewma(old, sample time.Duration) time.Duration {
 }
 
 func (c *Client) sendDataRequest(nb *neighbor, seq uint64, count int, now time.Duration) {
-	nb.outstanding[seq] = pendingReq{at: now, count: count}
+	nb.outstanding = append(nb.outstanding, pendingReq{seq: seq, at: now, count: count})
 	c.outstandingTotal++
 	for i := 0; i < count; i++ {
-		c.inflight[seq+uint64(i)] = struct{}{}
+		c.inflight.Set(seq + uint64(i))
 	}
+	c.planNoteSent(nb)
 	nb.requests++
 	c.stats.DataRequestsSent++
+	if c.emitRequest != nil {
+		c.emitRequest(nb.addr, seq, count)
+		return
+	}
 	c.env.Send(nb.addr, &wire.DataRequest{
 		Channel: c.cfg.Channel.Channel,
 		Seq:     seq,
@@ -1189,8 +1168,8 @@ func (c *Client) handleDataReply(from netip.Addr, m *wire.DataReply) {
 		// Miss: clear the in-flight slot. For busy signals, penalize the
 		// neighbor's service score so the scheduler spreads load away; for
 		// no-haves, the piggybacked buffer map corrects our stale view.
-		if req, ok := nb.outstanding[m.Seq]; ok {
-			c.clearOutstanding(nb, m.Seq, req)
+		if i := nb.findOutstanding(m.Seq); i >= 0 {
+			c.clearOutstanding(nb, i)
 		}
 		if m.Busy {
 			c.stats.DataBusies++
@@ -1204,9 +1183,9 @@ func (c *Client) handleDataReply(from netip.Addr, m *wire.DataReply) {
 		return
 	}
 
-	if req, ok := nb.outstanding[m.Seq]; ok {
-		c.clearOutstanding(nb, m.Seq, req)
-		rt := now - req.at
+	if i := nb.findOutstanding(m.Seq); i >= 0 {
+		rt := now - nb.outstanding[i].at
+		c.clearOutstanding(nb, i)
 		nb.score = ewma(nb.score, rt)
 		if nb.minRTT == 0 || rt < nb.minRTT {
 			nb.minRTT = rt

@@ -196,7 +196,7 @@ func TestInboundHandshakeAccepted(t *testing.T) {
 	if !ok || !ack.Accepted {
 		t.Fatalf("reply = %#v, want accepting HandshakeAck", got[0])
 	}
-	if ack.Buffer.Bits == nil {
+	if ack.Buffer.Words == nil {
 		t.Error("accepting ack carries no buffer map")
 	}
 }
@@ -367,7 +367,7 @@ func TestSchedulerRequestsFromProvenHolder(t *testing.T) {
 	for i := range bits {
 		bits[i] = 0xff
 	}
-	c.HandleMessage(n1, &wire.BufferMapAnnounce{Channel: 1, Buffer: wire.BufferMap{Start: c.buffer.StartSeq(), Bits: bits}})
+	c.HandleMessage(n1, &wire.BufferMapAnnounce{Channel: 1, Buffer: wire.BufferMapFromBytes(c.buffer.StartSeq(), bits)})
 	env.take()
 
 	env.Advance(2 * time.Second) // a few scheduler ticks past some emissions
@@ -533,7 +533,7 @@ func TestRequestTimeoutExpiresAndPenalizes(t *testing.T) {
 	for i := range bits {
 		bits[i] = 0xff
 	}
-	c.HandleMessage(n1, &wire.BufferMapAnnounce{Channel: 1, Buffer: wire.BufferMap{Start: c.buffer.StartSeq(), Bits: bits}})
+	c.HandleMessage(n1, &wire.BufferMapAnnounce{Channel: 1, Buffer: wire.BufferMapFromBytes(c.buffer.StartSeq(), bits)})
 	env.take()
 	env.Advance(time.Second)
 	env.take()

@@ -93,16 +93,9 @@ func (s *Source) bufferMap(now time.Duration) wire.BufferMap {
 	if edge+1 > window {
 		start = edge + 1 - window
 	}
-	bits := make([]byte, window/8)
-	for i := range bits {
-		bits[i] = 0xff
-	}
-	bm := wire.BufferMap{Start: start, Bits: bits}
-	// Clear bits beyond the edge.
-	for seq := edge + 1; seq < start+window; seq++ {
-		// Bits beyond edge must be unset; rebuild precisely.
-		idx := seq - start
-		bm.Bits[idx/8] &^= 1 << (idx % 8)
+	bm := wire.MakeBufferMap(start, window)
+	if edge >= start {
+		bm.SetRange(start, edge)
 	}
 	return bm
 }

@@ -9,6 +9,7 @@ package stream
 
 import (
 	"fmt"
+	"math/bits"
 	"time"
 
 	"pplivesim/internal/wire"
@@ -82,7 +83,15 @@ type Buffer struct {
 	startSeq uint64 // first sequence this peer plays
 	base     uint64 // lowest sequence retained in the ring
 	playhead uint64 // next sequence to be consumed
-	have     []bool // ring; slot for seq is have[seq%window]
+
+	// have is the ring as packed bits: the slot for seq is ring bit
+	// seq % ringCap, i.e. bit seq%64 of have[(seq%ringCap)/64]. ringCap is a
+	// multiple of 64 — so a ring word holds 64 consecutive, 64-aligned
+	// sequences — and exceeds the window by a word of padding, so words
+	// overlapping the live range [base, base+window) never alias live
+	// sequences and all their out-of-range bits are zero.
+	have    []uint64
+	ringCap uint64
 
 	received   uint64
 	duplicates uint64
@@ -103,6 +112,7 @@ func NewBuffer(spec Spec, join, delay time.Duration, window int) (*Buffer, error
 		return nil, fmt.Errorf("stream: window %d too small", window)
 	}
 	start := spec.EdgeSeq(join)
+	cap := ringCapFor(window)
 	return &Buffer{
 		spec:     spec,
 		join:     join,
@@ -112,8 +122,20 @@ func NewBuffer(spec Spec, join, delay time.Duration, window int) (*Buffer, error
 		startSeq: start,
 		base:     start,
 		playhead: start,
-		have:     make([]bool, window),
+		have:     make([]uint64, cap/64),
+		ringCap:  cap,
 	}, nil
+}
+
+// ringCapFor rounds a window up to whole words and adds one word of padding
+// (see the have field's invariants).
+func ringCapFor(window int) uint64 {
+	return uint64((window+63)/64*64 + 64)
+}
+
+// ringIdx returns the word index and bit mask for seq's ring slot.
+func (b *Buffer) ringIdx(seq uint64) (int, uint64) {
+	return int((seq % b.ringCap) / 64), uint64(1) << (seq % 64)
 }
 
 // Spec returns the channel spec the buffer was built for.
@@ -139,7 +161,8 @@ func (b *Buffer) Has(seq uint64) bool {
 	if seq < b.base || seq >= b.base+uint64(b.window) {
 		return false
 	}
-	return b.have[seq%uint64(b.window)]
+	w, m := b.ringIdx(seq)
+	return b.have[w]&m != 0
 }
 
 // Mark records receipt of sub-piece seq. It reports whether the piece was
@@ -153,12 +176,12 @@ func (b *Buffer) Mark(seq uint64) bool {
 		// Ahead of the ring (e.g. source burst): slide forward to cover it.
 		b.slideTo(seq - uint64(b.window) + 1)
 	}
-	idx := seq % uint64(b.window)
-	if b.have[idx] {
+	w, m := b.ringIdx(seq)
+	if b.have[w]&m != 0 {
 		b.duplicates++
 		return false
 	}
-	b.have[idx] = true
+	b.have[w] |= m
 	b.received++
 	return true
 }
@@ -172,14 +195,13 @@ func (b *Buffer) slideTo(newBase uint64) {
 	}
 	steps := newBase - b.base
 	if steps >= uint64(b.window) {
-		for i := range b.have {
-			b.have[i] = false
-		}
+		clear(b.have)
 		b.base = newBase
 		return
 	}
 	for ; b.base < newBase; b.base++ {
-		b.have[b.base%uint64(b.window)] = false
+		w, m := b.ringIdx(b.base)
+		b.have[w] &^= m
 	}
 }
 
@@ -211,19 +233,14 @@ func (b *Buffer) Want(now time.Duration, max int, limit uint64, skip func(uint64
 }
 
 // AppendWant is Want appending into dst, so per-tick schedulers can reuse a
-// scratch slice instead of allocating one per invocation.
+// scratch slice instead of allocating one per invocation. It is the per-piece
+// reference implementation of AppendWantRing (which property tests hold it
+// against); schedulers use the word-based variant.
 func (b *Buffer) AppendWant(dst []uint64, now time.Duration, max int, limit uint64, skip func(uint64) bool) []uint64 {
 	if max <= 0 {
 		return dst
 	}
-	edge := b.spec.EdgeSeq(now)
-	end := b.base + uint64(b.window)
-	if edge+1 < end {
-		end = edge + 1
-	}
-	if limit != 0 && limit < end {
-		end = limit
-	}
+	end := b.WantBound(now, limit)
 	base := len(dst)
 	for seq := b.playhead; seq < end && len(dst)-base < max; seq++ {
 		if b.Has(seq) {
@@ -237,28 +254,80 @@ func (b *Buffer) AppendWant(dst []uint64, now time.Duration, max int, limit uint
 	return dst
 }
 
-// Snapshot produces a wire buffer map covering the retained window. Bit i of
-// the map covers base+i, whose ring slot is (base+i)%window — a rotation of
-// the ring, assembled byte-at-a-time with a wrapping cursor instead of a
-// division per sub-piece (announces snapshot frequently enough to matter).
-func (b *Buffer) Snapshot() wire.BufferMap {
-	bits := make([]byte, (b.window+7)/8)
-	ri := int(b.base % uint64(b.window))
-	n := b.window
-	for i := range bits {
-		var v byte
-		for j := 0; j < 8 && i*8+j < n; j++ {
-			if b.have[ri] {
-				v |= 1 << j
-			}
-			ri++
-			if ri == n {
-				ri = 0
+// WantBound returns the exclusive upper bound of the fetchable range at now:
+// the live edge, the ring end, and the caller's prefetch limit (0 = none),
+// whichever is lowest.
+func (b *Buffer) WantBound(now time.Duration, limit uint64) uint64 {
+	edge := b.spec.EdgeSeq(now)
+	end := b.base + uint64(b.window)
+	if edge+1 < end {
+		end = edge + 1
+	}
+	if limit != 0 && limit < end {
+		end = limit
+	}
+	return end
+}
+
+// haveWord returns the held-bits for the 64 sequences [seq, seq+64), seq
+// 64-aligned. Valid whenever the word overlaps [base-63, base+window+63] —
+// the padding invariant guarantees every out-of-range bit reads zero.
+func (b *Buffer) haveWord(alignedSeq uint64) uint64 {
+	return b.have[(alignedSeq%b.ringCap)/64]
+}
+
+// AppendWantRing is AppendWant with the skip-set expressed as a BitRing, so
+// the scan runs a word at a time: wanted = NOT held AND NOT skipped, then
+// set-bit iteration. Sequences are appended nearest-deadline first, exactly
+// as AppendWant orders them.
+func (b *Buffer) AppendWantRing(dst []uint64, now time.Duration, max int, limit uint64, skip *BitRing) []uint64 {
+	if max <= 0 {
+		return dst
+	}
+	end := b.WantBound(now, limit)
+	if b.playhead >= end {
+		return dst
+	}
+	n := len(dst)
+	for a := b.playhead &^ 63; a < end; a += 64 {
+		w := ^b.haveWord(a)
+		if skip != nil {
+			w &^= skip.Word(a)
+		}
+		if a < b.playhead {
+			w &= ^uint64(0) << (b.playhead - a)
+		}
+		if end-a < 64 {
+			w &= uint64(1)<<(end-a) - 1
+		}
+		for ; w != 0; w &= w - 1 {
+			dst = append(dst, a+uint64(bits.TrailingZeros64(w)))
+			if len(dst)-n == max {
+				return dst
 			}
 		}
-		bits[i] = v
 	}
-	return wire.BufferMap{Start: b.base, Bits: bits}
+	return dst
+}
+
+// Snapshot produces a wire buffer map covering the retained window. Bit i of
+// the map covers base+i — a rotation of the ring, assembled a word at a time:
+// each output word is two ring words funnel-shifted by base's bit offset.
+func (b *Buffer) Snapshot() wire.BufferMap {
+	bm := wire.MakeBufferMap(b.base, b.window)
+	s := b.base % 64
+	for w := range bm.Words {
+		a0 := b.base + uint64(w)*64 - s
+		v := b.haveWord(a0) >> s
+		if s != 0 {
+			v |= b.haveWord(a0+64) << (64 - s)
+		}
+		bm.Words[w] = v
+	}
+	if tail := uint(b.window % 64); tail != 0 {
+		bm.Words[len(bm.Words)-1] &= uint64(1)<<tail - 1
+	}
+	return bm
 }
 
 // Stats summarizes buffer activity.

@@ -435,10 +435,46 @@ func (m *PeerListReply) readBody(b []byte) ([]byte, error) {
 }
 
 // BufferMap describes which sub-pieces a peer holds: a window starting at
-// Start with one bit per sub-piece.
+// Start with one bit per sub-piece. Coverage is stored as 64-bit words so
+// membership tests are a shift+mask and schedulers can intersect whole words;
+// the wire encoding is byte-granular and unchanged (bit i of encoded byte j
+// covers Start+8j+i, i.e. words serialize little-endian).
 type BufferMap struct {
 	Start uint64 // first sub-piece sequence covered
-	Bits  []byte // little-endian bitmap; bit i covers Start+i
+	// Words is the coverage bitmap: bit i of Words[w] covers Start+64w+i.
+	// Bits at or beyond ByteLen*8 are always zero.
+	Words []uint64
+	// ByteLen is the window length in bytes as encoded on the wire.
+	ByteLen int
+}
+
+// MakeBufferMap returns an all-zero map covering window sub-pieces from start.
+func MakeBufferMap(start uint64, window int) BufferMap {
+	nbytes := (window + 7) / 8
+	return BufferMap{
+		Start:   start,
+		Words:   make([]uint64, (nbytes+7)/8),
+		ByteLen: nbytes,
+	}
+}
+
+// BufferMapFromBytes builds a map from the byte-granular bitmap encoding (bit
+// i of bits[j] covers start+8j+i). A nil bits yields the empty map.
+func BufferMapFromBytes(start uint64, bits []byte) BufferMap {
+	bm := BufferMap{Start: start, ByteLen: len(bits)}
+	if bits == nil {
+		return bm
+	}
+	bm.Words = bytesToWords(nil, bits)
+	return bm
+}
+
+// Bytes returns the byte-granular bitmap encoding (nil for an empty map).
+func (bm *BufferMap) Bytes() []byte {
+	if bm.ByteLen == 0 {
+		return nil
+	}
+	return bm.appendBits(make([]byte, 0, bm.ByteLen))
 }
 
 // Has reports whether the map covers sub-piece seq.
@@ -447,11 +483,10 @@ func (bm *BufferMap) Has(seq uint64) bool {
 		return false
 	}
 	i := seq - bm.Start
-	byteIdx := i / 8
-	if byteIdx >= uint64(len(bm.Bits)) {
+	if i >= uint64(bm.ByteLen)*8 {
 		return false
 	}
-	return bm.Bits[byteIdx]&(1<<(i%8)) != 0
+	return bm.Words[i/64]>>(i%64)&1 != 0
 }
 
 // Set marks sub-piece seq as held; out-of-window seqs are ignored.
@@ -460,23 +495,104 @@ func (bm *BufferMap) Set(seq uint64) {
 		return
 	}
 	i := seq - bm.Start
-	byteIdx := i / 8
-	if byteIdx >= uint64(len(bm.Bits)) {
+	if i >= uint64(bm.ByteLen)*8 {
 		return
 	}
-	bm.Bits[byteIdx] |= 1 << (i % 8)
+	bm.Words[i/64] |= 1 << (i % 64)
+}
+
+// SetRange marks sub-pieces [lo, hi] as held, clamped to the window.
+func (bm *BufferMap) SetRange(lo, hi uint64) {
+	if hi < bm.Start || bm.ByteLen == 0 {
+		return
+	}
+	if lo < bm.Start {
+		lo = bm.Start
+	}
+	end := bm.Start + uint64(bm.ByteLen)*8
+	if lo >= end {
+		return
+	}
+	if hi >= end {
+		hi = end - 1
+	}
+	lw, hw := (lo-bm.Start)/64, (hi-bm.Start)/64
+	loMask := ^uint64(0) << ((lo - bm.Start) % 64)
+	hiMask := ^uint64(0) >> (63 - (hi-bm.Start)%64)
+	if lw == hw {
+		bm.Words[lw] |= loMask & hiMask
+		return
+	}
+	bm.Words[lw] |= loMask
+	for w := lw + 1; w < hw; w++ {
+		bm.Words[w] = ^uint64(0)
+	}
+	bm.Words[hw] |= hiMask
+}
+
+// WordAt returns the 64-bit coverage word for sequences [seq, seq+64): bit i
+// is set iff Has(seq+i). seq need not be aligned to the map's Start.
+func (bm *BufferMap) WordAt(seq uint64) uint64 {
+	if len(bm.Words) == 0 {
+		return 0
+	}
+	if seq < bm.Start {
+		gap := bm.Start - seq
+		if gap >= 64 {
+			return 0
+		}
+		return bm.Words[0] << gap
+	}
+	off := seq - bm.Start
+	if off >= uint64(bm.ByteLen)*8 {
+		return 0
+	}
+	w, b := off/64, off%64
+	v := bm.Words[w] >> b
+	if b != 0 && w+1 < uint64(len(bm.Words)) {
+		v |= bm.Words[w+1] << (64 - b)
+	}
+	return v
 }
 
 // Window returns the number of sub-pieces covered by the map.
-func (bm *BufferMap) Window() uint64 { return uint64(len(bm.Bits)) * 8 }
+func (bm *BufferMap) Window() uint64 { return uint64(bm.ByteLen) * 8 }
+
+// appendBits appends the byte-granular encoding of the coverage bitmap.
+func (bm *BufferMap) appendBits(b []byte) []byte {
+	full := bm.ByteLen / 8
+	for w := 0; w < full; w++ {
+		b = binary.LittleEndian.AppendUint64(b, bm.Words[w])
+	}
+	for k := full * 8; k < bm.ByteLen; k++ {
+		b = append(b, byte(bm.Words[k/8]>>(8*(k%8))))
+	}
+	return b
+}
+
+// bytesToWords decodes the byte-granular bitmap into words appended to dst.
+func bytesToWords(dst []uint64, bits []byte) []uint64 {
+	full := len(bits) / 8
+	for w := 0; w < full; w++ {
+		dst = append(dst, binary.LittleEndian.Uint64(bits[w*8:]))
+	}
+	if tail := bits[full*8:]; len(tail) > 0 {
+		var v uint64
+		for k, c := range tail {
+			v |= uint64(c) << (8 * k)
+		}
+		dst = append(dst, v)
+	}
+	return dst
+}
 
 func (bm *BufferMap) append(b []byte) []byte {
 	b = binary.BigEndian.AppendUint64(b, bm.Start)
-	b = binary.BigEndian.AppendUint16(b, uint16(len(bm.Bits)))
-	return append(b, bm.Bits...)
+	b = binary.BigEndian.AppendUint16(b, uint16(bm.ByteLen))
+	return bm.appendBits(b)
 }
 
-func (bm *BufferMap) size() int { return 8 + 2 + len(bm.Bits) }
+func (bm *BufferMap) size() int { return 8 + 2 + bm.ByteLen }
 
 func (bm *BufferMap) read(b []byte) ([]byte, error) {
 	if len(b) < 10 {
@@ -488,7 +604,11 @@ func (bm *BufferMap) read(b []byte) ([]byte, error) {
 	if len(b) < n {
 		return nil, ErrTruncated
 	}
-	bm.Bits = append([]byte(nil), b[:n]...)
+	bm.ByteLen = n
+	bm.Words = nil
+	if n > 0 {
+		bm.Words = bytesToWords(make([]uint64, 0, (n+7)/8), b[:n])
+	}
 	return b[n:], nil
 }
 

@@ -45,10 +45,10 @@ func TestRoundTripAllTypes(t *testing.T) {
 		&TrackerQuery{Channel: 7},
 		&TrackerResponse{Channel: 7, Peers: []netip.Addr{addr("1.2.3.4"), addr("5.6.7.8")}},
 		&Handshake{Channel: 7},
-		&HandshakeAck{Channel: 7, Accepted: true, Buffer: BufferMap{Start: 100, Bits: []byte{0xff, 0x01}}},
+		&HandshakeAck{Channel: 7, Accepted: true, Buffer: BufferMapFromBytes(100, []byte{0xff, 0x01})},
 		&PeerListRequest{Channel: 7, OwnPeers: []netip.Addr{addr("9.9.9.9")}},
 		&PeerListReply{Channel: 7, Peers: []netip.Addr{addr("2.2.2.2"), addr("3.3.3.3")}},
-		&BufferMapAnnounce{Channel: 7, Buffer: BufferMap{Start: 42, Bits: []byte{0x0f}}},
+		&BufferMapAnnounce{Channel: 7, Buffer: BufferMapFromBytes(42, []byte{0x0f})},
 		&DataRequest{Channel: 7, Seq: 123456789, Count: 1},
 		&DataReply{Channel: 7, Seq: 123456789, Count: 1, PieceLen: SubPieceSize},
 		&DataReply{Channel: 7, Seq: 42, Count: 16, PieceLen: SubPieceSize},
@@ -152,7 +152,7 @@ func TestUnmarshalErrors(t *testing.T) {
 }
 
 func TestBufferMapHasSet(t *testing.T) {
-	bm := BufferMap{Start: 100, Bits: make([]byte, 4)} // covers 100..131
+	bm := MakeBufferMap(100, 32) // covers 100..131
 	for _, seq := range []uint64{100, 101, 115, 131} {
 		if bm.Has(seq) {
 			t.Errorf("fresh map Has(%d) = true", seq)
@@ -245,17 +245,18 @@ func TestPropertyBufferMapRoundTrip(t *testing.T) {
 		if len(bits) > 512 {
 			bits = bits[:512]
 		}
-		m := &BufferMapAnnounce{Channel: 1, Buffer: BufferMap{Start: start, Bits: bits}}
+		m := &BufferMapAnnounce{Channel: 1, Buffer: BufferMapFromBytes(start, bits)}
 		got, err := Unmarshal(Marshal(m))
 		if err != nil {
 			return false
 		}
 		g, ok := got.(*BufferMapAnnounce)
-		if !ok || g.Buffer.Start != start || len(g.Buffer.Bits) != len(bits) {
+		if !ok || g.Buffer.Start != start || g.Buffer.ByteLen != len(bits) {
 			return false
 		}
+		dec := g.Buffer.Bytes()
 		for i := range bits {
-			if g.Buffer.Bits[i] != bits[i] {
+			if dec[i] != bits[i] {
 				return false
 			}
 		}
@@ -263,6 +264,73 @@ func TestPropertyBufferMapRoundTrip(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(8))}); err != nil {
 		t.Error(err)
+	}
+}
+
+// Property: the word-based primitives agree with a per-bit reference model
+// over random windows and offsets, including partial trailing words and
+// probes below/above the window.
+func TestPropertyBufferMapWordOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 300; iter++ {
+		start := uint64(rng.Intn(5000)) + 64 // keep probes below start representable
+		nbytes := rng.Intn(70)
+		bits := make([]byte, nbytes)
+		rng.Read(bits)
+		bm := BufferMapFromBytes(start, bits)
+
+		ref := make(map[uint64]bool)
+		for k, c := range bits {
+			for i := 0; i < 8; i++ {
+				if c&(1<<i) != 0 {
+					ref[start+uint64(8*k+i)] = true
+				}
+			}
+		}
+		// A random SetRange on both representations.
+		if nbytes > 0 && rng.Intn(2) == 0 {
+			lo := start - 10 + uint64(rng.Intn(8*nbytes+20))
+			hi := lo + uint64(rng.Intn(200))
+			bm.SetRange(lo, hi)
+			for seq := lo; seq <= hi; seq++ {
+				if seq >= start && seq-start < uint64(8*nbytes) {
+					ref[seq] = true
+				}
+			}
+		}
+		for probe := 0; probe < 200; probe++ {
+			seq := start - 70 + uint64(rng.Intn(8*nbytes+140))
+			if bm.Has(seq) != ref[seq] {
+				t.Fatalf("iter %d: Has(%d) = %v, ref %v (start=%d bytes=%d)",
+					iter, seq, bm.Has(seq), ref[seq], start, nbytes)
+			}
+			w := bm.WordAt(seq)
+			for i := uint64(0); i < 64; i++ {
+				if w>>i&1 != 0 != ref[seq+i] {
+					t.Fatalf("iter %d: WordAt(%d) bit %d = %d, ref %v",
+						iter, seq, i, w>>i&1, ref[seq+i])
+				}
+			}
+		}
+		// The byte view must round-trip the word store exactly.
+		got := bm.Bytes()
+		if nbytes == 0 {
+			if got != nil {
+				t.Fatalf("iter %d: empty map Bytes() = %x", iter, got)
+			}
+			continue
+		}
+		for k := range bits {
+			want := bits[k]
+			for i := 0; i < 8; i++ {
+				if ref[start+uint64(8*k+i)] {
+					want |= 1 << i
+				}
+			}
+			if got[k] != want {
+				t.Fatalf("iter %d: Bytes()[%d] = %#x, want %#x", iter, k, got[k], want)
+			}
+		}
 	}
 }
 
