@@ -6,7 +6,7 @@ GO ?= go
 HOTPATH_PKGS = ./internal/eventsim ./internal/wire
 BENCHTIME ?= 2s
 
-.PHONY: fast full bench bench-sched bench-scenarios clean
+.PHONY: fast full bench bench-sched bench-shard bench-scenarios clean
 
 # Fast lane: static checks plus every -short test under the race detector.
 # Scenario-scale tests skip themselves in -short mode, so this finishes in
@@ -59,9 +59,36 @@ bench-sched:
 	  END { print "\n]" }' bench_sched.txt > BENCH_sched.json
 	@echo "wrote BENCH_sched.json"
 
+# Sharded-engine wall-clock benchmark: the paper-scale popular scenario,
+# once single-threaded and once with SHARD_WORKERS event-loop workers,
+# exported as BENCH_shard.json. The events/continuity/locality fields must be
+# identical across the two entries (the trajectory is worker-count
+# invariant); only wall_seconds may differ, and gomaxprocs records how many
+# cores the speedup had to work with. Each run is a full ~2-hour-virtual
+# scenario, so this takes serious wall time.
+SHARD_WORKERS ?= 6
+
+bench-shard:
+	PPLIVE_PAPER_SCALE=1 PPLIVE_SHARD_WORKERS=1 $(GO) test -run TestPaperScalePopularRun -v -timeout 4h ./internal/experiments | tee bench_shard.txt
+	PPLIVE_PAPER_SCALE=1 PPLIVE_SHARD_WORKERS=$(SHARD_WORKERS) $(GO) test -run TestPaperScalePopularRun -v -timeout 4h ./internal/experiments | tee -a bench_shard.txt
+	awk 'BEGIN { print "[" } \
+	  /shard-bench:/ { \
+	    line = ""; \
+	    for (i = 1; i <= NF; i++) { \
+	      if (split($$(i), kv, "=") != 2) continue; \
+	      line = line (line == "" ? "" : ", ") "\"" kv[1] "\": " kv[2]; \
+	    } \
+	    if (line == "") next; \
+	    if (n++) print ","; \
+	    printf "  {%s}", line; \
+	  } \
+	  END { print "\n]" }' bench_shard.txt > BENCH_shard.json
+	@echo "wrote BENCH_shard.json"
+
 # Scenario-scale benchmarks: one full simulation per table/figure.
 bench-scenarios:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x .
 
 clean:
-	rm -f bench_hotpath.txt BENCH_hotpath.json bench_sched.txt BENCH_sched.json core.test
+	rm -f bench_hotpath.txt BENCH_hotpath.json bench_sched.txt BENCH_sched.json \
+	  bench_shard.txt BENCH_shard.json core.test

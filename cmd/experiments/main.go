@@ -6,7 +6,7 @@
 // Usage:
 //
 //	experiments [-scale quick|default|paper] [-seed N] [-only substr] [-out file]
-//	            [-cpuprofile file] [-memprofile file]
+//	            [-shards N] [-cpuprofile file] [-memprofile file]
 package main
 
 import (
@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"pplivesim/internal/experiments"
+	"pplivesim/internal/simnet"
 )
 
 func main() {
@@ -212,20 +213,31 @@ func run() error {
 	out := flag.String("out", "", "also append sections to this file")
 	plots := flag.String("plots", "", "also render SVG figures into this directory")
 	workers := flag.Int("workers", 0, "max concurrent scenario runs (0 = GOMAXPROCS); results are identical at any setting")
+	shards := flag.Int("shards", simnet.DefaultShards, "event-loop workers per run (one per ISP domain by default); results are identical at any setting")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
 	flag.Parse()
 
+	if *workers < 0 {
+		return fmt.Errorf("-workers %d: must be >= 0", *workers)
+	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards %d: must be >= 1", *shards)
+	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
 			return fmt.Errorf("cpuprofile: %w", err)
 		}
-		defer f.Close()
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: cpuprofile:", err)
+			}
+		}()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			return fmt.Errorf("cpuprofile: %w", err)
 		}
-		defer pprof.StopCPUProfile()
 	}
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
@@ -237,7 +249,9 @@ func run() error {
 			if err := pprof.WriteHeapProfile(f); err != nil {
 				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
 			}
-			f.Close()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+			}
 		}()
 	}
 
@@ -259,6 +273,9 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		// Closed explicitly on the success path below so a write error (full
+		// disk, flushed on close) fails the run; this defer only covers the
+		// error returns in between.
 		defer f.Close()
 		sink = f
 	}
@@ -271,6 +288,7 @@ func run() error {
 
 	runner := experiments.NewRunner(scale, *seed)
 	runner.Workers = *workers
+	runner.Shards = *shards
 	emit(fmt.Sprintf("experiment run: scale=%s seed=%d population×%.2f watch=%s fig6days=%d\n\n",
 		*scaleName, *seed, scale.Population, scale.Watch, scale.Fig6Days))
 
@@ -302,6 +320,11 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "figures written to %s\n", *plots)
 	}
 	emit(fmt.Sprintf("total wall time: %s\n", time.Since(start).Round(time.Second)))
+	if sink != nil {
+		if err := sink.Close(); err != nil {
+			return fmt.Errorf("out %s: %w", *out, err)
+		}
+	}
 	return nil
 }
 

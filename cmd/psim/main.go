@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	psim [-channel popular|unpopular] [-scale 0.25] [-watch 20m]
+//	psim [-channel popular|unpopular] [-scale 0.25] [-watch 20m] [-shards N]
 //	     [-probes tele,cnc,mason] [-seed 7] [-no-referral] [-no-latency-bias]
 //	     [-no-preference]
 package main
@@ -19,6 +19,7 @@ import (
 	"pplivesim"
 	"pplivesim/internal/experiments"
 	"pplivesim/internal/isp"
+	"pplivesim/internal/simnet"
 )
 
 func main() {
@@ -38,7 +39,21 @@ func run() error {
 	noReferral := flag.Bool("no-referral", false, "ablate neighbor referral")
 	noLatency := flag.Bool("no-latency-bias", false, "ablate latency-based selection")
 	noPref := flag.Bool("no-preference", false, "ablate performance-weighted scheduling")
+	shards := flag.Int("shards", simnet.DefaultShards, "event-loop workers (one per ISP domain by default); results are identical at any setting")
 	flag.Parse()
+
+	if *scale <= 0 {
+		return fmt.Errorf("-scale %g: must be positive", *scale)
+	}
+	if *watch <= 0 {
+		return fmt.Errorf("-watch %s: must be positive", *watch)
+	}
+	if *warmup <= 0 {
+		return fmt.Errorf("-warmup %s: must be positive", *warmup)
+	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards %d: must be >= 1", *shards)
+	}
 
 	var sc pplive.Scenario
 	switch *channel {
@@ -52,6 +67,7 @@ func run() error {
 	sc.Watch = *watch
 	sc.WarmUp = *warmup
 	sc.ArrivalWindow = *warmup / 2
+	sc.Shards = *shards
 	sc.Behaviour = pplive.Behaviour{
 		DisableReferral:    *noReferral,
 		DisableLatencyBias: *noLatency,

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"pplivesim"
@@ -57,6 +58,12 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if *scale <= 0 {
+		return fmt.Errorf("-scale %g: must be positive", *scale)
+	}
+	if *watch <= 0 {
+		return fmt.Errorf("-watch %s: must be positive", *watch)
+	}
 
 	var sc pplive.Scenario
 	switch *channel {
@@ -83,9 +90,12 @@ func run() error {
 		Source:   res.SourceAddr.String(),
 		Channel:  uint32(sc.Spec.Channel),
 	}
+	// res.Trackers is a map; sort so the header (and thus the whole output
+	// file) is byte-identical across runs of the same seed.
 	for t := range res.Trackers {
 		hdr.Trackers = append(hdr.Trackers, t.String())
 	}
+	sort.Strings(hdr.Trackers)
 
 	sink := os.Stdout
 	if *out != "-" {
@@ -99,6 +109,11 @@ func run() error {
 	records := res.Probes[0].Recorder.Records()
 	if err := tracefile.Write(sink, hdr, records); err != nil {
 		return err
+	}
+	if sink != os.Stdout {
+		if err := sink.Close(); err != nil {
+			return fmt.Errorf("out %s: %w", *out, err)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "tracegen: wrote %d records\n", len(records))
 	return nil

@@ -126,6 +126,19 @@ func SyntheticInternet() *Registry {
 	return r
 }
 
+// PrefixesFor returns every prefix of the given ISP category in registration
+// order. Sharded worlds partition a category's address space into domains by
+// splitting this list.
+func (r *Registry) PrefixesFor(category isp.ISP) []ipam.Prefix {
+	var prefixes []ipam.Prefix
+	for _, rec := range r.records {
+		if rec.ISP == category {
+			prefixes = append(prefixes, rec.Prefix)
+		}
+	}
+	return prefixes
+}
+
 // PoolFor builds an allocation pool over every prefix of the given ISP
 // category in the registry, in registration order.
 func (r *Registry) PoolFor(category isp.ISP) (*ipam.Pool, error) {

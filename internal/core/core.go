@@ -11,6 +11,7 @@ package core
 
 import (
 	"fmt"
+	"math/rand"
 	"net/netip"
 	"time"
 
@@ -61,6 +62,13 @@ type Scenario struct {
 	Churn     workload.Churn
 	Probes    []ProbeSpec
 	Behaviour Behaviour
+
+	// Shards is the number of worker goroutines executing the ISP-domain
+	// shards of the event engine. The simulation is always partitioned by
+	// ISP domain and its trajectory is identical for every value; Shards
+	// only chooses how many OS threads execute the synchronization windows.
+	// Values below 2 run single-threaded.
+	Shards int
 
 	// ArrivalWindow spreads the initial population's joins.
 	ArrivalWindow time.Duration
@@ -142,13 +150,36 @@ type Sim struct {
 
 	probes []ProbeResult
 
-	peersSpawned int
-	background   []*peer.Client
+	// doms holds per-domain mutable state. During a synchronization window
+	// each domain's worker touches only its own entry; the barriers order
+	// those accesses, so no locks are needed and the totals are deterministic
+	// for any worker count.
+	doms []domainState
+}
+
+// domainState is the per-shard slice of the simulation's mutable state.
+type domainState struct {
+	dom *simnet.Domain
+	// rng drives viewer capacity/processing/churn draws for spawns in this
+	// domain. Seeded per domain, so one shard's churn never perturbs
+	// another's stream.
+	rng *rand.Rand
+	// spawned counts background viewers ever created in this domain.
+	spawned int
+	// background holds every viewer ever spawned here (including departed).
+	background []*peer.Client
 }
 
 // BackgroundClients returns every background viewer ever spawned (including
-// departed ones), for swarm-health inspection in tests and tools.
-func (s *Sim) BackgroundClients() []*peer.Client { return s.background }
+// departed ones), for swarm-health inspection in tests and tools. Clients
+// are grouped by shard domain in id order.
+func (s *Sim) BackgroundClients() []*peer.Client {
+	var out []*peer.Client
+	for i := range s.doms {
+		out = append(out, s.doms[i].background...)
+	}
+	return out
+}
 
 // trackerGroupISPs places the five tracker groups; the paper locates all
 // tracker deployments inside China.
@@ -172,21 +203,28 @@ func sourceUploadBps(sc Scenario) float64 {
 	return capacity
 }
 
-// Build assembles a simulation from a scenario.
+// Build assembles a simulation from a scenario. The world is always
+// partitioned into ISP shard domains; Scenario.Shards only decides how many
+// workers execute it later.
 func Build(sc Scenario) (*Sim, error) {
 	sc.DefaultTiming()
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
-	world := simnet.NewWorld(sc.Seed)
+	world := simnet.NewShardedWorld(sc.Seed)
 	sim := &Sim{
 		scenario:     sc,
 		world:        world,
 		trackerAddrs: make(map[netip.Addr]bool),
 	}
+	for _, d := range world.Domains() {
+		sim.doms = append(sim.doms, domainState{dom: d, rng: d.Engine().NewRand()})
+	}
+	// Infrastructure lands in the first domain of its ISP category.
+	infraDomain := func(cat isp.ISP) *simnet.Domain { return world.DomainsOf(cat)[0] }
 
 	// Bootstrap/channel server.
-	bsEnv, err := world.Spawn(simnet.HostSpec{ISP: isp.TELE, UploadBps: infraUploadBps, ProcDelay: 2 * time.Millisecond})
+	bsEnv, err := infraDomain(isp.TELE).Spawn(simnet.HostSpec{ISP: isp.TELE, UploadBps: infraUploadBps, ProcDelay: 2 * time.Millisecond})
 	if err != nil {
 		return nil, fmt.Errorf("spawn bootstrap: %w", err)
 	}
@@ -198,7 +236,7 @@ func Build(sc Scenario) (*Sim, error) {
 	var groups [tracker.Groups][]netip.Addr
 	for g := 0; g < tracker.Groups; g++ {
 		for i := 0; i < 2; i++ {
-			env, err := world.Spawn(simnet.HostSpec{ISP: trackerGroupISPs[g], UploadBps: infraUploadBps, ProcDelay: 2 * time.Millisecond})
+			env, err := infraDomain(trackerGroupISPs[g]).Spawn(simnet.HostSpec{ISP: trackerGroupISPs[g], UploadBps: infraUploadBps, ProcDelay: 2 * time.Millisecond})
 			if err != nil {
 				return nil, fmt.Errorf("spawn tracker: %w", err)
 			}
@@ -210,7 +248,7 @@ func Build(sc Scenario) (*Sim, error) {
 	}
 
 	// Channel source.
-	srcEnv, err := world.Spawn(simnet.HostSpec{ISP: isp.TELE, UploadBps: sourceUploadBps(sc), ProcDelay: 2 * time.Millisecond})
+	srcEnv, err := infraDomain(isp.TELE).Spawn(simnet.HostSpec{ISP: isp.TELE, UploadBps: sourceUploadBps(sc), ProcDelay: 2 * time.Millisecond})
 	if err != nil {
 		return nil, fmt.Errorf("spawn source: %w", err)
 	}
@@ -231,24 +269,31 @@ func Build(sc Scenario) (*Sim, error) {
 		return nil, err
 	}
 
-	// Background population: initial arrivals spread over ArrivalWindow.
-	// Iterate categories in fixed order — map order would break run
-	// determinism.
-	rng := world.Engine.NewRand()
+	// Background population: initial arrivals spread over ArrivalWindow,
+	// round-robined across the category's shard domains. Categories iterate
+	// in fixed order and arrival instants come from the build RNG — map
+	// order or domain-stream draws here would break run determinism.
+	rng := world.BuildRand()
 	for _, category := range isp.All() {
+		doms := world.DomainsOf(category)
 		count := sc.Viewers[category]
 		for i := 0; i < count; i++ {
 			at := time.Duration(rng.Int63n(int64(sc.ArrivalWindow)))
+			ds := &sim.doms[doms[i%len(doms)].ID()]
 			category := category
-			world.Engine.At(at, func() { sim.spawnViewer(category) })
+			ds.dom.At(at, func() { sim.spawnViewer(ds, category) })
 		}
 	}
 
-	// Probes join at WarmUp.
-	for _, ps := range sc.Probes {
-		ps := ps
-		world.Engine.At(sc.WarmUp, func() {
-			if err := sim.spawnProbe(ps); err != nil {
+	// Probes join at WarmUp, each in its ISP's first domain; slots are
+	// preallocated so concurrent domain workers never append to a shared
+	// slice.
+	sim.probes = make([]ProbeResult, len(sc.Probes))
+	for i, ps := range sc.Probes {
+		i, ps := i, ps
+		ds := &sim.doms[infraDomain(ps.ISP).ID()]
+		ds.dom.At(sc.WarmUp, func() {
+			if err := sim.spawnProbe(ds, i, ps); err != nil {
 				panic(fmt.Sprintf("core: spawn probe %s: %v", ps.Name, err))
 			}
 		})
@@ -274,11 +319,13 @@ func (s *Sim) applyBehaviour(cfg *peer.Config) {
 	cfg.PreferFastNeighbors = !b.DisablePreference
 }
 
-// spawnViewer creates one background viewer and, with churn enabled,
-// schedules its departure and replacement.
-func (s *Sim) spawnViewer(category isp.ISP) {
-	rng := s.world.Engine.Rand()
-	env, err := s.world.Spawn(simnet.HostSpec{
+// spawnViewer creates one background viewer in ds's shard domain and, with
+// churn enabled, schedules its departure and replacement (in the same
+// domain, preserving shard balance). It runs on ds's worker and touches only
+// ds state.
+func (s *Sim) spawnViewer(ds *domainState, category isp.ISP) {
+	rng := ds.rng
+	env, err := ds.dom.Spawn(simnet.HostSpec{
 		ISP:       category,
 		UploadBps: workload.UploadCapacity(rng, category),
 		ProcDelay: workload.ProcDelay(rng),
@@ -295,28 +342,30 @@ func (s *Sim) spawnViewer(category isp.ISP) {
 	env.SetHandler(client)
 	client.SetOnStopped(env.Close)
 	client.Start()
-	s.peersSpawned++
-	s.background = append(s.background, client)
+	ds.spawned++
+	ds.background = append(ds.background, client)
 
 	if s.scenario.Churn.Enabled {
 		session := s.scenario.Churn.SessionLength(rng)
-		s.world.Engine.After(session, func() {
+		ds.dom.After(session, func() {
 			client.Stop()
 			gap := time.Duration(rng.ExpFloat64() * float64(s.scenario.Churn.ReplacementDelay))
-			s.world.Engine.After(gap, func() { s.spawnViewer(category) })
+			ds.dom.After(gap, func() { s.spawnViewer(ds, category) })
 		})
 	}
 }
 
-// spawnProbe creates one instrumented full-fidelity client and attaches a
-// packet recorder to both directions of its traffic.
-func (s *Sim) spawnProbe(ps ProbeSpec) error {
-	rng := s.world.Engine.Rand()
+// spawnProbe creates one instrumented full-fidelity client in ds's shard
+// domain and attaches a packet recorder to both directions of its traffic.
+// The probe writes its preallocated result slot and schedules its own stop
+// at the horizon.
+func (s *Sim) spawnProbe(ds *domainState, slot int, ps ProbeSpec) error {
+	rng := ds.rng
 	up := ps.UploadBps
 	if up == 0 {
 		up = workload.UploadCapacity(rng, ps.ISP)
 	}
-	env, err := s.world.Spawn(simnet.HostSpec{
+	env, err := ds.dom.Spawn(simnet.HostSpec{
 		ISP:       ps.ISP,
 		UploadBps: up,
 		ProcDelay: workload.ProcDelay(rng),
@@ -333,22 +382,24 @@ func (s *Sim) spawnProbe(ps ProbeSpec) error {
 	env.SetHandler(client)
 
 	rec := capture.NewRecorder(env.Addr())
-	eng := s.world.Engine
 	env.TapRecv(func(from netip.Addr, msg wire.Message, size int) {
-		rec.Observe(eng.Now(), capture.In, from, msg, size)
+		rec.Observe(env.Now(), capture.In, from, msg, size)
 	})
 	env.TapSend(func(to netip.Addr, msg wire.Message, size int) {
-		rec.Observe(eng.Now(), capture.Out, to, msg, size)
+		rec.Observe(env.Now(), capture.Out, to, msg, size)
 	})
 	client.Start()
 
-	s.probes = append(s.probes, ProbeResult{
+	// Stop at the horizon so the probe's final state is well-defined.
+	ds.dom.At(s.scenario.WarmUp+s.scenario.Watch, client.Stop)
+
+	s.probes[slot] = ProbeResult{
 		Name:     ps.Name,
 		ISP:      ps.ISP,
 		Addr:     env.Addr(),
 		Recorder: rec,
 		Client:   client,
-	})
+	}
 	return nil
 }
 
@@ -359,14 +410,12 @@ func (s *Sim) World() *simnet.World { return s.world }
 func (s *Sim) Run() (*Result, error) {
 	sc := s.scenario
 	horizon := sc.WarmUp + sc.Watch
-	// Stop the probes at the horizon so their final state is well-defined.
-	s.world.Engine.At(horizon, func() {
-		for _, p := range s.probes {
-			p.Client.Stop()
-		}
-	})
-	if err := s.world.Engine.Run(horizon); err != nil {
+	if err := s.world.Run(horizon, sc.Shards); err != nil {
 		return nil, fmt.Errorf("run scenario %q: %w", sc.Name, err)
+	}
+	var spawned int
+	for i := range s.doms {
+		spawned += s.doms[i].spawned
 	}
 	return &Result{
 		Scenario:        sc,
@@ -374,9 +423,9 @@ func (s *Sim) Run() (*Result, error) {
 		Trackers:        s.trackerAddrs,
 		Registry:        s.world.Registry,
 		SourceAddr:      s.sourceAddr,
-		Elapsed:         s.world.Engine.Now(),
-		EventsProcessed: s.world.Engine.Processed(),
-		PeersSpawned:    s.peersSpawned,
+		Elapsed:         s.world.Now(),
+		EventsProcessed: s.world.EventsProcessed(),
+		PeersSpawned:    spawned,
 	}, nil
 }
 

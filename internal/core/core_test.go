@@ -107,6 +107,11 @@ func TestDeterministicRuns(t *testing.T) {
 			t.Fatalf("traces diverge at record %d: %+v vs %+v", i, t1[i], t2[i])
 		}
 	}
+	// Byte-level equality over every record field (not just the spot-checked
+	// ones above): the full-trace digests must match exactly.
+	if d1, d2 := goldenDigest(t, r1), goldenDigest(t, r2); d1 != d2 {
+		t.Errorf("same-seed runs produced different trace digests: %#x vs %#x", d1, d2)
+	}
 }
 
 func TestChurnGrowsUniquePeers(t *testing.T) {

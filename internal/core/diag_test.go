@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"pplivesim/internal/isp"
+	"pplivesim/internal/simnet"
 	"pplivesim/internal/workload"
 )
 
@@ -31,21 +32,23 @@ func TestDiagLocalityScenario(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Periodic swarm-health samples (per-minute deltas).
-	eng := sim.World().Engine
-	net := sim.World().Network
+	// Periodic swarm-health samples (per-minute deltas). The sampler runs on
+	// the source's shard domain; cross-domain counters are summed at the
+	// barrier-consistent instant the event fires.
+	world := sim.World()
+	srcDom := world.DomainsOf(isp.TELE)[0]
 	var pDeliv, pLoss, pQueue, pNoHost uint64
 	var pSrcSent, pRecvSum, pOKSum, pMissSum uint64
 	var pProbeRecv, pProbeSent, pProbeGot, pProbeTO uint64
 	for m := 4; m <= 26; m++ {
 		at := time.Duration(m) * time.Minute
-		eng.At(at, func() {
-			deliv, loss, queue, noHost := net.Stats()
+		srcDom.At(at, func() {
+			deliv, loss, queue, noHost := world.NetStats()
 			var srcSent uint64
 			var srcQ time.Duration
-			if h, ok := net.Lookup(sim.sourceAddr); ok {
+			if h, ok := world.LookupHost(sim.sourceAddr); ok {
 				_, srcSent, _, _ = h.Stats()
-				srcQ = h.QueueDelay(eng.Now())
+				srcQ = h.QueueDelay(srcDom.Engine().Now())
 			}
 			var recvSum, okSum, missSum uint64
 			for _, c := range sim.BackgroundClients() {
@@ -55,8 +58,8 @@ func TestDiagLocalityScenario(t *testing.T) {
 				missSum += bs.PlayedMiss
 			}
 			t.Logf("t=%-5v net Δdeliv=%-7d Δloss=%-5d ΔqueueDrop=%-6d ΔnoHost=%-5d | src Δbytes=%-9d q=%-8v | bg Δrecv=%-6d Δok=%-6d Δmiss=%-6d hosts=%d",
-				eng.Now(), deliv-pDeliv, loss-pLoss, queue-pQueue, noHost-pNoHost,
-				srcSent-pSrcSent, srcQ, recvSum-pRecvSum, okSum-pOKSum, missSum-pMissSum, net.NumHosts())
+				srcDom.Engine().Now(), deliv-pDeliv, loss-pLoss, queue-pQueue, noHost-pNoHost,
+				srcSent-pSrcSent, srcQ, recvSum-pRecvSum, okSum-pOKSum, missSum-pMissSum, numHosts(world))
 			pDeliv, pLoss, pQueue, pNoHost = deliv, loss, queue, noHost
 			pSrcSent, pRecvSum, pOKSum, pMissSum = srcSent, recvSum, okSum, missSum
 			for _, p := range sim.probes {
@@ -94,4 +97,13 @@ func TestDiagLocalityScenario(t *testing.T) {
 	p := res.Probes[0]
 	t.Logf("probe final: %+v", p.Client.BufferStats())
 	t.Logf("probe stats: %+v", p.Client.Stats())
+}
+
+// numHosts sums attached hosts across all shard domains.
+func numHosts(w *simnet.World) int {
+	var n int
+	for _, d := range w.Domains() {
+		n += d.Network().NumHosts()
+	}
+	return n
 }

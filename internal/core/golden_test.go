@@ -44,18 +44,23 @@ func goldenDigest(t *testing.T, res *Result) uint64 {
 }
 
 // TestGoldenTraceDigest pins the exact behaviour of the simulation at two
-// fixed seeds: the digests below were recorded before the word-bitmap
-// scheduler rewrite, so a pass proves the rewrite is byte-identical to the
-// old map-based scheduler (same requests to the same providers in the same
-// order, same RNG draw sequence, same wire sizes).
+// fixed seeds. The digests were re-baselined when the event engine was
+// sharded across ISP domains (per-domain RNG streams, per-domain address
+// pools, receiver-side cross-domain delivery) and the scheduler's RNG draws
+// were batched through a bit reservoir — both deliberately change the draw
+// sequences, so the pre-shard digests could not survive. From this baseline
+// on, a pass proves two things at once: no behavioural drift at any change,
+// and worker-count invariance — Scenario.Shards alters only which goroutine
+// executes a domain's window, never the trajectory, so this digest must hold
+// for every worker count (TestShardEquivalence sweeps that axis explicitly).
 func TestGoldenTraceDigest(t *testing.T) {
 	cases := []struct {
 		seed  int64
 		churn bool
 		want  uint64
 	}{
-		{seed: 7, churn: true, want: 0x238526915ef0691a},
-		{seed: 42, churn: false, want: 0x720f0807fd53c47b},
+		{seed: 7, churn: true, want: 0x5fd28422705e58fa},
+		{seed: 42, churn: false, want: 0x8e40292727df5a33},
 	}
 	for _, tc := range cases {
 		sc := smallScenario(tc.seed)

@@ -548,3 +548,45 @@ func (e *Engine) Step() bool {
 	e.fire(next)
 	return true
 }
+
+// NextAt returns the virtual time of the earliest pending event, if any. It
+// is the conservative-window probe used by Group: between windows it tells
+// the coordinator how far the engine can be fast-forwarded without skipping
+// work.
+func (e *Engine) NextAt() (time.Duration, bool) {
+	next, ok := e.peek()
+	if !ok {
+		return 0, false
+	}
+	return next.at, true
+}
+
+// RunUntil executes events in order while their time is strictly before end.
+// Unlike Run it never advances the clock past the last fired event, so a
+// coordinator can interleave windows on several engines and only commit a
+// final time with FastForward. It returns ErrStopped if Stop was called.
+func (e *Engine) RunUntil(end time.Duration) error {
+	for e.live > 0 {
+		if e.stopped {
+			return ErrStopped
+		}
+		next, ok := e.peek()
+		if !ok || next.at >= end {
+			break
+		}
+		e.fire(next)
+	}
+	if e.stopped {
+		return ErrStopped
+	}
+	return nil
+}
+
+// FastForward advances the clock to t without executing anything. Moving
+// backwards is a no-op; callers use it to commit a window boundary or the
+// final horizon after RunUntil.
+func (e *Engine) FastForward(t time.Duration) {
+	if t > e.now {
+		e.now = t
+	}
+}

@@ -1,0 +1,148 @@
+package eventsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Group runs several engines in lockstep windows — classic conservative
+// parallel discrete-event simulation. The caller partitions the simulated
+// system into shards whose internal traffic stays on one engine and whose
+// cross-shard traffic is guaranteed to arrive at least Lookahead after it
+// was sent. Each window [T, T+Lookahead) is then safe to execute on every
+// engine independently: nothing generated inside the window can affect
+// another shard before the window ends. At the window boundary the
+// coordinator calls Flush, which must move every cross-shard message onto
+// its destination engine (all such messages arrive at or after the
+// boundary, so none is late).
+//
+// The schedule — window sequence, flush points, and flush order — is a pure
+// function of barrier-time state and never depends on Workers, so a run's
+// trajectory is identical whether the windows execute on one goroutine or
+// many.
+type Group struct {
+	// Engines are the per-shard event loops. Index order is the
+	// deterministic tie-break order for coordinator-side scans.
+	Engines []*Engine
+
+	// Lookahead is the guaranteed minimum latency of cross-shard traffic.
+	// It must be positive, and every message handed across shards must
+	// arrive at least this long after the instant it was sent.
+	Lookahead time.Duration
+
+	// Workers is the number of goroutines executing windows. Values below 2
+	// run everything on the calling goroutine.
+	Workers int
+
+	// Flush is called single-threaded at every window boundary, after all
+	// engines have finished the window, and must schedule every pending
+	// cross-shard message onto its destination engine. May be nil when the
+	// shards genuinely never talk to each other.
+	Flush func()
+
+	// Windows counts executed synchronization windows (for instrumentation).
+	Windows uint64
+}
+
+// shardJob is one engine's share of a window.
+type shardJob struct {
+	eng *Engine
+	end time.Duration
+}
+
+// Run executes all engines to the horizon in conservative windows. Events at
+// exactly the horizon fire. On return every engine's clock reads horizon.
+// If any engine is stopped, the first one in index order is reported.
+func (g *Group) Run(horizon time.Duration) error {
+	if len(g.Engines) == 0 {
+		return fmt.Errorf("eventsim: group has no engines")
+	}
+	if g.Lookahead <= 0 {
+		return fmt.Errorf("eventsim: group lookahead %v is not positive", g.Lookahead)
+	}
+
+	var jobs chan shardJob
+	var done chan error
+	workers := g.Workers
+	if workers > len(g.Engines) {
+		workers = len(g.Engines)
+	}
+	if workers > 1 {
+		jobs = make(chan shardJob)
+		// done is buffered to the engine count so a worker can always post
+		// its result and return to the jobs channel; with an unbuffered done,
+		// dispatching more active engines than workers deadlocks (coordinator
+		// blocked sending a job, every worker blocked sending a result).
+		done = make(chan error, len(g.Engines))
+		for w := 0; w < workers; w++ {
+			go func() {
+				for j := range jobs {
+					done <- j.eng.RunUntil(j.end)
+				}
+			}()
+		}
+		defer close(jobs)
+	}
+
+	active := make([]*Engine, 0, len(g.Engines))
+	for {
+		// Find the earliest pending event across shards; empty windows are
+		// skipped entirely by jumping T to it.
+		minNext := time.Duration(-1)
+		active = active[:0]
+		for _, e := range g.Engines {
+			if e.stopped {
+				return ErrStopped
+			}
+			if at, ok := e.NextAt(); ok && (minNext < 0 || at < minNext) {
+				minNext = at
+			}
+		}
+		if minNext < 0 || minNext > horizon {
+			break
+		}
+		// Window width never exceeds the lookahead: anything sent inside
+		// [T, end) arrives at or after end, so no shard can be surprised
+		// mid-window. The horizon cap is horizon+1, not horizon, so events
+		// at exactly the horizon fire, matching Engine.Run.
+		end := minNext + g.Lookahead
+		if end > horizon+1 {
+			end = horizon + 1
+		}
+		for _, e := range g.Engines {
+			if at, ok := e.NextAt(); ok && at < end {
+				active = append(active, e)
+			}
+		}
+
+		var err error
+		if workers > 1 && len(active) > 1 {
+			for _, e := range active {
+				jobs <- shardJob{eng: e, end: end}
+			}
+			for range active {
+				if werr := <-done; werr != nil && err == nil {
+					err = werr
+				}
+			}
+		} else {
+			for _, e := range active {
+				if werr := e.RunUntil(end); werr != nil && err == nil {
+					err = werr
+				}
+			}
+		}
+		if err != nil {
+			return err
+		}
+		if g.Flush != nil {
+			g.Flush()
+		}
+		g.Windows++
+	}
+
+	for _, e := range g.Engines {
+		e.FastForward(horizon)
+	}
+	return nil
+}

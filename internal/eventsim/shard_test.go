@@ -1,0 +1,139 @@
+package eventsim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// groupPing wires n engines into a ring: every engine, each millisecond,
+// posts a message to the next engine that arrives lookahead later, routed
+// through per-source outboxes the Flush callback drains at the barrier. It
+// returns per-engine event logs ("engine@time" strings) — the trajectory the
+// worker-count sweeps compare. Logs are kept per engine because that is the
+// Group's ordering contract: each shard's event sequence is total and
+// deterministic, while cross-shard interleaving within a window is
+// intentionally unordered (the shards run concurrently).
+func groupPing(t *testing.T, n, workers int, horizon time.Duration) [][]string {
+	t.Helper()
+	const lookahead = 3 * time.Millisecond
+
+	engines := make([]*Engine, n)
+	for i := range engines {
+		engines[i] = New(int64(1000 + i))
+	}
+	logs := make([][]string, n)
+	type xmsg struct {
+		src, dst int
+		arrival  time.Duration
+	}
+	outbox := make([][]xmsg, n)
+
+	for i, e := range engines {
+		i, e := i, e
+		// Stagger starts so windows begin with different active sets.
+		e.At(time.Duration(i)*time.Millisecond, func() {})
+		e.Every(time.Millisecond, func() {
+			logs[i] = append(logs[i], fmt.Sprintf("%d@%v", i, e.Now()))
+			outbox[i] = append(outbox[i], xmsg{src: i, dst: (i + 1) % n, arrival: e.Now() + lookahead})
+		})
+	}
+
+	g := Group{
+		Engines:   engines,
+		Lookahead: lookahead,
+		Workers:   workers,
+		Flush: func() {
+			for src := range outbox {
+				for _, m := range outbox[src] {
+					m := m
+					engines[m.dst].At(m.arrival, func() {
+						logs[m.dst] = append(logs[m.dst], fmt.Sprintf("%d@%v<-%d", m.dst, engines[m.dst].Now(), m.src))
+					})
+				}
+				outbox[src] = outbox[src][:0]
+			}
+		},
+	}
+	if err := g.Run(horizon); err != nil {
+		t.Fatalf("n=%d workers=%d: %v", n, workers, err)
+	}
+	if g.Windows == 0 {
+		t.Fatalf("n=%d workers=%d: no windows executed", n, workers)
+	}
+	for _, e := range engines {
+		if e.Now() != horizon {
+			t.Fatalf("n=%d workers=%d: engine clock %v, want horizon %v", n, workers, e.Now(), horizon)
+		}
+	}
+	return logs
+}
+
+// TestGroupWorkerCountInvariance checks the Group's core contract: every
+// shard's event trajectory — each firing, in order, including cross-shard
+// deliveries — is identical for every worker count. Worker counts below the
+// engine count are the regression case for the dispatch deadlock
+// (coordinator blocked sending a job while every worker blocked posting a
+// result): before done was buffered, workers=2 with 6 always-active engines
+// hung forever.
+func TestGroupWorkerCountInvariance(t *testing.T) {
+	const n = 6
+	ref := groupPing(t, n, 1, 50*time.Millisecond)
+	for i, l := range ref {
+		if len(l) == 0 {
+			t.Fatalf("reference run logged nothing on engine %d", i)
+		}
+	}
+	for _, workers := range []int{2, 3, n, n + 5} {
+		got := groupPing(t, n, workers, 50*time.Millisecond)
+		for i := range ref {
+			if len(got[i]) != len(ref[i]) {
+				t.Fatalf("workers=%d engine %d: %d events, reference %d", workers, i, len(got[i]), len(ref[i]))
+			}
+			for j := range ref[i] {
+				if got[i][j] != ref[i][j] {
+					t.Fatalf("workers=%d engine %d: event %d = %q, reference %q", workers, i, j, got[i][j], ref[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestGroupHorizonEdge pins the horizon convention: events scheduled at
+// exactly the horizon fire (matching Engine.Run), later ones do not, and the
+// final window is still never wider than the lookahead.
+func TestGroupHorizonEdge(t *testing.T) {
+	e := New(1)
+	var fired []time.Duration
+	for _, at := range []time.Duration{99 * time.Millisecond, 100 * time.Millisecond, 100*time.Millisecond + 1} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	g := Group{Engines: []*Engine{e}, Lookahead: 5 * time.Millisecond}
+	if err := g.Run(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 || fired[0] != 99*time.Millisecond || fired[1] != 100*time.Millisecond {
+		t.Fatalf("fired %v, want [99ms 100ms]", fired)
+	}
+	if e.Now() != 100*time.Millisecond {
+		t.Fatalf("clock %v, want 100ms", e.Now())
+	}
+}
+
+// TestGroupStop checks that an engine stopping mid-run surfaces ErrStopped
+// from Group.Run, for both the sequential and the parallel dispatcher.
+func TestGroupStop(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		engines := make([]*Engine, 4)
+		for i := range engines {
+			engines[i] = New(int64(i))
+			engines[i].Every(time.Millisecond, func() {})
+		}
+		engines[2].At(7*time.Millisecond, engines[2].Stop)
+		g := Group{Engines: engines, Lookahead: 2 * time.Millisecond, Workers: workers}
+		if err := g.Run(time.Second); err != ErrStopped {
+			t.Fatalf("workers=%d: err = %v, want ErrStopped", workers, err)
+		}
+	}
+}

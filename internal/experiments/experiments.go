@@ -97,13 +97,17 @@ type RunOutputs struct {
 // Runner executes and caches the shared scenario runs. Methods are safe for
 // concurrent use: the shared popular/unpopular runs execute exactly once, and
 // multi-run experiments (Fig6, ablations) fan their independent scenarios out
-// over a worker pool of Workers OS threads. Each scenario engine stays
-// single-threaded, so parallel execution never changes results.
+// over a worker pool of Workers OS threads. Neither knob changes results:
+// scenarios are independent, and within a scenario the sharded engine's
+// trajectory is worker-count invariant.
 type Runner struct {
 	Scale Scale
 	Seed  int64
 	// Workers bounds scenario-level parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Shards sets each scenario's event-loop worker count (core.Scenario
+	// .Shards): below 2 the per-domain engines run on one goroutine.
+	Shards int
 
 	popOnce   sync.Once
 	popular   *RunOutputs
@@ -138,6 +142,7 @@ func (r *Runner) buildScenario(name string, popular bool, seedOffset int64, popu
 		ArrivalWindow: r.Scale.ArrivalWindow,
 		WarmUp:        r.Scale.WarmUp,
 		Watch:         watch,
+		Shards:        r.Shards,
 	}
 	if popular {
 		sc.Spec = workload.PopularSpec()

@@ -22,7 +22,6 @@ package peer
 import (
 	"fmt"
 	"math/bits"
-	"math/rand"
 	"net/netip"
 	"slices"
 	"time"
@@ -206,9 +205,18 @@ type Client struct {
 	// hashing a 4-byte integer is several times cheaper than the 24-byte
 	// netip.Addr struct, and these maps sit on every message's path.
 	neighbors  map[uint32]*neighbor
-	pending    map[uint32]time.Duration // outstanding handshakes
-	known      map[uint32]bool          // every address ever learned
-	candidates []netip.Addr             // not-yet-tried addresses (FIFO)
+	known      map[uint32]bool // every address ever learned
+	candidates []netip.Addr    // not-yet-tried addresses (FIFO)
+
+	// pending tracks outstanding handshakes as a small ordered slice: it is
+	// bounded by cfg.MaxPending, so linear membership scans beat a map, and
+	// slice iteration keeps expiry order deterministic where map range order
+	// would not be.
+	pending []pendingShake
+
+	// evictScratch collects eviction victims before dropping them (dropping
+	// mutates the sorted order mid-iteration); reused across gossip rounds.
+	evictScratch []netip.Addr
 
 	// recent is the referral source: most recently connected peers first,
 	// deduplicated, capped at cfg.ReferralSize.
@@ -232,6 +240,11 @@ type Client struct {
 	// Scheduler-tick scratch state, reused every SchedInterval so the hot
 	// path stays allocation-free.
 	wantScratch []uint64
+
+	// rbits batches the scheduler's RNG draws (see randbits.go); prefetch16
+	// is cfg.SourcePrefetchProb quantized to the 16-bit scale it consumes.
+	rbits      bitRand
+	prefetch16 uint32
 
 	// Per-tick scheduler plan (see sched.go): transposed candidate masks for
 	// the tick's want range, plus the eligibility mask that evolves as
@@ -291,13 +304,29 @@ func New(env node.Env, cfg Config) (*Client, error) {
 		return nil, err
 	}
 	return &Client{
-		env:       env,
-		cfg:       cfg,
-		phase:     PhaseInit,
-		neighbors: make(map[uint32]*neighbor),
-		pending:   make(map[uint32]time.Duration),
-		known:     make(map[uint32]bool),
+		env:        env,
+		cfg:        cfg,
+		phase:      PhaseInit,
+		neighbors:  make(map[uint32]*neighbor),
+		known:      make(map[uint32]bool),
+		prefetch16: prob16(cfg.SourcePrefetchProb),
 	}, nil
+}
+
+// pendingShake is one outstanding handshake.
+type pendingShake struct {
+	key uint32
+	at  time.Duration
+}
+
+// pendingIdx returns the index of key in the pending window, or -1.
+func (c *Client) pendingIdx(key uint32) int {
+	for i := range c.pending {
+		if c.pending[i].key == key {
+			return i
+		}
+	}
+	return -1
 }
 
 var _ node.Handler = (*Client)(nil)
@@ -322,12 +351,17 @@ func (c *Client) BufferStats() stream.Stats {
 // NumNeighbors returns the connected neighbor count.
 func (c *Client) NumNeighbors() int { return len(c.neighbors) }
 
-// Neighbors returns the connected neighbor addresses.
+// Neighbors returns the connected neighbor addresses: the maintained sorted
+// order plus the source, if connected. Iterating the neighbor map here would
+// leak Go's randomized map order into caller behaviour.
 func (c *Client) Neighbors() []netip.Addr {
 	out := make([]netip.Addr, 0, len(c.neighbors))
-	for _, nb := range c.neighbors {
-		out = append(out, nb.addr)
+	if c.source.IsValid() {
+		if nb, ok := c.neighbors[akey(c.source)]; ok {
+			out = append(out, nb.addr)
+		}
 	}
+	out = append(out, c.sortedCache...)
 	return out
 }
 
@@ -620,7 +654,7 @@ func (c *Client) connectFromList(addrs []netip.Addr) {
 		if _, connected := c.neighbors[akey(a)]; connected {
 			continue
 		}
-		if _, inflight := c.pending[akey(a)]; inflight {
+		if c.pendingIdx(akey(a)) >= 0 {
 			continue
 		}
 		fresh = append(fresh, a)
@@ -644,7 +678,11 @@ func (c *Client) connectFromList(addrs []netip.Addr) {
 }
 
 func (c *Client) sendHandshake(a netip.Addr) {
-	c.pending[akey(a)] = c.env.Now()
+	if i := c.pendingIdx(akey(a)); i >= 0 {
+		c.pending[i].at = c.env.Now()
+	} else {
+		c.pending = append(c.pending, pendingShake{key: akey(a), at: c.env.Now()})
+	}
 	c.stats.HandshakesSent++
 	hs := &wire.Handshake{Channel: c.cfg.Channel.Channel}
 	if c.cfg.LatencyBias {
@@ -692,11 +730,12 @@ func (c *Client) handleHandshake(from netip.Addr, m *wire.Handshake) {
 }
 
 func (c *Client) handleHandshakeAck(from netip.Addr, m *wire.HandshakeAck) {
-	started, ok := c.pending[akey(from)]
-	if !ok {
+	i := c.pendingIdx(akey(from))
+	if i < 0 {
 		return
 	}
-	delete(c.pending, akey(from))
+	started := c.pending[i].at
+	c.pending = slices.Delete(c.pending, i, i+1)
 	if !m.Accepted || c.buffer == nil {
 		c.stats.HandshakesRejected++
 		return
@@ -857,23 +896,31 @@ func (c *Client) announceBufferMap() {
 
 // evictSilent drops neighbors not heard from within NeighborSilence and
 // expires handshakes that never got an ack (departed peers, lost datagrams)
-// so the pending window cannot clog permanently.
+// so the pending window cannot clog permanently. Both scans walk
+// deterministic slices — the maintained sorted order and the pending window
+// — never map range order, so the victim sequence is identical across runs.
 func (c *Client) evictSilent() {
 	now := c.env.Now()
-	for _, nb := range c.neighbors {
-		if nb.addr == c.source {
+	victims := c.evictScratch[:0]
+	for _, nb := range c.sortedNbs {
+		if now-nb.lastHeard > c.cfg.NeighborSilence {
+			victims = append(victims, nb.addr)
+		}
+	}
+	for _, a := range victims {
+		c.dropNeighbor(a)
+	}
+	c.evictScratch = victims[:0]
+
+	keep := c.pending[:0]
+	for _, p := range c.pending {
+		if now-p.at > c.cfg.HandshakeTimeout {
+			c.stats.HandshakeTimeouts++
 			continue
 		}
-		if now-nb.lastHeard > c.cfg.NeighborSilence {
-			c.dropNeighbor(nb.addr)
-		}
+		keep = append(keep, p)
 	}
-	for a, at := range c.pending {
-		if now-at > c.cfg.HandshakeTimeout {
-			delete(c.pending, a)
-			c.stats.HandshakeTimeouts++
-		}
-	}
+	c.pending = keep
 }
 
 func (c *Client) dropNeighbor(a netip.Addr) {
@@ -945,9 +992,7 @@ func (c *Client) schedulerTick() {
 			break
 		}
 	}
-	rng := c.env.Rand()
-	tail := want[split:]
-	shuffleBlocks(rng, tail, c.cfg.BatchCount)
+	c.shuffleBlocks(want[split:], c.cfg.BatchCount)
 
 	// Assign wanted sequences to providers, batching contiguous runs the
 	// chosen provider actually covers (up to BatchCount).
@@ -977,9 +1022,13 @@ func (c *Client) schedulerTick() {
 // A trailing partial block stays in place (it holds the newest, least-spread
 // sequences anyway), which lets the permutation run as allocation-free
 // element swaps between equal-sized blocks.
-func shuffleBlocks(rng *rand.Rand, seqs []uint64, blockSize int) {
+func (c *Client) shuffleBlocks(seqs []uint64, blockSize int) {
+	rng := c.env.Rand()
 	if blockSize == 1 {
-		rng.Shuffle(len(seqs), func(i, j int) { seqs[i], seqs[j] = seqs[j], seqs[i] })
+		for i := len(seqs) - 1; i > 0; i-- {
+			j := c.rbits.intn(rng, i+1)
+			seqs[i], seqs[j] = seqs[j], seqs[i]
+		}
 		return
 	}
 	if blockSize < 1 || len(seqs) <= blockSize {
@@ -987,7 +1036,7 @@ func shuffleBlocks(rng *rand.Rand, seqs []uint64, blockSize int) {
 	}
 	n := len(seqs) / blockSize
 	for i := n - 1; i > 0; i-- {
-		j := rng.Intn(i + 1)
+		j := c.rbits.intn(rng, i+1)
 		if i == j {
 			continue
 		}

@@ -135,9 +135,10 @@ func (c *Client) planNoteSent(nb *neighbor) {
 // stretched-exponential request distribution (§3.4) and the negative
 // rank–RTT correlation (§3.5). The source is a last resort — except for
 // urgent pieces, which only go to neighbors whose buffer map proves
-// possession. Candidate sets, iteration order, and RNG draw order are
-// bit-identical to the retired per-sequence neighbor scan (guarded by
-// TestPickProviderMatchesReference and the core golden-digest test).
+// possession. Candidate sets, iteration order, and the batched RNG draw
+// order (see bitRand) are bit-identical to the retired per-sequence neighbor
+// scan (guarded by TestPickProviderMatchesReference and the core
+// golden-digest test).
 func (c *Client) pickProvider(seq uint64, now time.Duration, urgent bool) *neighbor {
 	_ = now // coverage is proven-only; no extrapolation against the clock
 	off := seq - c.planOrg
@@ -154,7 +155,7 @@ func (c *Client) pickProvider(seq uint64, now time.Duration, urgent bool) *neigh
 		// maps + referral clusters) spreads it from there. Without the
 		// seeding nobody holds new pieces early and the source degenerates
 		// into a CDN at deadline time.
-		if !urgent && c.env.Rand().Float64() >= c.cfg.SourcePrefetchProb {
+		if !urgent && !c.rbits.chance(c.env.Rand(), c.prefetch16) {
 			return nil
 		}
 		if src, ok := c.neighbors[akey(c.source)]; ok && len(src.outstanding) < c.cfg.MaxOutstandingPerNeighbor {
@@ -164,11 +165,11 @@ func (c *Client) pickProvider(seq uint64, now time.Duration, urgent bool) *neigh
 	}
 	rng := c.env.Rand()
 	if !c.cfg.PreferFastNeighbors {
-		return c.nthPlanCandidate(w, b, rng.Intn(k))
+		return c.nthPlanCandidate(w, b, c.rbits.intn(rng, k))
 	}
 	// ε-greedy: explore uniformly 8% of the time.
-	if rng.Float64() < 0.08 {
-		return c.nthPlanCandidate(w, b, rng.Intn(k))
+	if c.rbits.chance(rng, exploreP16) {
+		return c.nthPlanCandidate(w, b, c.rbits.intn(rng, k))
 	}
 	for _, key := range c.planOrder {
 		i := int(key & 1023)

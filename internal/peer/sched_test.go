@@ -11,9 +11,10 @@ import (
 
 // pickProviderRef is the retired per-sequence scan the plan-based
 // pickProvider replaced, kept as the behavioural reference: identical
-// candidate sets, iteration order, and RNG draw order are the rewrite's
-// correctness contract.
-func (c *Client) pickProviderRef(seq uint64, now time.Duration, urgent bool) *neighbor {
+// candidate sets, iteration order, and batched-RNG draw order (through rb,
+// the reference's own bitRand reservoir) are the rewrite's correctness
+// contract.
+func (c *Client) pickProviderRef(seq uint64, now time.Duration, urgent bool, rb *bitRand) *neighbor {
 	rate := c.cfg.Channel.Rate()
 	var candidates []*neighbor
 	for _, nb := range c.sortedNeighbors() {
@@ -30,7 +31,7 @@ func (c *Client) pickProviderRef(seq uint64, now time.Duration, urgent bool) *ne
 		candidates = append(candidates, nb)
 	}
 	if len(candidates) == 0 {
-		if !urgent && c.env.Rand().Float64() >= c.cfg.SourcePrefetchProb {
+		if !urgent && !rb.chance(c.env.Rand(), prob16(c.cfg.SourcePrefetchProb)) {
 			return nil
 		}
 		if src, ok := c.neighbors[akey(c.source)]; ok && len(src.outstanding) < c.cfg.MaxOutstandingPerNeighbor {
@@ -40,10 +41,10 @@ func (c *Client) pickProviderRef(seq uint64, now time.Duration, urgent bool) *ne
 	}
 	rng := c.env.Rand()
 	if !c.cfg.PreferFastNeighbors {
-		return candidates[rng.Intn(len(candidates))]
+		return candidates[rb.intn(rng, len(candidates))]
 	}
-	if rng.Float64() < 0.08 {
-		return candidates[rng.Intn(len(candidates))]
+	if rb.chance(rng, exploreP16) {
+		return candidates[rb.intn(rng, len(candidates))]
 	}
 	best := candidates[0]
 	for _, nb := range candidates[1:] {
@@ -104,12 +105,17 @@ func TestPickProviderMatchesReference(t *testing.T) {
 		rngSeed := int64(1000 + trial)
 		rngA := rand.New(rand.NewSource(rngSeed))
 		rngB := rand.New(rand.NewSource(rngSeed))
+		// The plan picker draws through the client's bit reservoir; the
+		// reference keeps its own, refilled from the identically seeded rngB,
+		// so the consumed bit streams line up draw for draw.
+		c.rbits = bitRand{}
+		var refBits bitRand
 		for i, seq := range seqs {
 			urgent := seq < urgentBound
 			env.rng = rngA
 			got := c.pickProvider(seq, now, urgent)
 			env.rng = rngB
-			want := c.pickProviderRef(seq, now, urgent)
+			want := c.pickProviderRef(seq, now, urgent, &refBits)
 			if got != want {
 				t.Fatalf("trial %d seq %d (urgent=%v, nbs=%d, density=%d%%): plan pick %v, reference %v",
 					trial, seq, urgent, nbs, density, addrOf(got), addrOf(want))

@@ -1,12 +1,23 @@
 // Package simnet binds protocol nodes (internal/node) to the discrete-event
 // engine (internal/eventsim) and the simulated underlay (internal/underlay).
 //
-// A World owns one engine and one network, allocates addresses from the
-// synthetic internet plan, and spawns node environments. With CodecCheck
-// enabled, every datagram is round-tripped through the wire codec before
-// delivery, proving the simulation exchanges exactly what the real protocol
-// would put on the wire (integration tests enable this; large experiments
-// skip it for speed — sizes are always computed from the codec either way).
+// A World owns one or more shard domains. Each Domain has its own engine,
+// underlay network, address pool, and RNG streams; nodes spawned in a domain
+// live entirely on that domain's event loop. A single-domain world (NewWorld)
+// behaves exactly like the classic one-engine simulator and exposes the
+// engine and network directly. A sharded world (NewShardedWorld) partitions
+// the synthetic internet by ISP — the paper's locality structure becomes the
+// unit of parallelism — and runs the domains in conservative lockstep
+// windows whose lookahead is the minimum cross-domain underlay latency:
+// intra-ISP traffic (the vast majority, which is the paper's whole point)
+// never crosses a shard, and cross-domain datagrams are exchanged at window
+// barriers, always arriving at least one lookahead after they were sent.
+//
+// With CodecCheck enabled, every datagram is round-tripped through the wire
+// codec before delivery, proving the simulation exchanges exactly what the
+// real protocol would put on the wire (integration tests enable this; large
+// experiments skip it for speed — sizes are always computed from the codec
+// either way).
 package simnet
 
 import (
@@ -24,8 +35,12 @@ import (
 	"pplivesim/internal/wire"
 )
 
-// World wires together the engine, underlay, and address plan.
+// World wires together engines, underlays, and the address plan.
 type World struct {
+	// Engine and Network are the single-domain fast path: for worlds built
+	// with NewWorld/NewWorldConfig they alias domain 0's engine and network,
+	// preserving the classic one-engine API. They are nil for sharded
+	// worlds, whose callers go through Domains.
 	Engine   *eventsim.Engine
 	Network  *underlay.Network
 	Registry *asnmap.Registry
@@ -34,30 +49,265 @@ type World struct {
 	// delivery, failing loudly on any encode/decode mismatch.
 	CodecCheck bool
 
+	domains   []*Domain
+	router    *router
+	lookahead time.Duration
+
+	// buildRand drives single-threaded build-time draws (arrival schedules);
+	// it belongs to no domain so build plans don't perturb domain streams.
+	buildRand *rand.Rand
+
+	// pools is the single-domain world's lazy per-category allocator.
 	pools map[isp.ISP]*ipam.Pool
-	envs  map[netip.Addr]*Env
 }
 
-// NewWorld builds a world with the default underlay configuration and the
-// synthetic internet address plan.
+// Domain is one shard: an engine, an underlay network, and an address range.
+type Domain struct {
+	id    int
+	name  string
+	cat   isp.ISP // zero for the single-domain world, which holds every ISP
+	world *World
+	eng   *eventsim.Engine
+	net   *underlay.Network
+	pool  *ipam.Pool // nil for the single-domain world (uses World.pools)
+	envs  int        // spawned envs (diagnostics)
+}
+
+// mixSeed derives a decorrelated per-domain seed from the world seed
+// (splitmix64 finalizer).
+func mixSeed(seed int64, salt int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(salt+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// NewWorld builds a single-domain world with the default underlay
+// configuration and the synthetic internet address plan.
 func NewWorld(seed int64) *World {
 	return NewWorldConfig(seed, underlay.DefaultConfig())
 }
 
-// NewWorldConfig builds a world with a custom underlay configuration.
+// NewWorldConfig builds a single-domain world with a custom underlay
+// configuration.
 func NewWorldConfig(seed int64, cfg underlay.Config) *World {
 	eng := eventsim.New(seed)
-	return &World{
-		Engine:   eng,
-		Network:  underlay.New(eng, cfg),
-		Registry: asnmap.SyntheticInternet(),
-		pools:    make(map[isp.ISP]*ipam.Pool),
-		envs:     make(map[netip.Addr]*Env),
+	net := underlay.New(eng, cfg)
+	w := &World{
+		Engine:    eng,
+		Network:   net,
+		Registry:  asnmap.SyntheticInternet(),
+		buildRand: rand.New(rand.NewSource(mixSeed(seed, buildSalt))),
+		pools:     make(map[isp.ISP]*ipam.Pool),
 	}
+	w.domains = []*Domain{{id: 0, name: "all", world: w, eng: eng, net: net}}
+	return w
 }
+
+// buildSalt decorrelates the build-time RNG from per-domain engine seeds.
+const buildSalt = 0x6275696c64 // "build"
+
+// NewShardedWorld builds an ISP-partitioned world with the default underlay
+// configuration. TELE — over half the paper's population — is split into two
+// sub-domains along its prefix list so no single shard dominates the run.
+func NewShardedWorld(seed int64) *World {
+	return NewShardedWorldConfig(seed, underlay.DefaultConfig())
+}
+
+// NewShardedWorldConfig builds an ISP-partitioned world with a custom
+// underlay configuration.
+func NewShardedWorldConfig(seed int64, cfg underlay.Config) *World {
+	reg := asnmap.SyntheticInternet()
+	w := &World{
+		Registry:  reg,
+		buildRand: rand.New(rand.NewSource(mixSeed(seed, buildSalt))),
+	}
+	type part struct {
+		name     string
+		cat      isp.ISP
+		prefixes []ipam.Prefix
+	}
+	var parts []part
+	for _, cat := range isp.All() {
+		prefixes := reg.PrefixesFor(cat)
+		if cat == isp.TELE && len(prefixes) >= 2 {
+			half := (len(prefixes) + 1) / 2
+			parts = append(parts,
+				part{name: "TELE-0", cat: cat, prefixes: prefixes[:half]},
+				part{name: "TELE-1", cat: cat, prefixes: prefixes[half:]})
+			continue
+		}
+		parts = append(parts, part{name: cat.String(), cat: cat, prefixes: prefixes})
+	}
+	rt := &router{world: w, trie: ipam.NewTrie()}
+	for id, p := range parts {
+		eng := eventsim.New(mixSeed(seed, id))
+		net := underlay.New(eng, cfg)
+		net.SetRouter(rt, id)
+		d := &Domain{
+			id:    id,
+			name:  p.name,
+			cat:   p.cat,
+			world: w,
+			eng:   eng,
+			net:   net,
+			pool:  ipam.NewPool(p.prefixes...),
+		}
+		w.domains = append(w.domains, d)
+		for _, pfx := range p.prefixes {
+			rt.trie.Insert(pfx, id)
+		}
+	}
+	n := len(w.domains)
+	rt.boxes = make([][]xmsg, n*n)
+	w.router = rt
+
+	// Conservative lookahead: the smallest one-way delay any cross-domain
+	// host pair can see. MinPairOWD uses the identical float expression as
+	// the per-pair multiplier, so this is an exact lower bound — a datagram
+	// sent at t to another shard can never arrive before t+lookahead.
+	for i, a := range w.domains {
+		for j, b := range w.domains {
+			if i == j {
+				continue
+			}
+			if m := cfg.MinPairOWD(a.cat, b.cat); w.lookahead == 0 || m < w.lookahead {
+				w.lookahead = m
+			}
+		}
+	}
+	return w
+}
+
+// DefaultShards is the number of domains a sharded world partitions into
+// (the five ISP categories with TELE split in two).
+const DefaultShards = 6
+
+// Domains returns every shard domain in id order.
+func (w *World) Domains() []*Domain { return w.domains }
+
+// DomainsOf returns the domains holding the given ISP category, in id order.
+// Single-domain worlds return the sole domain for every category.
+func (w *World) DomainsOf(category isp.ISP) []*Domain {
+	if w.router == nil {
+		return w.domains
+	}
+	var out []*Domain
+	for _, d := range w.domains {
+		if d.cat == category {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Lookahead returns the conservative synchronization window of a sharded
+// world (zero for single-domain worlds).
+func (w *World) Lookahead() time.Duration { return w.lookahead }
+
+// BuildRand returns the world's build-time RNG for single-threaded scenario
+// assembly (arrival schedules and the like). It is decorrelated from every
+// domain's event-time streams.
+func (w *World) BuildRand() *rand.Rand { return w.buildRand }
+
+// Run executes the world to the horizon. For sharded worlds, workers is the
+// number of goroutines executing synchronization windows: values below 2 run
+// everything on the calling goroutine. The trajectory — every event, draw,
+// and delivery — is identical for any worker count, because the window
+// schedule and cross-domain exchange order are pure functions of barrier
+// state.
+func (w *World) Run(horizon time.Duration, workers int) error {
+	if w.router == nil {
+		return w.Engine.Run(horizon)
+	}
+	engines := make([]*eventsim.Engine, len(w.domains))
+	for i, d := range w.domains {
+		engines[i] = d.eng
+	}
+	g := &eventsim.Group{
+		Engines:   engines,
+		Lookahead: w.lookahead,
+		Workers:   workers,
+		Flush:     w.router.flush,
+	}
+	return g.Run(horizon)
+}
+
+// Now returns the current virtual time (domains agree between windows and
+// after Run).
+func (w *World) Now() time.Duration { return w.domains[0].eng.Now() }
+
+// EventsProcessed sums executed events across domains.
+func (w *World) EventsProcessed() uint64 {
+	var total uint64
+	for _, d := range w.domains {
+		total += d.eng.Processed()
+	}
+	return total
+}
+
+// NetStats sums the underlay delivery counters across domains.
+func (w *World) NetStats() (delivered, droppedLoss, droppedQueue, droppedNoHost uint64) {
+	for _, d := range w.domains {
+		de, lo, qu, no := d.net.Stats()
+		delivered += de
+		droppedLoss += lo
+		droppedQueue += qu
+		droppedNoHost += no
+	}
+	return
+}
+
+// LookupHost finds an attached host by address in any domain.
+func (w *World) LookupHost(addr netip.Addr) (*underlay.Host, bool) {
+	for _, d := range w.domains {
+		if h, ok := d.net.Lookup(addr); ok {
+			return h, true
+		}
+	}
+	return nil, false
+}
+
+// ID returns the domain's shard index.
+func (d *Domain) ID() int { return d.id }
+
+// Name returns the domain's display name (ISP category, with TELE-0/TELE-1
+// for the split).
+func (d *Domain) Name() string { return d.name }
+
+// Category returns the domain's ISP category (zero for the single-domain
+// world).
+func (d *Domain) Category() isp.ISP { return d.cat }
+
+// Engine returns the domain's event engine.
+func (d *Domain) Engine() *eventsim.Engine { return d.eng }
+
+// Network returns the domain's underlay network.
+func (d *Domain) Network() *underlay.Network { return d.net }
+
+// At schedules fn on this domain's engine at the absolute virtual time at.
+func (d *Domain) At(at time.Duration, fn func()) { d.eng.At(at, fn) }
+
+// After schedules fn on this domain's engine after delay dl.
+func (d *Domain) After(dl time.Duration, fn func()) { d.eng.After(dl, fn) }
 
 // AllocAddr allocates a fresh address in the given ISP category.
 func (w *World) AllocAddr(category isp.ISP) (netip.Addr, error) {
+	return w.domains[0].allocAddr(category)
+}
+
+func (d *Domain) allocAddr(category isp.ISP) (netip.Addr, error) {
+	if d.pool != nil {
+		if category != d.cat {
+			return netip.Addr{}, fmt.Errorf("simnet: domain %s cannot allocate %s address", d.name, category)
+		}
+		addr, err := d.pool.Alloc()
+		if err != nil {
+			return netip.Addr{}, fmt.Errorf("alloc %s address: %w", category, err)
+		}
+		return addr, nil
+	}
+	w := d.world
 	pool, ok := w.pools[category]
 	if !ok {
 		var err error
@@ -82,36 +332,104 @@ type HostSpec struct {
 }
 
 // Spawn allocates an address, attaches a host, and returns the node's
-// environment. The handler may be installed later via SetHandler (services
-// typically construct themselves around the env).
+// environment. On a single-domain world any category spawns in the sole
+// domain; sharded callers use Domain.Spawn. The handler may be installed
+// later via SetHandler (services typically construct themselves around the
+// env).
 func (w *World) Spawn(spec HostSpec) (*Env, error) {
-	addr, err := w.AllocAddr(spec.ISP)
-	if err != nil {
-		return nil, err
-	}
-	return w.SpawnAt(addr, spec)
+	return w.domains[0].Spawn(spec)
 }
 
 // SpawnAt attaches a host at a specific address (which must belong to the
 // registry so analysis can resolve it).
 func (w *World) SpawnAt(addr netip.Addr, spec HostSpec) (*Env, error) {
+	return w.domains[0].SpawnAt(addr, spec)
+}
+
+// Spawn allocates an address in this domain and attaches a host.
+func (d *Domain) Spawn(spec HostSpec) (*Env, error) {
+	addr, err := d.allocAddr(spec.ISP)
+	if err != nil {
+		return nil, err
+	}
+	return d.SpawnAt(addr, spec)
+}
+
+// SpawnAt attaches a host at a specific address in this domain.
+func (d *Domain) SpawnAt(addr netip.Addr, spec HostSpec) (*Env, error) {
 	host := &underlay.Host{
 		Addr:      addr,
 		ISP:       spec.ISP,
 		UploadBps: spec.UploadBps,
 		ProcDelay: spec.ProcDelay,
 	}
-	env := &Env{world: w, host: host, rng: w.Engine.NewRand()}
-	if err := w.Network.Attach(host, env.deliver); err != nil {
+	env := &Env{domain: d, host: host, rng: d.eng.NewRand()}
+	if err := d.net.Attach(host, env.deliver); err != nil {
 		return nil, err
 	}
-	w.envs[addr] = env
+	d.envs++
 	return env, nil
+}
+
+// xmsg is one cross-domain datagram parked between synchronization windows.
+type xmsg struct {
+	arrival time.Duration
+	from    netip.Addr
+	to      netip.Addr
+	size    int
+	payload any
+}
+
+// router implements underlay.Router over the world's domain partition.
+// Destination domains are a pure function of the address prefix (the trie is
+// read-only after construction), so concurrent Resolve calls from different
+// shard workers are safe and worker-count invariant. Each (src,dst) mailbox
+// has exactly one writer — src's worker — during a window, and is drained
+// single-threaded by flush at the barrier.
+type router struct {
+	world *World
+	trie  *ipam.Trie
+	boxes [][]xmsg // indexed src*len(domains)+dst
+}
+
+// Resolve implements underlay.Router.
+func (r *router) Resolve(to netip.Addr) (underlay.Remote, bool) {
+	id, ok := r.trie.Lookup(to)
+	if !ok {
+		return underlay.Remote{}, false
+	}
+	return underlay.Remote{Domain: id, ISP: r.world.domains[id].cat}, true
+}
+
+// Forward implements underlay.Router.
+func (r *router) Forward(srcDomain, dstDomain int, arrival time.Duration, from, to netip.Addr, size int, payload any) {
+	box := &r.boxes[srcDomain*len(r.world.domains)+dstDomain]
+	*box = append(*box, xmsg{arrival: arrival, from: from, to: to, size: size, payload: payload})
+}
+
+// flush drains every mailbox into its destination domain. It runs
+// single-threaded at each window barrier; the fixed (dst, src) drain order
+// makes the injection sequence — and therefore event seq tie-breaks — a pure
+// function of window state, independent of the worker count.
+func (r *router) flush() {
+	n := len(r.world.domains)
+	for dst := 0; dst < n; dst++ {
+		net := r.world.domains[dst].net
+		for src := 0; src < n; src++ {
+			box := &r.boxes[src*n+dst]
+			for i := range *box {
+				m := &(*box)[i]
+				net.Inject(m.arrival, m.from, m.to, m.size, m.payload)
+				m.payload = nil
+			}
+			*box = (*box)[:0]
+		}
+	}
 }
 
 // Env implements node.Env over the simulated world.
 type Env struct {
-	world   *World
+	domain  *Domain
 	host    *underlay.Host
 	rng     *rand.Rand
 	handler node.Handler
@@ -138,15 +456,18 @@ func (e *Env) ISP() isp.ISP { return e.host.ISP }
 // Host exposes the underlying underlay host (for stats).
 func (e *Env) Host() *underlay.Host { return e.host }
 
+// Domain returns the shard domain the node lives in.
+func (e *Env) Domain() *Domain { return e.domain }
+
 // Now implements node.Env.
-func (e *Env) Now() time.Duration { return e.world.Engine.Now() }
+func (e *Env) Now() time.Duration { return e.domain.eng.Now() }
 
 // Rand implements node.Env.
 func (e *Env) Rand() *rand.Rand { return e.rng }
 
 // After implements node.Env.
 func (e *Env) After(d time.Duration, fn func()) node.Cancel {
-	t := e.world.Engine.After(d, func() {
+	t := e.domain.eng.After(d, func() {
 		if !e.closed {
 			fn()
 		}
@@ -158,7 +479,7 @@ func (e *Env) After(d time.Duration, fn func()) node.Cancel {
 // closes, so departed nodes do not keep feeding the event queue.
 func (e *Env) Every(d time.Duration, fn func()) node.Cancel {
 	var t eventsim.Timer
-	t = e.world.Engine.Every(d, func() {
+	t = e.domain.eng.Every(d, func() {
 		if e.closed {
 			t.Stop()
 			return
@@ -170,7 +491,7 @@ func (e *Env) Every(d time.Duration, fn func()) node.Cancel {
 
 // UplinkBacklog implements node.Env.
 func (e *Env) UplinkBacklog() time.Duration {
-	return e.host.QueueDelay(e.world.Engine.Now())
+	return e.host.QueueDelay(e.domain.eng.Now())
 }
 
 // SetHandler installs the node's message handler.
@@ -189,7 +510,7 @@ func (e *Env) Send(to netip.Addr, msg wire.Message) {
 	}
 	size := wire.Size(msg)
 	payload := any(msg)
-	if e.world.CodecCheck {
+	if e.domain.world.CodecCheck {
 		decoded, err := wire.Unmarshal(wire.Marshal(msg))
 		if err != nil {
 			panic(fmt.Sprintf("simnet: codec check failed for %s: %v", msg.Kind(), err))
@@ -199,7 +520,7 @@ func (e *Env) Send(to netip.Addr, msg wire.Message) {
 	for _, tap := range e.sendTaps {
 		tap(to, msg, size)
 	}
-	e.world.Network.Send(e.host, to, size, payload)
+	e.domain.net.Send(e.host, to, size, payload)
 }
 
 // deliver is the underlay handler for this node.
@@ -226,8 +547,8 @@ func (e *Env) Close() {
 		return
 	}
 	e.closed = true
-	e.world.Network.Detach(e.host.Addr)
-	delete(e.world.envs, e.host.Addr)
+	e.domain.net.Detach(e.host.Addr)
+	e.domain.envs--
 }
 
 // Closed reports whether the env has been closed.

@@ -31,13 +31,56 @@ const DefaultMaxReply = wire.MaxPeerList
 // re-announce.
 const DefaultEntryTTL = 2 * time.Minute
 
+// channelPeers is one channel's registry: last-announce times keyed by peer,
+// plus the same peers as an address-ordered slice. Queries and expiry walk
+// the slice — never the map, whose range order is randomized per run and
+// would leak nondeterminism into every served list.
+type channelPeers struct {
+	seen  map[netip.Addr]time.Duration // peer → last announce
+	order []netip.Addr                 // peers in address order
+}
+
+func (cp *channelPeers) add(addr netip.Addr, now time.Duration) {
+	if _, ok := cp.seen[addr]; !ok {
+		i, _ := sort.Find(len(cp.order), func(i int) int { return addr.Compare(cp.order[i]) })
+		cp.order = append(cp.order, netip.Addr{})
+		copy(cp.order[i+1:], cp.order[i:])
+		cp.order[i] = addr
+	}
+	cp.seen[addr] = now
+}
+
+func (cp *channelPeers) remove(addr netip.Addr) {
+	if _, ok := cp.seen[addr]; !ok {
+		return
+	}
+	delete(cp.seen, addr)
+	i, found := sort.Find(len(cp.order), func(i int) int { return addr.Compare(cp.order[i]) })
+	if found {
+		cp.order = append(cp.order[:i], cp.order[i+1:]...)
+	}
+}
+
+// expire drops every entry older than ttl, compacting the order in place.
+func (cp *channelPeers) expire(now, ttl time.Duration) {
+	keep := cp.order[:0]
+	for _, addr := range cp.order {
+		if now-cp.seen[addr] > ttl {
+			delete(cp.seen, addr)
+			continue
+		}
+		keep = append(keep, addr)
+	}
+	cp.order = keep
+}
+
 // Server is one tracker server: a per-channel registry of active peers.
 type Server struct {
 	env      node.Env
 	maxReply int
 	entryTTL time.Duration
 
-	channels map[wire.ChannelID]map[netip.Addr]time.Duration // peer → last announce
+	channels map[wire.ChannelID]*channelPeers
 
 	// Stats.
 	announces, queries, served uint64
@@ -51,7 +94,7 @@ func NewServer(env node.Env) *Server {
 		env:      env,
 		maxReply: DefaultMaxReply,
 		entryTTL: DefaultEntryTTL,
-		channels: make(map[wire.ChannelID]map[netip.Addr]time.Duration),
+		channels: make(map[wire.ChannelID]*channelPeers),
 	}
 }
 
@@ -64,13 +107,17 @@ func (s *Server) SetMaxReply(n int) {
 	}
 }
 
-// ActivePeers returns the live (non-expired) peers of a channel.
+// ActivePeers returns the live (non-expired) peers of a channel in address
+// order.
 func (s *Server) ActivePeers(ch wire.ChannelID) []netip.Addr {
-	entries := s.channels[ch]
+	cp := s.channels[ch]
+	if cp == nil {
+		return nil
+	}
 	now := s.env.Now()
-	out := make([]netip.Addr, 0, len(entries))
-	for addr, seen := range entries {
-		if now-seen <= s.entryTTL {
+	out := make([]netip.Addr, 0, len(cp.order))
+	for _, addr := range cp.order {
+		if now-cp.seen[addr] <= s.entryTTL {
 			out = append(out, addr)
 		}
 	}
@@ -98,40 +145,38 @@ func (s *Server) HandleMessage(from netip.Addr, msg wire.Message) {
 
 func (s *Server) handleAnnounce(from netip.Addr, m *wire.TrackerAnnounce) {
 	s.announces++
-	entries, ok := s.channels[m.Channel]
+	cp, ok := s.channels[m.Channel]
 	if !ok {
 		if m.Leaving {
 			return
 		}
-		entries = make(map[netip.Addr]time.Duration)
-		s.channels[m.Channel] = entries
+		cp = &channelPeers{seen: make(map[netip.Addr]time.Duration)}
+		s.channels[m.Channel] = cp
 	}
 	if m.Leaving {
-		delete(entries, from)
+		cp.remove(from)
 		return
 	}
-	entries[from] = s.env.Now()
+	cp.add(from, s.env.Now())
 }
 
 func (s *Server) handleQuery(from netip.Addr, m *wire.TrackerQuery) {
 	s.queries++
-	entries := s.channels[m.Channel]
+	cp := s.channels[m.Channel]
 	now := s.env.Now()
 
-	// Collect live entries, dropping expired ones as we go. Sort before
-	// sampling: map iteration order would make runs non-deterministic.
-	candidates := make([]netip.Addr, 0, len(entries))
-	for addr, seen := range entries {
-		if now-seen > s.entryTTL {
-			delete(entries, addr)
-			continue
+	// Expire stale entries, then copy the live ones (minus the requester)
+	// from the maintained address order — already sorted, no per-query sort.
+	var candidates []netip.Addr
+	if cp != nil {
+		cp.expire(now, s.entryTTL)
+		candidates = make([]netip.Addr, 0, len(cp.order))
+		for _, addr := range cp.order {
+			if addr != from {
+				candidates = append(candidates, addr)
+			}
 		}
-		if addr == from {
-			continue
-		}
-		candidates = append(candidates, addr)
 	}
-	sort.Slice(candidates, func(i, j int) bool { return candidates[i].Less(candidates[j]) })
 
 	// Random sample without locality awareness: partial Fisher-Yates.
 	rng := s.env.Rand()

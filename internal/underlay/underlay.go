@@ -127,10 +127,74 @@ func DefaultConfig() Config {
 	}
 }
 
+// baseOWD returns the regime base one-way delay for an ISP pair.
+func (c *Config) baseOWD(a, b isp.ISP) time.Duration {
+	if a == b {
+		if d, ok := c.IntraOWD[a]; ok {
+			return d
+		}
+		return 20 * time.Millisecond
+	}
+	if a.Domestic() && b.Domestic() {
+		d := c.InterDomesticOWD
+		if (a == isp.TELE && b == isp.CNC) || (a == isp.CNC && b == isp.TELE) {
+			d += c.TeleCncPenalty
+		}
+		return d
+	}
+	return c.TransoceanicOWD
+}
+
+// lossProb returns the per-datagram loss probability for an ISP pair.
+func (c *Config) lossProb(a, b isp.ISP) float64 {
+	if a == b {
+		return c.LossIntra
+	}
+	if a.Domestic() && b.Domestic() {
+		return c.LossInterDomestic
+	}
+	return c.LossTransoceanic
+}
+
+// MinPairOWD returns the smallest one-way delay any host pair across the two
+// ISP categories can see: the regime base scaled by the bottom of the
+// per-pair spread. It uses the identical float expression as the per-pair
+// multiplier (mult = 1 + spread·(2u−1) at u = 0), so it is an exact lower
+// bound on PairOWD, never off by a rounding ulp. Sharded worlds derive their
+// conservative lookahead from the minimum of this over cross-shard pairs.
+func (c *Config) MinPairOWD(a, b isp.ISP) time.Duration {
+	base := c.baseOWD(a, b)
+	mult := 1 + c.PairSpread*(2*0-1)
+	return time.Duration(float64(base) * mult)
+}
+
+// Remote describes where a non-local address lives: which shard (domain) of
+// a partitioned world, and its ISP category for latency/loss classification.
+type Remote struct {
+	Domain int
+	ISP    isp.ISP
+}
+
+// Router gives a Network a view of the other shards of a partitioned world.
+// Resolve must be a pure function of the address (it is consulted from send
+// events running concurrently on different shards), and Forward is called
+// from the sending shard's event loop with a fully computed arrival time;
+// the implementation buffers the datagram until the next synchronization
+// barrier and injects it into the destination shard there.
+type Router interface {
+	Resolve(to netip.Addr) (Remote, bool)
+	Forward(srcDomain, dstDomain int, arrival time.Duration, from, to netip.Addr, size int, payload any)
+}
+
 // Network delivers datagrams between attached hosts.
 type Network struct {
 	eng *eventsim.Engine
 	cfg Config
+
+	// router resolves and forwards traffic to hosts on other shards of a
+	// domain-partitioned world; nil for a single-shard world.
+	router   Router
+	domainID int
 	// hosts is keyed by the packed IPv4 address (hostKey): the lookup sits
 	// on every datagram send, and hashing a uint32 is several times cheaper
 	// than the netip.Addr struct.
@@ -183,6 +247,14 @@ func New(eng *eventsim.Engine, cfg Config) *Network {
 		hosts: make(map[uint32]*Host),
 		rng:   eng.NewRand(),
 	}
+}
+
+// SetRouter attaches this network to a partitioned world as shard domainID.
+// Sends to addresses that resolve to another domain are forwarded through
+// the router instead of being dropped as unknown hosts.
+func (n *Network) SetRouter(r Router, domainID int) {
+	n.router = r
+	n.domainID = domainID
 }
 
 // hostKey packs an IPv4 address into the hosts map key. The simulation's
@@ -246,46 +318,23 @@ func pairKey(a, b netip.Addr) uint64 {
 	return h.Sum64()
 }
 
-// baseOWD returns the regime base one-way delay for an ISP pair.
-func (n *Network) baseOWD(a, b isp.ISP) time.Duration {
-	if a == b {
-		if d, ok := n.cfg.IntraOWD[a]; ok {
-			return d
-		}
-		return 20 * time.Millisecond
-	}
-	if a.Domestic() && b.Domestic() {
-		d := n.cfg.InterDomesticOWD
-		if (a == isp.TELE && b == isp.CNC) || (a == isp.CNC && b == isp.TELE) {
-			d += n.cfg.TeleCncPenalty
-		}
-		return d
-	}
-	return n.cfg.TransoceanicOWD
-}
-
 // PairOWD returns the stable (jitter-free) one-way delay between two hosts:
 // the regime base scaled by the deterministic per-pair distance multiplier.
 // This is the ground-truth proximity that trace-based RTT estimation should
 // approximate.
 func (n *Network) PairOWD(a, b *Host) time.Duration {
-	base := n.baseOWD(a.ISP, b.ISP)
-	key := pairKey(a.Addr, b.Addr)
+	return n.pairOWDAddr(a.Addr, a.ISP, b.Addr, b.ISP)
+}
+
+// pairOWDAddr is PairOWD keyed by address and ISP category, usable for
+// destinations whose *Host lives on another shard.
+func (n *Network) pairOWDAddr(aAddr netip.Addr, aISP isp.ISP, bAddr netip.Addr, bISP isp.ISP) time.Duration {
+	base := n.cfg.baseOWD(aISP, bISP)
+	key := pairKey(aAddr, bAddr)
 	// Map the hash to [1-spread, 1+spread].
 	u := float64(key%1_000_003) / 1_000_003.0
 	mult := 1 + n.cfg.PairSpread*(2*u-1)
 	return time.Duration(float64(base) * mult)
-}
-
-// lossProb returns the per-datagram loss probability for an ISP pair.
-func (n *Network) lossProb(a, b isp.ISP) float64 {
-	if a == b {
-		return n.cfg.LossIntra
-	}
-	if a.Domestic() && b.Domestic() {
-		return n.cfg.LossInterDomestic
-	}
-	return n.cfg.LossTransoceanic
 }
 
 // Send transmits a datagram from an attached host to a destination address.
@@ -319,10 +368,15 @@ func (n *Network) Send(from *Host, to netip.Addr, size int, payload any) bool {
 	// to dropping on unknown destinations at send time.
 	dst, ok := n.hosts[hostKey(to)]
 	if !ok {
+		if n.router != nil {
+			if rem, rok := n.router.Resolve(to); rok && rem.Domain != n.domainID {
+				return n.sendRemote(from, to, rem, departure, size, payload)
+			}
+		}
 		n.droppedNoHost++
 		return true // accepted by the uplink; lost in the network
 	}
-	if n.rng.Float64() < n.lossProb(from.ISP, dst.ISP) {
+	if n.rng.Float64() < n.cfg.lossProb(from.ISP, dst.ISP) {
 		n.droppedLoss++
 		return true
 	}
@@ -334,6 +388,48 @@ func (n *Network) Send(from *Host, to netip.Addr, size int, payload any) bool {
 		arrival += time.Duration(float64(size) / n.cfg.TransoceanicBps * float64(time.Second))
 	}
 
+	n.scheduleDelivery(dst, from.Addr, size, payload, arrival)
+	return true
+}
+
+// sendRemote is the cross-shard tail of Send. Loss, distance, and jitter are
+// all decided sender-side — loss class and pair distance are pure functions
+// of the two addresses' ISP categories, so the destination's *Host is not
+// needed — and the datagram is handed to the router with its wire-arrival
+// time. The destination shard adds its receiver ProcDelay (and existence
+// check) when the barrier injects it; those per-host properties are only
+// readable over there.
+func (n *Network) sendRemote(from *Host, to netip.Addr, rem Remote, departure time.Duration, size int, payload any) bool {
+	if n.rng.Float64() < n.cfg.lossProb(from.ISP, rem.ISP) {
+		n.droppedLoss++
+		return true
+	}
+	owd := n.pairOWDAddr(from.Addr, from.ISP, to, rem.ISP)
+	jitter := time.Duration(n.rng.ExpFloat64() * n.cfg.JitterFrac * float64(owd))
+	arrival := departure + owd + jitter
+	if n.cfg.TransoceanicBps > 0 && from.ISP.Domestic() != rem.ISP.Domestic() {
+		arrival += time.Duration(float64(size) / n.cfg.TransoceanicBps * float64(time.Second))
+	}
+	n.router.Forward(n.domainID, rem.Domain, arrival, from.Addr, to, size, payload)
+	return true
+}
+
+// Inject delivers a datagram forwarded from another shard. The arrival time
+// is the wire arrival computed by the sender; the receiver-side processing
+// delay is added here, where the destination host's properties live. A
+// missing destination counts as droppedNoHost on this (the destination)
+// shard.
+func (n *Network) Inject(arrival time.Duration, from, to netip.Addr, size int, payload any) {
+	dst, ok := n.hosts[hostKey(to)]
+	if !ok {
+		n.droppedNoHost++
+		return
+	}
+	n.scheduleDelivery(dst, from, size, payload, arrival+dst.ProcDelay)
+}
+
+// scheduleDelivery books the arrival event for a surviving datagram.
+func (n *Network) scheduleDelivery(dst *Host, from netip.Addr, size int, payload any, arrival time.Duration) {
 	var d *delivery
 	if k := len(n.freeDeliveries); k > 0 {
 		d = n.freeDeliveries[k-1]
@@ -341,7 +437,6 @@ func (n *Network) Send(from *Host, to netip.Addr, size int, payload any) bool {
 	} else {
 		d = &delivery{}
 	}
-	d.n, d.dst, d.from, d.size, d.payload = n, dst, from.Addr, size, payload
+	d.n, d.dst, d.from, d.size, d.payload = n, dst, from, size, payload
 	n.eng.AtArg(arrival, deliverDatagram, d)
-	return true
 }
