@@ -6,20 +6,21 @@ GO ?= go
 HOTPATH_PKGS = ./internal/eventsim ./internal/wire
 BENCHTIME ?= 2s
 
-.PHONY: fast full bench bench-sched bench-shard bench-scenarios clean
+.PHONY: fast full bench bench-sched bench-shard bench-scenarios bench-compare bench-baseline clean
 
 # Fast lane: static checks plus every -short test under the race detector.
 # Scenario-scale tests skip themselves in -short mode, so this finishes in
 # about a minute and is the pre-commit gate.
 fast:
 	$(GO) vet ./...
-	$(GO) test -race -short ./...
+	$(GO) test -race -short -timeout 20m ./...
 
 # Full lane: build everything and run the whole suite, including the
-# multi-minute scenario tests (tier-1 verify).
+# multi-minute scenario tests (tier-1 verify). internal/core alone exceeds
+# go test's default 10m timeout on slow single-core machines, so raise it.
 full:
 	$(GO) build ./...
-	$(GO) test ./...
+	$(GO) test -timeout 30m ./...
 
 # Hot-path benchmarks, also exported as BENCH_hotpath.json
 # ([{"name":..., "ns_per_op":..., "bytes_per_op":..., "allocs_per_op":...}]).
@@ -84,6 +85,26 @@ bench-shard:
 	  } \
 	  END { print "\n]" }' bench_shard.txt > BENCH_shard.json
 	@echo "wrote BENCH_shard.json"
+
+# Perf regression gate (the CI bench-compare lane): re-run both benchmark
+# suites fresh and compare against the committed baselines in bench/baseline/,
+# failing if any benchmark's ns/op regressed by more than 30% relative to its
+# siblings (benchdiff -normalize divides the ratios by their geometric mean,
+# so a uniformly slower or faster machine doesn't trip the gate). Re-baseline
+# after intentional perf changes with `make bench-baseline`.
+bench-compare:
+	$(MAKE) bench bench-sched BENCHTIME=$(BENCHTIME)
+	$(GO) run ./cmd/benchdiff -normalize -threshold 0.30 \
+	  bench/baseline/hotpath.json BENCH_hotpath.json \
+	  bench/baseline/sched.json BENCH_sched.json
+
+# Refresh the committed perf baselines from a fresh benchmark run.
+bench-baseline:
+	$(MAKE) bench bench-sched BENCHTIME=$(BENCHTIME)
+	mkdir -p bench/baseline
+	cp BENCH_hotpath.json bench/baseline/hotpath.json
+	cp BENCH_sched.json bench/baseline/sched.json
+	@echo "wrote bench/baseline/{hotpath,sched}.json"
 
 # Scenario-scale benchmarks: one full simulation per table/figure.
 bench-scenarios:

@@ -1,0 +1,176 @@
+// Command benchdiff compares two benchmark JSON exports (the shape `make
+// bench` / `make bench-sched` write: a list of {"name", "ns_per_op",
+// "bytes_per_op", "allocs_per_op"} objects) and fails when any benchmark
+// regressed beyond a threshold. It is the CI perf gate: the committed
+// BENCH_*.json baselines are compared against a fresh run on the CI runner.
+//
+// Usage:
+//
+//	benchdiff [-threshold 0.30] [-normalize] baseline.json current.json [baseline2.json current2.json ...]
+//
+// With -normalize, every ns/op ratio is divided by the geometric mean of all
+// ratios in that file pair. A different (slower or faster) machine shifts
+// every benchmark by roughly the same factor; the geomean absorbs that
+// machine-wide offset, so only *relative* regressions — one benchmark getting
+// slower than its siblings — trip the gate. That is what makes a committed
+// baseline from a developer machine usable on an arbitrary CI runner.
+//
+// Exit status: 0 when no benchmark exceeds the threshold (ratios between
+// warnRatio and the threshold print warnings), 1 on a regression or when a
+// baseline benchmark is missing from the current run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+type benchEntry struct {
+	Name        string   `json:"name"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op"`
+}
+
+// warnRatio is the normalized slowdown that prints a warning without
+// failing; below it, run-to-run noise dominates.
+const warnRatio = 1.10
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	threshold := flag.Float64("threshold", 0.30, "fail when a benchmark's (normalized) ns/op grows by more than this fraction")
+	normalize := flag.Bool("normalize", false, "divide ratios by their geometric mean to absorb machine-speed offsets")
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 || len(args)%2 != 0 {
+		return fmt.Errorf("usage: benchdiff [-threshold F] [-normalize] baseline.json current.json [...]")
+	}
+	if *threshold <= 0 {
+		return fmt.Errorf("-threshold %g: must be positive", *threshold)
+	}
+
+	failed := false
+	for i := 0; i < len(args); i += 2 {
+		ok, err := comparePair(args[i], args[i+1], *threshold, *normalize)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			failed = true
+		}
+	}
+	if failed {
+		return fmt.Errorf("benchmark regression beyond %.0f%%", 100**threshold)
+	}
+	return nil
+}
+
+func load(path string) (map[string]benchEntry, []string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var entries []benchEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	byName := make(map[string]benchEntry, len(entries))
+	var names []string
+	for _, e := range entries {
+		if e.Name == "" || e.NsPerOp <= 0 {
+			return nil, nil, fmt.Errorf("%s: entry %+v missing name or ns_per_op", path, e)
+		}
+		if _, dup := byName[e.Name]; dup {
+			return nil, nil, fmt.Errorf("%s: duplicate benchmark %q", path, e.Name)
+		}
+		byName[e.Name] = e
+		names = append(names, e.Name)
+	}
+	return byName, names, nil
+}
+
+// comparePair reports whether baseline→current stays within the threshold.
+func comparePair(basePath, curPath string, threshold float64, normalize bool) (bool, error) {
+	base, baseNames, err := load(basePath)
+	if err != nil {
+		return false, err
+	}
+	cur, curNames, err := load(curPath)
+	if err != nil {
+		return false, err
+	}
+
+	// Ratios for benchmarks present on both sides, in baseline order.
+	type row struct {
+		name  string
+		ratio float64
+	}
+	var rows []row
+	for _, name := range baseNames {
+		if c, ok := cur[name]; ok {
+			rows = append(rows, row{name: name, ratio: c.NsPerOp / base[name].NsPerOp})
+		}
+	}
+
+	fmt.Printf("== %s vs %s ==\n", basePath, curPath)
+	ok := true
+	if len(rows) == 0 {
+		fmt.Println("  no common benchmarks")
+		ok = false
+	}
+
+	scale := 1.0
+	if normalize && len(rows) > 0 {
+		logSum := 0.0
+		for _, r := range rows {
+			logSum += math.Log(r.ratio)
+		}
+		scale = math.Exp(logSum / float64(len(rows)))
+		fmt.Printf("  machine-speed offset (geomean of ratios): %.3f — normalized out\n", scale)
+	}
+
+	for _, r := range rows {
+		norm := r.ratio / scale
+		verdict := "ok"
+		switch {
+		case norm > 1+threshold:
+			verdict = fmt.Sprintf("FAIL (> +%.0f%%)", 100*threshold)
+			ok = false
+		case norm > warnRatio:
+			verdict = "warn"
+		}
+		fmt.Printf("  %-50s %8.0f -> %8.0f ns/op  ratio %.3f  normalized %.3f  %s\n",
+			r.name, base[r.name].NsPerOp, cur[r.name].NsPerOp, r.ratio, norm, verdict)
+	}
+
+	// A benchmark disappearing from the current run would silently shrink
+	// coverage, so it fails the gate; new benchmarks are informational.
+	for _, name := range baseNames {
+		if _, found := cur[name]; !found {
+			fmt.Printf("  %-50s MISSING from current run\n", name)
+			ok = false
+		}
+	}
+	var added []string
+	for _, name := range curNames {
+		if _, found := base[name]; !found {
+			added = append(added, name)
+		}
+	}
+	sort.Strings(added)
+	for _, name := range added {
+		fmt.Printf("  %-50s new benchmark (no baseline)\n", name)
+	}
+	return ok, nil
+}

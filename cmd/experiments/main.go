@@ -175,6 +175,17 @@ func sections() []section {
 			}
 			return experiments.RTTCorrelation("", out.Reports[experiments.ProbeMason]), nil
 		}},
+		{"multichannel", "Multi-channel — popular + unpopular running concurrently with channel-switching viewers", func(r *experiments.Runner) (string, error) {
+			out, err := r.MultiChannel()
+			if err != nil {
+				return "", err
+			}
+			var b strings.Builder
+			b.WriteString(experiments.MultiChannelSummary(out))
+			b.WriteString(experiments.FigureABC("TELE probe pinned to the popular channel:", out.Reports[experiments.ProbeTELEPopular]))
+			b.WriteString(experiments.FigureABC("TELE probe pinned to the unpopular channel:", out.Reports[experiments.ProbeTELEUnpopular]))
+			return b.String(), nil
+		}},
 		{"ablation-referral", "Ablation — neighbor referral vs tracker-only (+ BitTorrent baseline)", func(r *experiments.Runner) (string, error) {
 			out, err := r.AblationReferral()
 			if err != nil {

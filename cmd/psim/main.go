@@ -4,9 +4,13 @@
 //
 // Usage:
 //
-//	psim [-channel popular|unpopular] [-scale 0.25] [-watch 20m] [-shards N]
+//	psim [-channel popular|unpopular|multi] [-scale 0.25] [-watch 20m] [-shards N]
 //	     [-probes tele,cnc,mason] [-seed 7] [-no-referral] [-no-latency-bias]
-//	     [-no-preference]
+//	     [-no-preference] [-switch-fraction 0.35] [-median-dwell 4m]
+//
+// With -channel multi the popular and unpopular channels run concurrently,
+// a fraction of viewers browses between them (-switch-fraction, -median-dwell),
+// and every requested probe is placed twice: once pinned to each channel.
 package main
 
 import (
@@ -30,7 +34,7 @@ func main() {
 }
 
 func run() error {
-	channel := flag.String("channel", "popular", "popular or unpopular")
+	channel := flag.String("channel", "popular", "popular, unpopular, or multi (both concurrently)")
 	scale := flag.Float64("scale", 0.25, "population scale (1.0 = paper-size audience)")
 	watch := flag.Duration("watch", 20*time.Minute, "probe watch duration")
 	warmup := flag.Duration("warmup", 6*time.Minute, "swarm warm-up before probes join")
@@ -40,6 +44,8 @@ func run() error {
 	noLatency := flag.Bool("no-latency-bias", false, "ablate latency-based selection")
 	noPref := flag.Bool("no-preference", false, "ablate performance-weighted scheduling")
 	shards := flag.Int("shards", simnet.DefaultShards, "event-loop workers (one per ISP domain by default); results are identical at any setting")
+	switchFrac := flag.Float64("switch-fraction", 0.35, "with -channel multi: share of viewers that browse channels")
+	dwell := flag.Duration("median-dwell", 4*time.Minute, "with -channel multi: median dwell on a channel before switching")
 	flag.Parse()
 
 	if *scale <= 0 {
@@ -56,11 +62,17 @@ func run() error {
 	}
 
 	var sc pplive.Scenario
+	multi := false
 	switch *channel {
 	case "popular":
 		sc = pplive.PopularScenario(*seed, *scale)
 	case "unpopular":
 		sc = pplive.UnpopularScenario(*seed, *scale)
+	case "multi":
+		multi = true
+		sc = pplive.MultiChannelScenario(*seed, *scale, *scale)
+		sc.Switching.SwitcherFraction = *switchFrac
+		sc.Switching.MedianDwell = *dwell
 	default:
 		return fmt.Errorf("unknown channel %q", *channel)
 	}
@@ -93,14 +105,33 @@ func run() error {
 		default:
 			return fmt.Errorf("unknown probe %q", name)
 		}
-		sc.Probes = append(sc.Probes, pplive.ProbeSpec{Name: name, ISP: category})
+		if multi {
+			// One instance of each probe per channel, pinned there for the run.
+			for _, ch := range sc.Channels {
+				sc.Probes = append(sc.Probes, pplive.ProbeSpec{
+					Name:    fmt.Sprintf("%s-%s", name, ch.Spec.Name),
+					ISP:     category,
+					Channel: ch.Spec.Channel,
+				})
+			}
+		} else {
+			sc.Probes = append(sc.Probes, pplive.ProbeSpec{Name: name, ISP: category})
+		}
 	}
 	if len(sc.Probes) == 0 {
 		return fmt.Errorf("no probes specified")
 	}
 
+	viewers := 0
+	if multi {
+		for _, ch := range sc.Channels {
+			viewers += ch.Viewers.Total()
+		}
+	} else {
+		viewers = sc.Viewers.Total()
+	}
 	fmt.Printf("scenario %s: %d viewers, watch %s (total virtual %s), seed %d\n",
-		sc.Name, sc.Viewers.Total(), sc.Watch, sc.WarmUp+sc.Watch, sc.Seed)
+		sc.Name, viewers, sc.Watch, sc.WarmUp+sc.Watch, sc.Seed)
 	start := time.Now()
 	res, err := pplive.RunScenario(sc)
 	if err != nil {
@@ -108,6 +139,15 @@ func run() error {
 	}
 	fmt.Printf("completed: %d engine events, %d viewers spawned, wall %s\n\n",
 		res.EventsProcessed, res.PeersSpawned, time.Since(start).Round(time.Millisecond))
+	if multi {
+		fmt.Printf("channel switching: %d viewers switched at least once, %d switch events\n",
+			res.Switchers, res.Switches)
+		for _, ch := range res.Channels {
+			fmt.Printf("  channel %d (%s): %d initial viewers, source %v\n",
+				ch.Spec.Channel, ch.Spec.Name, ch.Viewers.Total(), ch.Source)
+		}
+		fmt.Println()
+	}
 
 	for i, p := range res.Probes {
 		rep, err := pplive.AnalyzeProbe(res, i)

@@ -1,5 +1,5 @@
 // Package core orchestrates full simulations: it assembles the underlay,
-// control servers (bootstrap + five tracker groups), the channel source, a
+// control servers (bootstrap + five tracker groups), the channel sources, a
 // churning background viewer population, and instrumented probe clients, then
 // runs the scenario and returns the probes' captured traces for analysis.
 //
@@ -33,6 +33,17 @@ type ProbeSpec struct {
 	// UploadBps overrides the probe's uplink; zero draws from the ISP's
 	// capacity distribution.
 	UploadBps float64
+	// Channel pins the probe to one of the scenario's channels; zero means
+	// the first (or only) channel. Probes never switch — the paper's probes
+	// watched their channel for the whole capture.
+	Channel wire.ChannelID
+}
+
+// ChannelSpec is one channel in a multi-channel scenario: its stream plus
+// the audience that arrives on it.
+type ChannelSpec struct {
+	Spec    stream.Spec
+	Viewers workload.Population
 }
 
 // Behaviour toggles the mechanism ablations DESIGN.md calls out. The zero
@@ -55,10 +66,21 @@ type Behaviour struct {
 
 // Scenario fully describes one simulation run.
 type Scenario struct {
-	Name      string
-	Seed      int64
-	Spec      stream.Spec
-	Viewers   workload.Population
+	Name string
+	Seed int64
+
+	// Spec/Viewers describe a single-channel scenario (the common case).
+	// Channels, when non-empty, supersedes them with a channel set served by
+	// distinct sources behind the shared bootstrap and tracker groups.
+	Spec     stream.Spec
+	Viewers  workload.Population
+	Channels []ChannelSpec
+
+	// Switching drives channel-browsing viewers across the channel set (§5
+	// of the paper). Zero value: nobody switches, and no switching-related
+	// RNG draws occur, keeping legacy scenarios bit-identical.
+	Switching workload.Switching
+
 	Churn     workload.Churn
 	Probes    []ProbeSpec
 	Behaviour Behaviour
@@ -79,16 +101,58 @@ type Scenario struct {
 	Watch time.Duration
 }
 
+// channelSet returns the scenario's channels: the explicit set, or the
+// legacy single Spec/Viewers pair wrapped as one entry.
+func (s *Scenario) channelSet() []ChannelSpec {
+	if len(s.Channels) > 0 {
+		return s.Channels
+	}
+	return []ChannelSpec{{Spec: s.Spec, Viewers: s.Viewers}}
+}
+
+// channelIndex resolves a channel ID to its index in the channel set
+// (-1 if absent; 0 for the zero ID).
+func channelIndex(set []ChannelSpec, id wire.ChannelID) int {
+	if id == 0 {
+		return 0
+	}
+	for i, ch := range set {
+		if ch.Spec.Channel == id {
+			return i
+		}
+	}
+	return -1
+}
+
 // Validate checks scenario consistency.
 func (s *Scenario) Validate() error {
-	if err := s.Spec.Validate(); err != nil {
+	set := s.channelSet()
+	seen := make(map[wire.ChannelID]bool, len(set))
+	for _, ch := range set {
+		if err := ch.Spec.Validate(); err != nil {
+			return err
+		}
+		if seen[ch.Spec.Channel] {
+			return fmt.Errorf("core: scenario %q repeats channel %d", s.Name, ch.Spec.Channel)
+		}
+		seen[ch.Spec.Channel] = true
+		if ch.Viewers.Total() <= 0 {
+			return fmt.Errorf("core: scenario %q channel %d has no viewers", s.Name, ch.Spec.Channel)
+		}
+	}
+	if err := s.Switching.Validate(); err != nil {
 		return err
 	}
-	if s.Viewers.Total() <= 0 {
-		return fmt.Errorf("core: scenario %q has no viewers", s.Name)
+	if s.Switching.Enabled && len(set) < 2 {
+		return fmt.Errorf("core: scenario %q enables switching with %d channel(s)", s.Name, len(set))
 	}
 	if len(s.Probes) == 0 {
 		return fmt.Errorf("core: scenario %q has no probes", s.Name)
+	}
+	for _, ps := range s.Probes {
+		if channelIndex(set, ps.Channel) < 0 {
+			return fmt.Errorf("core: scenario %q probe %q watches unknown channel %d", s.Name, ps.Name, ps.Channel)
+		}
 	}
 	if s.ArrivalWindow <= 0 || s.WarmUp <= 0 || s.Watch <= 0 {
 		return fmt.Errorf("core: scenario %q has non-positive timing", s.Name)
@@ -117,19 +181,34 @@ type ProbeResult struct {
 	Addr     netip.Addr
 	Recorder *capture.Recorder
 	Client   *peer.Client
+	// Channel is the channel the probe watched; Source is that channel's
+	// source address (the right exclusion set for this probe's analysis).
+	Channel wire.ChannelID
+	Source  netip.Addr
+}
+
+// ChannelResult is one channel's identity in a completed run.
+type ChannelResult struct {
+	Spec    stream.Spec
+	Source  netip.Addr
+	Viewers workload.Population
 }
 
 // Result is a completed run.
 type Result struct {
 	Scenario Scenario
 	Probes   []ProbeResult
+	// Channels lists the run's channels with their source addresses, in
+	// scenario order.
+	Channels []ChannelResult
 	// Trackers is the set of tracker-server addresses, needed by the
 	// trace-matching split between tracker and regular-peer lists.
 	Trackers map[netip.Addr]bool
 	// Registry resolves observed addresses to ISPs (the Team Cymru step).
 	Registry *asnmap.Registry
-	// SourceAddr is the channel source (excluded from "regular peer"
-	// statistics where the paper's methodology implies client peers).
+	// SourceAddr is the first channel's source (excluded from "regular peer"
+	// statistics where the paper's methodology implies client peers). For
+	// per-channel analysis use Probes[i].Source / Channels[i].Source.
 	SourceAddr netip.Addr
 	// Elapsed is the simulated duration.
 	Elapsed time.Duration
@@ -137,6 +216,20 @@ type Result struct {
 	EventsProcessed uint64
 	// PeersSpawned counts background viewers ever created.
 	PeersSpawned int
+	// Switches counts channel-switch events across all viewers; Switchers
+	// counts viewers that switched at least once.
+	Switches  uint64
+	Switchers int
+}
+
+// ProbeByName returns the probe result with the given name, or nil.
+func (r *Result) ProbeByName(name string) *ProbeResult {
+	for i := range r.Probes {
+		if r.Probes[i].Name == name {
+			return &r.Probes[i]
+		}
+	}
+	return nil
 }
 
 // Sim is an assembled, not-yet-run simulation.
@@ -146,7 +239,12 @@ type Sim struct {
 
 	bootstrapAddr netip.Addr
 	trackerAddrs  map[netip.Addr]bool
-	sourceAddr    netip.Addr
+
+	// channels mirrors the scenario's channel set with runtime identities;
+	// weights holds each channel's audience size for popularity-biased
+	// switching.
+	channels []ChannelResult
+	weights  []float64
 
 	probes []ProbeResult
 
@@ -160,12 +258,14 @@ type Sim struct {
 // domainState is the per-shard slice of the simulation's mutable state.
 type domainState struct {
 	dom *simnet.Domain
-	// rng drives viewer capacity/processing/churn draws for spawns in this
-	// domain. Seeded per domain, so one shard's churn never perturbs
+	// rng drives viewer capacity/processing/churn/switching draws for spawns
+	// in this domain. Seeded per domain, so one shard's churn never perturbs
 	// another's stream.
 	rng *rand.Rand
 	// spawned counts background viewers ever created in this domain.
 	spawned int
+	// switches counts channel-switch events performed in this domain.
+	switches uint64
 	// background holds every viewer ever spawned here (including departed).
 	background []*peer.Client
 }
@@ -190,12 +290,12 @@ var trackerGroupISPs = [tracker.Groups]isp.ISP{
 // infraUploadBps is the uplink of control servers (bootstrap, trackers).
 const infraUploadBps = 8 << 20
 
-// sourceUploadBps returns the channel source's uplink for a given audience:
+// sourceUploadBps returns a channel source's uplink for its audience:
 // enough to seed the swarm and absorb flash-crowd ramps (PPLive provisioned
 // server clusters per channel), but a small fraction of aggregate demand so
 // the mesh must carry the stream.
-func sourceUploadBps(sc Scenario) float64 {
-	demand := float64(sc.Viewers.Total()) * float64(sc.Spec.BitrateBps)
+func sourceUploadBps(ch ChannelSpec) float64 {
+	demand := float64(ch.Viewers.Total()) * float64(ch.Spec.BitrateBps)
 	capacity := 0.2 * demand
 	if capacity < 4<<20 {
 		capacity = 4 << 20
@@ -211,6 +311,7 @@ func Build(sc Scenario) (*Sim, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
+	set := sc.channelSet()
 	world := simnet.NewShardedWorld(sc.Seed)
 	sim := &Sim{
 		scenario:     sc,
@@ -232,7 +333,8 @@ func Build(sc Scenario) (*Sim, error) {
 	bsEnv.SetHandler(bs)
 	sim.bootstrapAddr = bsEnv.Addr()
 
-	// Five tracker groups, two servers each.
+	// Five tracker groups, two servers each; the groups are shared by every
+	// channel (trackers keep per-channel registries).
 	var groups [tracker.Groups][]netip.Addr
 	for g := 0; g < tracker.Groups; g++ {
 		for i := 0; i < 2; i++ {
@@ -247,41 +349,50 @@ func Build(sc Scenario) (*Sim, error) {
 		}
 	}
 
-	// Channel source.
-	srcEnv, err := infraDomain(isp.TELE).Spawn(simnet.HostSpec{ISP: isp.TELE, UploadBps: sourceUploadBps(sc), ProcDelay: 2 * time.Millisecond})
-	if err != nil {
-		return nil, fmt.Errorf("spawn source: %w", err)
+	// Channel sources and directory entries, in scenario order (so a
+	// single-channel scenario spawns exactly the addresses it always did).
+	for _, ch := range set {
+		srcEnv, err := infraDomain(isp.TELE).Spawn(simnet.HostSpec{ISP: isp.TELE, UploadBps: sourceUploadBps(ch), ProcDelay: 2 * time.Millisecond})
+		if err != nil {
+			return nil, fmt.Errorf("spawn source: %w", err)
+		}
+		src, err := peer.NewSource(srcEnv, ch.Spec)
+		if err != nil {
+			return nil, err
+		}
+		srcEnv.SetHandler(src)
+		err = bs.AddChannel(tracker.ChannelDirectory{
+			Info:          ch.Spec.Info(),
+			Source:        srcEnv.Addr(),
+			TrackerGroups: groups,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sim.channels = append(sim.channels, ChannelResult{
+			Spec:    ch.Spec,
+			Source:  srcEnv.Addr(),
+			Viewers: ch.Viewers,
+		})
+		sim.weights = append(sim.weights, float64(ch.Viewers.Total()))
 	}
-	src, err := peer.NewSource(srcEnv, sc.Spec)
-	if err != nil {
-		return nil, err
-	}
-	srcEnv.SetHandler(src)
-	sim.sourceAddr = srcEnv.Addr()
 
-	// Channel directory.
-	err = bs.AddChannel(tracker.ChannelDirectory{
-		Info:          sc.Spec.Info(),
-		Source:        srcEnv.Addr(),
-		TrackerGroups: groups,
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	// Background population: initial arrivals spread over ArrivalWindow,
-	// round-robined across the category's shard domains. Categories iterate
-	// in fixed order and arrival instants come from the build RNG — map
-	// order or domain-stream draws here would break run determinism.
+	// Background population: per channel, initial arrivals spread over
+	// ArrivalWindow, round-robined across the category's shard domains.
+	// Channels and categories iterate in fixed order and arrival instants
+	// come from the build RNG — map order or domain-stream draws here would
+	// break run determinism.
 	rng := world.BuildRand()
-	for _, category := range isp.All() {
-		doms := world.DomainsOf(category)
-		count := sc.Viewers[category]
-		for i := 0; i < count; i++ {
-			at := time.Duration(rng.Int63n(int64(sc.ArrivalWindow)))
-			ds := &sim.doms[doms[i%len(doms)].ID()]
-			category := category
-			ds.dom.At(at, func() { sim.spawnViewer(ds, category) })
+	for chIdx, ch := range set {
+		for _, category := range isp.All() {
+			doms := world.DomainsOf(category)
+			count := ch.Viewers[category]
+			for i := 0; i < count; i++ {
+				at := time.Duration(rng.Int63n(int64(sc.ArrivalWindow)))
+				ds := &sim.doms[doms[i%len(doms)].ID()]
+				category, chIdx := category, chIdx
+				ds.dom.At(at, func() { sim.spawnViewer(ds, category, chIdx) })
+			}
 		}
 	}
 
@@ -303,10 +414,10 @@ func Build(sc Scenario) (*Sim, error) {
 }
 
 // backgroundConfig derives a background viewer's config from the scenario.
-func (s *Sim) backgroundConfig() peer.Config {
-	cfg := peer.BackgroundConfig(s.scenario.Spec, s.bootstrapAddr)
+func (s *Sim) backgroundConfig(spec stream.Spec) peer.Config {
+	cfg := peer.BackgroundConfig(spec, s.bootstrapAddr)
 	if s.scenario.Behaviour.FullFidelityBackground {
-		cfg = peer.DefaultConfig(s.scenario.Spec, s.bootstrapAddr)
+		cfg = peer.DefaultConfig(spec, s.bootstrapAddr)
 	}
 	s.applyBehaviour(&cfg)
 	return cfg
@@ -319,11 +430,12 @@ func (s *Sim) applyBehaviour(cfg *peer.Config) {
 	cfg.PreferFastNeighbors = !b.DisablePreference
 }
 
-// spawnViewer creates one background viewer in ds's shard domain and, with
-// churn enabled, schedules its departure and replacement (in the same
-// domain, preserving shard balance). It runs on ds's worker and touches only
-// ds state.
-func (s *Sim) spawnViewer(ds *domainState, category isp.ISP) {
+// spawnViewer creates one background viewer in ds's shard domain, arriving
+// on channel chIdx, and, with churn enabled, schedules its departure and
+// replacement (same domain and arrival channel, preserving shard balance
+// and per-channel population). It runs on ds's worker and touches only ds
+// state.
+func (s *Sim) spawnViewer(ds *domainState, category isp.ISP, chIdx int) {
 	rng := ds.rng
 	env, err := ds.dom.Spawn(simnet.HostSpec{
 		ISP:       category,
@@ -334,7 +446,7 @@ func (s *Sim) spawnViewer(ds *domainState, category isp.ISP) {
 		// Address exhaustion would be a scenario sizing bug; surface loudly.
 		panic(fmt.Sprintf("core: spawn viewer: %v", err))
 	}
-	cfg := s.backgroundConfig()
+	cfg := s.backgroundConfig(s.channels[chIdx].Spec)
 	client, err := peer.New(env, cfg)
 	if err != nil {
 		panic(fmt.Sprintf("core: viewer config: %v", err))
@@ -350,9 +462,34 @@ func (s *Sim) spawnViewer(ds *domainState, category isp.ISP) {
 		ds.dom.After(session, func() {
 			client.Stop()
 			gap := time.Duration(rng.ExpFloat64() * float64(s.scenario.Churn.ReplacementDelay))
-			ds.dom.After(gap, func() { s.spawnViewer(ds, category) })
+			ds.dom.After(gap, func() { s.spawnViewer(ds, category, chIdx) })
 		})
 	}
+
+	// Channel browsing: decided per arrival, after the churn draws, so a
+	// switching-disabled scenario performs exactly the legacy draw sequence.
+	if s.scenario.Switching.Enabled && s.scenario.Switching.IsSwitcher(rng) {
+		s.scheduleSwitch(ds, client, chIdx)
+	}
+}
+
+// scheduleSwitch arms the next channel hop for a browsing viewer: dwell on
+// the current channel, then move to a popularity-weighted other channel.
+// All draws come from ds's domain RNG inside the owning shard, so switching
+// stays deterministic for any worker count.
+func (s *Sim) scheduleSwitch(ds *domainState, client *peer.Client, cur int) {
+	dwell := s.scenario.Switching.Dwell(ds.rng)
+	ds.dom.After(dwell, func() {
+		if client.Phase() == peer.PhaseStopped {
+			return
+		}
+		next := s.scenario.Switching.Next(ds.rng, s.weights, cur)
+		if next != cur {
+			client.Switch(s.channels[next].Spec)
+			ds.switches++
+		}
+		s.scheduleSwitch(ds, client, next)
+	})
 }
 
 // spawnProbe creates one instrumented full-fidelity client in ds's shard
@@ -373,7 +510,8 @@ func (s *Sim) spawnProbe(ds *domainState, slot int, ps ProbeSpec) error {
 	if err != nil {
 		return err
 	}
-	cfg := peer.DefaultConfig(s.scenario.Spec, s.bootstrapAddr)
+	ch := s.channels[channelIndex(s.scenario.channelSet(), ps.Channel)]
+	cfg := peer.DefaultConfig(ch.Spec, s.bootstrapAddr)
 	s.applyBehaviour(&cfg)
 	client, err := peer.New(env, cfg)
 	if err != nil {
@@ -399,6 +537,8 @@ func (s *Sim) spawnProbe(ds *domainState, slot int, ps ProbeSpec) error {
 		Addr:     env.Addr(),
 		Recorder: rec,
 		Client:   client,
+		Channel:  ch.Spec.Channel,
+		Source:   ch.Source,
 	}
 	return nil
 }
@@ -413,19 +553,29 @@ func (s *Sim) Run() (*Result, error) {
 	if err := s.world.Run(horizon, sc.Shards); err != nil {
 		return nil, fmt.Errorf("run scenario %q: %w", sc.Name, err)
 	}
-	var spawned int
+	var spawned, switchers int
+	var switches uint64
 	for i := range s.doms {
 		spawned += s.doms[i].spawned
+		switches += s.doms[i].switches
+		for _, c := range s.doms[i].background {
+			if c.Stats().ChannelSwitches > 0 {
+				switchers++
+			}
+		}
 	}
 	return &Result{
 		Scenario:        sc,
 		Probes:          s.probes,
+		Channels:        s.channels,
 		Trackers:        s.trackerAddrs,
 		Registry:        s.world.Registry,
-		SourceAddr:      s.sourceAddr,
+		SourceAddr:      s.channels[0].Source,
 		Elapsed:         s.world.Now(),
 		EventsProcessed: s.world.EventsProcessed(),
 		PeersSpawned:    spawned,
+		Switches:        switches,
+		Switchers:       switchers,
 	}, nil
 }
 

@@ -46,7 +46,7 @@ func TestDiagLocalityScenario(t *testing.T) {
 			deliv, loss, queue, noHost := world.NetStats()
 			var srcSent uint64
 			var srcQ time.Duration
-			if h, ok := world.LookupHost(sim.sourceAddr); ok {
+			if h, ok := world.LookupHost(sim.channels[0].Source); ok {
 				_, srcSent, _, _ = h.Stats()
 				srcQ = h.QueueDelay(srcDom.Engine().Now())
 			}

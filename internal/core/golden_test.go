@@ -2,6 +2,8 @@ package core
 
 import (
 	"hash/fnv"
+	"os"
+	"strconv"
 	"testing"
 
 	"pplivesim/internal/workload"
@@ -43,39 +45,76 @@ func goldenDigest(t *testing.T, res *Result) uint64 {
 	return h.Sum64()
 }
 
-// TestGoldenTraceDigest pins the exact behaviour of the simulation at two
-// fixed seeds. The digests were re-baselined when the event engine was
-// sharded across ISP domains (per-domain RNG streams, per-domain address
+// goldenWorkers reads the PPLIVE_SHARD_WORKERS override the CI determinism
+// lane uses to run this very test under different worker counts: a pinned
+// digest must hold regardless of how many goroutines execute domain windows.
+func goldenWorkers(t *testing.T) int {
+	v := os.Getenv("PPLIVE_SHARD_WORKERS")
+	if v == "" {
+		return 0 // scenario default
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		t.Fatalf("bad PPLIVE_SHARD_WORKERS %q", v)
+	}
+	return n
+}
+
+// TestGoldenTraceDigest pins the exact behaviour of the simulation at fixed
+// seeds. The single-channel digests were re-baselined when the event engine
+// was sharded across ISP domains (per-domain RNG streams, per-domain address
 // pools, receiver-side cross-domain delivery) and the scheduler's RNG draws
 // were batched through a bit reservoir — both deliberately change the draw
-// sequences, so the pre-shard digests could not survive. From this baseline
-// on, a pass proves two things at once: no behavioural drift at any change,
-// and worker-count invariance — Scenario.Shards alters only which goroutine
-// executes a domain's window, never the trajectory, so this digest must hold
-// for every worker count (TestShardEquivalence sweeps that axis explicitly).
+// sequences, so the pre-shard digests could not survive. They survived the
+// multi-channel session refactor unchanged, which is the point: with
+// switching disabled, a single-channel scenario draws the exact same RNG and
+// message sequence as before. The multi-channel case pins the two-channel
+// switching scenario on top. From this baseline on, a pass proves two things
+// at once: no behavioural drift at any change, and worker-count invariance —
+// Scenario.Shards alters only which goroutine executes a domain's window,
+// never the trajectory, so every digest must hold for every worker count
+// (the CI determinism lane runs this test at 1 and 4 workers via
+// PPLIVE_SHARD_WORKERS; TestShardEquivalence sweeps the axis in-process).
 func TestGoldenTraceDigest(t *testing.T) {
 	cases := []struct {
+		name  string
 		seed  int64
 		churn bool
+		multi bool
 		want  uint64
 	}{
-		{seed: 7, churn: true, want: 0x5fd28422705e58fa},
-		{seed: 42, churn: false, want: 0x8e40292727df5a33},
+		{name: "single/churn", seed: 7, churn: true, want: 0x5fd28422705e58fa},
+		{name: "single/static", seed: 42, churn: false, want: 0x8e40292727df5a33},
+		{name: "two-channel/switching", seed: 7, multi: true, want: 0x16c3652811aae1f7},
 	}
+	workers := goldenWorkers(t)
 	for _, tc := range cases {
-		sc := smallScenario(tc.seed)
-		sc.Name = "golden"
-		if tc.churn {
-			sc.Churn = workload.DefaultChurn()
+		var sc Scenario
+		if tc.multi {
+			if testing.Short() {
+				// The two-channel run is several times the single-channel
+				// cost; the race lane covers multi-channel via the shrunken
+				// TestTwoChannelShardEquivalence, and the CI determinism
+				// lane runs this pin at full length (1 and 4 workers).
+				continue
+			}
+			sc = twoChannelScenario(tc.seed)
+		} else {
+			sc = smallScenario(tc.seed)
+			if tc.churn {
+				sc.Churn = workload.DefaultChurn()
+			}
 		}
+		sc.Name = "golden"
+		sc.Shards = workers
 		res, err := RunScenario(sc)
 		if err != nil {
 			t.Fatal(err)
 		}
 		got := goldenDigest(t, res)
 		if got != tc.want {
-			t.Errorf("seed %d churn=%v: digest = %#x, want %#x (behaviour changed vs the pre-rewrite scheduler)",
-				tc.seed, tc.churn, got, tc.want)
+			t.Errorf("%s (seed %d): digest = %#x, want %#x (behaviour changed vs the pinned baseline)",
+				tc.name, tc.seed, got, tc.want)
 		}
 	}
 }

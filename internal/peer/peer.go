@@ -17,6 +17,14 @@
 // No topology information is used anywhere. Locality emerges from the
 // decentralized latency-based referral dynamics, which is the paper's
 // central finding.
+//
+// A client is a viewer, not a channel: all channel-scoped protocol state
+// (buffer, neighbor table, scheduler plan, tracker timers) lives in a
+// per-channel session (see session.go), and the client routes incoming
+// messages to the owning session by wire.ChannelID. Switch tears one session
+// down — withdrawing its tracker registrations — and joins the next channel
+// directly, which is how the workload layer models the paper's
+// channel-browsing viewers (§5).
 package peer
 
 import (
@@ -191,82 +199,37 @@ func akey(a netip.Addr) uint32 {
 	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
 }
 
-// Client is one PPLive-style peer.
+// Client is one PPLive-style viewer: a set of per-channel sessions plus the
+// cross-channel identity (address, config, protocol counters).
 type Client struct {
 	env node.Env
 	cfg Config
 
-	phase    Phase
-	source   netip.Addr
-	trackers []netip.Addr
-	buffer   *stream.Buffer
-
-	// The per-datagram maps are keyed by the packed IPv4 address (akey):
-	// hashing a 4-byte integer is several times cheaper than the 24-byte
-	// netip.Addr struct, and these maps sit on every message's path.
-	neighbors  map[uint32]*neighbor
-	known      map[uint32]bool // every address ever learned
-	candidates []netip.Addr    // not-yet-tried addresses (FIFO)
-
-	// pending tracks outstanding handshakes as a small ordered slice: it is
-	// bounded by cfg.MaxPending, so linear membership scans beat a map, and
-	// slice iteration keeps expiry order deterministic where map range order
-	// would not be.
-	pending []pendingShake
-
-	// evictScratch collects eviction victims before dropping them (dropping
-	// mutates the sorted order mid-iteration); reused across gossip rounds.
-	evictScratch []netip.Addr
-
-	// recent is the referral source: most recently connected peers first,
-	// deduplicated, capped at cfg.ReferralSize.
-	recent []netip.Addr
-
-	outstandingTotal int
-	// inflight indexes every outstanding sequence as a sliding-window bit set
-	// so the want scan can mask whole words out at once (the per-neighbor
-	// outstanding maps hold the timing detail). Created on playlink, sized to
-	// the buffer window plus the span requests can outlive it by (timeout
-	// drift), per BitRing's aliasing precondition.
-	inflight *stream.BitRing
-
-	// sortedCache holds the connected non-source neighbor addresses in
-	// address order, maintained incrementally on membership changes;
-	// sortedNbs holds the corresponding neighbor pointers for the
-	// scheduler's hot path.
-	sortedCache []netip.Addr
-	sortedNbs   []*neighbor
-
-	// Scheduler-tick scratch state, reused every SchedInterval so the hot
-	// path stays allocation-free.
-	wantScratch []uint64
-
-	// rbits batches the scheduler's RNG draws (see randbits.go); prefetch16
-	// is cfg.SourcePrefetchProb quantized to the 16-bit scale it consumes.
-	rbits      bitRand
+	// prefetch16 is cfg.SourcePrefetchProb quantized to the 16-bit scale the
+	// scheduler's batched RNG consumes (see randbits.go).
 	prefetch16 uint32
 
-	// Per-tick scheduler plan (see sched.go): transposed candidate masks for
-	// the tick's want range, plus the eligibility mask that evolves as
-	// requests are booked.
-	planOrg    uint64
-	planWords  int
-	planGroups int
-	planRows   []uint64 // gather scratch: per group, 64 rows × planWords
-	planCand   []uint64 // candidate masks, indexed (g*planWords + w)*64 + b
-	planElig   []uint64 // per-group eligibility masks
-	planOrder  []uint64 // neighbor indices sorted by (score, index)
+	// sessions holds one session per joined channel; order preserves join
+	// order so every cross-session iteration is deterministic (map range
+	// order is randomized in Go). active is the session currently being
+	// watched — exactly one for a viewer, but Join allows background
+	// sessions to coexist.
+	sessions map[wire.ChannelID]*session
+	order    []wire.ChannelID
+	active   *session
 
-	// lastMapTo rate-limits decline-triggered buffer-map piggybacks.
-	lastMapTo map[uint32]time.Duration
+	started    bool
+	stopped    bool
+	everJoined bool // at least one session completed bootstrap contact
+
+	// closedStats accumulates playback counters from sessions already left,
+	// so BufferStats spans the whole viewing history across switches.
+	closedStats stream.Stats
 
 	// emitRequest, when set, replaces the wire send for scheduled data
 	// requests; benchmarks use it to measure scheduling cost without the
 	// message-construction cost. All bookkeeping still runs.
 	emitRequest func(to netip.Addr, seq uint64, count int)
-
-	cancels      []node.Cancel
-	trackerTimer node.Cancel
 
 	stats Stats
 
@@ -274,7 +237,7 @@ type Client struct {
 	onStopped func()
 }
 
-// Stats counts client-side protocol activity.
+// Stats counts client-side protocol activity across all sessions.
 type Stats struct {
 	TrackerQueries       uint64
 	GossipSent           uint64
@@ -296,9 +259,10 @@ type Stats struct {
 	DataRequestsDeclined uint64
 	DataRequestsShed     uint64
 	RequestTimeouts      uint64
+	ChannelSwitches      uint64
 }
 
-// New creates a client bound to env. Call Start to join the channel.
+// New creates a client bound to env. Call Start to join the initial channel.
 func New(env node.Env, cfg Config) (*Client, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -306,10 +270,8 @@ func New(env node.Env, cfg Config) (*Client, error) {
 	return &Client{
 		env:        env,
 		cfg:        cfg,
-		phase:      PhaseInit,
-		neighbors:  make(map[uint32]*neighbor),
-		known:      make(map[uint32]bool),
 		prefetch16: prob16(cfg.SourcePrefetchProb),
+		sessions:   make(map[wire.ChannelID]*session),
 	}, nil
 }
 
@@ -319,20 +281,21 @@ type pendingShake struct {
 	at  time.Duration
 }
 
-// pendingIdx returns the index of key in the pending window, or -1.
-func (c *Client) pendingIdx(key uint32) int {
-	for i := range c.pending {
-		if c.pending[i].key == key {
-			return i
-		}
-	}
-	return -1
-}
-
 var _ node.Handler = (*Client)(nil)
 
-// Phase returns the current lifecycle stage.
-func (c *Client) Phase() Phase { return c.phase }
+// Phase returns the current lifecycle stage of the active session.
+func (c *Client) Phase() Phase {
+	switch {
+	case c.stopped:
+		return PhaseStopped
+	case c.active != nil:
+		return c.active.phase
+	case c.started:
+		return PhaseBootstrap
+	default:
+		return PhaseInit
+	}
+}
 
 // Addr returns the client's address.
 func (c *Client) Addr() netip.Addr { return c.env.Addr() }
@@ -340,456 +303,223 @@ func (c *Client) Addr() netip.Addr { return c.env.Addr() }
 // Stats returns a snapshot of protocol counters.
 func (c *Client) Stats() Stats { return c.stats }
 
-// BufferStats returns playback buffer counters (zero value before join).
+// BufferStats returns playback buffer counters summed across every session
+// the client has held, including channels already left.
 func (c *Client) BufferStats() stream.Stats {
-	if c.buffer == nil {
-		return stream.Stats{}
-	}
-	return c.buffer.Stats()
-}
-
-// NumNeighbors returns the connected neighbor count.
-func (c *Client) NumNeighbors() int { return len(c.neighbors) }
-
-// Neighbors returns the connected neighbor addresses: the maintained sorted
-// order plus the source, if connected. Iterating the neighbor map here would
-// leak Go's randomized map order into caller behaviour.
-func (c *Client) Neighbors() []netip.Addr {
-	out := make([]netip.Addr, 0, len(c.neighbors))
-	if c.source.IsValid() {
-		if nb, ok := c.neighbors[akey(c.source)]; ok {
-			out = append(out, nb.addr)
+	out := c.closedStats
+	for _, ch := range c.order {
+		if s := c.sessions[ch]; s.buffer != nil {
+			out = out.Add(s.buffer.Stats())
 		}
 	}
-	out = append(out, c.sortedCache...)
 	return out
+}
+
+// NumNeighbors returns the connected neighbor count across sessions.
+func (c *Client) NumNeighbors() int {
+	n := 0
+	for _, ch := range c.order {
+		n += len(c.sessions[ch].neighbors)
+	}
+	return n
+}
+
+// Neighbors returns the connected neighbor addresses: per session in join
+// order, the source first (if connected) then the maintained sorted order.
+// Iterating the neighbor maps here would leak Go's randomized map order into
+// caller behaviour.
+func (c *Client) Neighbors() []netip.Addr {
+	var out []netip.Addr
+	for _, ch := range c.order {
+		s := c.sessions[ch]
+		if s.source.IsValid() {
+			if nb, ok := s.neighbors[akey(s.source)]; ok {
+				out = append(out, nb.addr)
+			}
+		}
+		out = append(out, s.sortedCache...)
+	}
+	return out
+}
+
+// Sessions returns the joined channel IDs in join order.
+func (c *Client) Sessions() []wire.ChannelID {
+	return slices.Clone(c.order)
+}
+
+// ActiveChannel returns the channel currently being watched (0 if none).
+func (c *Client) ActiveChannel() wire.ChannelID {
+	if c.active == nil {
+		return 0
+	}
+	return c.active.spec.Channel
 }
 
 // SetOnStopped registers a callback invoked after Stop.
 func (c *Client) SetOnStopped(fn func()) { c.onStopped = fn }
 
-// Start begins the join flow: contact the bootstrap server. In the real
-// client this is preceded by DNS queries for the server addresses; the
-// simulation provides the bootstrap address directly.
+// Start begins the join flow for the configured initial channel: contact the
+// bootstrap server. In the real client this is preceded by DNS queries for
+// the server addresses; the simulation provides the bootstrap address
+// directly.
 func (c *Client) Start() {
-	if c.phase != PhaseInit {
+	if c.started || c.stopped {
 		return
 	}
-	c.phase = PhaseBootstrap
-	c.env.Send(c.cfg.Bootstrap, &wire.ChannelListRequest{})
-	// Retry bootstrap contact until the playlink resolves.
-	var retry func()
-	retry = func() {
-		if c.phase != PhaseBootstrap {
-			return
-		}
-		c.env.Send(c.cfg.Bootstrap, &wire.ChannelListRequest{})
-		c.cancels = append(c.cancels, c.env.After(2*time.Second, retry))
-	}
-	c.cancels = append(c.cancels, c.env.After(2*time.Second, retry))
+	c.started = true
+	c.join(c.cfg.Channel, false)
 }
 
-// Stop leaves the channel: withdraw tracker announcements and disarm timers.
-func (c *Client) Stop() {
-	if c.phase == PhaseStopped {
+// Join opens a session on spec's channel (no-op if already joined) and makes
+// it the active one. The first join walks the full bootstrap exchange; later
+// joins request the playlink directly, as the real client does once it holds
+// the channel directory.
+func (c *Client) Join(spec stream.Spec) {
+	if c.stopped {
 		return
 	}
-	for _, tr := range c.trackers {
-		c.env.Send(tr, &wire.TrackerAnnounce{Channel: c.cfg.Channel.Channel, Leaving: true})
+	c.started = true
+	c.join(spec, c.everJoined)
+}
+
+func (c *Client) join(spec stream.Spec, direct bool) {
+	if s, ok := c.sessions[spec.Channel]; ok {
+		c.active = s
+		return
 	}
-	for _, cancel := range c.cancels {
-		cancel()
+	c.everJoined = true
+	s := newSession(c, spec)
+	c.sessions[spec.Channel] = s
+	c.order = append(c.order, spec.Channel)
+	c.active = s
+	s.start(direct)
+}
+
+// Leave closes the session on ch: withdraw its tracker registrations, disarm
+// its timers, and tear down its neighbor table. No-op if not joined.
+func (c *Client) Leave(ch wire.ChannelID) {
+	s, ok := c.sessions[ch]
+	if !ok {
+		return
 	}
-	c.cancels = nil
-	if c.trackerTimer != nil {
-		c.trackerTimer()
-		c.trackerTimer = nil
+	s.leave()
+	delete(c.sessions, ch)
+	if i := slices.Index(c.order, ch); i >= 0 {
+		c.order = slices.Delete(c.order, i, i+1)
 	}
-	c.phase = PhaseStopped
+	if c.active == s {
+		c.active = nil
+	}
+	if s.buffer != nil {
+		c.closedStats = c.closedStats.Add(s.buffer.Stats())
+	}
+}
+
+// Switch changes channels: leave the active session and join spec directly,
+// skipping the channel-list exchange (the viewer already browsed the
+// directory). No-op if spec is already the active channel.
+func (c *Client) Switch(spec stream.Spec) {
+	if c.stopped || !c.started {
+		return
+	}
+	if c.active != nil {
+		if c.active.spec.Channel == spec.Channel {
+			return
+		}
+		c.Leave(c.active.spec.Channel)
+	}
+	c.stats.ChannelSwitches++
+	c.join(spec, true)
+}
+
+// Stop leaves every channel and retires the client permanently.
+func (c *Client) Stop() {
+	if c.stopped {
+		return
+	}
+	for _, ch := range slices.Clone(c.order) {
+		c.Leave(ch)
+	}
+	c.stopped = true
 	if c.onStopped != nil {
 		c.onStopped()
 	}
 }
 
-// HandleMessage implements node.Handler.
+// messageChannel extracts the channel a message belongs to, for session
+// dispatch. ChannelListResponse is the one channel-less message and is
+// handled separately.
+func messageChannel(msg wire.Message) (wire.ChannelID, bool) {
+	switch m := msg.(type) {
+	case *wire.PlaylinkResponse:
+		return m.Channel, true
+	case *wire.TrackerResponse:
+		return m.Channel, true
+	case *wire.Handshake:
+		return m.Channel, true
+	case *wire.HandshakeAck:
+		return m.Channel, true
+	case *wire.PeerListRequest:
+		return m.Channel, true
+	case *wire.PeerListReply:
+		return m.Channel, true
+	case *wire.BufferMapAnnounce:
+		return m.Channel, true
+	case *wire.DataRequest:
+		return m.Channel, true
+	case *wire.DataReply:
+		return m.Channel, true
+	case *wire.Have:
+		return m.Channel, true
+	default:
+		return 0, false
+	}
+}
+
+// HandleMessage implements node.Handler: route the message to the session
+// owning its channel. Messages for channels the client has left (or never
+// joined) are dropped, which is what makes Leave a clean de-registration —
+// late replies and stale gossip from the old swarm cannot resurrect state.
 func (c *Client) HandleMessage(from netip.Addr, msg wire.Message) {
-	if c.phase == PhaseStopped {
+	if c.stopped {
+		return
+	}
+	if m, ok := msg.(*wire.ChannelListResponse); ok {
+		for _, ch := range c.order {
+			c.sessions[ch].handleChannelList(m)
+		}
+		return
+	}
+	ch, ok := messageChannel(msg)
+	if !ok {
+		return
+	}
+	s := c.sessions[ch]
+	if s == nil {
 		return
 	}
 	switch m := msg.(type) {
-	case *wire.ChannelListResponse:
-		c.handleChannelList(m)
 	case *wire.PlaylinkResponse:
-		c.handlePlaylink(m)
+		s.handlePlaylink(m)
 	case *wire.TrackerResponse:
-		c.handleTrackerResponse(m)
+		s.handleTrackerResponse(m)
 	case *wire.Handshake:
-		c.handleHandshake(from, m)
+		s.handleHandshake(from, m)
 	case *wire.HandshakeAck:
-		c.handleHandshakeAck(from, m)
+		s.handleHandshakeAck(from, m)
 	case *wire.PeerListRequest:
-		c.handlePeerListRequest(from, m)
+		s.handlePeerListRequest(from, m)
 	case *wire.PeerListReply:
-		c.handlePeerListReply(from, m)
+		s.handlePeerListReply(from, m)
 	case *wire.BufferMapAnnounce:
-		c.handleBufferMap(from, m)
+		s.handleBufferMap(from, m)
 	case *wire.DataRequest:
-		c.handleDataRequest(from, m)
+		s.handleDataRequest(from, m)
 	case *wire.DataReply:
-		c.handleDataReply(from, m)
+		s.handleDataReply(from, m)
 	case *wire.Have:
-		c.handleHave(from, m)
-	default:
+		s.handleHave(from, m)
 	}
-}
-
-func (c *Client) handleChannelList(m *wire.ChannelListResponse) {
-	if c.phase != PhaseBootstrap || c.buffer != nil {
-		return
-	}
-	// The user picks the configured channel from the list; verify it exists.
-	for _, info := range m.Channels {
-		if info.ID == c.cfg.Channel.Channel {
-			c.env.Send(c.cfg.Bootstrap, &wire.PlaylinkRequest{Channel: info.ID})
-			return
-		}
-	}
-}
-
-func (c *Client) handlePlaylink(m *wire.PlaylinkResponse) {
-	if c.phase != PhaseBootstrap || m.Channel != c.cfg.Channel.Channel {
-		return
-	}
-	buf, err := stream.NewBuffer(c.cfg.Channel, c.env.Now(), c.cfg.StartupDelay, c.cfg.BufferWindow)
-	if err != nil {
-		// Config was validated in New; a failure here is a programming error.
-		panic(fmt.Sprintf("peer: buffer: %v", err))
-	}
-	c.buffer = buf
-	// In-flight sequences live between (playhead − timeout drift) and the
-	// prefetch bound: expired requests linger up to RequestTimeout plus one
-	// scheduler interval past the window, so size the ring for both.
-	drift := int((c.cfg.RequestTimeout+c.cfg.SchedInterval).Seconds()*c.cfg.Channel.Rate()) + 64
-	c.inflight = stream.NewBitRing(c.cfg.BufferWindow + drift)
-	c.source = m.Source
-	c.trackers = append([]netip.Addr(nil), m.Trackers...)
-	c.phase = PhaseStartup
-
-	c.announceTrackers(false)
-	c.queryTrackers()
-	c.scheduleTrackerQueries(c.cfg.TrackerIntervalStartup)
-
-	c.cancels = append(c.cancels,
-		c.env.Every(c.cfg.AnnounceInterval, func() { c.announceTrackers(false) }),
-		c.env.Every(c.cfg.GossipInterval, c.gossip),
-		c.env.Every(c.cfg.BufferMapInterval, c.announceBufferMap),
-		c.env.Every(c.cfg.SchedInterval, c.schedulerTick),
-	)
-
-	// The source is always a data neighbor of last resort.
-	c.addNeighbor(m.Source, wire.BufferMap{})
-}
-
-// scheduleTrackerQueries (re)installs the periodic tracker query at the given
-// interval, replacing any previous schedule.
-func (c *Client) scheduleTrackerQueries(interval time.Duration) {
-	if c.trackerTimer != nil {
-		c.trackerTimer()
-	}
-	c.trackerTimer = c.env.Every(interval, func() {
-		c.queryTrackers()
-		// Once playback is satisfactory, back off to the steady period
-		// (the paper measures five minutes).
-		if c.phase == PhaseSteady {
-			c.scheduleTrackerQueries(c.cfg.TrackerIntervalSteady)
-			c.phase = PhaseSteady
-		}
-	})
-}
-
-func (c *Client) announceTrackers(leaving bool) {
-	for _, tr := range c.trackers {
-		c.env.Send(tr, &wire.TrackerAnnounce{Channel: c.cfg.Channel.Channel, Leaving: leaving})
-	}
-}
-
-func (c *Client) queryTrackers() {
-	for _, tr := range c.trackers {
-		c.stats.TrackerQueries++
-		c.env.Send(tr, &wire.TrackerQuery{Channel: c.cfg.Channel.Channel})
-	}
-}
-
-// gossip queries up to GossipFanout random neighbors for their peer lists,
-// enclosing our own list, per the measured 20-second cadence.
-func (c *Client) gossip() {
-	if c.buffer == nil {
-		return
-	}
-	// Housekeeping runs every round even when there is nobody to query:
-	// silent-neighbor eviction, pending-handshake expiry, table trimming.
-	c.evictSilent()
-	c.trimNeighbors()
-	c.maybeSteady()
-
-	targets := c.sampleNeighbors(c.cfg.GossipFanout)
-	if len(targets) == 0 {
-		return
-	}
-	own := c.ownPeerList()
-	for _, addr := range targets {
-		c.stats.GossipSent++
-		c.env.Send(addr, &wire.PeerListRequest{Channel: c.cfg.Channel.Channel, OwnPeers: own})
-	}
-}
-
-// trimNeighbors prunes the table back toward MaxNeighbors. With latency
-// bias the highest-RTT neighbors go first — the steady-state counterpart of
-// the handshake race, and the mechanism that concentrates the table on
-// nearby (in practice same-ISP) peers. With the bias ablated, pruning is
-// random.
-func (c *Client) trimNeighbors() {
-	for len(c.sortedNeighbors()) > c.cfg.MaxNeighbors {
-		var victim *neighbor
-		if c.cfg.LatencyBias {
-			victim = c.worstNeighbor()
-		} else {
-			pool := c.sortedNeighbors()
-			victim = pool[c.env.Rand().Intn(len(pool))]
-		}
-		if victim == nil {
-			return
-		}
-		c.dropNeighbor(victim.addr)
-	}
-}
-
-// ownPeerList returns the list the client maintains (its recent neighbors),
-// enclosed in gossip requests as the paper describes.
-func (c *Client) ownPeerList() []netip.Addr {
-	out := make([]netip.Addr, len(c.recent))
-	copy(out, c.recent)
-	return out
-}
-
-// sortedNeighborAddrs returns the connected non-source neighbor addresses in
-// address order — it runs on the data scheduler's hot path. The order is
-// maintained incrementally on add/drop (binary insert/remove) rather than
-// re-sorted. Deterministic ordering keeps whole runs reproducible (map
-// iteration order is randomized in Go). Callers must not mutate the returned
-// slice.
-func (c *Client) sortedNeighborAddrs() []netip.Addr {
-	return c.sortedCache
-}
-
-// sortedInsert adds a non-source neighbor to the maintained order.
-func (c *Client) sortedInsert(a netip.Addr, nb *neighbor) {
-	i, found := slices.BinarySearchFunc(c.sortedCache, a, netip.Addr.Compare)
-	if found {
-		c.sortedNbs[i] = nb
-		return
-	}
-	c.sortedCache = slices.Insert(c.sortedCache, i, a)
-	c.sortedNbs = slices.Insert(c.sortedNbs, i, nb)
-}
-
-// sortedRemove drops a neighbor from the maintained order.
-func (c *Client) sortedRemove(a netip.Addr) {
-	i, found := slices.BinarySearchFunc(c.sortedCache, a, netip.Addr.Compare)
-	if !found {
-		return
-	}
-	c.sortedCache = slices.Delete(c.sortedCache, i, i+1)
-	c.sortedNbs = slices.Delete(c.sortedNbs, i, i+1)
-}
-
-// sortedNeighbors returns neighbor pointers in the same deterministic order.
-func (c *Client) sortedNeighbors() []*neighbor {
-	c.sortedNeighborAddrs()
-	return c.sortedNbs
-}
-
-// sampleNeighbors picks up to k distinct connected neighbors uniformly,
-// excluding the source (gossip targets are regular peers).
-func (c *Client) sampleNeighbors(k int) []netip.Addr {
-	pool := append([]netip.Addr(nil), c.sortedNeighborAddrs()...)
-	rng := c.env.Rand()
-	if len(pool) <= k {
-		return pool
-	}
-	for i := 0; i < k; i++ {
-		j := i + rng.Intn(len(pool)-i)
-		pool[i], pool[j] = pool[j], pool[i]
-	}
-	return pool[:k]
-}
-
-// learn absorbs peer addresses into the candidate pool.
-func (c *Client) learn(addrs []netip.Addr) {
-	self := c.env.Addr()
-	for _, a := range addrs {
-		c.stats.AddrsLearned++
-		if a == self || c.known[akey(a)] {
-			continue
-		}
-		c.known[akey(a)] = true
-		c.candidates = append(c.candidates, a)
-	}
-}
-
-// connectFromList implements "randomly selects a number of peers from the
-// list and connects to them immediately": pick ConnectFanout random fresh
-// addresses from the just-received list and handshake at once (or, with
-// latency bias ablated, after a random defer).
-func (c *Client) connectFromList(addrs []netip.Addr) {
-	if c.buffer == nil {
-		return
-	}
-	fresh := make([]netip.Addr, 0, len(addrs))
-	self := c.env.Addr()
-	for _, a := range addrs {
-		if a == self {
-			continue
-		}
-		if _, connected := c.neighbors[akey(a)]; connected {
-			continue
-		}
-		if c.pendingIdx(akey(a)) >= 0 {
-			continue
-		}
-		fresh = append(fresh, a)
-	}
-	rng := c.env.Rand()
-	rng.Shuffle(len(fresh), func(i, j int) { fresh[i], fresh[j] = fresh[j], fresh[i] })
-	n := c.cfg.ConnectFanout
-	for _, a := range fresh {
-		if n == 0 {
-			break
-		}
-		if len(c.pending) >= c.cfg.MaxPending {
-			break
-		}
-		// Keep probing even at capacity: the ack race against the current
-		// worst neighbor (see handleHandshakeAck) is what makes selection
-		// latency-based over time.
-		c.sendHandshake(a)
-		n--
-	}
-}
-
-func (c *Client) sendHandshake(a netip.Addr) {
-	if i := c.pendingIdx(akey(a)); i >= 0 {
-		c.pending[i].at = c.env.Now()
-	} else {
-		c.pending = append(c.pending, pendingShake{key: akey(a), at: c.env.Now()})
-	}
-	c.stats.HandshakesSent++
-	hs := &wire.Handshake{Channel: c.cfg.Channel.Channel}
-	if c.cfg.LatencyBias {
-		c.env.Send(a, hs)
-		return
-	}
-	// Ablation: defer by a uniform random delay (0..2s) so slot acquisition
-	// no longer correlates with proximity.
-	delay := time.Duration(c.env.Rand().Int63n(int64(2 * time.Second)))
-	c.cancels = append(c.cancels, c.env.After(delay, func() {
-		if c.phase != PhaseStopped {
-			c.env.Send(a, hs)
-		}
-	}))
-}
-
-func (c *Client) handleTrackerResponse(m *wire.TrackerResponse) {
-	if m.Channel != c.cfg.Channel.Channel || c.buffer == nil {
-		return
-	}
-	c.stats.ListsReceived++
-	c.learn(m.Peers)
-	c.connectFromList(m.Peers)
-}
-
-func (c *Client) handleHandshake(from netip.Addr, m *wire.Handshake) {
-	if c.buffer == nil || m.Channel != c.cfg.Channel.Channel {
-		return
-	}
-	// Accept inbound connections up to twice the outbound cap: PPLive peers
-	// are generous acceptors, which is what makes clusters highly connected.
-	accept := len(c.sortedNeighborAddrs()) < 2*c.cfg.MaxNeighbors
-	ack := &wire.HandshakeAck{
-		Channel:  c.cfg.Channel.Channel,
-		Accepted: accept,
-	}
-	if accept {
-		ack.Buffer = c.buffer.Snapshot()
-		c.stats.InboundAccepted++
-		c.addNeighbor(from, wire.BufferMap{})
-	} else {
-		c.stats.InboundRejected++
-	}
-	c.env.Send(from, ack)
-}
-
-func (c *Client) handleHandshakeAck(from netip.Addr, m *wire.HandshakeAck) {
-	i := c.pendingIdx(akey(from))
-	if i < 0 {
-		return
-	}
-	started := c.pending[i].at
-	c.pending = slices.Delete(c.pending, i, i+1)
-	if !m.Accepted || c.buffer == nil {
-		c.stats.HandshakesRejected++
-		return
-	}
-	rtt := c.env.Now() - started
-	if len(c.sortedNeighborAddrs()) >= c.cfg.MaxNeighbors {
-		// Table full: the newcomer must beat the slowest current neighbor
-		// on measured latency, otherwise the race is lost. This rolling
-		// replacement is what turns connect-on-list-arrival into
-		// latency-based neighbor selection over a whole session.
-		if !c.cfg.LatencyBias {
-			c.stats.HandshakesRejected++
-			return
-		}
-		worst := c.worstNeighbor()
-		if worst == nil || rtt >= neighborRTTEstimate(worst) {
-			c.stats.HandshakesRejected++
-			return
-		}
-		c.dropNeighbor(worst.addr)
-	}
-	c.stats.HandshakesAccepted++
-	nb := c.addNeighbor(from, m.Buffer)
-	nb.minRTT = rtt
-	nb.score = rtt
-	// "Upon the establishment of a new connection, the client will first ask
-	// the newly connected peer for its peer list ... then request video data."
-	c.stats.GossipSent++
-	c.env.Send(from, &wire.PeerListRequest{Channel: c.cfg.Channel.Channel, OwnPeers: c.ownPeerList()})
-}
-
-// addNeighbor registers (or refreshes) a connected neighbor and records it
-// as a recent connection for referral.
-func (c *Client) addNeighbor(a netip.Addr, bm wire.BufferMap) *neighbor {
-	if nb, ok := c.neighbors[akey(a)]; ok {
-		nb.lastHeard = c.env.Now()
-		if bm.Words != nil {
-			nb.setBuffer(bm, c.env.Now())
-		}
-		return nb
-	}
-	nb := &neighbor{
-		addr:      a,
-		connected: c.env.Now(),
-		lastHeard: c.env.Now(),
-		planIdx:   -1,
-	}
-	nb.setBuffer(bm, c.env.Now())
-	c.neighbors[akey(a)] = nb
-	if a != c.source {
-		c.sortedInsert(a, nb)
-		c.pushRecent(a)
-	}
-	return nb
 }
 
 // neighborRTTEstimate is the latency yardstick for replacement decisions:
@@ -800,303 +530,6 @@ func neighborRTTEstimate(nb *neighbor) time.Duration {
 		return nb.minRTT
 	}
 	return 400 * time.Millisecond
-}
-
-// worstNeighbor returns the connected neighbor with the highest latency
-// estimate (excluding the source), or nil if none.
-func (c *Client) worstNeighbor() *neighbor {
-	var worst *neighbor
-	for _, nb := range c.sortedNeighbors() {
-		if worst == nil || neighborRTTEstimate(nb) > neighborRTTEstimate(worst) {
-			worst = nb
-		}
-	}
-	return worst
-}
-
-// pushRecent records a as the most recent connection, deduplicating and
-// capping at ReferralSize.
-func (c *Client) pushRecent(a netip.Addr) {
-	for i, existing := range c.recent {
-		if existing == a {
-			copy(c.recent[1:i+1], c.recent[:i])
-			c.recent[0] = a
-			return
-		}
-	}
-	c.recent = append(c.recent, netip.Addr{})
-	copy(c.recent[1:], c.recent)
-	c.recent[0] = a
-	if len(c.recent) > c.cfg.ReferralSize {
-		c.recent = c.recent[:c.cfg.ReferralSize]
-	}
-}
-
-func (c *Client) handlePeerListRequest(from netip.Addr, m *wire.PeerListRequest) {
-	if c.buffer == nil || m.Channel != c.cfg.Channel.Channel {
-		return
-	}
-	// The requester's enclosed list is free gossip: absorb it.
-	c.learn(m.OwnPeers)
-	if nb, ok := c.neighbors[akey(from)]; ok {
-		nb.lastHeard = c.env.Now()
-	}
-	reply := &wire.PeerListReply{Channel: c.cfg.Channel.Channel}
-	if c.cfg.ReferralEnabled {
-		reply.Peers = c.referralList(from)
-	}
-	c.env.Send(from, reply)
-}
-
-// referralList returns up to ReferralSize recently connected peers, excluding
-// the requester itself.
-func (c *Client) referralList(requester netip.Addr) []netip.Addr {
-	out := make([]netip.Addr, 0, len(c.recent))
-	for _, a := range c.recent {
-		if a == requester {
-			continue
-		}
-		out = append(out, a)
-	}
-	return out
-}
-
-func (c *Client) handlePeerListReply(from netip.Addr, m *wire.PeerListReply) {
-	if c.buffer == nil || m.Channel != c.cfg.Channel.Channel {
-		return
-	}
-	c.stats.GossipReplies++
-	c.stats.ListsReceived++
-	if nb, ok := c.neighbors[akey(from)]; ok {
-		nb.lastHeard = c.env.Now()
-	}
-	c.learn(m.Peers)
-	// "Once the client receives a peer list ... connects to them immediately."
-	c.connectFromList(m.Peers)
-}
-
-func (c *Client) handleBufferMap(from netip.Addr, m *wire.BufferMapAnnounce) {
-	nb, ok := c.neighbors[akey(from)]
-	if !ok || m.Channel != c.cfg.Channel.Channel {
-		return
-	}
-	nb.setBuffer(m.Buffer, c.env.Now())
-	nb.lastHeard = c.env.Now()
-}
-
-func (c *Client) announceBufferMap() {
-	if c.buffer == nil {
-		return
-	}
-	bm := c.buffer.Snapshot()
-	for _, a := range c.sortedNeighborAddrs() {
-		c.env.Send(a, &wire.BufferMapAnnounce{Channel: c.cfg.Channel.Channel, Buffer: bm})
-	}
-}
-
-// evictSilent drops neighbors not heard from within NeighborSilence and
-// expires handshakes that never got an ack (departed peers, lost datagrams)
-// so the pending window cannot clog permanently. Both scans walk
-// deterministic slices — the maintained sorted order and the pending window
-// — never map range order, so the victim sequence is identical across runs.
-func (c *Client) evictSilent() {
-	now := c.env.Now()
-	victims := c.evictScratch[:0]
-	for _, nb := range c.sortedNbs {
-		if now-nb.lastHeard > c.cfg.NeighborSilence {
-			victims = append(victims, nb.addr)
-		}
-	}
-	for _, a := range victims {
-		c.dropNeighbor(a)
-	}
-	c.evictScratch = victims[:0]
-
-	keep := c.pending[:0]
-	for _, p := range c.pending {
-		if now-p.at > c.cfg.HandshakeTimeout {
-			c.stats.HandshakeTimeouts++
-			continue
-		}
-		keep = append(keep, p)
-	}
-	c.pending = keep
-}
-
-func (c *Client) dropNeighbor(a netip.Addr) {
-	nb, ok := c.neighbors[akey(a)]
-	if !ok {
-		return
-	}
-	for len(nb.outstanding) > 0 {
-		c.clearOutstanding(nb, len(nb.outstanding)-1)
-	}
-	delete(c.neighbors, akey(a))
-	c.sortedRemove(a)
-}
-
-// maybeSteady transitions to the steady phase once playback is satisfactory:
-// the buffer holds a healthy share of the pieces between playhead and edge.
-func (c *Client) maybeSteady() {
-	if c.phase != PhaseStartup || c.buffer == nil {
-		return
-	}
-	st := c.buffer.Stats()
-	if st.Received > uint64(c.cfg.BufferWindow/4) && len(c.neighbors) > 2 {
-		c.phase = PhaseSteady
-		c.scheduleTrackerQueries(c.cfg.TrackerIntervalSteady)
-	}
-}
-
-// schedulerTick drives playback and the data request plane.
-func (c *Client) schedulerTick() {
-	if c.buffer == nil {
-		return
-	}
-	now := c.env.Now()
-	c.buffer.AdvanceTo(now)
-	c.expireRequests(now)
-
-	if c.outstandingTotal >= c.cfg.MaxOutstanding {
-		return
-	}
-
-	// Determine wanted sub-pieces, skipping those already in flight and
-	// bounding prefetch to FetchLead ahead of the playhead (pieces newer
-	// than that are too close to the live edge to be widely announced yet).
-	budget := (c.cfg.MaxOutstanding - c.outstandingTotal) * c.cfg.BatchCount
-	limit := c.buffer.Playhead() + uint64(c.cfg.FetchLead.Seconds()*c.cfg.Channel.Rate())
-	want := c.buffer.AppendWantRing(c.wantScratch[:0], now, budget, limit, c.inflight)
-	c.wantScratch = want[:0]
-	if len(want) == 0 {
-		c.maybeSteady()
-		return
-	}
-
-	// Precompute every neighbor's coverage of the want range while want is
-	// still sorted (its ends bound the range); picks below are mask lookups.
-	c.buildSchedPlan(want[0], want[len(want)-1])
-
-	// Pieces within two seconds of their deadline are urgent: they go only
-	// to proven holders or the source, never to extrapolated coverage.
-	urgentBound := c.buffer.Playhead() + uint64(2*c.cfg.Channel.Rate())
-
-	// Keep urgent pieces in deadline order but randomize the rest, so that
-	// peers wanting the same region fetch different pieces and can then
-	// trade (sequential fetching would synchronize the whole swarm onto the
-	// same few providers).
-	split := len(want)
-	for i, seq := range want {
-		if seq >= urgentBound {
-			split = i
-			break
-		}
-	}
-	c.shuffleBlocks(want[split:], c.cfg.BatchCount)
-
-	// Assign wanted sequences to providers, batching contiguous runs the
-	// chosen provider actually covers (up to BatchCount).
-	rate := c.cfg.Channel.Rate()
-	for i := 0; i < len(want); {
-		seq := want[i]
-		target := c.pickProvider(seq, now, seq < urgentBound)
-		if target == nil {
-			i++
-			continue
-		}
-		j := i + 1
-		for j < len(want) && j-i < c.cfg.BatchCount && want[j] == want[j-1]+1 &&
-			c.neighborCovers(target, want[j], now, rate) {
-			j++
-		}
-		c.sendDataRequest(target, seq, j-i, now)
-		i = j
-		if c.outstandingTotal >= c.cfg.MaxOutstanding {
-			break
-		}
-	}
-}
-
-// shuffleBlocks randomizes the order of blockSize-sized contiguous blocks of
-// seqs in place, preserving intra-block contiguity so batching still works.
-// A trailing partial block stays in place (it holds the newest, least-spread
-// sequences anyway), which lets the permutation run as allocation-free
-// element swaps between equal-sized blocks.
-func (c *Client) shuffleBlocks(seqs []uint64, blockSize int) {
-	rng := c.env.Rand()
-	if blockSize == 1 {
-		for i := len(seqs) - 1; i > 0; i-- {
-			j := c.rbits.intn(rng, i+1)
-			seqs[i], seqs[j] = seqs[j], seqs[i]
-		}
-		return
-	}
-	if blockSize < 1 || len(seqs) <= blockSize {
-		return
-	}
-	n := len(seqs) / blockSize
-	for i := n - 1; i > 0; i-- {
-		j := c.rbits.intn(rng, i+1)
-		if i == j {
-			continue
-		}
-		a := seqs[i*blockSize : (i+1)*blockSize]
-		b := seqs[j*blockSize : (j+1)*blockSize]
-		for k := range a {
-			a[k], b[k] = b[k], a[k]
-		}
-	}
-}
-
-// neighborCovers is covers() with the source treated as holding everything
-// already emitted.
-func (c *Client) neighborCovers(nb *neighbor, seq uint64, now time.Duration, rate float64) bool {
-	if nb.addr == c.source {
-		return seq <= c.cfg.Channel.EdgeSeq(now)
-	}
-	return nb.covers(seq, now, rate)
-}
-
-// inFlight reports whether seq is covered by any outstanding request.
-func (c *Client) inFlight(seq uint64) bool {
-	return c.inflight != nil && c.inflight.Has(seq)
-}
-
-// expireRequests times out unanswered data requests, penalizing the
-// neighbor's service score.
-func (c *Client) expireRequests(now time.Duration) {
-	for _, nb := range c.sortedNbs {
-		c.expireNeighbor(nb, now)
-	}
-	if src, ok := c.neighbors[akey(c.source)]; ok {
-		c.expireNeighbor(src, now)
-	}
-}
-
-func (c *Client) expireNeighbor(nb *neighbor, now time.Duration) {
-	for i := 0; i < len(nb.outstanding); {
-		if now-nb.outstanding[i].at > c.cfg.RequestTimeout {
-			c.clearOutstanding(nb, i)
-			c.stats.RequestTimeouts++
-			// A timeout is strong evidence of overload or departure.
-			nb.score = ewma(nb.score, 2*c.cfg.RequestTimeout)
-		} else {
-			i++
-		}
-	}
-}
-
-// clearOutstanding removes the pending request at index i (swap-remove; the
-// slice is unordered) and its inflight coverage.
-func (c *Client) clearOutstanding(nb *neighbor, i int) {
-	req := nb.outstanding[i]
-	last := len(nb.outstanding) - 1
-	nb.outstanding[i] = nb.outstanding[last]
-	nb.outstanding = nb.outstanding[:last]
-	c.outstandingTotal--
-	for k := 0; k < req.count; k++ {
-		c.inflight.Clear(req.seq + uint64(k))
-	}
 }
 
 // score orders neighbors by expected service time; never-measured neighbors
@@ -1114,178 +547,4 @@ func ewma(old, sample time.Duration) time.Duration {
 	}
 	const alpha = 0.25
 	return time.Duration((1-alpha)*float64(old) + alpha*float64(sample))
-}
-
-func (c *Client) sendDataRequest(nb *neighbor, seq uint64, count int, now time.Duration) {
-	nb.outstanding = append(nb.outstanding, pendingReq{seq: seq, at: now, count: count})
-	c.outstandingTotal++
-	for i := 0; i < count; i++ {
-		c.inflight.Set(seq + uint64(i))
-	}
-	c.planNoteSent(nb)
-	nb.requests++
-	c.stats.DataRequestsSent++
-	if c.emitRequest != nil {
-		c.emitRequest(nb.addr, seq, count)
-		return
-	}
-	c.env.Send(nb.addr, &wire.DataRequest{
-		Channel: c.cfg.Channel.Channel,
-		Seq:     seq,
-		Count:   uint16(count),
-	})
-}
-
-// handleDataRequest serves a neighbor's request with the prefix run of
-// pieces we hold, unless our uplink is already overloaded.
-func (c *Client) handleDataRequest(from netip.Addr, m *wire.DataRequest) {
-	if c.buffer == nil || m.Channel != c.cfg.Channel.Channel {
-		return
-	}
-	if nb, ok := c.neighbors[akey(from)]; ok {
-		nb.lastHeard = c.env.Now()
-	}
-	// An overloaded uplink sheds load with a tiny busy reply, redirecting
-	// the requester quickly. Accepted requests still ride the growing
-	// uplink queue — the application-layer queuing behind the paper's
-	// load-dependent response times.
-	if c.env.UplinkBacklog() > c.cfg.ServeQueueLimit {
-		c.stats.DataRequestsShed++
-		c.env.Send(from, &wire.DataReply{
-			Channel:  c.cfg.Channel.Channel,
-			Seq:      m.Seq,
-			Count:    0,
-			PieceLen: uint16(c.cfg.Channel.SubPieceLen),
-			Busy:     true,
-		})
-		return
-	}
-	count := int(m.Count)
-	if count == 0 {
-		count = 1
-	}
-	run := 0
-	for run < count && c.buffer.Has(m.Seq+uint64(run)) {
-		run++
-	}
-	if run == 0 {
-		// Explicit no-have: a tiny reply (Count=0) so the requester can
-		// reschedule immediately instead of burning a timeout. Piggyback a
-		// fresh buffer map (rate-limited per peer) so the requester's stale
-		// view of us gets corrected at exactly the moment it misfired.
-		c.stats.DataRequestsDeclined++
-		c.env.Send(from, &wire.DataReply{
-			Channel:  c.cfg.Channel.Channel,
-			Seq:      m.Seq,
-			Count:    0,
-			PieceLen: uint16(c.cfg.Channel.SubPieceLen),
-		})
-		now := c.env.Now()
-		if last, ok := c.lastMapTo[akey(from)]; !ok || now-last >= time.Second {
-			if c.lastMapTo == nil {
-				c.lastMapTo = make(map[uint32]time.Duration)
-			}
-			c.lastMapTo[akey(from)] = now
-			c.env.Send(from, &wire.BufferMapAnnounce{
-				Channel: c.cfg.Channel.Channel,
-				Buffer:  c.buffer.Snapshot(),
-			})
-		}
-		return
-	}
-	c.stats.DataRequestsServed++
-	c.env.Send(from, &wire.DataReply{
-		Channel:  c.cfg.Channel.Channel,
-		Seq:      m.Seq,
-		Count:    uint16(run),
-		PieceLen: uint16(c.cfg.Channel.SubPieceLen),
-	})
-}
-
-func (c *Client) handleDataReply(from netip.Addr, m *wire.DataReply) {
-	if c.buffer == nil || m.Channel != c.cfg.Channel.Channel {
-		return
-	}
-	nb, ok := c.neighbors[akey(from)]
-	if !ok {
-		return
-	}
-	now := c.env.Now()
-	nb.lastHeard = now
-
-	if m.Count == 0 {
-		// Miss: clear the in-flight slot. For busy signals, penalize the
-		// neighbor's service score so the scheduler spreads load away; for
-		// no-haves, the piggybacked buffer map corrects our stale view.
-		if i := nb.findOutstanding(m.Seq); i >= 0 {
-			c.clearOutstanding(nb, i)
-		}
-		if m.Busy {
-			c.stats.DataBusies++
-			// Penalize proportionally: a busy signal means "currently about
-			// twice as slow as usual", steering load away without burying
-			// genuinely fast neighbors.
-			nb.score = ewma(nb.score, 2*score(nb))
-		} else {
-			c.stats.DataNoHaves++
-		}
-		return
-	}
-
-	if i := nb.findOutstanding(m.Seq); i >= 0 {
-		rt := now - nb.outstanding[i].at
-		c.clearOutstanding(nb, i)
-		nb.score = ewma(nb.score, rt)
-		if nb.minRTT == 0 || rt < nb.minRTT {
-			nb.minRTT = rt
-		}
-	}
-	nb.replies++
-	nb.bytes += uint64(m.PayloadLen())
-	nb.learnHas(m.Seq, m.Seq+uint64(m.Count)-1, now)
-	c.stats.DataRepliesGot++
-	c.stats.DataBytesGot += uint64(m.PayloadLen())
-	fresh := false
-	for i := uint64(0); i < uint64(m.Count); i++ {
-		if c.buffer.Mark(m.Seq + i) {
-			fresh = true
-		}
-	}
-	if fresh {
-		c.gossipHave(m.Seq, m.Count, from)
-	}
-}
-
-// gossipHave hints freshly acquired pieces to a few random neighbors,
-// making piece availability spread exponentially through the mesh instead
-// of waiting for periodic buffer-map rounds.
-func (c *Client) gossipHave(seq uint64, count uint16, from netip.Addr) {
-	if c.cfg.HintFanout <= 0 {
-		return
-	}
-	pool := c.sortedNeighborAddrs()
-	if len(pool) == 0 {
-		return
-	}
-	rng := c.env.Rand()
-	msg := &wire.Have{Channel: c.cfg.Channel.Channel, Seq: seq, Count: count}
-	sent := 0
-	for attempts := 0; sent < c.cfg.HintFanout && attempts < 3*c.cfg.HintFanout; attempts++ {
-		a := pool[rng.Intn(len(pool))]
-		if a == from {
-			continue
-		}
-		c.env.Send(a, msg)
-		sent++
-	}
-}
-
-// handleHave records a neighbor's per-piece availability hint.
-func (c *Client) handleHave(from netip.Addr, m *wire.Have) {
-	nb, ok := c.neighbors[akey(from)]
-	if !ok || m.Channel != c.cfg.Channel.Channel || m.Count == 0 {
-		return
-	}
-	nb.lastHeard = c.env.Now()
-	nb.learnHas(m.Seq, m.Seq+uint64(m.Count)-1, c.env.Now())
 }

@@ -233,7 +233,7 @@ func TestReferralListAndEnclosedGossip(t *testing.T) {
 		t.Errorf("referral = %v, want [n2 n1]", reply.Peers)
 	}
 	// The enclosed address was absorbed as a candidate.
-	if !c.known[akey(enclosed)] {
+	if !c.active.known[akey(enclosed)] {
 		t.Error("enclosed gossip address not learned")
 	}
 }
@@ -289,7 +289,7 @@ func TestServeDataRequest(t *testing.T) {
 	env.take()
 
 	// Give the client a piece: pretend the source replied.
-	seq := c.buffer.StartSeq()
+	seq := c.active.buffer.StartSeq()
 	c.HandleMessage(sourceAddr, &wire.DataReply{Channel: 1, Seq: seq, Count: 1, PieceLen: 1380})
 	env.take()
 
@@ -315,7 +315,7 @@ func TestNoHaveReplyAndMapPiggyback(t *testing.T) {
 	env.take()
 
 	asker := netip.MustParseAddr("58.32.0.5")
-	c.HandleMessage(asker, &wire.DataRequest{Channel: 1, Seq: c.buffer.StartSeq(), Count: 1})
+	c.HandleMessage(asker, &wire.DataRequest{Channel: 1, Seq: c.active.buffer.StartSeq(), Count: 1})
 	got := env.sentTo(asker)
 	if len(got) != 2 {
 		t.Fatalf("decline produced %d messages, want no-have + map", len(got))
@@ -333,7 +333,7 @@ func TestBusyShedWhenBacklogged(t *testing.T) {
 	env := newFakeEnv("58.32.0.1")
 	c := newClient(t, env, testConfig())
 	join(t, env, c)
-	seq := c.buffer.StartSeq()
+	seq := c.active.buffer.StartSeq()
 	c.HandleMessage(sourceAddr, &wire.DataReply{Channel: 1, Seq: seq, Count: 1, PieceLen: 1380})
 	env.take()
 
@@ -367,7 +367,7 @@ func TestSchedulerRequestsFromProvenHolder(t *testing.T) {
 	for i := range bits {
 		bits[i] = 0xff
 	}
-	c.HandleMessage(n1, &wire.BufferMapAnnounce{Channel: 1, Buffer: wire.BufferMapFromBytes(c.buffer.StartSeq(), bits)})
+	c.HandleMessage(n1, &wire.BufferMapAnnounce{Channel: 1, Buffer: wire.BufferMapFromBytes(c.active.buffer.StartSeq(), bits)})
 	env.take()
 
 	env.Advance(2 * time.Second) // a few scheduler ticks past some emissions
@@ -391,9 +391,9 @@ func TestHaveHintUpdatesCoverageAndPropagates(t *testing.T) {
 	c.HandleMessage(n1, &wire.HandshakeAck{Channel: 1, Accepted: true})
 	env.take()
 
-	seq := c.buffer.StartSeq()
+	seq := c.active.buffer.StartSeq()
 	c.HandleMessage(n1, &wire.Have{Channel: 1, Seq: seq, Count: 2})
-	nb := c.neighbors[akey(n1)]
+	nb := c.active.neighbors[akey(n1)]
 	if !nb.covers(seq, env.Now(), testChannel().Rate()) || !nb.covers(seq+1, env.Now(), testChannel().Rate()) {
 		t.Error("Have hint not recorded as coverage")
 	}
@@ -426,8 +426,8 @@ func TestLatencySwapReplacesWorstNeighbor(t *testing.T) {
 		c.HandleMessage(trackerAddrs[0], &wire.TrackerResponse{Channel: 1, Peers: []netip.Addr{a}})
 		c.HandleMessage(a, &wire.HandshakeAck{Channel: 1, Accepted: true})
 	}
-	c.neighbors[akey(slow)].minRTT = 900 * time.Millisecond
-	c.neighbors[akey(fast)].minRTT = 30 * time.Millisecond
+	c.active.neighbors[akey(slow)].minRTT = 900 * time.Millisecond
+	c.active.neighbors[akey(fast)].minRTT = 30 * time.Millisecond
 	env.take()
 
 	// A new candidate acks quickly: it must replace the slow neighbor.
@@ -435,13 +435,13 @@ func TestLatencySwapReplacesWorstNeighbor(t *testing.T) {
 	c.HandleMessage(trackerAddrs[0], &wire.TrackerResponse{Channel: 1, Peers: []netip.Addr{closer}})
 	env.Advance(20 * time.Millisecond)
 	c.HandleMessage(closer, &wire.HandshakeAck{Channel: 1, Accepted: true})
-	if _, ok := c.neighbors[akey(closer)]; !ok {
+	if _, ok := c.active.neighbors[akey(closer)]; !ok {
 		t.Fatal("fast candidate not admitted")
 	}
-	if _, ok := c.neighbors[akey(slow)]; ok {
+	if _, ok := c.active.neighbors[akey(slow)]; ok {
 		t.Error("slow neighbor survived the swap")
 	}
-	if _, ok := c.neighbors[akey(fast)]; !ok {
+	if _, ok := c.active.neighbors[akey(fast)]; !ok {
 		t.Error("fast neighbor was evicted instead")
 	}
 }
@@ -462,7 +462,7 @@ func TestLatencySwapDisabledRejectsWhenFull(t *testing.T) {
 	c.HandleMessage(trackerAddrs[0], &wire.TrackerResponse{Channel: 1, Peers: []netip.Addr{second}})
 	env.Advance(3 * time.Second)
 	c.HandleMessage(second, &wire.HandshakeAck{Channel: 1, Accepted: true})
-	if _, ok := c.neighbors[akey(second)]; ok {
+	if _, ok := c.active.neighbors[akey(second)]; ok {
 		t.Error("full table admitted newcomer with latency bias ablated")
 	}
 	if c.Stats().HandshakesRejected == 0 {
@@ -475,20 +475,21 @@ func TestPushRecentDedupAndCap(t *testing.T) {
 	cfg := testConfig()
 	cfg.ReferralSize = 3
 	c := newClient(t, env, cfg)
+	s := newSession(c, testChannel())
 	a := netip.MustParseAddr("10.0.0.1")
 	b := netip.MustParseAddr("10.0.0.2")
 	d := netip.MustParseAddr("10.0.0.3")
 	e := netip.MustParseAddr("10.0.0.4")
-	c.pushRecent(a)
-	c.pushRecent(b)
-	c.pushRecent(a) // dedup: moves to front
-	if len(c.recent) != 2 || c.recent[0] != a || c.recent[1] != b {
-		t.Fatalf("recent = %v, want [a b]", c.recent)
+	s.pushRecent(a)
+	s.pushRecent(b)
+	s.pushRecent(a) // dedup: moves to front
+	if len(s.recent) != 2 || s.recent[0] != a || s.recent[1] != b {
+		t.Fatalf("recent = %v, want [a b]", s.recent)
 	}
-	c.pushRecent(d)
-	c.pushRecent(e) // cap 3: oldest (b) falls off
-	if len(c.recent) != 3 || c.recent[0] != e || c.recent[1] != d || c.recent[2] != a {
-		t.Fatalf("recent = %v, want [e d a]", c.recent)
+	s.pushRecent(d)
+	s.pushRecent(e) // cap 3: oldest (b) falls off
+	if len(s.recent) != 3 || s.recent[0] != e || s.recent[1] != d || s.recent[2] != a {
+		t.Fatalf("recent = %v, want [e d a]", s.recent)
 	}
 }
 
@@ -533,12 +534,12 @@ func TestRequestTimeoutExpiresAndPenalizes(t *testing.T) {
 	for i := range bits {
 		bits[i] = 0xff
 	}
-	c.HandleMessage(n1, &wire.BufferMapAnnounce{Channel: 1, Buffer: wire.BufferMapFromBytes(c.buffer.StartSeq(), bits)})
+	c.HandleMessage(n1, &wire.BufferMapAnnounce{Channel: 1, Buffer: wire.BufferMapFromBytes(c.active.buffer.StartSeq(), bits)})
 	env.take()
 	env.Advance(time.Second)
 	env.take()
 
-	nb := c.neighbors[akey(n1)]
+	nb := c.active.neighbors[akey(n1)]
 	sentRequests := len(nb.outstanding)
 	if sentRequests == 0 {
 		t.Fatal("no outstanding requests to expire")
@@ -550,8 +551,8 @@ func TestRequestTimeoutExpiresAndPenalizes(t *testing.T) {
 	if c.Stats().RequestTimeouts == 0 {
 		t.Error("timeouts not counted")
 	}
-	if c.outstandingTotal < 0 {
-		t.Errorf("outstandingTotal went negative: %d", c.outstandingTotal)
+	if c.active.outstandingTotal < 0 {
+		t.Errorf("outstandingTotal went negative: %d", c.active.outstandingTotal)
 	}
 }
 
@@ -574,8 +575,8 @@ func TestPendingHandshakesExpire(t *testing.T) {
 		netip.MustParseAddr("10.0.0.3"),
 	}
 	c.HandleMessage(trackerAddrs[0], &wire.TrackerResponse{Channel: 1, Peers: dead})
-	if len(c.pending) != 3 {
-		t.Fatalf("pending = %d, want full window", len(c.pending))
+	if len(c.active.pending) != 3 {
+		t.Fatalf("pending = %d, want full window", len(c.active.pending))
 	}
 	// A fresh candidate cannot be tried while the window is clogged.
 	env.take()
@@ -588,8 +589,8 @@ func TestPendingHandshakesExpire(t *testing.T) {
 	// After the gossip tick passes HandshakeTimeout, the window clears and
 	// new candidates are tried again.
 	env.Advance(cfg.HandshakeTimeout + cfg.GossipInterval + time.Second)
-	if len(c.pending) != 0 {
-		t.Fatalf("pending = %d after expiry, want 0", len(c.pending))
+	if len(c.active.pending) != 0 {
+		t.Fatalf("pending = %d after expiry, want 0", len(c.active.pending))
 	}
 	if c.Stats().HandshakeTimeouts != 3 {
 		t.Errorf("HandshakeTimeouts = %d, want 3", c.Stats().HandshakeTimeouts)

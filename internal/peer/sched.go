@@ -49,21 +49,21 @@ func transpose64(a *[64]uint64) {
 // simulation is single-threaded and message handling never interleaves with
 // the scheduler), so the plan stays valid for the whole assignment loop;
 // only eligibility evolves, tracked in planElig by planNoteSent.
-func (c *Client) buildSchedPlan(first, last uint64) {
-	nbs := c.sortedNbs
+func (s *session) buildSchedPlan(first, last uint64) {
+	nbs := s.sortedNbs
 	org := first &^ 63
 	W := int((last-org)/64) + 1
 	G := (len(nbs) + 63) / 64
 	if G == 0 {
 		G = 1
 	}
-	c.planOrg, c.planWords, c.planGroups = org, W, G
+	s.planOrg, s.planWords, s.planGroups = org, W, G
 
-	c.planRows = resizeU64(c.planRows, G*64*W)
-	c.planCand = resizeU64(c.planCand, G*W*64)
-	c.planElig = resizeU64(c.planElig, G)
+	s.planRows = resizeU64(s.planRows, G*64*W)
+	s.planCand = resizeU64(s.planCand, G*W*64)
+	s.planElig = resizeU64(s.planElig, G)
 
-	rows := c.planRows
+	rows := s.planRows
 	for i := 0; i < G*64; i++ {
 		row := rows[i*W : (i+1)*W]
 		if i < len(nbs) {
@@ -82,11 +82,11 @@ func (c *Client) buildSchedPlan(first, last uint64) {
 	for g := 0; g < G; g++ {
 		var elig uint64
 		for i := g * 64; i < (g+1)*64 && i < len(nbs); i++ {
-			if len(nbs[i].outstanding) < c.cfg.MaxOutstandingPerNeighbor {
+			if len(nbs[i].outstanding) < s.cfg.MaxOutstandingPerNeighbor {
 				elig |= 1 << (63 - uint(i-g*64))
 			}
 		}
-		c.planElig[g] = elig
+		s.planElig[g] = elig
 	}
 
 	var mtx [64]uint64
@@ -96,7 +96,7 @@ func (c *Client) buildSchedPlan(first, last uint64) {
 				mtx[i] = rows[(g*64+i)*W+w]
 			}
 			transpose64(&mtx)
-			out := c.planCand[(g*W+w)*64 : (g*W+w+1)*64]
+			out := s.planCand[(g*W+w)*64 : (g*W+w+1)*64]
 			for b := 0; b < 64; b++ {
 				out[b] = mtx[63-b]
 			}
@@ -109,20 +109,20 @@ func (c *Client) buildSchedPlan(first, last uint64) {
 	// the score above the index (10 bits, enough for the table's 2*MaxNeighbors
 	// bound) so a plain integer sort yields exactly the strict-< argmin order
 	// of the retired scan, ties broken by ascending neighbor index.
-	c.planOrder = resizeU64(c.planOrder, len(nbs))
+	s.planOrder = resizeU64(s.planOrder, len(nbs))
 	for i, nb := range nbs {
-		c.planOrder[i] = uint64(score(nb))<<10 | uint64(i)
+		s.planOrder[i] = uint64(score(nb))<<10 | uint64(i)
 	}
-	slices.Sort(c.planOrder)
+	slices.Sort(s.planOrder)
 }
 
 // planNoteSent updates the eligibility mask after a request was booked on nb.
-func (c *Client) planNoteSent(nb *neighbor) {
-	if nb.planIdx < 0 || len(nb.outstanding) < c.cfg.MaxOutstandingPerNeighbor {
+func (s *session) planNoteSent(nb *neighbor) {
+	if nb.planIdx < 0 || len(nb.outstanding) < s.cfg.MaxOutstandingPerNeighbor {
 		return
 	}
 	g, i := nb.planIdx/64, uint(nb.planIdx%64)
-	c.planElig[g] &^= 1 << (63 - i)
+	s.planElig[g] &^= 1 << (63 - i)
 }
 
 // pickProvider chooses a neighbor to serve sub-piece seq, which must lie in
@@ -139,14 +139,14 @@ func (c *Client) planNoteSent(nb *neighbor) {
 // order (see bitRand) are bit-identical to the retired per-sequence neighbor
 // scan (guarded by TestPickProviderMatchesReference and the core
 // golden-digest test).
-func (c *Client) pickProvider(seq uint64, now time.Duration, urgent bool) *neighbor {
+func (s *session) pickProvider(seq uint64, now time.Duration, urgent bool) *neighbor {
 	_ = now // coverage is proven-only; no extrapolation against the clock
-	off := seq - c.planOrg
+	off := seq - s.planOrg
 	w, b := int(off/64), int(off%64)
-	stride := c.planWords * 64
+	stride := s.planWords * 64
 	k := 0
-	for g := 0; g < c.planGroups; g++ {
-		k += bits.OnesCount64(c.planCand[g*stride+w*64+b] & c.planElig[g])
+	for g := 0; g < s.planGroups; g++ {
+		k += bits.OnesCount64(s.planCand[g*stride+w*64+b] & s.planElig[g])
 	}
 	if k == 0 {
 		// Urgent pieces fall back to the source unconditionally. Non-urgent
@@ -155,26 +155,26 @@ func (c *Client) pickProvider(seq uint64, now time.Duration, urgent bool) *neigh
 		// maps + referral clusters) spreads it from there. Without the
 		// seeding nobody holds new pieces early and the source degenerates
 		// into a CDN at deadline time.
-		if !urgent && !c.rbits.chance(c.env.Rand(), c.prefetch16) {
+		if !urgent && !s.rbits.chance(s.env.Rand(), s.c.prefetch16) {
 			return nil
 		}
-		if src, ok := c.neighbors[akey(c.source)]; ok && len(src.outstanding) < c.cfg.MaxOutstandingPerNeighbor {
+		if src, ok := s.neighbors[akey(s.source)]; ok && len(src.outstanding) < s.cfg.MaxOutstandingPerNeighbor {
 			return src
 		}
 		return nil
 	}
-	rng := c.env.Rand()
-	if !c.cfg.PreferFastNeighbors {
-		return c.nthPlanCandidate(w, b, c.rbits.intn(rng, k))
+	rng := s.env.Rand()
+	if !s.cfg.PreferFastNeighbors {
+		return s.nthPlanCandidate(w, b, s.rbits.intn(rng, k))
 	}
 	// ε-greedy: explore uniformly 8% of the time.
-	if c.rbits.chance(rng, exploreP16) {
-		return c.nthPlanCandidate(w, b, c.rbits.intn(rng, k))
+	if s.rbits.chance(rng, exploreP16) {
+		return s.nthPlanCandidate(w, b, s.rbits.intn(rng, k))
 	}
-	for _, key := range c.planOrder {
+	for _, key := range s.planOrder {
 		i := int(key & 1023)
-		if c.planCand[(i>>6)*stride+w*64+b]&c.planElig[i>>6]&(1<<(63-uint(i&63))) != 0 {
-			return c.sortedNbs[i]
+		if s.planCand[(i>>6)*stride+w*64+b]&s.planElig[i>>6]&(1<<(63-uint(i&63))) != 0 {
+			return s.sortedNbs[i]
 		}
 	}
 	return nil // unreachable: k > 0 guarantees a probe hits
@@ -182,10 +182,10 @@ func (c *Client) pickProvider(seq uint64, now time.Duration, urgent bool) *neigh
 
 // nthPlanCandidate returns the j-th (0-based) eligible covering neighbor for
 // the plan cell (w, b), in ascending neighbor order.
-func (c *Client) nthPlanCandidate(w, b, j int) *neighbor {
-	stride := c.planWords * 64
-	for g := 0; g < c.planGroups; g++ {
-		m := c.planCand[g*stride+w*64+b] & c.planElig[g]
+func (s *session) nthPlanCandidate(w, b, j int) *neighbor {
+	stride := s.planWords * 64
+	for g := 0; g < s.planGroups; g++ {
+		m := s.planCand[g*stride+w*64+b] & s.planElig[g]
 		n := bits.OnesCount64(m)
 		if j >= n {
 			j -= n
@@ -194,7 +194,7 @@ func (c *Client) nthPlanCandidate(w, b, j int) *neighbor {
 		for {
 			i := bits.LeadingZeros64(m)
 			if j == 0 {
-				return c.sortedNbs[g*64+i]
+				return s.sortedNbs[g*64+i]
 			}
 			j--
 			m &^= 1 << (63 - uint(i))

@@ -41,8 +41,8 @@ func benchSwarm(tb testing.TB, nbs, batch int) (*fakeEnv, *Client) {
 	// One minute into playback.
 	env.now += cfg.StartupDelay + time.Minute
 	now := env.now
-	c.buffer.AdvanceTo(now)
-	ph := c.buffer.Playhead()
+	c.active.buffer.AdvanceTo(now)
+	ph := c.active.buffer.Playhead()
 
 	// Each neighbor announces ~85% coverage of [ph-64, ph+1472), which spans
 	// the whole want window; distinct scores so the argmin scan does real work.
@@ -54,7 +54,7 @@ func benchSwarm(tb testing.TB, nbs, batch int) (*fakeEnv, *Client) {
 		for j := range bits {
 			bits[j] = byte(mapRng.Intn(256) | mapRng.Intn(256))
 		}
-		nb := c.addNeighbor(a, wire.BufferMapFromBytes(ph-64, bits))
+		nb := c.active.addNeighbor(a, wire.BufferMapFromBytes(ph-64, bits))
 		nb.score = time.Duration(50+13*i%400) * time.Millisecond
 		nb.minRTT = nb.score / 2
 	}
@@ -64,9 +64,9 @@ func benchSwarm(tb testing.TB, nbs, batch int) (*fakeEnv, *Client) {
 // resetSched reverts a tick's bookkeeping (outstanding requests and in-flight
 // coverage) so every benchmark iteration schedules the same full batch.
 func resetSched(c *Client) {
-	for _, nb := range c.neighbors {
+	for _, nb := range c.active.neighbors {
 		for len(nb.outstanding) > 0 {
-			c.clearOutstanding(nb, len(nb.outstanding)-1)
+			c.active.clearOutstanding(nb, len(nb.outstanding)-1)
 		}
 	}
 }
@@ -89,7 +89,7 @@ func BenchmarkScheduler(b *testing.B) {
 			_, c := benchSwarm(b, bc.nbs, bc.batch)
 			reqs := 0
 			c.emitRequest = func(netip.Addr, uint64, int) { reqs++ }
-			c.schedulerTick() // warm scratch state
+			c.active.schedulerTick() // warm scratch state
 			if reqs == 0 {
 				b.Fatal("scheduler tick issued no requests")
 			}
@@ -97,7 +97,7 @@ func BenchmarkScheduler(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				c.schedulerTick()
+				c.active.schedulerTick()
 				resetSched(c)
 			}
 		})
@@ -112,21 +112,21 @@ func BenchmarkPickProvider(b *testing.B) {
 		b.Run(fmt.Sprintf("nbs=%d", nbs), func(b *testing.B) {
 			env, c := benchSwarm(b, nbs, 1)
 			now := env.now
-			c.buffer.AdvanceTo(now)
+			c.active.buffer.AdvanceTo(now)
 			budget := c.cfg.MaxOutstanding * c.cfg.BatchCount
-			limit := c.buffer.Playhead() + uint64(c.cfg.FetchLead.Seconds()*c.cfg.Channel.Rate())
-			want := c.buffer.AppendWant(nil, now, budget, limit, nil)
+			limit := c.active.buffer.Playhead() + uint64(c.cfg.FetchLead.Seconds()*c.cfg.Channel.Rate())
+			want := c.active.buffer.AppendWant(nil, now, budget, limit, nil)
 			if len(want) == 0 {
 				b.Fatal("no wanted sequences")
 			}
-			urgentBound := c.buffer.Playhead() + uint64(2*c.cfg.Channel.Rate())
+			urgentBound := c.active.buffer.Playhead() + uint64(2*c.cfg.Channel.Rate())
 			var sink *neighbor
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				c.buildSchedPlan(want[0], want[len(want)-1])
+				c.active.buildSchedPlan(want[0], want[len(want)-1])
 				for _, seq := range want {
-					if nb := c.pickProvider(seq, now, seq < urgentBound); nb != nil {
+					if nb := c.active.pickProvider(seq, now, seq < urgentBound); nb != nil {
 						sink = nb
 					}
 				}

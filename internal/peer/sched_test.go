@@ -14,11 +14,11 @@ import (
 // candidate sets, iteration order, and batched-RNG draw order (through rb,
 // the reference's own bitRand reservoir) are the rewrite's correctness
 // contract.
-func (c *Client) pickProviderRef(seq uint64, now time.Duration, urgent bool, rb *bitRand) *neighbor {
-	rate := c.cfg.Channel.Rate()
+func (s *session) pickProviderRef(seq uint64, now time.Duration, urgent bool, rb *bitRand) *neighbor {
+	rate := s.spec.Rate()
 	var candidates []*neighbor
-	for _, nb := range c.sortedNeighbors() {
-		if len(nb.outstanding) >= c.cfg.MaxOutstandingPerNeighbor {
+	for _, nb := range s.sortedNeighbors() {
+		if len(nb.outstanding) >= s.cfg.MaxOutstandingPerNeighbor {
 			continue
 		}
 		if urgent {
@@ -31,16 +31,16 @@ func (c *Client) pickProviderRef(seq uint64, now time.Duration, urgent bool, rb 
 		candidates = append(candidates, nb)
 	}
 	if len(candidates) == 0 {
-		if !urgent && !rb.chance(c.env.Rand(), prob16(c.cfg.SourcePrefetchProb)) {
+		if !urgent && !rb.chance(s.env.Rand(), prob16(s.cfg.SourcePrefetchProb)) {
 			return nil
 		}
-		if src, ok := c.neighbors[akey(c.source)]; ok && len(src.outstanding) < c.cfg.MaxOutstandingPerNeighbor {
+		if src, ok := s.neighbors[akey(s.source)]; ok && len(src.outstanding) < s.cfg.MaxOutstandingPerNeighbor {
 			return src
 		}
 		return nil
 	}
-	rng := c.env.Rand()
-	if !c.cfg.PreferFastNeighbors {
+	rng := s.env.Rand()
+	if !s.cfg.PreferFastNeighbors {
 		return candidates[rb.intn(rng, len(candidates))]
 	}
 	if rb.chance(rng, exploreP16) {
@@ -66,12 +66,12 @@ func TestPickProviderMatchesReference(t *testing.T) {
 		nbs := 1 + metaRng.Intn(80) // crosses the 64-neighbor group boundary
 		env, c := benchSwarm(t, nbs, 1)
 		now := env.now
-		ph := c.buffer.Playhead()
+		ph := c.active.buffer.Playhead()
 
 		// Randomize coverage density, scores (quantized, so argmin ties are
 		// common), and per-neighbor outstanding load (some at the cap).
 		density := 10 + metaRng.Intn(86)
-		for _, nb := range c.sortedNbs {
+		for _, nb := range c.active.sortedNbs {
 			bits := make([]byte, 1536/8)
 			for j := range bits {
 				var b byte
@@ -99,7 +99,7 @@ func TestPickProviderMatchesReference(t *testing.T) {
 			seqs = append(seqs, next)
 		}
 		urgentBound := ph + uint64(2*c.cfg.Channel.Rate())
-		c.buildSchedPlan(seqs[0], seqs[len(seqs)-1])
+		c.active.buildSchedPlan(seqs[0], seqs[len(seqs)-1])
 
 		c.emitRequest = func(netip.Addr, uint64, int) {}
 		rngSeed := int64(1000 + trial)
@@ -108,14 +108,14 @@ func TestPickProviderMatchesReference(t *testing.T) {
 		// The plan picker draws through the client's bit reservoir; the
 		// reference keeps its own, refilled from the identically seeded rngB,
 		// so the consumed bit streams line up draw for draw.
-		c.rbits = bitRand{}
+		c.active.rbits = bitRand{}
 		var refBits bitRand
 		for i, seq := range seqs {
 			urgent := seq < urgentBound
 			env.rng = rngA
-			got := c.pickProvider(seq, now, urgent)
+			got := c.active.pickProvider(seq, now, urgent)
 			env.rng = rngB
-			want := c.pickProviderRef(seq, now, urgent, &refBits)
+			want := c.active.pickProviderRef(seq, now, urgent, &refBits)
 			if got != want {
 				t.Fatalf("trial %d seq %d (urgent=%v, nbs=%d, density=%d%%): plan pick %v, reference %v",
 					trial, seq, urgent, nbs, density, addrOf(got), addrOf(want))
@@ -123,7 +123,7 @@ func TestPickProviderMatchesReference(t *testing.T) {
 			// Book every third successful pick so eligibility (planElig vs the
 			// reference's live len(outstanding) checks) evolves mid-run.
 			if got != nil && i%3 == 0 {
-				c.sendDataRequest(got, seq, 1, now)
+				c.active.sendDataRequest(got, seq, 1, now)
 			}
 		}
 	}

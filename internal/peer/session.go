@@ -1,0 +1,981 @@
+package peer
+
+import (
+	"fmt"
+	"slices"
+	"time"
+
+	"net/netip"
+
+	"pplivesim/internal/node"
+	"pplivesim/internal/stream"
+	"pplivesim/internal/wire"
+)
+
+// session is one channel's worth of client state: the playback buffer, the
+// neighbor set, discovery bookkeeping, the scheduler plan, and the tracker
+// timers, all keyed by the channel ID the client joined. A client holds one
+// session per joined channel; switching channels tears one session down and
+// starts another while the client (address, uplink, config) persists.
+type session struct {
+	c   *Client
+	env node.Env
+	cfg *Config // shared protocol knobs (the client's config)
+
+	// spec is this session's channel; cfg.Channel is only the initial one.
+	spec stream.Spec
+
+	phase    Phase
+	source   netip.Addr
+	trackers []netip.Addr
+	buffer   *stream.Buffer
+
+	// The per-datagram maps are keyed by the packed IPv4 address (akey):
+	// hashing a 4-byte integer is several times cheaper than the 24-byte
+	// netip.Addr struct, and these maps sit on every message's path.
+	neighbors  map[uint32]*neighbor
+	known      map[uint32]bool // every address ever learned
+	candidates []netip.Addr    // not-yet-tried addresses (FIFO)
+
+	// pending tracks outstanding handshakes as a small ordered slice: it is
+	// bounded by cfg.MaxPending, so linear membership scans beat a map, and
+	// slice iteration keeps expiry order deterministic where map range order
+	// would not be.
+	pending []pendingShake
+
+	// evictScratch collects eviction victims before dropping them (dropping
+	// mutates the sorted order mid-iteration); reused across gossip rounds.
+	evictScratch []netip.Addr
+
+	// recent is the referral source: most recently connected peers first,
+	// deduplicated, capped at cfg.ReferralSize.
+	recent []netip.Addr
+
+	outstandingTotal int
+	// inflight indexes every outstanding sequence as a sliding-window bit set
+	// so the want scan can mask whole words out at once (the per-neighbor
+	// outstanding maps hold the timing detail). Created on playlink, sized to
+	// the buffer window plus the span requests can outlive it by (timeout
+	// drift), per BitRing's aliasing precondition.
+	inflight *stream.BitRing
+
+	// sortedCache holds the connected non-source neighbor addresses in
+	// address order, maintained incrementally on membership changes;
+	// sortedNbs holds the corresponding neighbor pointers for the
+	// scheduler's hot path.
+	sortedCache []netip.Addr
+	sortedNbs   []*neighbor
+
+	// Scheduler-tick scratch state, reused every SchedInterval so the hot
+	// path stays allocation-free.
+	wantScratch []uint64
+
+	// rbits batches the scheduler's RNG draws (see randbits.go).
+	rbits bitRand
+
+	// Per-tick scheduler plan (see sched.go): transposed candidate masks for
+	// the tick's want range, plus the eligibility mask that evolves as
+	// requests are booked.
+	planOrg    uint64
+	planWords  int
+	planGroups int
+	planRows   []uint64 // gather scratch: per group, 64 rows × planWords
+	planCand   []uint64 // candidate masks, indexed (g*planWords + w)*64 + b
+	planElig   []uint64 // per-group eligibility masks
+	planOrder  []uint64 // neighbor indices sorted by (score, index)
+
+	// lastMapTo rate-limits decline-triggered buffer-map piggybacks.
+	lastMapTo map[uint32]time.Duration
+
+	cancels      []node.Cancel
+	trackerTimer node.Cancel
+}
+
+// newSession creates an un-started session for spec's channel.
+func newSession(c *Client, spec stream.Spec) *session {
+	return &session{
+		c:         c,
+		env:       c.env,
+		cfg:       &c.cfg,
+		spec:      spec,
+		phase:     PhaseBootstrap,
+		neighbors: make(map[uint32]*neighbor),
+		known:     make(map[uint32]bool),
+	}
+}
+
+// start begins the join flow. The first session a client opens walks the full
+// bootstrap exchange (channel list, then playlink); sessions opened by a
+// channel switch already know the directory and request the playlink
+// directly. Either way the contact is retried until the playlink resolves.
+func (s *session) start(direct bool) {
+	request := func() wire.Message {
+		if direct {
+			return &wire.PlaylinkRequest{Channel: s.spec.Channel}
+		}
+		return &wire.ChannelListRequest{}
+	}
+	s.env.Send(s.cfg.Bootstrap, request())
+	var retry func()
+	retry = func() {
+		if s.phase != PhaseBootstrap {
+			return
+		}
+		s.env.Send(s.cfg.Bootstrap, request())
+		s.cancels = append(s.cancels, s.env.After(2*time.Second, retry))
+	}
+	s.cancels = append(s.cancels, s.env.After(2*time.Second, retry))
+}
+
+// leave closes the session: withdraw tracker announcements, disarm every
+// timer, and tear down the neighbor table (dropping in-flight request
+// bookkeeping with it). Neighbors need no goodbye datagram — the protocol is
+// silence-evicting, so departed peers age out of remote tables.
+func (s *session) leave() {
+	for _, tr := range s.trackers {
+		s.env.Send(tr, &wire.TrackerAnnounce{Channel: s.spec.Channel, Leaving: true})
+	}
+	for _, cancel := range s.cancels {
+		cancel()
+	}
+	s.cancels = nil
+	if s.trackerTimer != nil {
+		s.trackerTimer()
+		s.trackerTimer = nil
+	}
+	for len(s.sortedNbs) > 0 {
+		s.dropNeighbor(s.sortedNbs[len(s.sortedNbs)-1].addr)
+	}
+	if s.source.IsValid() {
+		s.dropNeighbor(s.source)
+	}
+	s.phase = PhaseStopped
+}
+
+// pendingIdx returns the index of key in the pending window, or -1.
+func (s *session) pendingIdx(key uint32) int {
+	for i := range s.pending {
+		if s.pending[i].key == key {
+			return i
+		}
+	}
+	return -1
+}
+
+func (s *session) handleChannelList(m *wire.ChannelListResponse) {
+	if s.phase != PhaseBootstrap || s.buffer != nil {
+		return
+	}
+	// The user picks this session's channel from the list; verify it exists.
+	for _, info := range m.Channels {
+		if info.ID == s.spec.Channel {
+			s.env.Send(s.cfg.Bootstrap, &wire.PlaylinkRequest{Channel: info.ID})
+			return
+		}
+	}
+}
+
+func (s *session) handlePlaylink(m *wire.PlaylinkResponse) {
+	if s.phase != PhaseBootstrap {
+		return
+	}
+	buf, err := stream.NewBuffer(s.spec, s.env.Now(), s.cfg.StartupDelay, s.cfg.BufferWindow)
+	if err != nil {
+		// Config was validated in New; a failure here is a programming error.
+		panic(fmt.Sprintf("peer: buffer: %v", err))
+	}
+	s.buffer = buf
+	// In-flight sequences live between (playhead − timeout drift) and the
+	// prefetch bound: expired requests linger up to RequestTimeout plus one
+	// scheduler interval past the window, so size the ring for both.
+	drift := int((s.cfg.RequestTimeout+s.cfg.SchedInterval).Seconds()*s.spec.Rate()) + 64
+	s.inflight = stream.NewBitRing(s.cfg.BufferWindow + drift)
+	s.source = m.Source
+	s.trackers = append([]netip.Addr(nil), m.Trackers...)
+	s.phase = PhaseStartup
+
+	s.announceTrackers(false)
+	s.queryTrackers()
+	s.scheduleTrackerQueries(s.cfg.TrackerIntervalStartup)
+
+	s.cancels = append(s.cancels,
+		s.env.Every(s.cfg.AnnounceInterval, func() { s.announceTrackers(false) }),
+		s.env.Every(s.cfg.GossipInterval, s.gossip),
+		s.env.Every(s.cfg.BufferMapInterval, s.announceBufferMap),
+		s.env.Every(s.cfg.SchedInterval, s.schedulerTick),
+	)
+
+	// The source is always a data neighbor of last resort.
+	s.addNeighbor(m.Source, wire.BufferMap{})
+}
+
+// scheduleTrackerQueries (re)installs the periodic tracker query at the given
+// interval, replacing any previous schedule.
+func (s *session) scheduleTrackerQueries(interval time.Duration) {
+	if s.trackerTimer != nil {
+		s.trackerTimer()
+	}
+	s.trackerTimer = s.env.Every(interval, func() {
+		s.queryTrackers()
+		// Once playback is satisfactory, back off to the steady period
+		// (the paper measures five minutes).
+		if s.phase == PhaseSteady {
+			s.scheduleTrackerQueries(s.cfg.TrackerIntervalSteady)
+		}
+	})
+}
+
+func (s *session) announceTrackers(leaving bool) {
+	for _, tr := range s.trackers {
+		s.env.Send(tr, &wire.TrackerAnnounce{Channel: s.spec.Channel, Leaving: leaving})
+	}
+}
+
+func (s *session) queryTrackers() {
+	for _, tr := range s.trackers {
+		s.c.stats.TrackerQueries++
+		s.env.Send(tr, &wire.TrackerQuery{Channel: s.spec.Channel})
+	}
+}
+
+// gossip queries up to GossipFanout random neighbors for their peer lists,
+// enclosing our own list, per the measured 20-second cadence.
+func (s *session) gossip() {
+	if s.buffer == nil {
+		return
+	}
+	// Housekeeping runs every round even when there is nobody to query:
+	// silent-neighbor eviction, pending-handshake expiry, table trimming.
+	s.evictSilent()
+	s.trimNeighbors()
+	s.maybeSteady()
+
+	targets := s.sampleNeighbors(s.cfg.GossipFanout)
+	if len(targets) == 0 {
+		return
+	}
+	own := s.ownPeerList()
+	for _, addr := range targets {
+		s.c.stats.GossipSent++
+		s.env.Send(addr, &wire.PeerListRequest{Channel: s.spec.Channel, OwnPeers: own})
+	}
+}
+
+// trimNeighbors prunes the table back toward MaxNeighbors. With latency
+// bias the highest-RTT neighbors go first — the steady-state counterpart of
+// the handshake race, and the mechanism that concentrates the table on
+// nearby (in practice same-ISP) peers. With the bias ablated, pruning is
+// random.
+func (s *session) trimNeighbors() {
+	for len(s.sortedNeighbors()) > s.cfg.MaxNeighbors {
+		var victim *neighbor
+		if s.cfg.LatencyBias {
+			victim = s.worstNeighbor()
+		} else {
+			pool := s.sortedNeighbors()
+			victim = pool[s.env.Rand().Intn(len(pool))]
+		}
+		if victim == nil {
+			return
+		}
+		s.dropNeighbor(victim.addr)
+	}
+}
+
+// ownPeerList returns the list the client maintains (its recent neighbors),
+// enclosed in gossip requests as the paper describes.
+func (s *session) ownPeerList() []netip.Addr {
+	out := make([]netip.Addr, len(s.recent))
+	copy(out, s.recent)
+	return out
+}
+
+// sortedNeighborAddrs returns the connected non-source neighbor addresses in
+// address order — it runs on the data scheduler's hot path. The order is
+// maintained incrementally on add/drop (binary insert/remove) rather than
+// re-sorted. Deterministic ordering keeps whole runs reproducible (map
+// iteration order is randomized in Go). Callers must not mutate the returned
+// slice.
+func (s *session) sortedNeighborAddrs() []netip.Addr {
+	return s.sortedCache
+}
+
+// sortedInsert adds a non-source neighbor to the maintained order.
+func (s *session) sortedInsert(a netip.Addr, nb *neighbor) {
+	i, found := slices.BinarySearchFunc(s.sortedCache, a, netip.Addr.Compare)
+	if found {
+		s.sortedNbs[i] = nb
+		return
+	}
+	s.sortedCache = slices.Insert(s.sortedCache, i, a)
+	s.sortedNbs = slices.Insert(s.sortedNbs, i, nb)
+}
+
+// sortedRemove drops a neighbor from the maintained order.
+func (s *session) sortedRemove(a netip.Addr) {
+	i, found := slices.BinarySearchFunc(s.sortedCache, a, netip.Addr.Compare)
+	if !found {
+		return
+	}
+	s.sortedCache = slices.Delete(s.sortedCache, i, i+1)
+	s.sortedNbs = slices.Delete(s.sortedNbs, i, i+1)
+}
+
+// sortedNeighbors returns neighbor pointers in the same deterministic order.
+func (s *session) sortedNeighbors() []*neighbor {
+	return s.sortedNbs
+}
+
+// sampleNeighbors picks up to k distinct connected neighbors uniformly,
+// excluding the source (gossip targets are regular peers).
+func (s *session) sampleNeighbors(k int) []netip.Addr {
+	pool := append([]netip.Addr(nil), s.sortedNeighborAddrs()...)
+	rng := s.env.Rand()
+	if len(pool) <= k {
+		return pool
+	}
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(len(pool)-i)
+		pool[i], pool[j] = pool[j], pool[i]
+	}
+	return pool[:k]
+}
+
+// learn absorbs peer addresses into the candidate pool.
+func (s *session) learn(addrs []netip.Addr) {
+	self := s.env.Addr()
+	for _, a := range addrs {
+		s.c.stats.AddrsLearned++
+		if a == self || s.known[akey(a)] {
+			continue
+		}
+		s.known[akey(a)] = true
+		s.candidates = append(s.candidates, a)
+	}
+}
+
+// connectFromList implements "randomly selects a number of peers from the
+// list and connects to them immediately": pick ConnectFanout random fresh
+// addresses from the just-received list and handshake at once (or, with
+// latency bias ablated, after a random defer).
+func (s *session) connectFromList(addrs []netip.Addr) {
+	if s.buffer == nil {
+		return
+	}
+	fresh := make([]netip.Addr, 0, len(addrs))
+	self := s.env.Addr()
+	for _, a := range addrs {
+		if a == self {
+			continue
+		}
+		if _, connected := s.neighbors[akey(a)]; connected {
+			continue
+		}
+		if s.pendingIdx(akey(a)) >= 0 {
+			continue
+		}
+		fresh = append(fresh, a)
+	}
+	rng := s.env.Rand()
+	rng.Shuffle(len(fresh), func(i, j int) { fresh[i], fresh[j] = fresh[j], fresh[i] })
+	n := s.cfg.ConnectFanout
+	for _, a := range fresh {
+		if n == 0 {
+			break
+		}
+		if len(s.pending) >= s.cfg.MaxPending {
+			break
+		}
+		// Keep probing even at capacity: the ack race against the current
+		// worst neighbor (see handleHandshakeAck) is what makes selection
+		// latency-based over time.
+		s.sendHandshake(a)
+		n--
+	}
+}
+
+func (s *session) sendHandshake(a netip.Addr) {
+	if i := s.pendingIdx(akey(a)); i >= 0 {
+		s.pending[i].at = s.env.Now()
+	} else {
+		s.pending = append(s.pending, pendingShake{key: akey(a), at: s.env.Now()})
+	}
+	s.c.stats.HandshakesSent++
+	hs := &wire.Handshake{Channel: s.spec.Channel}
+	if s.cfg.LatencyBias {
+		s.env.Send(a, hs)
+		return
+	}
+	// Ablation: defer by a uniform random delay (0..2s) so slot acquisition
+	// no longer correlates with proximity.
+	delay := time.Duration(s.env.Rand().Int63n(int64(2 * time.Second)))
+	s.cancels = append(s.cancels, s.env.After(delay, func() {
+		if s.phase != PhaseStopped {
+			s.env.Send(a, hs)
+		}
+	}))
+}
+
+func (s *session) handleTrackerResponse(m *wire.TrackerResponse) {
+	if s.buffer == nil {
+		return
+	}
+	s.c.stats.ListsReceived++
+	s.learn(m.Peers)
+	s.connectFromList(m.Peers)
+}
+
+func (s *session) handleHandshake(from netip.Addr, m *wire.Handshake) {
+	if s.buffer == nil {
+		return
+	}
+	// Accept inbound connections up to twice the outbound cap: PPLive peers
+	// are generous acceptors, which is what makes clusters highly connected.
+	accept := len(s.sortedNeighborAddrs()) < 2*s.cfg.MaxNeighbors
+	ack := &wire.HandshakeAck{
+		Channel:  s.spec.Channel,
+		Accepted: accept,
+	}
+	if accept {
+		ack.Buffer = s.buffer.Snapshot()
+		s.c.stats.InboundAccepted++
+		s.addNeighbor(from, wire.BufferMap{})
+	} else {
+		s.c.stats.InboundRejected++
+	}
+	s.env.Send(from, ack)
+}
+
+func (s *session) handleHandshakeAck(from netip.Addr, m *wire.HandshakeAck) {
+	i := s.pendingIdx(akey(from))
+	if i < 0 {
+		return
+	}
+	started := s.pending[i].at
+	s.pending = slices.Delete(s.pending, i, i+1)
+	if !m.Accepted || s.buffer == nil {
+		s.c.stats.HandshakesRejected++
+		return
+	}
+	rtt := s.env.Now() - started
+	if len(s.sortedNeighborAddrs()) >= s.cfg.MaxNeighbors {
+		// Table full: the newcomer must beat the slowest current neighbor
+		// on measured latency, otherwise the race is lost. This rolling
+		// replacement is what turns connect-on-list-arrival into
+		// latency-based neighbor selection over a whole session.
+		if !s.cfg.LatencyBias {
+			s.c.stats.HandshakesRejected++
+			return
+		}
+		worst := s.worstNeighbor()
+		if worst == nil || rtt >= neighborRTTEstimate(worst) {
+			s.c.stats.HandshakesRejected++
+			return
+		}
+		s.dropNeighbor(worst.addr)
+	}
+	s.c.stats.HandshakesAccepted++
+	nb := s.addNeighbor(from, m.Buffer)
+	nb.minRTT = rtt
+	nb.score = rtt
+	// "Upon the establishment of a new connection, the client will first ask
+	// the newly connected peer for its peer list ... then request video data."
+	s.c.stats.GossipSent++
+	s.env.Send(from, &wire.PeerListRequest{Channel: s.spec.Channel, OwnPeers: s.ownPeerList()})
+}
+
+// addNeighbor registers (or refreshes) a connected neighbor and records it
+// as a recent connection for referral.
+func (s *session) addNeighbor(a netip.Addr, bm wire.BufferMap) *neighbor {
+	if nb, ok := s.neighbors[akey(a)]; ok {
+		nb.lastHeard = s.env.Now()
+		if bm.Words != nil {
+			nb.setBuffer(bm, s.env.Now())
+		}
+		return nb
+	}
+	nb := &neighbor{
+		addr:      a,
+		connected: s.env.Now(),
+		lastHeard: s.env.Now(),
+		planIdx:   -1,
+	}
+	nb.setBuffer(bm, s.env.Now())
+	s.neighbors[akey(a)] = nb
+	if a != s.source {
+		s.sortedInsert(a, nb)
+		s.pushRecent(a)
+	}
+	return nb
+}
+
+// worstNeighbor returns the connected neighbor with the highest latency
+// estimate (excluding the source), or nil if none.
+func (s *session) worstNeighbor() *neighbor {
+	var worst *neighbor
+	for _, nb := range s.sortedNeighbors() {
+		if worst == nil || neighborRTTEstimate(nb) > neighborRTTEstimate(worst) {
+			worst = nb
+		}
+	}
+	return worst
+}
+
+// pushRecent records a as the most recent connection, deduplicating and
+// capping at ReferralSize.
+func (s *session) pushRecent(a netip.Addr) {
+	for i, existing := range s.recent {
+		if existing == a {
+			copy(s.recent[1:i+1], s.recent[:i])
+			s.recent[0] = a
+			return
+		}
+	}
+	s.recent = append(s.recent, netip.Addr{})
+	copy(s.recent[1:], s.recent)
+	s.recent[0] = a
+	if len(s.recent) > s.cfg.ReferralSize {
+		s.recent = s.recent[:s.cfg.ReferralSize]
+	}
+}
+
+func (s *session) handlePeerListRequest(from netip.Addr, m *wire.PeerListRequest) {
+	if s.buffer == nil {
+		return
+	}
+	// The requester's enclosed list is free gossip: absorb it.
+	s.learn(m.OwnPeers)
+	if nb, ok := s.neighbors[akey(from)]; ok {
+		nb.lastHeard = s.env.Now()
+	}
+	reply := &wire.PeerListReply{Channel: s.spec.Channel}
+	if s.cfg.ReferralEnabled {
+		reply.Peers = s.referralList(from)
+	}
+	s.env.Send(from, reply)
+}
+
+// referralList returns up to ReferralSize recently connected peers, excluding
+// the requester itself.
+func (s *session) referralList(requester netip.Addr) []netip.Addr {
+	out := make([]netip.Addr, 0, len(s.recent))
+	for _, a := range s.recent {
+		if a == requester {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+func (s *session) handlePeerListReply(from netip.Addr, m *wire.PeerListReply) {
+	if s.buffer == nil {
+		return
+	}
+	s.c.stats.GossipReplies++
+	s.c.stats.ListsReceived++
+	if nb, ok := s.neighbors[akey(from)]; ok {
+		nb.lastHeard = s.env.Now()
+	}
+	s.learn(m.Peers)
+	// "Once the client receives a peer list ... connects to them immediately."
+	s.connectFromList(m.Peers)
+}
+
+func (s *session) handleBufferMap(from netip.Addr, m *wire.BufferMapAnnounce) {
+	nb, ok := s.neighbors[akey(from)]
+	if !ok {
+		return
+	}
+	nb.setBuffer(m.Buffer, s.env.Now())
+	nb.lastHeard = s.env.Now()
+}
+
+func (s *session) announceBufferMap() {
+	if s.buffer == nil {
+		return
+	}
+	bm := s.buffer.Snapshot()
+	for _, a := range s.sortedNeighborAddrs() {
+		s.env.Send(a, &wire.BufferMapAnnounce{Channel: s.spec.Channel, Buffer: bm})
+	}
+}
+
+// evictSilent drops neighbors not heard from within NeighborSilence and
+// expires handshakes that never got an ack (departed peers, lost datagrams)
+// so the pending window cannot clog permanently. Both scans walk
+// deterministic slices — the maintained sorted order and the pending window
+// — never map range order, so the victim sequence is identical across runs.
+func (s *session) evictSilent() {
+	now := s.env.Now()
+	victims := s.evictScratch[:0]
+	for _, nb := range s.sortedNbs {
+		if now-nb.lastHeard > s.cfg.NeighborSilence {
+			victims = append(victims, nb.addr)
+		}
+	}
+	for _, a := range victims {
+		s.dropNeighbor(a)
+	}
+	s.evictScratch = victims[:0]
+
+	keep := s.pending[:0]
+	for _, p := range s.pending {
+		if now-p.at > s.cfg.HandshakeTimeout {
+			s.c.stats.HandshakeTimeouts++
+			continue
+		}
+		keep = append(keep, p)
+	}
+	s.pending = keep
+}
+
+func (s *session) dropNeighbor(a netip.Addr) {
+	nb, ok := s.neighbors[akey(a)]
+	if !ok {
+		return
+	}
+	for len(nb.outstanding) > 0 {
+		s.clearOutstanding(nb, len(nb.outstanding)-1)
+	}
+	delete(s.neighbors, akey(a))
+	s.sortedRemove(a)
+}
+
+// maybeSteady transitions to the steady phase once playback is satisfactory:
+// the buffer holds a healthy share of the pieces between playhead and edge.
+func (s *session) maybeSteady() {
+	if s.phase != PhaseStartup || s.buffer == nil {
+		return
+	}
+	st := s.buffer.Stats()
+	if st.Received > uint64(s.cfg.BufferWindow/4) && len(s.neighbors) > 2 {
+		s.phase = PhaseSteady
+		s.scheduleTrackerQueries(s.cfg.TrackerIntervalSteady)
+	}
+}
+
+// schedulerTick drives playback and the data request plane.
+func (s *session) schedulerTick() {
+	if s.buffer == nil {
+		return
+	}
+	now := s.env.Now()
+	s.buffer.AdvanceTo(now)
+	s.expireRequests(now)
+
+	if s.outstandingTotal >= s.cfg.MaxOutstanding {
+		return
+	}
+
+	// Determine wanted sub-pieces, skipping those already in flight and
+	// bounding prefetch to FetchLead ahead of the playhead (pieces newer
+	// than that are too close to the live edge to be widely announced yet).
+	budget := (s.cfg.MaxOutstanding - s.outstandingTotal) * s.cfg.BatchCount
+	limit := s.buffer.Playhead() + uint64(s.cfg.FetchLead.Seconds()*s.spec.Rate())
+	want := s.buffer.AppendWantRing(s.wantScratch[:0], now, budget, limit, s.inflight)
+	s.wantScratch = want[:0]
+	if len(want) == 0 {
+		s.maybeSteady()
+		return
+	}
+
+	// Precompute every neighbor's coverage of the want range while want is
+	// still sorted (its ends bound the range); picks below are mask lookups.
+	s.buildSchedPlan(want[0], want[len(want)-1])
+
+	// Pieces within two seconds of their deadline are urgent: they go only
+	// to proven holders or the source, never to extrapolated coverage.
+	urgentBound := s.buffer.Playhead() + uint64(2*s.spec.Rate())
+
+	// Keep urgent pieces in deadline order but randomize the rest, so that
+	// peers wanting the same region fetch different pieces and can then
+	// trade (sequential fetching would synchronize the whole swarm onto the
+	// same few providers).
+	split := len(want)
+	for i, seq := range want {
+		if seq >= urgentBound {
+			split = i
+			break
+		}
+	}
+	s.shuffleBlocks(want[split:], s.cfg.BatchCount)
+
+	// Assign wanted sequences to providers, batching contiguous runs the
+	// chosen provider actually covers (up to BatchCount).
+	rate := s.spec.Rate()
+	for i := 0; i < len(want); {
+		seq := want[i]
+		target := s.pickProvider(seq, now, seq < urgentBound)
+		if target == nil {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(want) && j-i < s.cfg.BatchCount && want[j] == want[j-1]+1 &&
+			s.neighborCovers(target, want[j], now, rate) {
+			j++
+		}
+		s.sendDataRequest(target, seq, j-i, now)
+		i = j
+		if s.outstandingTotal >= s.cfg.MaxOutstanding {
+			break
+		}
+	}
+}
+
+// shuffleBlocks randomizes the order of blockSize-sized contiguous blocks of
+// seqs in place, preserving intra-block contiguity so batching still works.
+// A trailing partial block stays in place (it holds the newest, least-spread
+// sequences anyway), which lets the permutation run as allocation-free
+// element swaps between equal-sized blocks.
+func (s *session) shuffleBlocks(seqs []uint64, blockSize int) {
+	rng := s.env.Rand()
+	if blockSize == 1 {
+		for i := len(seqs) - 1; i > 0; i-- {
+			j := s.rbits.intn(rng, i+1)
+			seqs[i], seqs[j] = seqs[j], seqs[i]
+		}
+		return
+	}
+	if blockSize < 1 || len(seqs) <= blockSize {
+		return
+	}
+	n := len(seqs) / blockSize
+	for i := n - 1; i > 0; i-- {
+		j := s.rbits.intn(rng, i+1)
+		if i == j {
+			continue
+		}
+		a := seqs[i*blockSize : (i+1)*blockSize]
+		b := seqs[j*blockSize : (j+1)*blockSize]
+		for k := range a {
+			a[k], b[k] = b[k], a[k]
+		}
+	}
+}
+
+// neighborCovers is covers() with the source treated as holding everything
+// already emitted.
+func (s *session) neighborCovers(nb *neighbor, seq uint64, now time.Duration, rate float64) bool {
+	if nb.addr == s.source {
+		return seq <= s.spec.EdgeSeq(now)
+	}
+	return nb.covers(seq, now, rate)
+}
+
+// inFlight reports whether seq is covered by any outstanding request.
+func (s *session) inFlight(seq uint64) bool {
+	return s.inflight != nil && s.inflight.Has(seq)
+}
+
+// expireRequests times out unanswered data requests, penalizing the
+// neighbor's service score.
+func (s *session) expireRequests(now time.Duration) {
+	for _, nb := range s.sortedNbs {
+		s.expireNeighbor(nb, now)
+	}
+	if src, ok := s.neighbors[akey(s.source)]; ok {
+		s.expireNeighbor(src, now)
+	}
+}
+
+func (s *session) expireNeighbor(nb *neighbor, now time.Duration) {
+	for i := 0; i < len(nb.outstanding); {
+		if now-nb.outstanding[i].at > s.cfg.RequestTimeout {
+			s.clearOutstanding(nb, i)
+			s.c.stats.RequestTimeouts++
+			// A timeout is strong evidence of overload or departure.
+			nb.score = ewma(nb.score, 2*s.cfg.RequestTimeout)
+		} else {
+			i++
+		}
+	}
+}
+
+// clearOutstanding removes the pending request at index i (swap-remove; the
+// slice is unordered) and its inflight coverage.
+func (s *session) clearOutstanding(nb *neighbor, i int) {
+	req := nb.outstanding[i]
+	last := len(nb.outstanding) - 1
+	nb.outstanding[i] = nb.outstanding[last]
+	nb.outstanding = nb.outstanding[:last]
+	s.outstandingTotal--
+	for k := 0; k < req.count; k++ {
+		s.inflight.Clear(req.seq + uint64(k))
+	}
+}
+
+func (s *session) sendDataRequest(nb *neighbor, seq uint64, count int, now time.Duration) {
+	nb.outstanding = append(nb.outstanding, pendingReq{seq: seq, at: now, count: count})
+	s.outstandingTotal++
+	for i := 0; i < count; i++ {
+		s.inflight.Set(seq + uint64(i))
+	}
+	s.planNoteSent(nb)
+	nb.requests++
+	s.c.stats.DataRequestsSent++
+	if s.c.emitRequest != nil {
+		s.c.emitRequest(nb.addr, seq, count)
+		return
+	}
+	s.env.Send(nb.addr, &wire.DataRequest{
+		Channel: s.spec.Channel,
+		Seq:     seq,
+		Count:   uint16(count),
+	})
+}
+
+// handleDataRequest serves a neighbor's request with the prefix run of
+// pieces we hold, unless our uplink is already overloaded.
+func (s *session) handleDataRequest(from netip.Addr, m *wire.DataRequest) {
+	if s.buffer == nil {
+		return
+	}
+	if nb, ok := s.neighbors[akey(from)]; ok {
+		nb.lastHeard = s.env.Now()
+	}
+	// An overloaded uplink sheds load with a tiny busy reply, redirecting
+	// the requester quickly. Accepted requests still ride the growing
+	// uplink queue — the application-layer queuing behind the paper's
+	// load-dependent response times.
+	if s.env.UplinkBacklog() > s.cfg.ServeQueueLimit {
+		s.c.stats.DataRequestsShed++
+		s.env.Send(from, &wire.DataReply{
+			Channel:  s.spec.Channel,
+			Seq:      m.Seq,
+			Count:    0,
+			PieceLen: uint16(s.spec.SubPieceLen),
+			Busy:     true,
+		})
+		return
+	}
+	count := int(m.Count)
+	if count == 0 {
+		count = 1
+	}
+	run := 0
+	for run < count && s.buffer.Has(m.Seq+uint64(run)) {
+		run++
+	}
+	if run == 0 {
+		// Explicit no-have: a tiny reply (Count=0) so the requester can
+		// reschedule immediately instead of burning a timeout. Piggyback a
+		// fresh buffer map (rate-limited per peer) so the requester's stale
+		// view of us gets corrected at exactly the moment it misfired.
+		s.c.stats.DataRequestsDeclined++
+		s.env.Send(from, &wire.DataReply{
+			Channel:  s.spec.Channel,
+			Seq:      m.Seq,
+			Count:    0,
+			PieceLen: uint16(s.spec.SubPieceLen),
+		})
+		now := s.env.Now()
+		if last, ok := s.lastMapTo[akey(from)]; !ok || now-last >= time.Second {
+			if s.lastMapTo == nil {
+				s.lastMapTo = make(map[uint32]time.Duration)
+			}
+			s.lastMapTo[akey(from)] = now
+			s.env.Send(from, &wire.BufferMapAnnounce{
+				Channel: s.spec.Channel,
+				Buffer:  s.buffer.Snapshot(),
+			})
+		}
+		return
+	}
+	s.c.stats.DataRequestsServed++
+	s.env.Send(from, &wire.DataReply{
+		Channel:  s.spec.Channel,
+		Seq:      m.Seq,
+		Count:    uint16(run),
+		PieceLen: uint16(s.spec.SubPieceLen),
+	})
+}
+
+func (s *session) handleDataReply(from netip.Addr, m *wire.DataReply) {
+	if s.buffer == nil {
+		return
+	}
+	nb, ok := s.neighbors[akey(from)]
+	if !ok {
+		return
+	}
+	now := s.env.Now()
+	nb.lastHeard = now
+
+	if m.Count == 0 {
+		// Miss: clear the in-flight slot. For busy signals, penalize the
+		// neighbor's service score so the scheduler spreads load away; for
+		// no-haves, the piggybacked buffer map corrects our stale view.
+		if i := nb.findOutstanding(m.Seq); i >= 0 {
+			s.clearOutstanding(nb, i)
+		}
+		if m.Busy {
+			s.c.stats.DataBusies++
+			// Penalize proportionally: a busy signal means "currently about
+			// twice as slow as usual", steering load away without burying
+			// genuinely fast neighbors.
+			nb.score = ewma(nb.score, 2*score(nb))
+		} else {
+			s.c.stats.DataNoHaves++
+		}
+		return
+	}
+
+	if i := nb.findOutstanding(m.Seq); i >= 0 {
+		rt := now - nb.outstanding[i].at
+		s.clearOutstanding(nb, i)
+		nb.score = ewma(nb.score, rt)
+		if nb.minRTT == 0 || rt < nb.minRTT {
+			nb.minRTT = rt
+		}
+	}
+	nb.replies++
+	nb.bytes += uint64(m.PayloadLen())
+	nb.learnHas(m.Seq, m.Seq+uint64(m.Count)-1, now)
+	s.c.stats.DataRepliesGot++
+	s.c.stats.DataBytesGot += uint64(m.PayloadLen())
+	fresh := false
+	for i := uint64(0); i < uint64(m.Count); i++ {
+		if s.buffer.Mark(m.Seq + i) {
+			fresh = true
+		}
+	}
+	if fresh {
+		s.gossipHave(m.Seq, m.Count, from)
+	}
+}
+
+// gossipHave hints freshly acquired pieces to a few random neighbors,
+// making piece availability spread exponentially through the mesh instead
+// of waiting for periodic buffer-map rounds.
+func (s *session) gossipHave(seq uint64, count uint16, from netip.Addr) {
+	if s.cfg.HintFanout <= 0 {
+		return
+	}
+	pool := s.sortedNeighborAddrs()
+	if len(pool) == 0 {
+		return
+	}
+	rng := s.env.Rand()
+	msg := &wire.Have{Channel: s.spec.Channel, Seq: seq, Count: count}
+	sent := 0
+	for attempts := 0; sent < s.cfg.HintFanout && attempts < 3*s.cfg.HintFanout; attempts++ {
+		a := pool[rng.Intn(len(pool))]
+		if a == from {
+			continue
+		}
+		s.env.Send(a, msg)
+		sent++
+	}
+}
+
+// handleHave records a neighbor's per-piece availability hint.
+func (s *session) handleHave(from netip.Addr, m *wire.Have) {
+	nb, ok := s.neighbors[akey(from)]
+	if !ok || m.Count == 0 {
+		return
+	}
+	nb.lastHeard = s.env.Now()
+	nb.learnHas(m.Seq, m.Seq+uint64(m.Count)-1, s.env.Now())
+}

@@ -339,6 +339,18 @@ type Stats struct {
 	PlayedMiss uint64 // deadline passed without the piece
 }
 
+// Add returns the field-wise sum of s and o, for aggregating counters
+// across buffers (e.g. a client's sessions over several channel switches).
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Received:   s.Received + o.Received,
+		Duplicates: s.Duplicates + o.Duplicates,
+		Stale:      s.Stale + o.Stale,
+		PlayedOK:   s.PlayedOK + o.PlayedOK,
+		PlayedMiss: s.PlayedMiss + o.PlayedMiss,
+	}
+}
+
 // Continuity returns the fraction of consumed sub-pieces that were present
 // at their deadline (1.0 when nothing has been consumed yet).
 func (s Stats) Continuity() float64 {

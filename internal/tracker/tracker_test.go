@@ -258,3 +258,85 @@ func TestServerIgnoresUnrelatedMessages(t *testing.T) {
 		t.Errorf("tracker replied to a data request: %v", rig.inbox)
 	}
 }
+
+// TestChannelSwitchLeavesRegistry is the channel-switch regression test: a
+// peer announced on channel A that switches to channel B sends a Leaving
+// announce for A (as peer.Client does on Leave), so it drops out of A's
+// registry immediately and never appears in A's query responses again, while
+// staying listed on B.
+func TestChannelSwitchLeavesRegistry(t *testing.T) {
+	rig := newRig(t)
+	switcher := netip.AddrFrom4([4]byte{58, 40, 0, 9})
+
+	rig.server.HandleMessage(switcher, &wire.TrackerAnnounce{Channel: 1})
+	if got := rig.server.ActivePeers(1); len(got) != 1 || got[0] != switcher {
+		t.Fatalf("channel 1 registry = %v, want [%v]", got, switcher)
+	}
+
+	// Switch: leave A, announce on B.
+	rig.server.HandleMessage(switcher, &wire.TrackerAnnounce{Channel: 1, Leaving: true})
+	rig.server.HandleMessage(switcher, &wire.TrackerAnnounce{Channel: 2})
+
+	if got := rig.server.ActivePeers(1); len(got) != 0 {
+		t.Errorf("channel 1 registry after leave = %v, want empty", got)
+	}
+	if got := rig.server.ActivePeers(2); len(got) != 1 || got[0] != switcher {
+		t.Errorf("channel 2 registry = %v, want [%v]", got, switcher)
+	}
+
+	// No query response for A may ever include the switcher again.
+	for i := 0; i < 3; i++ {
+		rig.client.Send(rig.srvEnv.Addr(), &wire.TrackerQuery{Channel: 1})
+		rig.run(t, 30*time.Second)
+	}
+	for _, msg := range rig.inbox {
+		resp, ok := msg.(*wire.TrackerResponse)
+		if !ok {
+			t.Fatalf("got %T, want TrackerResponse", msg)
+		}
+		for _, p := range resp.Peers {
+			if p == switcher {
+				t.Fatalf("channel 1 response still lists the departed peer %v", p)
+			}
+		}
+	}
+}
+
+// TestSilentDepartureExpiresWithinTTL covers the crash-stop path of the same
+// contract: a peer that stops re-announcing (no Leaving message — e.g. the
+// process died mid-switch) must age out of the registry within the entry TTL
+// and never be served from it afterwards, while a peer that keeps announcing
+// stays listed.
+func TestSilentDepartureExpiresWithinTTL(t *testing.T) {
+	rig := newRig(t)
+	ghost := netip.AddrFrom4([4]byte{58, 40, 0, 10})
+	alive := netip.AddrFrom4([4]byte{58, 40, 0, 11})
+
+	rig.server.HandleMessage(ghost, &wire.TrackerAnnounce{Channel: 1})
+	rig.server.HandleMessage(alive, &wire.TrackerAnnounce{Channel: 1})
+
+	// Advance past the TTL; only `alive` re-announces along the way.
+	step := 30 * time.Second
+	for elapsed := time.Duration(0); elapsed <= DefaultEntryTTL+step; elapsed += step {
+		rig.run(t, step)
+		rig.server.HandleMessage(alive, &wire.TrackerAnnounce{Channel: 1})
+	}
+
+	if got := rig.server.ActivePeers(1); len(got) != 1 || got[0] != alive {
+		t.Errorf("registry after TTL = %v, want only %v", got, alive)
+	}
+	rig.client.Send(rig.srvEnv.Addr(), &wire.TrackerQuery{Channel: 1})
+	rig.run(t, 5*time.Second)
+	if len(rig.inbox) != 1 {
+		t.Fatalf("client got %d messages, want 1", len(rig.inbox))
+	}
+	resp := rig.inbox[0].(*wire.TrackerResponse)
+	for _, p := range resp.Peers {
+		if p == ghost {
+			t.Fatalf("expired peer %v still served", p)
+		}
+	}
+	if len(resp.Peers) != 1 || resp.Peers[0] != alive {
+		t.Errorf("response peers = %v, want [%v]", resp.Peers, alive)
+	}
+}

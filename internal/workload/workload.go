@@ -112,6 +112,106 @@ func (c Churn) SessionLength(rng *rand.Rand) time.Duration {
 	return d
 }
 
+// Switching configures the channel-browsing process of the paper's user
+// behaviour study (§5): a fraction of viewers hop between the scenario's
+// channels, dwelling on each for a log-normally distributed time and picking
+// the next channel with popularity-proportional probability.
+type Switching struct {
+	// Enabled turns switching on. When off (the zero value), every viewer
+	// stays on their initial channel and no extra RNG draws happen, so
+	// single-channel scenarios are bit-identical to the pre-switching code.
+	Enabled bool
+	// SwitcherFraction is the share of viewers that browse at all; the rest
+	// are loyal to their arrival channel.
+	SwitcherFraction float64
+	// MedianDwell is the median time a switcher stays on one channel before
+	// hopping; dwell times are log-normal around it with shape SigmaDwell.
+	MedianDwell time.Duration
+	// SigmaDwell is the log-normal shape parameter (σ of ln dwell).
+	SigmaDwell float64
+	// MinDwell clips implausibly fast hops (a viewer needs a few seconds to
+	// judge a channel).
+	MinDwell time.Duration
+}
+
+// DefaultSwitching models casual channel browsing: roughly a third of the
+// audience hops, staying a few minutes per channel.
+func DefaultSwitching() Switching {
+	return Switching{
+		Enabled:          true,
+		SwitcherFraction: 0.35,
+		MedianDwell:      4 * time.Minute,
+		SigmaDwell:       0.9,
+		MinDwell:         20 * time.Second,
+	}
+}
+
+// Validate checks the parameters (only when enabled).
+func (s Switching) Validate() error {
+	if !s.Enabled {
+		return nil
+	}
+	if s.SwitcherFraction < 0 || s.SwitcherFraction > 1 {
+		return fmt.Errorf("workload: switcher fraction %v outside [0,1]", s.SwitcherFraction)
+	}
+	if s.MedianDwell <= 0 {
+		return fmt.Errorf("workload: non-positive median dwell %v", s.MedianDwell)
+	}
+	if s.SigmaDwell < 0 {
+		return fmt.Errorf("workload: negative dwell sigma %v", s.SigmaDwell)
+	}
+	return nil
+}
+
+// IsSwitcher draws whether a freshly arrived viewer browses channels.
+func (s Switching) IsSwitcher(rng *rand.Rand) bool {
+	return rng.Float64() < s.SwitcherFraction
+}
+
+// Dwell draws one log-normal dwell time: MedianDwell · exp(σ·N(0,1)),
+// clipped below at MinDwell.
+func (s Switching) Dwell(rng *rand.Rand) time.Duration {
+	d := time.Duration(float64(s.MedianDwell) * math.Exp(s.SigmaDwell*rng.NormFloat64()))
+	if d < s.MinDwell {
+		d = s.MinDwell
+	}
+	return d
+}
+
+// Next picks the next channel index with probability proportional to
+// weights (channel popularity), excluding the current channel cur. With a
+// single channel it returns cur. The walk over weights is index-ordered, so
+// the draw is deterministic for a given RNG stream.
+func (s Switching) Next(rng *rand.Rand, weights []float64, cur int) int {
+	total := 0.0
+	for i, w := range weights {
+		if i == cur || w <= 0 {
+			continue
+		}
+		total += w
+	}
+	if total <= 0 {
+		return cur
+	}
+	x := rng.Float64() * total
+	for i, w := range weights {
+		if i == cur || w <= 0 {
+			continue
+		}
+		if x < w {
+			return i
+		}
+		x -= w
+	}
+	// Float round-off: fall back to the last eligible index.
+	for i := len(weights) - 1; i >= 0; i-- {
+		if i != cur && weights[i] > 0 {
+			return i
+		}
+	}
+	return cur
+}
+
 // UploadCapacity draws an access uplink capacity (bytes/sec) for a viewer in
 // the given ISP: 2008-era residential ADSL in China (512 kbit/s – 1 Mbit/s
 // up), campus connectivity on CERNET, and residential broadband abroad

@@ -43,10 +43,18 @@ type (
 	Result = core.Result
 	// ProbeResult is one probe's captured trace.
 	ProbeResult = core.ProbeResult
+	// ChannelSpec is one channel of a multi-channel scenario: its stream
+	// spec plus its initial audience.
+	ChannelSpec = core.ChannelSpec
+	// ChannelResult summarises one channel of a completed run.
+	ChannelResult = core.ChannelResult
 	// Population is the per-ISP concurrent viewer count.
 	Population = workload.Population
 	// Churn configures the background-viewer session process.
 	Churn = workload.Churn
+	// Switching configures the channel-browsing process of multi-channel
+	// scenarios.
+	Switching = workload.Switching
 	// Report is a full per-probe analysis covering every figure panel.
 	Report = analysis.Report
 	// ISP identifies one of the paper's ISP categories.
@@ -90,9 +98,27 @@ func UnpopularScenario(seed int64, scale float64) Scenario {
 	}
 }
 
+// MultiChannelScenario returns the paper's two channels running concurrently
+// — the popular and unpopular settings at the given population scales — with
+// channel-browsing viewers (DefaultSwitching). Callers add probes, pinning
+// each to a channel via ProbeSpec.Channel.
+func MultiChannelScenario(seed int64, popularScale, unpopularScale float64) Scenario {
+	return Scenario{
+		Name: "multichannel",
+		Seed: seed,
+		Channels: []ChannelSpec{
+			{Spec: workload.PopularSpec(), Viewers: workload.PopularPopulation().Scale(popularScale)},
+			{Spec: workload.UnpopularSpec(), Viewers: workload.UnpopularPopulation().Scale(unpopularScale)},
+		},
+		Switching: workload.DefaultSwitching(),
+		Churn:     workload.DefaultChurn(),
+	}
+}
+
 // AnalyzeProbe runs the paper's full analysis pipeline over one probe of a
 // completed run: trace matching (request/reply pairing), IP→ASN resolution,
-// and every figure statistic.
+// and every figure statistic. The source excluded from peer statistics is the
+// probe's own channel's source.
 func AnalyzeProbe(res *Result, probe int) (*Report, error) {
 	if probe < 0 || probe >= len(res.Probes) {
 		return nil, fmt.Errorf("pplive: probe index %d out of range (have %d)", probe, len(res.Probes))
@@ -104,7 +130,7 @@ func AnalyzeProbe(res *Result, probe int) (*Report, error) {
 		Matched:  matched,
 		Resolver: res.Registry,
 		Trackers: res.Trackers,
-		Source:   res.SourceAddr,
+		Source:   p.Source,
 		ProbeISP: p.ISP,
 	}), nil
 }
