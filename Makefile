@@ -6,7 +6,7 @@ GO ?= go
 HOTPATH_PKGS = ./internal/eventsim ./internal/wire
 BENCHTIME ?= 2s
 
-.PHONY: fast full bench bench-sched bench-shard bench-scenarios bench-compare bench-baseline clean
+.PHONY: fast full bench bench-sched bench-shard bench-telemetry bench-scenarios bench-compare bench-baseline clean
 
 # Fast lane: static checks plus every -short test under the race detector.
 # Scenario-scale tests skip themselves in -short mode, so this finishes in
@@ -86,6 +86,30 @@ bench-shard:
 	  END { print "\n]" }' bench_shard.txt > BENCH_shard.json
 	@echo "wrote BENCH_shard.json"
 
+# Telemetry pipeline benchmarks: full-capture vs streaming analysis of the
+# same synthetic paper-scale trace, exported as BENCH_telemetry.json. Besides
+# the usual ns/op + allocs/op, each entry carries live_heap_bytes — the heap
+# retained by the pipeline's state after a full GC — which is the number the
+# streaming telemetry work gates on (streaming must stay >= 10x below full
+# capture; TestStreamingTelemetryMemoryFootprint enforces it).
+bench-telemetry:
+	$(GO) test -run '^$$' -bench Telemetry -benchmem -benchtime $(BENCHTIME) ./internal/analysis | tee bench_telemetry.txt
+	awk 'BEGIN { print "[" } \
+	  /^Benchmark/ { ns=""; bytes=""; allocs=""; live=""; \
+	    for (i = 2; i <= NF; i++) { \
+	      if ($$(i) == "ns/op") ns = $$(i-1); \
+	      if ($$(i) == "B/op") bytes = $$(i-1); \
+	      if ($$(i) == "allocs/op") allocs = $$(i-1); \
+	      if ($$(i) == "live-heap-B") live = $$(i-1); \
+	    } \
+	    if (ns == "") next; \
+	    if (n++) print ","; \
+	    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"live_heap_bytes\": %s}", \
+	      $$1, ns, (bytes == "" ? "null" : bytes), (allocs == "" ? "null" : allocs), (live == "" ? "null" : live); \
+	  } \
+	  END { print "\n]" }' bench_telemetry.txt > BENCH_telemetry.json
+	@echo "wrote BENCH_telemetry.json"
+
 # Perf regression gate (the CI bench-compare lane): re-run both benchmark
 # suites fresh and compare against the committed baselines in bench/baseline/,
 # failing if any benchmark's ns/op regressed by more than 30% relative to its
@@ -93,18 +117,20 @@ bench-shard:
 # so a uniformly slower or faster machine doesn't trip the gate). Re-baseline
 # after intentional perf changes with `make bench-baseline`.
 bench-compare:
-	$(MAKE) bench bench-sched BENCHTIME=$(BENCHTIME)
+	$(MAKE) bench bench-sched bench-telemetry BENCHTIME=$(BENCHTIME)
 	$(GO) run ./cmd/benchdiff -normalize -threshold 0.30 \
 	  bench/baseline/hotpath.json BENCH_hotpath.json \
-	  bench/baseline/sched.json BENCH_sched.json
+	  bench/baseline/sched.json BENCH_sched.json \
+	  bench/baseline/telemetry.json BENCH_telemetry.json
 
 # Refresh the committed perf baselines from a fresh benchmark run.
 bench-baseline:
-	$(MAKE) bench bench-sched BENCHTIME=$(BENCHTIME)
+	$(MAKE) bench bench-sched bench-telemetry BENCHTIME=$(BENCHTIME)
 	mkdir -p bench/baseline
 	cp BENCH_hotpath.json bench/baseline/hotpath.json
 	cp BENCH_sched.json bench/baseline/sched.json
-	@echo "wrote bench/baseline/{hotpath,sched}.json"
+	cp BENCH_telemetry.json bench/baseline/telemetry.json
+	@echo "wrote bench/baseline/{hotpath,sched,telemetry}.json"
 
 # Scenario-scale benchmarks: one full simulation per table/figure.
 bench-scenarios:
@@ -112,4 +138,4 @@ bench-scenarios:
 
 clean:
 	rm -f bench_hotpath.txt BENCH_hotpath.json bench_sched.txt BENCH_sched.json \
-	  bench_shard.txt BENCH_shard.json core.test
+	  bench_shard.txt BENCH_shard.json bench_telemetry.txt BENCH_telemetry.json core.test

@@ -77,7 +77,9 @@ func run() error {
 	sc.Watch = *watch
 	sc.WarmUp = 5 * time.Minute
 	sc.ArrivalWindow = 3 * time.Minute
-	sc.Probes = []pplive.ProbeSpec{{Name: *probe, ISP: category}}
+	// Tracefile export needs the raw datagram trace, so opt this probe into
+	// full capture (the default telemetry is streaming-only).
+	sc.Probes = []pplive.ProbeSpec{{Name: *probe, ISP: category, FullCapture: true}}
 
 	res, err := pplive.RunScenario(sc)
 	if err != nil {

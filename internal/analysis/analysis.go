@@ -1,15 +1,18 @@
-// Package analysis turns a probe's captured trace into the paper's figures:
-// ISP-grouped returned-address counts, per-source list attribution, traffic
-// locality, response-time groups, contribution rank distributions with
-// stretched-exponential and Zipf fits, and rank–RTT correlation.
+// Package analysis turns a probe's observed traffic into the paper's
+// figures: ISP-grouped returned-address counts, per-source list attribution,
+// traffic locality, response-time groups, contribution rank distributions
+// with stretched-exponential and Zipf fits, and rank–RTT correlation.
 //
-// Everything is computed from the probe-side trace through the IP→ASN
+// Everything is computed from the probe-side view through the IP→ASN
 // resolver, exactly as the paper computed its results from Wireshark
-// captures via Team Cymru — never from global simulator state.
+// captures via Team Cymru — never from global simulator state. Two paths
+// produce the same Report: the streaming path folds matching outcomes into
+// an Aggregate online (bounded memory, the default), and the post-hoc path
+// (Analyze) replays a full captured trace through the very same Aggregate,
+// so the two are bit-identical by construction.
 package analysis
 
 import (
-	"math"
 	"net/netip"
 	"time"
 
@@ -25,7 +28,8 @@ type Resolver interface {
 	ISPOf(addr netip.Addr) (isp.ISP, bool)
 }
 
-// Input bundles everything the analysis needs about one probe trace.
+// Input bundles everything the post-hoc analysis needs about one probe
+// trace.
 type Input struct {
 	Records  []capture.Record
 	Matched  capture.Matched
@@ -102,19 +106,37 @@ type Report struct {
 	// ListRTSeries holds (request time, response time) points per group for
 	// scatter plots.
 	ListRTSeries map[isp.Group][]RTPoint
+	// ListRTSketch holds the bounded quantile sketch of the same
+	// response-time population as ListRT (entries exist exactly for groups
+	// with samples). Sketch-typed: quantiles are fixed-centroid estimates;
+	// Count/Mean/Min/Max are exact.
+	ListRTSketch map[isp.Group]*RTSketch
 
 	// Table 1: data-request response times grouped TELE/CNC/OTHER.
 	DataRT map[isp.Group]RTStats
+	// DataRTSketch is the sketch counterpart of DataRT (see ListRTSketch).
+	DataRTSketch map[isp.Group]*RTSketch
 
 	// UnansweredLists / UnansweredData mirror the paper's observation that
 	// a non-trivial number of requests go unanswered.
 	UnansweredLists int
 	UnansweredData  int
 
-	// Figures 11-14: per-peer activity (unique connected peers), the rank
-	// distribution fits, and the top-10% shares.
-	Peers           []PeerActivity
-	ConnectedByISP  map[isp.ISP]int
+	// Peers is every remote client peer the probe exchanged data-plane
+	// traffic with: any peer it sent at least one data request to (answered
+	// or not) or received a matched transmission from. The channel source is
+	// excluded. This is the rank-distribution population of
+	// Figures 11-14(b,c) — "data requests made by our host" counts requests
+	// whether or not they were answered — and is therefore a superset of the
+	// paper's "connected peers".
+	Peers []PeerActivity
+	// ConnectedByISP counts, per ISP, only peers with at least one matched
+	// data transmission (Replies > 0): the paper's "connected peers" of
+	// Figures 11-14(a), which concern peers actually involved in data
+	// transfer. A peer that was only requested from — never answering —
+	// appears in Peers but never here.
+	ConnectedByISP map[isp.ISP]int
+	// Figures 11-14 rank-distribution fits and top-10% shares.
 	SEFit           fit.StretchedExponential
 	ZipfFit         fit.Zipf
 	TopRequestShare float64 // share of requests to the top 10% of peers
@@ -139,202 +161,30 @@ func resolve(r Resolver, a netip.Addr) isp.ISP {
 	return isp.Foreign
 }
 
-// Analyze computes the full report for one probe trace.
+// Analyze computes the full report for one captured probe trace — the
+// post-hoc path, retained for tracefile analysis (cmd/analyze) and as the
+// reference the streaming path is checked against. It replays the matched
+// trace through the same Aggregate the streaming path uses, so both paths
+// share every accumulation and finalization step.
 func Analyze(in Input) *Report {
-	rep := &Report{
-		ProbeISP:           in.ProbeISP,
-		ReturnedByISP:      make(map[isp.ISP]int),
-		ReturnedBySource:   make(map[ListSource]map[isp.ISP]int),
-		TransmissionsByISP: make(map[isp.ISP]uint64),
-		BytesByISP:         make(map[isp.ISP]uint64),
-		ListRT:             make(map[isp.Group]RTStats),
-		ListRTSeries:       make(map[isp.Group][]RTPoint),
-		DataRT:             make(map[isp.Group]RTStats),
-		ConnectedByISP:     make(map[isp.ISP]int),
-	}
+	agg := NewAggregate(in.Resolver, in.Source, in.ProbeISP)
 
-	rep.analyzeLists(in)
-	rep.analyzeTraffic(in)
-	rep.analyzeResponseTimes(in)
-	rep.analyzePeers(in)
-	rep.UnansweredLists = in.Matched.UnansweredLists
-	rep.UnansweredData = in.Matched.UnansweredData
-	return rep
-}
-
-// analyzeLists covers Figures (a) and (b): returned addresses by ISP, with
-// duplicates, attributed to their list source.
-func (rep *Report) analyzeLists(in Input) {
-	unique := make(map[netip.Addr]bool)
-	addList := func(src ListSource, addrs []netip.Addr) {
-		byISP := rep.ReturnedBySource[src]
-		if byISP == nil {
-			byISP = make(map[isp.ISP]int)
-			rep.ReturnedBySource[src] = byISP
-		}
-		for _, a := range addrs {
-			cat := resolve(in.Resolver, a)
-			rep.ReturnedByISP[cat]++
-			byISP[cat]++
-			unique[a] = true
+	// Raw outgoing data requests (answered or not), as the paper counts
+	// "data requests made by our host".
+	for _, rec := range in.Records {
+		if rec.Dir == capture.Out && rec.Type == wire.TDataRequest {
+			agg.DataRequest(rec.Peer, rec.At)
 		}
 	}
 	for _, ex := range in.Matched.ListExchanges {
-		addList(ListSource{ISP: resolve(in.Resolver, ex.Peer)}, ex.Addrs)
+		agg.PeerListMatched(ex)
 	}
 	for _, ex := range in.Matched.TrackerLists {
-		addList(ListSource{ISP: resolve(in.Resolver, ex.Peer), Tracker: true}, ex.Addrs)
-	}
-	rep.UniqueListed = len(unique)
-
-	total := 0
-	for _, n := range rep.ReturnedByISP {
-		total += n
-	}
-	if total > 0 {
-		rep.PotentialLocality = float64(rep.ReturnedByISP[in.ProbeISP]) / float64(total)
-	}
-}
-
-// analyzeTraffic covers Figure (c): matched transmissions and bytes by ISP.
-func (rep *Report) analyzeTraffic(in Input) {
-	for _, tx := range in.Matched.Transmissions {
-		if tx.Peer == in.Source {
-			rep.SourceTransmissions++
-			rep.SourceBytes += uint64(tx.Bytes)
-			continue
-		}
-		cat := resolve(in.Resolver, tx.Peer)
-		rep.TransmissionsByISP[cat]++
-		rep.BytesByISP[cat] += uint64(tx.Bytes)
-	}
-	var total uint64
-	for _, b := range rep.BytesByISP {
-		total += b
-	}
-	if total > 0 {
-		rep.TrafficLocality = float64(rep.BytesByISP[in.ProbeISP]) / float64(total)
-	}
-}
-
-// analyzeResponseTimes covers Figures 7-10 and Table 1.
-func (rep *Report) analyzeResponseTimes(in Input) {
-	listSum := make(map[isp.Group]time.Duration)
-	for _, ex := range in.Matched.ListExchanges {
-		g := isp.GroupOf(resolve(in.Resolver, ex.Peer))
-		st := rep.ListRT[g]
-		st.Count++
-		listSum[g] += ex.ResponseTime()
-		rep.ListRT[g] = st
-		rep.ListRTSeries[g] = append(rep.ListRTSeries[g], RTPoint{At: ex.ReqAt, RT: ex.ResponseTime()})
-	}
-	for g, st := range rep.ListRT {
-		if st.Count > 0 {
-			st.Mean = listSum[g] / time.Duration(st.Count)
-			rep.ListRT[g] = st
-		}
-	}
-
-	dataSum := make(map[isp.Group]time.Duration)
-	for _, tx := range in.Matched.Transmissions {
-		if tx.Peer == in.Source {
-			continue
-		}
-		g := isp.GroupOf(resolve(in.Resolver, tx.Peer))
-		st := rep.DataRT[g]
-		st.Count++
-		dataSum[g] += tx.ResponseTime()
-		rep.DataRT[g] = st
-	}
-	for g, st := range rep.DataRT {
-		if st.Count > 0 {
-			st.Mean = dataSum[g] / time.Duration(st.Count)
-			rep.DataRT[g] = st
-		}
-	}
-}
-
-// analyzePeers covers Figures 11-14 and 15-18: per-peer activity, rank
-// distribution fits, contribution shares, and the rank–RTT correlation.
-func (rep *Report) analyzePeers(in Input) {
-	acts := make(map[netip.Addr]*PeerActivity)
-	get := func(a netip.Addr) *PeerActivity {
-		act, ok := acts[a]
-		if !ok {
-			act = &PeerActivity{Addr: a, ISP: resolve(in.Resolver, a)}
-			acts[a] = act
-		}
-		return act
-	}
-
-	// Requests counted from raw outgoing records (answered or not), as the
-	// paper counts "data requests made by our host".
-	for _, rec := range in.Records {
-		if rec.Dir != capture.Out || rec.Type != wire.TDataRequest || rec.Peer == in.Source {
-			continue
-		}
-		get(rec.Peer).Requests++
+		agg.TrackerList(ex)
 	}
 	for _, tx := range in.Matched.Transmissions {
-		if tx.Peer == in.Source {
-			continue
-		}
-		act := get(tx.Peer)
-		act.Replies++
-		act.Bytes += uint64(tx.Bytes)
+		agg.DataMatched(tx)
 	}
-	for addr, rtt := range capture.RTTEstimates(in.Matched.Transmissions) {
-		if addr == in.Source {
-			continue
-		}
-		get(addr).RTT = rtt
-	}
-
-	// "Connected peers" in the paper's Figures 11-14(a) are peers involved
-	// in data transmissions.
-	for _, act := range acts {
-		if act.Replies == 0 && act.Requests == 0 {
-			continue
-		}
-		rep.Peers = append(rep.Peers, *act)
-	}
-	// Deterministic order: by requests descending, address ascending.
-	sortPeers(rep.Peers)
-	for _, act := range rep.Peers {
-		if act.Replies > 0 {
-			rep.ConnectedByISP[act.ISP]++
-		}
-	}
-
-	// Rank distribution of request counts.
-	var requests, bytes []float64
-	for _, act := range rep.Peers {
-		if act.Requests > 0 {
-			requests = append(requests, float64(act.Requests))
-		}
-		if act.Bytes > 0 {
-			bytes = append(bytes, float64(act.Bytes))
-		}
-	}
-	ranked := fit.Ranked(requests)
-	if se, err := fit.FitStretchedExponential(ranked); err == nil {
-		rep.SEFit = se
-	}
-	if z, err := fit.FitZipf(ranked); err == nil {
-		rep.ZipfFit = z
-	}
-	rep.TopRequestShare = fit.TopShare(requests, 0.1)
-	rep.TopByteShare = fit.TopShare(bytes, 0.1)
-
-	// Rank–RTT correlation: log(#requests) vs log(RTT), peers with both.
-	var lx, ly []float64
-	for _, act := range rep.Peers {
-		if act.Requests > 0 && act.RTT > 0 {
-			lx = append(lx, math.Log(float64(act.Requests)))
-			ly = append(ly, math.Log(act.RTT.Seconds()))
-		}
-	}
-	if r, err := fit.Pearson(lx, ly); err == nil {
-		rep.RTTCorrelation = r
-	}
+	agg.addUnanswered(in.Matched.UnansweredData, in.Matched.UnansweredLists)
+	return agg.Report()
 }

@@ -24,8 +24,10 @@ type reportJSON struct {
 	TrafficLocality   float64 `json:"trafficLocality"`
 	PotentialLocality float64 `json:"potentialLocality"`
 
-	ListRT map[string]rtJSON `json:"listResponseTimes"`
-	DataRT map[string]rtJSON `json:"dataResponseTimes"`
+	ListRT       map[string]rtJSON     `json:"listResponseTimes"`
+	ListRTSketch map[string]sketchJSON `json:"listRtSketch,omitempty"`
+	DataRT       map[string]rtJSON     `json:"dataResponseTimes"`
+	DataRTSketch map[string]sketchJSON `json:"dataRtSketch,omitempty"`
 
 	UnansweredLists int `json:"unansweredLists"`
 	UnansweredData  int `json:"unansweredData"`
@@ -43,6 +45,18 @@ type reportJSON struct {
 type rtJSON struct {
 	Count   int     `json:"count"`
 	MeanSec float64 `json:"meanSeconds"`
+}
+
+// sketchJSON renders an RTSketch: exact count/mean/min/max plus
+// fixed-centroid quantile estimates (sketch-typed — see RTSketch).
+type sketchJSON struct {
+	Count   uint64  `json:"count"`
+	MeanSec float64 `json:"meanSeconds"`
+	MinSec  float64 `json:"minSeconds"`
+	MaxSec  float64 `json:"maxSeconds"`
+	P50Sec  float64 `json:"p50Seconds"`
+	P90Sec  float64 `json:"p90Seconds"`
+	P99Sec  float64 `json:"p99Seconds"`
 }
 
 type seJSON struct {
@@ -82,6 +96,25 @@ func rtKeys(in map[isp.Group]RTStats) map[string]rtJSON {
 	return out
 }
 
+func sketchKeys(in map[isp.Group]*RTSketch) map[string]sketchJSON {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make(map[string]sketchJSON, len(in))
+	for g, s := range in {
+		out[g.String()] = sketchJSON{
+			Count:   s.Count,
+			MeanSec: s.Mean().Seconds(),
+			MinSec:  s.Min.Seconds(),
+			MaxSec:  s.Max.Seconds(),
+			P50Sec:  s.Quantile(0.50).Seconds(),
+			P90Sec:  s.Quantile(0.90).Seconds(),
+			P99Sec:  s.Quantile(0.99).Seconds(),
+		}
+	}
+	return out
+}
+
 // MarshalJSON implements json.Marshaler with stable, string-keyed output.
 func (rep *Report) MarshalJSON() ([]byte, error) {
 	bySrc := make(map[string]map[string]int, len(rep.ReturnedBySource))
@@ -111,7 +144,9 @@ func (rep *Report) MarshalJSON() ([]byte, error) {
 		TrafficLocality:     rep.TrafficLocality,
 		PotentialLocality:   rep.PotentialLocality,
 		ListRT:              rtKeys(rep.ListRT),
+		ListRTSketch:        sketchKeys(rep.ListRTSketch),
 		DataRT:              rtKeys(rep.DataRT),
+		DataRTSketch:        sketchKeys(rep.DataRTSketch),
 		UnansweredLists:     rep.UnansweredLists,
 		UnansweredData:      rep.UnansweredData,
 		ConnectedByISP:      ispKeys(rep.ConnectedByISP),

@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestSketchEmptyAndEdges(t *testing.T) {
+	var s RTSketch
+	if s.Quantile(0.5) != 0 || s.Mean() != 0 {
+		t.Errorf("empty sketch: q50=%v mean=%v", s.Quantile(0.5), s.Mean())
+	}
+	s.Add(100 * time.Millisecond)
+	if s.Min != 100*time.Millisecond || s.Max != 100*time.Millisecond {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if s.Quantile(0) != s.Min || s.Quantile(1) != s.Max {
+		t.Errorf("q0/q1 = %v/%v", s.Quantile(0), s.Quantile(1))
+	}
+	// Out-of-range observations land in the clamp bins and stay bounded by
+	// the exact Min/Max.
+	s.Add(time.Microsecond)
+	s.Add(10 * time.Minute)
+	if s.Count != 3 || s.Min != time.Microsecond || s.Max != 10*time.Minute {
+		t.Errorf("after clamps: count=%d min=%v max=%v", s.Count, s.Min, s.Max)
+	}
+	if q := s.Quantile(0.99); q > s.Max || q < s.Min {
+		t.Errorf("quantile %v escaped [min,max]", q)
+	}
+}
+
+// TestSketchQuantileAccuracy checks the fixed-centroid estimate against the
+// exact order statistic: within one geometric bin (~±21% relative) for
+// log-normal-ish response times.
+func TestSketchQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var s RTSketch
+	var all []time.Duration
+	for i := 0; i < 20000; i++ {
+		// ~log-normal around 150ms, the shape of simulated response times.
+		d := time.Duration(float64(150*time.Millisecond) * math.Exp(rng.NormFloat64()*0.8))
+		s.Add(d)
+		all = append(all, d)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		exact := all[int(q*float64(len(all)-1))]
+		got := s.Quantile(q)
+		rel := float64(got-exact) / float64(exact)
+		if rel < -0.25 || rel > 0.25 {
+			t.Errorf("q%.0f: sketch %v vs exact %v (rel %.2f)", q*100, got, exact, rel)
+		}
+	}
+}
+
+// TestSketchMergeIsLossless: fixed centroids mean a merged sketch equals the
+// sketch of the concatenated stream, field for field.
+func TestSketchMergeIsLossless(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var a, b, all RTSketch
+	for i := 0; i < 5000; i++ {
+		d := time.Duration(1 + rng.Intn(int(3*time.Second))) // 1ns..3s
+		if i%2 == 0 {
+			a.Add(d)
+		} else {
+			b.Add(d)
+		}
+		all.Add(d)
+	}
+	merged := a
+	merged.Merge(&b)
+	if merged != all {
+		t.Errorf("merged sketch differs from single-pass sketch")
+	}
+	// Merging an empty sketch is a no-op.
+	before := merged
+	var empty RTSketch
+	merged.Merge(&empty)
+	merged.Merge(nil)
+	if merged != before {
+		t.Error("merging empty changed the sketch")
+	}
+}

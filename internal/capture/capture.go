@@ -122,6 +122,11 @@ type ListExchange struct {
 	ReqAt time.Duration
 	RepAt time.Duration
 	Addrs []netip.Addr
+	// Unsolicited marks a reply that arrived with no outstanding request
+	// (seen for tracker responses, e.g. duplicates). ReqAt is synthesized as
+	// the arrival time, so ResponseTime is zero and meaningless; consumers
+	// computing response-time statistics must skip unsolicited exchanges.
+	Unsolicited bool
 }
 
 // ResponseTime returns the request→reply latency.
@@ -131,7 +136,9 @@ func (e ListExchange) ResponseTime() time.Duration { return e.RepAt - e.ReqAt }
 type Matched struct {
 	// Transmissions are matched data request/reply pairs in reply order.
 	Transmissions []Transmission
-	// UnansweredData counts data requests that never got a reply.
+	// UnansweredData counts data requests that never got a reply, including
+	// earlier requests superseded by a retransmission of the same sub-piece
+	// (the reply, if any, matches only the latest request).
 	UnansweredData int
 	// ListExchanges are matched peer-list request/reply pairs in reply
 	// order, covering regular-peer gossip only.
@@ -166,7 +173,14 @@ func Match(records []Record, trackers map[netip.Addr]bool) Matched {
 	for _, rec := range records {
 		switch {
 		case rec.Dir == Out && rec.Type == wire.TDataRequest:
-			pendingData[dataKey{rec.Peer, rec.Seq}] = rec.At
+			k := dataKey{rec.Peer, rec.Seq}
+			if _, dup := pendingData[k]; dup {
+				// A retransmission supersedes the pending request — the reply
+				// matches the latest request (§3.1) — but the superseded
+				// request still went unanswered and must stay in the tally.
+				out.UnansweredData++
+			}
+			pendingData[k] = rec.At
 		case rec.Dir == In && rec.Type == wire.TDataReply:
 			k := dataKey{rec.Peer, rec.Seq}
 			if reqAt, ok := pendingData[k]; ok {
@@ -205,22 +219,30 @@ func Match(records []Record, trackers map[netip.Addr]bool) Matched {
 			}
 			stack := pendingTracker[rec.Peer]
 			var reqAt time.Duration
+			var unsolicited bool
 			if len(stack) > 0 {
 				reqAt = stack[len(stack)-1]
 				pendingTracker[rec.Peer] = stack[:len(stack)-1]
 			} else {
+				// No outstanding query: a duplicate or stray response. Keep it
+				// (its addresses still count for Figures 2-5) but flag it so
+				// the synthesized ReqAt can never enter response-time stats.
 				reqAt = rec.At
+				unsolicited = true
 			}
 			out.TrackerLists = append(out.TrackerLists, ListExchange{
-				Peer:  rec.Peer,
-				ReqAt: reqAt,
-				RepAt: rec.At,
-				Addrs: rec.Addrs,
+				Peer:        rec.Peer,
+				ReqAt:       reqAt,
+				RepAt:       rec.At,
+				Addrs:       rec.Addrs,
+				Unsolicited: unsolicited,
 			})
 		}
 	}
 
-	out.UnansweredData = len(pendingData)
+	// Leftover pendings never got a reply; they add to the superseded
+	// requests already counted during the scan.
+	out.UnansweredData += len(pendingData)
 	for _, stack := range pendingList {
 		out.UnansweredLists += len(stack)
 	}

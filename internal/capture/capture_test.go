@@ -75,6 +75,81 @@ func TestMatchSameSeqDifferentPeers(t *testing.T) {
 	}
 }
 
+// TestMatchRetransmissionCountsSupersededRequest is the regression pin for
+// the UnansweredData undercount: a retransmitted data request used to
+// silently overwrite the earlier pending entry, so the superseded — and
+// forever unanswered — first request vanished from the tally. The reply must
+// still match the latest request (§3.1), but the count must be 1, not 0.
+// This test fails against the pre-fix Match.
+func TestMatchRetransmissionCountsSupersededRequest(t *testing.T) {
+	peer := addr("58.32.0.2")
+	records := []Record{
+		{At: 1 * time.Second, Dir: Out, Peer: peer, Type: wire.TDataRequest, Seq: 10},
+		// Retransmission of the same sub-piece to the same peer.
+		{At: 3 * time.Second, Dir: Out, Peer: peer, Type: wire.TDataRequest, Seq: 10},
+		{At: 3500 * time.Millisecond, Dir: In, Peer: peer, Type: wire.TDataReply, Seq: 10, Count: 1, Payload: 1380},
+	}
+	m := Match(records, nil)
+	if len(m.Transmissions) != 1 {
+		t.Fatalf("matched %d transmissions, want 1", len(m.Transmissions))
+	}
+	// Match-to-latest: the reply pairs with the 3s retransmission.
+	if got := m.Transmissions[0].ResponseTime(); got != 500*time.Millisecond {
+		t.Errorf("response time = %v, want 500ms (reply matches the retransmission)", got)
+	}
+	if m.UnansweredData != 1 {
+		t.Errorf("unanswered = %d, want 1 (the superseded 1s request never got a reply)", m.UnansweredData)
+	}
+
+	// Two retransmissions, no reply at all: all three requests unanswered.
+	records = []Record{
+		{At: 1 * time.Second, Dir: Out, Peer: peer, Type: wire.TDataRequest, Seq: 10},
+		{At: 2 * time.Second, Dir: Out, Peer: peer, Type: wire.TDataRequest, Seq: 10},
+		{At: 3 * time.Second, Dir: Out, Peer: peer, Type: wire.TDataRequest, Seq: 10},
+	}
+	if m := Match(records, nil); m.UnansweredData != 3 {
+		t.Errorf("unanswered = %d, want 3", m.UnansweredData)
+	}
+}
+
+// TestMatchUnsolicitedTrackerResponseFlagged pins the fix for synthesized
+// zero-duration tracker response times: a response with no outstanding query
+// keeps its addresses (Figures 2-5 count them) but is flagged Unsolicited so
+// its meaningless ResponseTime can never enter timing statistics.
+func TestMatchUnsolicitedTrackerResponseFlagged(t *testing.T) {
+	trk := addr("61.128.0.1")
+	trackers := map[netip.Addr]bool{trk: true}
+	records := []Record{
+		// Stray response with no query outstanding.
+		{At: 1 * time.Second, Dir: In, Peer: trk, Type: wire.TTrackerResponse,
+			Addrs: []netip.Addr{addr("1.1.1.1")}},
+		// A solicited exchange afterwards.
+		{At: 2 * time.Second, Dir: Out, Peer: trk, Type: wire.TTrackerQuery},
+		{At: 2500 * time.Millisecond, Dir: In, Peer: trk, Type: wire.TTrackerResponse,
+			Addrs: []netip.Addr{addr("2.2.2.2")}},
+	}
+	m := Match(records, trackers)
+	if len(m.TrackerLists) != 2 {
+		t.Fatalf("tracker lists = %d, want 2", len(m.TrackerLists))
+	}
+	stray, solicited := m.TrackerLists[0], m.TrackerLists[1]
+	if !stray.Unsolicited {
+		t.Error("stray tracker response not flagged Unsolicited")
+	}
+	if stray.ResponseTime() != 0 {
+		t.Errorf("stray response time = %v, want 0 (synthesized)", stray.ResponseTime())
+	}
+	if len(stray.Addrs) != 1 {
+		t.Errorf("stray list addrs = %v, want kept", stray.Addrs)
+	}
+	if solicited.Unsolicited {
+		t.Error("solicited tracker response flagged Unsolicited")
+	}
+	if got := solicited.ResponseTime(); got != 500*time.Millisecond {
+		t.Errorf("solicited response time = %v, want 500ms", got)
+	}
+}
+
 func TestMatchPeerListLatestRequestRule(t *testing.T) {
 	peer := addr("58.32.0.2")
 	records := []Record{

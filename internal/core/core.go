@@ -1,12 +1,15 @@
 // Package core orchestrates full simulations: it assembles the underlay,
 // control servers (bootstrap + five tracker groups), the channel sources, a
 // churning background viewer population, and instrumented probe clients, then
-// runs the scenario and returns the probes' captured traces for analysis.
+// runs the scenario and returns the probes' telemetry for analysis.
 //
 // This mirrors the paper's methodology: probe hosts deployed in chosen ISPs
-// join a live channel alongside the organic audience and capture every
-// datagram; everything the study reports is computed from those probe-side
-// traces (never from global simulator state).
+// join a live channel alongside the organic audience and observe every
+// datagram; everything the study reports is computed from that probe-side
+// view (never from global simulator state). By default each probe's
+// datagrams are matched and aggregated online in bounded memory
+// (TelemetryStreaming); the paper's literal capture-then-analyze mode —
+// retaining the full trace — is the opt-in TelemetryFullCapture.
 package core
 
 import (
@@ -15,6 +18,7 @@ import (
 	"net/netip"
 	"time"
 
+	"pplivesim/internal/analysis"
 	"pplivesim/internal/asnmap"
 	"pplivesim/internal/capture"
 	"pplivesim/internal/isp"
@@ -37,6 +41,11 @@ type ProbeSpec struct {
 	// the first (or only) channel. Probes never switch — the paper's probes
 	// watched their channel for the whole capture.
 	Channel wire.ChannelID
+	// FullCapture retains this probe's complete datagram trace in a
+	// capture.Recorder (the opt-in Wireshark mode, needed by tracefile
+	// export) in addition to the always-on streaming telemetry. See
+	// Scenario.Telemetry for the run-wide switch.
+	FullCapture bool
 }
 
 // ChannelSpec is one channel in a multi-channel scenario: its stream plus
@@ -85,6 +94,10 @@ type Scenario struct {
 	Probes    []ProbeSpec
 	Behaviour Behaviour
 
+	// Telemetry selects how probe traffic becomes analysis input. The zero
+	// value, TelemetryStreaming, aggregates online in bounded memory.
+	Telemetry Telemetry
+
 	// Shards is the number of worker goroutines executing the ISP-domain
 	// shards of the event engine. The simulation is always partitioned by
 	// ISP domain and its trajectory is identical for every value; Shards
@@ -100,6 +113,23 @@ type Scenario struct {
 	// WarmUp + Watch.
 	Watch time.Duration
 }
+
+// Telemetry selects how probe traffic becomes analysis input.
+type Telemetry int
+
+const (
+	// TelemetryStreaming (the default) matches each probe's datagrams online
+	// and folds them straight into bounded per-ISP/per-peer aggregates:
+	// O(peers) memory, no retained trace. Reports come from
+	// Result.ProbeReport; ProbeResult.Recorder is nil.
+	TelemetryStreaming Telemetry = iota
+	// TelemetryFullCapture additionally retains every probe's full datagram
+	// trace in a capture.Recorder — the paper's Wireshark methodology,
+	// O(datagrams) memory. Needed for tracefile export and for checking the
+	// streaming path against post-hoc analysis. Per-probe opt-in is
+	// ProbeSpec.FullCapture.
+	TelemetryFullCapture
+)
 
 // channelSet returns the scenario's channels: the explicit set, or the
 // legacy single Spec/Viewers pair wrapped as one entry.
@@ -174,17 +204,27 @@ func (s *Scenario) DefaultTiming() {
 	}
 }
 
-// ProbeResult is one probe's captured trace plus identity.
+// ProbeResult is one probe's telemetry plus identity.
 type ProbeResult struct {
-	Name     string
-	ISP      isp.ISP
-	Addr     netip.Addr
+	Name string
+	ISP  isp.ISP
+	Addr netip.Addr
+	// Recorder holds the probe's full datagram trace when full capture was
+	// enabled (Scenario.Telemetry or ProbeSpec.FullCapture); nil in the
+	// default streaming mode.
 	Recorder *capture.Recorder
-	Client   *peer.Client
+	// Aggregate is the probe's streaming telemetry, always present; finalize
+	// it via Result.ProbeReport.
+	Aggregate *analysis.Aggregate
+	Client    *peer.Client
 	// Channel is the channel the probe watched; Source is that channel's
 	// source address (the right exclusion set for this probe's analysis).
 	Channel wire.ChannelID
 	Source  netip.Addr
+
+	// matcher is the online matcher feeding Aggregate; Run closes it to
+	// flush still-pending requests into the unanswered tallies.
+	matcher *capture.Aggregator
 }
 
 // ChannelResult is one channel's identity in a completed run.
@@ -220,6 +260,20 @@ type Result struct {
 	// counts viewers that switched at least once.
 	Switches  uint64
 	Switchers int
+}
+
+// ProbeReport finalizes probe i's streaming telemetry into the paper's full
+// per-probe analysis report. It can be called repeatedly; each call builds a
+// fresh Report from the aggregates.
+func (r *Result) ProbeReport(probe int) (*analysis.Report, error) {
+	if probe < 0 || probe >= len(r.Probes) {
+		return nil, fmt.Errorf("core: probe index %d out of range (have %d)", probe, len(r.Probes))
+	}
+	p := &r.Probes[probe]
+	if p.Aggregate == nil {
+		return nil, fmt.Errorf("core: probe %q has no telemetry aggregate", p.Name)
+	}
+	return p.Aggregate.Report(), nil
 }
 
 // ProbeByName returns the probe result with the given name, or nil.
@@ -519,12 +573,26 @@ func (s *Sim) spawnProbe(ds *domainState, slot int, ps ProbeSpec) error {
 	}
 	env.SetHandler(client)
 
-	rec := capture.NewRecorder(env.Addr())
+	// Streaming telemetry is always on: an online matcher folds every
+	// datagram straight into the probe's bounded aggregate. The full
+	// recorder — the O(datagrams) Wireshark mode — only when opted in.
+	agg := analysis.NewAggregate(s.world.Registry, ch.Source, ps.ISP)
+	matcher := capture.NewAggregator(s.trackerAddrs, capture.AggregatorConfig{}, agg)
+	var rec *capture.Recorder
+	if s.scenario.Telemetry == TelemetryFullCapture || ps.FullCapture {
+		rec = capture.NewRecorder(env.Addr())
+	}
 	env.TapRecv(func(from netip.Addr, msg wire.Message, size int) {
-		rec.Observe(env.Now(), capture.In, from, msg, size)
+		if rec != nil {
+			rec.Observe(env.Now(), capture.In, from, msg, size)
+		}
+		matcher.Observe(env.Now(), capture.In, from, msg, size)
 	})
 	env.TapSend(func(to netip.Addr, msg wire.Message, size int) {
-		rec.Observe(env.Now(), capture.Out, to, msg, size)
+		if rec != nil {
+			rec.Observe(env.Now(), capture.Out, to, msg, size)
+		}
+		matcher.Observe(env.Now(), capture.Out, to, msg, size)
 	})
 	client.Start()
 
@@ -532,13 +600,15 @@ func (s *Sim) spawnProbe(ds *domainState, slot int, ps ProbeSpec) error {
 	ds.dom.At(s.scenario.WarmUp+s.scenario.Watch, client.Stop)
 
 	s.probes[slot] = ProbeResult{
-		Name:     ps.Name,
-		ISP:      ps.ISP,
-		Addr:     env.Addr(),
-		Recorder: rec,
-		Client:   client,
-		Channel:  ch.Spec.Channel,
-		Source:   ch.Source,
+		Name:      ps.Name,
+		ISP:       ps.ISP,
+		Addr:      env.Addr(),
+		Recorder:  rec,
+		Aggregate: agg,
+		Client:    client,
+		Channel:   ch.Spec.Channel,
+		Source:    ch.Source,
+		matcher:   matcher,
 	}
 	return nil
 }
@@ -552,6 +622,13 @@ func (s *Sim) Run() (*Result, error) {
 	horizon := sc.WarmUp + sc.Watch
 	if err := s.world.Run(horizon, sc.Shards); err != nil {
 		return nil, fmt.Errorf("run scenario %q: %w", sc.Name, err)
+	}
+	// Flush the streaming matchers: requests still pending at the horizon
+	// become unanswered, exactly as post-hoc Match tallies leftovers.
+	for i := range s.probes {
+		if m := s.probes[i].matcher; m != nil {
+			m.Close()
+		}
 	}
 	var spawned, switchers int
 	var switches uint64

@@ -23,8 +23,10 @@ func smallScenario(seed int64) Scenario {
 			isp.OtherCN: 6,
 			isp.Foreign: 8,
 		},
-		Churn:         workload.Churn{Enabled: false},
-		Probes:        []ProbeSpec{{Name: "tele-probe", ISP: isp.TELE}},
+		Churn: workload.Churn{Enabled: false},
+		// Tests inspect the raw trace (Recorder), so run probes in the
+		// opt-in full-capture mode alongside the streaming telemetry.
+		Probes:        []ProbeSpec{{Name: "tele-probe", ISP: isp.TELE, FullCapture: true}},
 		ArrivalWindow: 2 * time.Minute,
 		WarmUp:        3 * time.Minute,
 		Watch:         6 * time.Minute,
@@ -140,9 +142,9 @@ func TestChurnGrowsUniquePeers(t *testing.T) {
 func TestMultipleProbesConcurrent(t *testing.T) {
 	sc := smallScenario(11)
 	sc.Probes = []ProbeSpec{
-		{Name: "tele", ISP: isp.TELE},
-		{Name: "cnc", ISP: isp.CNC},
-		{Name: "mason", ISP: isp.Foreign},
+		{Name: "tele", ISP: isp.TELE, FullCapture: true},
+		{Name: "cnc", ISP: isp.CNC, FullCapture: true},
+		{Name: "mason", ISP: isp.Foreign, FullCapture: true},
 	}
 	res, err := RunScenario(sc)
 	if err != nil {
@@ -175,7 +177,7 @@ func TestLocalityEmerges(t *testing.T) {
 		Spec:          workload.PopularSpec(),
 		Viewers:       workload.PopularPopulation().Scale(0.25),
 		Churn:         workload.DefaultChurn(),
-		Probes:        []ProbeSpec{{Name: "tele", ISP: isp.TELE}},
+		Probes:        []ProbeSpec{{Name: "tele", ISP: isp.TELE, FullCapture: true}},
 		ArrivalWindow: 4 * time.Minute,
 		WarmUp:        6 * time.Minute,
 		Watch:         20 * time.Minute,

@@ -48,9 +48,10 @@ func twoChannelScenario(seed int64) Scenario {
 			MinDwell:         20 * time.Second,
 		},
 		Churn: workload.Churn{Enabled: false},
+		// Full capture: these tests read the raw trace via Recorder.
 		Probes: []ProbeSpec{
-			{Name: "tele-popular", ISP: isp.TELE, Channel: workload.PopularSpec().Channel},
-			{Name: "tele-unpopular", ISP: isp.TELE, Channel: workload.UnpopularSpec().Channel},
+			{Name: "tele-popular", ISP: isp.TELE, Channel: workload.PopularSpec().Channel, FullCapture: true},
+			{Name: "tele-unpopular", ISP: isp.TELE, Channel: workload.UnpopularSpec().Channel, FullCapture: true},
 		},
 		ArrivalWindow: 2 * time.Minute,
 		WarmUp:        3 * time.Minute,

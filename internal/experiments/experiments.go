@@ -19,7 +19,6 @@ import (
 	"time"
 
 	"pplivesim/internal/analysis"
-	"pplivesim/internal/capture"
 	"pplivesim/internal/core"
 	"pplivesim/internal/fit"
 	"pplivesim/internal/isp"
@@ -157,22 +156,19 @@ func (r *Runner) buildScenario(name string, popular bool, seedOffset int64, popu
 	return sc
 }
 
-// analyzeAll produces per-probe reports for a finished run. Each probe's
-// analysis excludes its own channel's source from peer statistics.
-func analyzeAll(res *core.Result) map[string]*analysis.Report {
+// analyzeAll produces per-probe reports for a finished run by finalizing
+// each probe's streaming telemetry. Each probe's analysis excludes its own
+// channel's source from peer statistics.
+func analyzeAll(res *core.Result) (map[string]*analysis.Report, error) {
 	out := make(map[string]*analysis.Report, len(res.Probes))
-	for _, p := range res.Probes {
-		matched := capture.Match(p.Recorder.Records(), res.Trackers)
-		out[p.Name] = analysis.Analyze(analysis.Input{
-			Records:  p.Recorder.Records(),
-			Matched:  matched,
-			Resolver: res.Registry,
-			Trackers: res.Trackers,
-			Source:   p.Source,
-			ProbeISP: p.ISP,
-		})
+	for i, p := range res.Probes {
+		rep, err := res.ProbeReport(i)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: analyze probe %q: %w", p.Name, err)
+		}
+		out[p.Name] = rep
 	}
-	return out
+	return out, nil
 }
 
 // runScenario executes a scenario and analyzes its probes.
@@ -182,9 +178,13 @@ func runScenario(sc core.Scenario) (*RunOutputs, error) {
 	if err != nil {
 		return nil, err
 	}
+	reports, err := analyzeAll(res)
+	if err != nil {
+		return nil, err
+	}
 	return &RunOutputs{
 		Result:  res,
-		Reports: analyzeAll(res),
+		Reports: reports,
 		Wall:    time.Since(start),
 	}, nil
 }

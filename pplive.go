@@ -21,10 +21,7 @@
 package pplive
 
 import (
-	"fmt"
-
 	"pplivesim/internal/analysis"
-	"pplivesim/internal/capture"
 	"pplivesim/internal/core"
 	"pplivesim/internal/isp"
 	"pplivesim/internal/workload"
@@ -115,22 +112,13 @@ func MultiChannelScenario(seed int64, popularScale, unpopularScale float64) Scen
 	}
 }
 
-// AnalyzeProbe runs the paper's full analysis pipeline over one probe of a
+// AnalyzeProbe returns the paper's full analysis for one probe of a
 // completed run: trace matching (request/reply pairing), IP→ASN resolution,
 // and every figure statistic. The source excluded from peer statistics is the
-// probe's own channel's source.
+// probe's own channel's source. The underlying pipeline is streaming — the
+// matching rules were applied online during the run — so this finalizes
+// bounded aggregates rather than replaying a trace; the result is identical
+// to post-hoc analysis of a full capture.
 func AnalyzeProbe(res *Result, probe int) (*Report, error) {
-	if probe < 0 || probe >= len(res.Probes) {
-		return nil, fmt.Errorf("pplive: probe index %d out of range (have %d)", probe, len(res.Probes))
-	}
-	p := res.Probes[probe]
-	matched := capture.Match(p.Recorder.Records(), res.Trackers)
-	return analysis.Analyze(analysis.Input{
-		Records:  p.Recorder.Records(),
-		Matched:  matched,
-		Resolver: res.Registry,
-		Trackers: res.Trackers,
-		Source:   p.Source,
-		ProbeISP: p.ISP,
-	}), nil
+	return res.ProbeReport(probe)
 }
