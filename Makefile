@@ -6,7 +6,7 @@ GO ?= go
 HOTPATH_PKGS = ./internal/eventsim ./internal/wire
 BENCHTIME ?= 2s
 
-.PHONY: fast full bench bench-sched bench-shard bench-telemetry bench-scenarios bench-compare bench-baseline clean
+.PHONY: fast full fuzz bench bench-sched bench-shard bench-telemetry bench-fault bench-scenarios bench-compare bench-baseline clean
 
 # Fast lane: static checks plus every -short test under the race detector.
 # Scenario-scale tests skip themselves in -short mode, so this finishes in
@@ -21,6 +21,14 @@ fast:
 full:
 	$(GO) build ./...
 	$(GO) test -timeout 30m ./...
+
+# Short coverage-guided fuzz pass over the wire codec, seeded from the
+# committed golden-trace corpus (internal/wire/testdata/fuzz). CI runs this on
+# every push; longer local sessions just raise FUZZTIME.
+FUZZTIME ?= 10s
+
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzUnmarshal -fuzztime $(FUZZTIME) ./internal/wire/
 
 # Hot-path benchmarks, also exported as BENCH_hotpath.json
 # ([{"name":..., "ns_per_op":..., "bytes_per_op":..., "allocs_per_op":...}]).
@@ -110,6 +118,27 @@ bench-telemetry:
 	  END { print "\n]" }' bench_telemetry.txt > BENCH_telemetry.json
 	@echo "wrote BENCH_telemetry.json"
 
+# Fault-hook benchmarks: the underlay send path with the fault layer idle
+# (every benign run) and with an active link fault, exported as
+# BENCH_fault.json. The idle numbers gate the tentpole claim that fault
+# hooks cost ~nothing when no chaos schedule is installed.
+bench-fault:
+	$(GO) test -run '^$$' -bench Fault -benchmem -benchtime $(BENCHTIME) ./internal/underlay | tee bench_fault.txt
+	awk 'BEGIN { print "[" } \
+	  /^Benchmark/ { ns=""; bytes=""; allocs=""; \
+	    for (i = 2; i <= NF; i++) { \
+	      if ($$(i) == "ns/op") ns = $$(i-1); \
+	      if ($$(i) == "B/op") bytes = $$(i-1); \
+	      if ($$(i) == "allocs/op") allocs = $$(i-1); \
+	    } \
+	    if (ns == "") next; \
+	    if (n++) print ","; \
+	    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+	      $$1, ns, (bytes == "" ? "null" : bytes), (allocs == "" ? "null" : allocs); \
+	  } \
+	  END { print "\n]" }' bench_fault.txt > BENCH_fault.json
+	@echo "wrote BENCH_fault.json"
+
 # Perf regression gate (the CI bench-compare lane): re-run both benchmark
 # suites fresh and compare against the committed baselines in bench/baseline/,
 # failing if any benchmark's ns/op regressed by more than 30% relative to its
@@ -117,20 +146,22 @@ bench-telemetry:
 # so a uniformly slower or faster machine doesn't trip the gate). Re-baseline
 # after intentional perf changes with `make bench-baseline`.
 bench-compare:
-	$(MAKE) bench bench-sched bench-telemetry BENCHTIME=$(BENCHTIME)
+	$(MAKE) bench bench-sched bench-telemetry bench-fault BENCHTIME=$(BENCHTIME)
 	$(GO) run ./cmd/benchdiff -normalize -threshold 0.30 \
 	  bench/baseline/hotpath.json BENCH_hotpath.json \
 	  bench/baseline/sched.json BENCH_sched.json \
-	  bench/baseline/telemetry.json BENCH_telemetry.json
+	  bench/baseline/telemetry.json BENCH_telemetry.json \
+	  bench/baseline/fault.json BENCH_fault.json
 
 # Refresh the committed perf baselines from a fresh benchmark run.
 bench-baseline:
-	$(MAKE) bench bench-sched bench-telemetry BENCHTIME=$(BENCHTIME)
+	$(MAKE) bench bench-sched bench-telemetry bench-fault BENCHTIME=$(BENCHTIME)
 	mkdir -p bench/baseline
 	cp BENCH_hotpath.json bench/baseline/hotpath.json
 	cp BENCH_sched.json bench/baseline/sched.json
 	cp BENCH_telemetry.json bench/baseline/telemetry.json
-	@echo "wrote bench/baseline/{hotpath,sched,telemetry}.json"
+	cp BENCH_fault.json bench/baseline/fault.json
+	@echo "wrote bench/baseline/{hotpath,sched,telemetry,fault}.json"
 
 # Scenario-scale benchmarks: one full simulation per table/figure.
 bench-scenarios:
@@ -138,4 +169,5 @@ bench-scenarios:
 
 clean:
 	rm -f bench_hotpath.txt BENCH_hotpath.json bench_sched.txt BENCH_sched.json \
-	  bench_shard.txt BENCH_shard.json bench_telemetry.txt BENCH_telemetry.json core.test
+	  bench_shard.txt BENCH_shard.json bench_telemetry.txt BENCH_telemetry.json \
+	  bench_fault.txt BENCH_fault.json core.test

@@ -214,6 +214,22 @@ func sections() []section {
 			}
 			return out.Render(), nil
 		}},
+		{"chaos", "Chaos — dip/recovery and traffic shift under the combo fault preset", func(r *experiments.Runner) (string, error) {
+			out, err := r.Chaos()
+			if err != nil {
+				return "", err
+			}
+			var b strings.Builder
+			for _, name := range []string{experiments.ProbeTELE, experiments.ProbeMason} {
+				s, err := experiments.ResilienceSummary("", out.Result, name)
+				if err != nil {
+					return "", err
+				}
+				b.WriteString(s)
+				b.WriteString("\n")
+			}
+			return b.String(), nil
+		}},
 	}
 }
 

@@ -7,6 +7,11 @@
 //	psim [-channel popular|unpopular|multi] [-scale 0.25] [-watch 20m] [-shards N]
 //	     [-probes tele,cnc,mason] [-seed 7] [-no-referral] [-no-latency-bias]
 //	     [-no-preference] [-switch-fraction 0.35] [-median-dwell 4m]
+//	     [-fault source-crash|tracker-outage|link-degrade|partition|burst-loss|kill-churn|combo]
+//
+// With -fault a canned chaos schedule is injected into the watch window and
+// each probe's report gains per-fault-window resilience metrics (continuity
+// dip, time to recover, traffic shift).
 //
 // With -channel multi the popular and unpopular channels run concurrently,
 // a fraction of viewers browses between them (-switch-fraction, -median-dwell),
@@ -46,6 +51,7 @@ func run() error {
 	shards := flag.Int("shards", simnet.DefaultShards, "event-loop workers (one per ISP domain by default); results are identical at any setting")
 	switchFrac := flag.Float64("switch-fraction", 0.35, "with -channel multi: share of viewers that browse channels")
 	dwell := flag.Duration("median-dwell", 4*time.Minute, "with -channel multi: median dwell on a channel before switching")
+	faultName := flag.String("fault", "", "inject a chaos preset: "+strings.Join(pplive.FaultPresetNames(), ", "))
 	flag.Parse()
 
 	if *scale <= 0 {
@@ -121,6 +127,13 @@ func run() error {
 	if len(sc.Probes) == 0 {
 		return fmt.Errorf("no probes specified")
 	}
+	if *faultName != "" {
+		fs, err := pplive.FaultPreset(*faultName, sc.WarmUp, sc.Watch)
+		if err != nil {
+			return err
+		}
+		sc.Faults = fs
+	}
 
 	viewers := 0
 	if multi {
@@ -160,6 +173,13 @@ func run() error {
 		fmt.Println(experiments.DataRTRow("data response times:", rep))
 		fmt.Println(experiments.Contributions("contributions:", rep))
 		fmt.Println(experiments.RTTCorrelation("rank vs RTT:", rep))
+		if sc.Faults != nil {
+			summary, err := experiments.ResilienceSummary("resilience:", res, p.Name)
+			if err != nil {
+				return err
+			}
+			fmt.Println(summary)
+		}
 	}
 	return nil
 }

@@ -186,6 +186,16 @@ func (a *Aggregate) addUnanswered(data, lists int) {
 	a.unansweredLists += lists
 }
 
+// BytesSnapshot copies the current per-ISP client-peer download byte tally,
+// for periodic resilience sampling during a run.
+func (a *Aggregate) BytesSnapshot() map[isp.ISP]uint64 {
+	out := make(map[isp.ISP]uint64, len(a.bytesByISP))
+	for cat, b := range a.bytesByISP {
+		out[cat] = b
+	}
+	return out
+}
+
 // Merge folds another aggregate (e.g. a shard's) into this one. Counters and
 // sketches add exactly; per-peer entries sum, with RTT the minimum of the
 // nonzero estimates; response-time series are re-sorted by reply time, which

@@ -1,0 +1,227 @@
+package analysis
+
+import (
+	"time"
+
+	"pplivesim/internal/isp"
+)
+
+// Resilience metrics for chaos runs: how deep playback continuity dips under
+// an injected fault, how long the dip lasts, how quickly the swarm recovers,
+// and how the probe's per-ISP traffic mix shifts while the fault is active.
+// The last one is the paper's question turned around: locality emerges from
+// benign dynamics (§3), and a fault window measures how much of it the swarm
+// trades away to keep playback alive.
+
+// ResilienceSample is one periodic snapshot of a probe's playback and traffic
+// state. Counters are cumulative since the probe joined, so interval deltas
+// between consecutive samples recover per-interval rates.
+type ResilienceSample struct {
+	At         time.Duration
+	PlayedOK   uint64
+	PlayedMiss uint64
+	// BytesByISP is the cumulative data payload downloaded from client peers,
+	// per peer ISP (the probe Aggregate's byte tally at sample time).
+	BytesByISP map[isp.ISP]uint64
+}
+
+// Continuity returns the cumulative playback continuity at the sample.
+func (s ResilienceSample) Continuity() float64 {
+	total := s.PlayedOK + s.PlayedMiss
+	if total == 0 {
+		return 1
+	}
+	return float64(s.PlayedOK) / float64(total)
+}
+
+// FaultWindow is one injected fault's active interval. Instantaneous faults
+// (peer kills) have End == Start.
+type FaultWindow struct {
+	Label string
+	Start time.Duration
+	End   time.Duration
+}
+
+// WindowResilience is the per-fault-window slice of a resilience report.
+type WindowResilience struct {
+	Label string
+	Start time.Duration
+	End   time.Duration
+
+	// MinContinuity is the lowest interval continuity observed from the fault
+	// onset until recovery (or the end of the trace); DipDepth is how far it
+	// fell below the target (0 when the target was never breached).
+	MinContinuity float64
+	DipDepth      float64
+	// DipDuration is the total sampled time below target between onset and
+	// recovery.
+	DipDuration time.Duration
+	// Recovered reports whether continuity came back to the target and stayed
+	// there (recoverWindow consecutive intervals); TimeToRecover is measured
+	// from the fault onset to the start of that sustained run. A trace that
+	// never dipped recovers immediately (TimeToRecover ≈ 0).
+	Recovered     bool
+	TimeToRecover time.Duration
+
+	// ShareBefore/ShareDuring are the per-ISP shares of client-peer download
+	// bytes in the equally long intervals before and after the fault onset;
+	// ShareShift is the total-variation distance between them (0 = unchanged
+	// mix, 1 = completely displaced). Windows shorter than a minute observe a
+	// one-minute span so kills still produce a meaningful delta.
+	ShareBefore map[isp.ISP]float64
+	ShareDuring map[isp.ISP]float64
+	ShareShift  float64
+}
+
+// ResilienceReport is the full resilience analysis of one probe's samples.
+type ResilienceReport struct {
+	Target  float64
+	Windows []WindowResilience
+}
+
+// recoverWindow is how many consecutive at-or-above-target intervals count as
+// sustained recovery.
+const recoverWindow = 3
+
+// minShiftSpan is the minimum observation span for the traffic-shift
+// before/during comparison.
+const minShiftSpan = time.Minute
+
+// ComputeResilience evaluates each fault window against the probe's sample
+// series. target is the continuity level counted as healthy (e.g. 0.95).
+func ComputeResilience(samples []ResilienceSample, windows []FaultWindow, target float64) *ResilienceReport {
+	rep := &ResilienceReport{Target: target}
+	for _, w := range windows {
+		rep.Windows = append(rep.Windows, windowResilience(samples, w, target))
+	}
+	return rep
+}
+
+// intervalContinuity returns the continuity of the interval ending at
+// samples[i], from the counter deltas against samples[i-1].
+func intervalContinuity(samples []ResilienceSample, i int) float64 {
+	ok := samples[i].PlayedOK - samples[i-1].PlayedOK
+	miss := samples[i].PlayedMiss - samples[i-1].PlayedMiss
+	if ok+miss == 0 {
+		return 1
+	}
+	return float64(ok) / float64(ok+miss)
+}
+
+func windowResilience(samples []ResilienceSample, w FaultWindow, target float64) WindowResilience {
+	out := WindowResilience{Label: w.Label, Start: w.Start, End: w.End, MinContinuity: 1}
+
+	// Walk intervals whose end falls after the fault onset, tracking the
+	// minimum and the below-target time until a sustained recovery run. The
+	// dip usually lags the onset (buffered pieces play out first), so
+	// recovery only counts once the target has actually been breached — the
+	// healthy lead-in must not masquerade as an instant recovery.
+	dipped := false
+	run := 0
+	runStart := time.Duration(-1)
+	for i := 1; i < len(samples) && !out.Recovered; i++ {
+		if samples[i].At <= w.Start {
+			continue
+		}
+		c := intervalContinuity(samples, i)
+		if c < out.MinContinuity {
+			out.MinContinuity = c
+		}
+		if c < target {
+			dipped = true
+			run = 0
+			out.DipDuration += samples[i].At - samples[i-1].At
+			continue
+		}
+		if !dipped {
+			continue
+		}
+		if run == 0 {
+			runStart = samples[i-1].At
+		}
+		run++
+		if run >= recoverWindow {
+			out.Recovered = true
+			out.TimeToRecover = runStart - w.Start
+		}
+	}
+	if !dipped {
+		// The fault never breached the target: the swarm absorbed it.
+		out.Recovered = true
+		out.TimeToRecover = 0
+	}
+	if d := target - out.MinContinuity; d > 0 {
+		out.DipDepth = d
+	}
+
+	// Traffic mix before vs during: cumulative byte deltas over equally long
+	// spans on each side of the onset.
+	span := w.End - w.Start
+	if span < minShiftSpan {
+		span = minShiftSpan
+	}
+	before := bytesBetween(samples, w.Start-span, w.Start)
+	during := bytesBetween(samples, w.Start, w.Start+span)
+	out.ShareBefore = shares(before)
+	out.ShareDuring = shares(during)
+	if len(out.ShareBefore) > 0 && len(out.ShareDuring) > 0 {
+		tv := 0.0
+		for _, cat := range isp.All() {
+			d := out.ShareDuring[cat] - out.ShareBefore[cat]
+			if d < 0 {
+				d = -d
+			}
+			tv += d
+		}
+		out.ShareShift = tv / 2
+	}
+	return out
+}
+
+// sampleAtOrBefore returns the last sample with At <= t, or nil.
+func sampleAtOrBefore(samples []ResilienceSample, t time.Duration) *ResilienceSample {
+	var found *ResilienceSample
+	for i := range samples {
+		if samples[i].At > t {
+			break
+		}
+		found = &samples[i]
+	}
+	return found
+}
+
+// bytesBetween returns per-ISP byte deltas between the samples bracketing
+// [from, to], nil when the series does not cover the span.
+func bytesBetween(samples []ResilienceSample, from, to time.Duration) map[isp.ISP]uint64 {
+	a := sampleAtOrBefore(samples, from)
+	b := sampleAtOrBefore(samples, to)
+	if a == nil || b == nil || a == b {
+		return nil
+	}
+	out := make(map[isp.ISP]uint64)
+	for cat, n := range b.BytesByISP {
+		if d := n - a.BytesByISP[cat]; d > 0 {
+			out[cat] = d
+		}
+	}
+	return out
+}
+
+// shares normalizes per-ISP byte counts to fractions; nil in → nil out.
+func shares(bytes map[isp.ISP]uint64) map[isp.ISP]float64 {
+	if len(bytes) == 0 {
+		return nil
+	}
+	var total uint64
+	for _, n := range bytes {
+		total += n
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make(map[isp.ISP]float64, len(bytes))
+	for cat, n := range bytes {
+		out[cat] = float64(n) / float64(total)
+	}
+	return out
+}

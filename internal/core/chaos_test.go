@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"pplivesim/internal/fault"
+	"pplivesim/internal/isp"
+	"pplivesim/internal/workload"
+)
+
+// chaosScenario is the pinned chaos workload: the small churn scenario with a
+// fixed multi-fault schedule — source crash, one tracker group out, TELE-CNC
+// transit degradation, and a 20% kill — staggered through the watch window.
+func chaosScenario(seed int64) Scenario {
+	sc := smallScenario(seed)
+	sc.Name = "test-chaos"
+	sc.Churn = workload.DefaultChurn()
+	sc.Faults = &fault.Schedule{
+		SourceCrashes:  []fault.SourceCrash{{Channel: 0, At: 4 * time.Minute, Recover: 5 * time.Minute}},
+		TrackerOutages: []fault.TrackerOutage{{Group: 0, At: 5 * time.Minute, Recover: 6 * time.Minute}},
+		LinkFaults: []fault.LinkFault{{
+			A: isp.TELE, B: isp.CNC,
+			At: 6 * time.Minute, Recover: 6*time.Minute + 30*time.Second,
+			AddLoss: 0.2, AddDelay: 60 * time.Millisecond,
+		}},
+		PeerKills: []fault.PeerKill{{Fraction: 0.2, At: 7 * time.Minute}},
+	}
+	return sc
+}
+
+// TestChaosGoldenDigest pins the exact trajectory of a chaos run: every fault
+// event lands on its owning shard's engine and every kill draw comes from the
+// owning domain's RNG stream, so the digest must hold for every worker count
+// just like the benign goldens (the CI chaos lane runs this at 1 and 4
+// workers via PPLIVE_SHARD_WORKERS).
+func TestChaosGoldenDigest(t *testing.T) {
+	sc := chaosScenario(7)
+	sc.Shards = goldenWorkers(t)
+	res, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = 0x7a3b9dd1c45d820f
+	if got := goldenDigest(t, res); got != want {
+		t.Errorf("chaos digest = %#x, want %#x (fault trajectory changed vs the pinned baseline)", got, want)
+	}
+	if len(res.FaultWindows) != 4 {
+		t.Fatalf("FaultWindows = %d, want 4", len(res.FaultWindows))
+	}
+	if len(res.Probes[0].Samples) == 0 {
+		t.Fatal("chaos run collected no resilience samples")
+	}
+}
+
+// TestSourceCrashRecovery injects a lone source crash and asserts the
+// resilience report shows the expected shape: playback continuity dips while
+// the origin is silent (no new pieces enter the swarm) and recovers to ≥0.95
+// within a bounded time after the fault onset.
+func TestSourceCrashRecovery(t *testing.T) {
+	sc := smallScenario(11)
+	sc.Name = "test-source-crash"
+	crashAt, crashFor := 5*time.Minute, time.Minute
+	sc.Faults = &fault.Schedule{
+		SourceCrashes: []fault.SourceCrash{{Channel: 0, At: crashAt, Recover: crashAt + crashFor}},
+	}
+	res, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := res.ProbeResilience(0, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := rep.Windows[0]
+	if w.MinContinuity >= 0.9 {
+		t.Errorf("min continuity %.3f during source crash; expected a clear dip below 0.9", w.MinContinuity)
+	}
+	if w.DipDepth <= 0 {
+		t.Error("source crash produced no dip below the 0.95 target")
+	}
+	if !w.Recovered {
+		t.Fatalf("continuity never recovered to 0.95 (dip lasted %s of the trace)", w.DipDuration)
+	}
+	// The dip cannot end before the source returns; recovery must follow
+	// within a bounded catch-up period after that.
+	if maxTTR := crashFor + 2*time.Minute; w.TimeToRecover > maxTTR {
+		t.Errorf("time to recover = %s, want ≤ %s", w.TimeToRecover, maxTTR)
+	}
+}
+
+// TestChaosValidation exercises the schedule checks through the scenario path.
+func TestChaosValidation(t *testing.T) {
+	sc := smallScenario(1)
+	sc.Faults = &fault.Schedule{
+		SourceCrashes: []fault.SourceCrash{{Channel: 3, At: time.Minute, Recover: 2 * time.Minute}},
+	}
+	if _, err := Build(sc); err == nil {
+		t.Error("out-of-range source-crash channel accepted")
+	}
+	sc = smallScenario(1)
+	sc.Faults = &fault.Schedule{
+		PeerKills: []fault.PeerKill{{Fraction: 1.5, At: time.Minute}},
+	}
+	if _, err := Build(sc); err == nil {
+		t.Error("kill fraction above 1 accepted")
+	}
+}

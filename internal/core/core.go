@@ -21,6 +21,7 @@ import (
 	"pplivesim/internal/analysis"
 	"pplivesim/internal/asnmap"
 	"pplivesim/internal/capture"
+	"pplivesim/internal/fault"
 	"pplivesim/internal/isp"
 	"pplivesim/internal/peer"
 	"pplivesim/internal/simnet"
@@ -93,6 +94,14 @@ type Scenario struct {
 	Churn     workload.Churn
 	Probes    []ProbeSpec
 	Behaviour Behaviour
+
+	// Faults, when non-nil, is the declarative fault-injection schedule
+	// executed during the run (see internal/fault). A non-nil schedule also
+	// enables every peer's resilience behaviours (peer.DefaultResilience) and
+	// periodic probe-side resilience sampling. Nil injects nothing, enables
+	// nothing, and leaves the trajectory bit-identical to a fault-free build —
+	// the pinned golden digests enforce this.
+	Faults *fault.Schedule
 
 	// Telemetry selects how probe traffic becomes analysis input. The zero
 	// value, TelemetryStreaming, aggregates online in bounded memory.
@@ -187,6 +196,11 @@ func (s *Scenario) Validate() error {
 	if s.ArrivalWindow <= 0 || s.WarmUp <= 0 || s.Watch <= 0 {
 		return fmt.Errorf("core: scenario %q has non-positive timing", s.Name)
 	}
+	if s.Faults != nil {
+		if err := s.Faults.Validate(len(set), tracker.Groups, s.WarmUp+s.Watch); err != nil {
+			return fmt.Errorf("core: scenario %q: %w", s.Name, err)
+		}
+	}
 	return nil
 }
 
@@ -222,6 +236,11 @@ type ProbeResult struct {
 	Channel wire.ChannelID
 	Source  netip.Addr
 
+	// Samples is the periodic resilience series (continuity counters and
+	// per-ISP byte tallies), collected only when the scenario has a fault
+	// schedule; feed it to Result.ProbeResilience.
+	Samples []analysis.ResilienceSample
+
 	// matcher is the online matcher feeding Aggregate; Run closes it to
 	// flush still-pending requests into the unanswered tallies.
 	matcher *capture.Aggregator
@@ -250,6 +269,9 @@ type Result struct {
 	// statistics where the paper's methodology implies client peers). For
 	// per-channel analysis use Probes[i].Source / Channels[i].Source.
 	SourceAddr netip.Addr
+	// FaultWindows lists the injected faults' active intervals (empty without
+	// a fault schedule), in schedule order, for resilience analysis.
+	FaultWindows []analysis.FaultWindow
 	// Elapsed is the simulated duration.
 	Elapsed time.Duration
 	// EventsProcessed is the engine's event count (for benchmarks).
@@ -274,6 +296,21 @@ func (r *Result) ProbeReport(probe int) (*analysis.Report, error) {
 		return nil, fmt.Errorf("core: probe %q has no telemetry aggregate", p.Name)
 	}
 	return p.Aggregate.Report(), nil
+}
+
+// ProbeResilience evaluates probe i's resilience sample series against the
+// run's fault windows: continuity dip depth/duration, time-to-recover, and
+// per-ISP traffic shift per window. target is the continuity level counted as
+// healthy (e.g. 0.95). Only available on runs with a fault schedule.
+func (r *Result) ProbeResilience(probe int, target float64) (*analysis.ResilienceReport, error) {
+	if probe < 0 || probe >= len(r.Probes) {
+		return nil, fmt.Errorf("core: probe index %d out of range (have %d)", probe, len(r.Probes))
+	}
+	p := &r.Probes[probe]
+	if len(p.Samples) == 0 {
+		return nil, fmt.Errorf("core: probe %q has no resilience samples (scenario had no fault schedule)", p.Name)
+	}
+	return analysis.ComputeResilience(p.Samples, r.FaultWindows, target), nil
 }
 
 // ProbeByName returns the probe result with the given name, or nil.
@@ -301,6 +338,13 @@ type Sim struct {
 	weights  []float64
 
 	probes []ProbeResult
+
+	// Fault-injection targets, retained only so installFaults can schedule
+	// SetDown flips on the owning domains: the channel sources (scenario
+	// order, all in srcDom) and every tracker server with its domain/group.
+	srcDom      *simnet.Domain
+	sources     []*peer.Source
+	trackerSrvs []trackerRef
 
 	// doms holds per-domain mutable state. During a synchronization window
 	// each domain's worker touches only its own entry; the barriers order
@@ -333,6 +377,13 @@ func (s *Sim) BackgroundClients() []*peer.Client {
 		out = append(out, s.doms[i].background...)
 	}
 	return out
+}
+
+// trackerRef is one tracker server with the domain whose worker owns it.
+type trackerRef struct {
+	srv   *tracker.Server
+	dom   *simnet.Domain
+	group int
 }
 
 // trackerGroupISPs places the five tracker groups; the paper locates all
@@ -400,6 +451,7 @@ func Build(sc Scenario) (*Sim, error) {
 			env.SetHandler(srv)
 			groups[g] = append(groups[g], env.Addr())
 			sim.trackerAddrs[env.Addr()] = true
+			sim.trackerSrvs = append(sim.trackerSrvs, trackerRef{srv: srv, dom: env.Domain(), group: g})
 		}
 	}
 
@@ -415,6 +467,8 @@ func Build(sc Scenario) (*Sim, error) {
 			return nil, err
 		}
 		srcEnv.SetHandler(src)
+		sim.srcDom = srcEnv.Domain()
+		sim.sources = append(sim.sources, src)
 		err = bs.AddChannel(tracker.ChannelDirectory{
 			Info:          ch.Spec.Info(),
 			Source:        srcEnv.Addr(),
@@ -464,6 +518,10 @@ func Build(sc Scenario) (*Sim, error) {
 		})
 	}
 
+	if sc.Faults != nil {
+		sim.installFaults(sc.Faults)
+	}
+
 	return sim, nil
 }
 
@@ -482,6 +540,11 @@ func (s *Sim) applyBehaviour(cfg *peer.Config) {
 	cfg.ReferralEnabled = !b.DisableReferral
 	cfg.LatencyBias = !b.DisableLatencyBias
 	cfg.PreferFastNeighbors = !b.DisablePreference
+	// Chaos runs harden every peer; fault-free runs keep the zero value so
+	// their trajectories stay bit-identical to pre-resilience builds.
+	if s.scenario.Faults != nil {
+		cfg.Resilience = peer.DefaultResilience()
+	}
 }
 
 // spawnViewer creates one background viewer in ds's shard domain, arriving
@@ -610,6 +673,23 @@ func (s *Sim) spawnProbe(ds *domainState, slot int, ps ProbeSpec) error {
 		Source:    ch.Source,
 		matcher:   matcher,
 	}
+
+	// Chaos runs sample the probe's playback and traffic counters on a fixed
+	// period; the sampler runs on the probe's own domain worker and appends to
+	// its preallocated result slot, so no synchronization is needed.
+	if fs := s.scenario.Faults; fs != nil {
+		sample := func() {
+			st := client.BufferStats()
+			s.probes[slot].Samples = append(s.probes[slot].Samples, analysis.ResilienceSample{
+				At:         env.Now(),
+				PlayedOK:   st.PlayedOK,
+				PlayedMiss: st.PlayedMiss,
+				BytesByISP: agg.BytesSnapshot(),
+			})
+		}
+		sample()
+		env.Every(fs.SampleEvery(), sample)
+	}
 	return nil
 }
 
@@ -641,6 +721,12 @@ func (s *Sim) Run() (*Result, error) {
 			}
 		}
 	}
+	var faultWindows []analysis.FaultWindow
+	if sc.Faults != nil {
+		for _, w := range sc.Faults.Windows() {
+			faultWindows = append(faultWindows, analysis.FaultWindow{Label: w.Label, Start: w.Start, End: w.End})
+		}
+	}
 	return &Result{
 		Scenario:        sc,
 		Probes:          s.probes,
@@ -648,6 +734,7 @@ func (s *Sim) Run() (*Result, error) {
 		Trackers:        s.trackerAddrs,
 		Registry:        s.world.Registry,
 		SourceAddr:      s.channels[0].Source,
+		FaultWindows:    faultWindows,
 		Elapsed:         s.world.Now(),
 		EventsProcessed: s.world.EventsProcessed(),
 		PeersSpawned:    spawned,

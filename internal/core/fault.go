@@ -1,0 +1,80 @@
+package core
+
+import (
+	"pplivesim/internal/fault"
+	"pplivesim/internal/peer"
+)
+
+// installFaults translates the declarative fault schedule into events on the
+// owning shard engines, at Build time. Every event runs on the domain worker
+// that owns the state it touches — server flips on the server's domain,
+// network perturbations on each domain's own network, kill draws from each
+// domain's own RNG stream — so a chaos run is bit-reproducible at any worker
+// count, exactly like a benign one.
+func (s *Sim) installFaults(fs *fault.Schedule) {
+	for _, f := range fs.SourceCrashes {
+		src := s.sources[f.Channel]
+		f := f
+		s.srcDom.At(f.At, func() { src.SetDown(true) })
+		s.srcDom.At(f.Recover, func() { src.SetDown(false) })
+	}
+
+	for _, f := range fs.TrackerOutages {
+		for _, ref := range s.trackerSrvs {
+			if f.Group >= 0 && ref.group != f.Group {
+				continue
+			}
+			ref, f := ref, f
+			ref.dom.At(f.At, func() { ref.srv.SetDown(true) })
+			ref.dom.At(f.Recover, func() { ref.srv.SetDown(false) })
+		}
+	}
+
+	// Transit perturbations exist once per domain network (each shard routes
+	// its own hosts' sends), so each domain installs and clears the fault on
+	// its own copy at the fault instants. Apply/Clear accumulate, so
+	// overlapping windows compose and the table frees itself when the last
+	// fault clears.
+	for _, f := range fs.LinkFaults {
+		for i := range s.doms {
+			net := s.doms[i].dom.Network()
+			dom := s.doms[i].dom
+			f := f
+			dom.At(f.At, func() { net.ApplyLinkFault(f.A, f.B, f.AddLoss, f.AddDelay, f.Partition) })
+			dom.At(f.Recover, func() { net.ClearLinkFault(f.A, f.B, f.AddLoss, f.AddDelay, f.Partition) })
+		}
+	}
+	for _, f := range fs.BurstLosses {
+		for i := range s.doms {
+			net := s.doms[i].dom.Network()
+			dom := s.doms[i].dom
+			f := f
+			dom.At(f.At, func() { net.AddBurstLoss(f.Loss) })
+			dom.At(f.Recover, func() { net.RemoveBurstLoss(f.Loss) })
+		}
+	}
+
+	// Kill-churn: each affected domain draws which of its own live viewers
+	// crash, from its own RNG stream. Kill tears a client down silently (no
+	// Leaving announces); with churn enabled its already-scheduled session-end
+	// replacement still fires, so the population recovers organically.
+	for _, f := range fs.PeerKills {
+		for i := range s.doms {
+			ds := &s.doms[i]
+			if f.ISP != 0 && ds.dom.Category() != f.ISP {
+				continue
+			}
+			f := f
+			ds.dom.At(f.At, func() {
+				for _, c := range ds.background {
+					if c.Phase() == peer.PhaseStopped {
+						continue
+					}
+					if ds.rng.Float64() < f.Fraction {
+						c.Kill()
+					}
+				}
+			})
+		}
+	}
+}

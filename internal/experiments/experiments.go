@@ -117,6 +117,9 @@ type Runner struct {
 	multiOnce sync.Once
 	multi     *RunOutputs
 	multiErr  error
+	chaosOnce sync.Once
+	chaos     *RunOutputs
+	chaosErr  error
 }
 
 // NewRunner creates a runner with the given scale and base seed.

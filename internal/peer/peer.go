@@ -88,6 +88,13 @@ type neighbor struct {
 	// sched.go), -1 when not part of it (the source, or before any tick).
 	planIdx int
 
+	// Hardening state (cfg.Resilience): consecutive request timeouts, the
+	// deadline before which the scheduler must not retry this neighbor, and
+	// the last keepalive ping sent. All stay zero when resilience is off.
+	failStreak   int
+	backoffUntil time.Duration
+	lastPing     time.Duration
+
 	// Service quality estimation. score is an EWMA of data response times;
 	// minRTT is the fastest application-level response observed, the same
 	// estimator the paper's analysis uses for proximity.
@@ -260,6 +267,9 @@ type Stats struct {
 	DataRequestsShed     uint64
 	RequestTimeouts      uint64
 	ChannelSwitches      uint64
+	PingsSent            uint64
+	KeepaliveEvictions   uint64
+	TrackerFailures      uint64
 }
 
 // New creates a client bound to env. Call Start to join the initial channel.
@@ -446,6 +456,32 @@ func (c *Client) Stop() {
 	}
 }
 
+// Kill retires the client as an abrupt crash: every session is torn down
+// locally — timers disarmed, neighbor state dropped — but nothing is sent, so
+// trackers and neighbors only learn of the death through timeouts. This is
+// the fault-injection analogue of Stop.
+func (c *Client) Kill() {
+	if c.stopped {
+		return
+	}
+	for _, ch := range slices.Clone(c.order) {
+		s := c.sessions[ch]
+		s.shutdown(false)
+		delete(c.sessions, ch)
+		if i := slices.Index(c.order, ch); i >= 0 {
+			c.order = slices.Delete(c.order, i, i+1)
+		}
+		if s.buffer != nil {
+			c.closedStats = c.closedStats.Add(s.buffer.Stats())
+		}
+	}
+	c.active = nil
+	c.stopped = true
+	if c.onStopped != nil {
+		c.onStopped()
+	}
+}
+
 // messageChannel extracts the channel a message belongs to, for session
 // dispatch. ChannelListResponse is the one channel-less message and is
 // handled separately.
@@ -470,6 +506,10 @@ func messageChannel(msg wire.Message) (wire.ChannelID, bool) {
 	case *wire.DataReply:
 		return m.Channel, true
 	case *wire.Have:
+		return m.Channel, true
+	case *wire.Ping:
+		return m.Channel, true
+	case *wire.Pong:
 		return m.Channel, true
 	default:
 		return 0, false
@@ -502,7 +542,7 @@ func (c *Client) HandleMessage(from netip.Addr, msg wire.Message) {
 	case *wire.PlaylinkResponse:
 		s.handlePlaylink(m)
 	case *wire.TrackerResponse:
-		s.handleTrackerResponse(m)
+		s.handleTrackerResponse(from, m)
 	case *wire.Handshake:
 		s.handleHandshake(from, m)
 	case *wire.HandshakeAck:
@@ -519,6 +559,10 @@ func (c *Client) HandleMessage(from netip.Addr, msg wire.Message) {
 		s.handleDataReply(from, m)
 	case *wire.Have:
 		s.handleHave(from, m)
+	case *wire.Ping:
+		s.handlePing(from, m)
+	case *wire.Pong:
+		s.handlePong(from, m)
 	}
 }
 

@@ -1,0 +1,135 @@
+package peer
+
+import (
+	"net/netip"
+	"time"
+
+	"pplivesim/internal/wire"
+)
+
+// Hardening layer (cfg.Resilience): retry backoff, keepalive failure
+// detection, tracker outage backoff, and source-failure degradation. Every
+// path here is dormant unless Resilience.Enabled — the benign trajectory
+// (events sent, RNG draws, timers armed) must stay bit-identical to a build
+// without this file, which the pinned golden digests enforce. Deliberate
+// randomness (retry jitter) is hash-derived from stable keys, never drawn
+// from the session RNG, so chaos runs stay worker-count invariant too.
+
+// trackerHealth tracks one tracker's query outcomes for outage backoff.
+type trackerHealth struct {
+	pending      bool // a query went out and no response has arrived
+	failStreak   int
+	backoffUntil time.Duration
+}
+
+// resilient reports whether the hardening layer is enabled.
+func (s *session) resilient() bool { return s.cfg.Resilience.Enabled }
+
+// splitmix64 is the finalizer of the splitmix64 generator: a cheap stateless
+// mix for deterministic jitter.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// backoffDelay returns the capped exponential delay for the given consecutive
+// failure streak plus a deterministic jitter in [0, delay/4], derived from
+// the (key, streak) pair so simultaneous failures across many peers do not
+// retry in lockstep.
+func backoffDelay(base, maxDelay time.Duration, streak int, key uint32) time.Duration {
+	d := base
+	for i := 1; i < streak && d < maxDelay; i++ {
+		d *= 2
+	}
+	if d > maxDelay {
+		d = maxDelay
+	}
+	j := splitmix64(uint64(key)<<32 | uint64(uint32(streak)))
+	return d + time.Duration(j%uint64(d/4+1))
+}
+
+// keepaliveTick pings neighbors that have gone quiet and evicts the ones that
+// stayed silent through the ping window — detecting crashed neighbors in
+// ~KeepaliveDead instead of the long gossip silence bound. Armed only for
+// resilient sessions (handlePlaylink).
+func (s *session) keepaliveTick() {
+	if s.buffer == nil {
+		return
+	}
+	now := s.env.Now()
+	r := &s.cfg.Resilience
+	victims := s.evictScratch[:0]
+	for _, nb := range s.sortedNbs {
+		idle := now - nb.lastHeard
+		if idle > r.KeepaliveDead && nb.lastPing > nb.lastHeard {
+			// Pinged since we last heard from it and still nothing: dead.
+			victims = append(victims, nb.addr)
+			continue
+		}
+		if idle >= r.KeepaliveIdle && now-nb.lastPing >= r.KeepaliveInterval {
+			nb.lastPing = now
+			s.c.stats.PingsSent++
+			s.env.Send(nb.addr, &wire.Ping{Channel: s.spec.Channel, Nonce: uint32(now / time.Millisecond)})
+		}
+	}
+	for _, a := range victims {
+		s.c.stats.KeepaliveEvictions++
+		s.dropNeighbor(a)
+	}
+	s.evictScratch = victims[:0]
+	// A shrunken mesh cannot wait for the periodic tracker round: re-announce
+	// and re-query immediately (per-tracker backoff still applies, so a dead
+	// tracker is not hammered).
+	if len(victims) > 0 && len(s.sortedNbs) < r.ReannounceFloor {
+		s.announceTrackers(false)
+		s.queryTrackers()
+	}
+}
+
+func (s *session) handlePing(from netip.Addr, m *wire.Ping) {
+	if s.buffer == nil {
+		return
+	}
+	if nb, ok := s.neighbors[akey(from)]; ok {
+		nb.lastHeard = s.env.Now()
+	}
+	s.env.Send(from, &wire.Pong{Channel: m.Channel, Nonce: m.Nonce})
+}
+
+func (s *session) handlePong(from netip.Addr, m *wire.Pong) {
+	if nb, ok := s.neighbors[akey(from)]; ok {
+		nb.lastHeard = s.env.Now()
+	}
+}
+
+// sourceSuspect reports whether the source has missed enough consecutive
+// requests to be presumed down.
+func (s *session) sourceSuspect() bool {
+	return s.resilient() && s.srcFails >= s.cfg.Resilience.SourceFailThreshold
+}
+
+// optimisticFallback picks the best-scored available neighbor whose
+// extrapolated live edge plausibly covers seq, ignoring the proven-coverage
+// rule. Used only for urgent pieces while the source is suspect: a wrong
+// guess costs a tiny no-have reply, stalling costs playback — and it re-opens
+// inter-ISP paths that locality concentration had idled, which is exactly the
+// degraded-mode behaviour the locality-vs-resilience experiments measure.
+func (s *session) optimisticFallback(seq uint64, now time.Duration) *neighbor {
+	rate := s.spec.Rate()
+	for _, key := range s.planOrder {
+		nb := s.sortedNbs[int(key&1023)]
+		if len(nb.outstanding) >= s.cfg.MaxOutstandingPerNeighbor || nb.backoffUntil > now {
+			continue
+		}
+		if !nb.bufferAny {
+			continue
+		}
+		est := nb.bufferMax + uint64(float64(now-nb.bufferAt)*rate/float64(time.Second))
+		if est >= seq {
+			return nb
+		}
+	}
+	return nil
+}

@@ -49,7 +49,7 @@ func transpose64(a *[64]uint64) {
 // simulation is single-threaded and message handling never interleaves with
 // the scheduler), so the plan stays valid for the whole assignment loop;
 // only eligibility evolves, tracked in planElig by planNoteSent.
-func (s *session) buildSchedPlan(first, last uint64) {
+func (s *session) buildSchedPlan(first, last uint64, now time.Duration) {
 	nbs := s.sortedNbs
 	org := first &^ 63
 	W := int((last-org)/64) + 1
@@ -82,7 +82,9 @@ func (s *session) buildSchedPlan(first, last uint64) {
 	for g := 0; g < G; g++ {
 		var elig uint64
 		for i := g * 64; i < (g+1)*64 && i < len(nbs); i++ {
-			if len(nbs[i].outstanding) < s.cfg.MaxOutstandingPerNeighbor {
+			// backoffUntil is only ever non-zero under cfg.Resilience: a
+			// neighbor in timeout backoff is ineligible for the whole tick.
+			if len(nbs[i].outstanding) < s.cfg.MaxOutstandingPerNeighbor && nbs[i].backoffUntil <= now {
 				elig |= 1 << (63 - uint(i-g*64))
 			}
 		}
@@ -157,6 +159,17 @@ func (s *session) pickProvider(seq uint64, now time.Duration, urgent bool) *neig
 		// into a CDN at deadline time.
 		if !urgent && !s.rbits.chance(s.env.Rand(), s.c.prefetch16) {
 			return nil
+		}
+		// With the source suspect, mostly route around it — an optimistic
+		// mesh fallback instead of stalling on a dead server — but let every
+		// SourceProbeEvery-th pick through so recovery is noticed promptly.
+		if s.sourceSuspect() {
+			s.srcProbeCounter++
+			if s.srcProbeCounter%s.cfg.Resilience.SourceProbeEvery != 0 {
+				if nb := s.optimisticFallback(seq, now); nb != nil {
+					return nb
+				}
+			}
 		}
 		if src, ok := s.neighbors[akey(s.source)]; ok && len(src.outstanding) < s.cfg.MaxOutstandingPerNeighbor {
 			return src

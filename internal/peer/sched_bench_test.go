@@ -124,7 +124,7 @@ func BenchmarkPickProvider(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				c.active.buildSchedPlan(want[0], want[len(want)-1])
+				c.active.buildSchedPlan(want[0], want[len(want)-1], now)
 				for _, seq := range want {
 					if nb := c.active.pickProvider(seq, now, seq < urgentBound); nb != nil {
 						sink = nb

@@ -99,7 +99,7 @@ func TestPickProviderMatchesReference(t *testing.T) {
 			seqs = append(seqs, next)
 		}
 		urgentBound := ph + uint64(2*c.cfg.Channel.Rate())
-		c.active.buildSchedPlan(seqs[0], seqs[len(seqs)-1])
+		c.active.buildSchedPlan(seqs[0], seqs[len(seqs)-1], 0)
 
 		c.emitRequest = func(netip.Addr, uint64, int) {}
 		rngSeed := int64(1000 + trial)

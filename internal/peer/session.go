@@ -89,6 +89,14 @@ type session struct {
 
 	cancels      []node.Cancel
 	trackerTimer node.Cancel
+
+	// Resilience state (see resilience.go); all of it stays zero — and every
+	// code path reading it behaves exactly as before — unless
+	// cfg.Resilience.Enabled.
+	bootstrapStreak int
+	trHealth        []trackerHealth
+	srcFails        int // consecutive source request timeouts
+	srcProbeCounter int
 }
 
 // newSession creates an un-started session for spec's channel.
@@ -116,24 +124,42 @@ func (s *session) start(direct bool) {
 		return &wire.ChannelListRequest{}
 	}
 	s.env.Send(s.cfg.Bootstrap, request())
+	// Resilient sessions retry with capped exponential backoff plus
+	// deterministic jitter, so a bootstrap outage is not hammered in lockstep
+	// by every joining peer; the legacy fixed 2s retry is kept bit-exact
+	// otherwise.
+	delay := func() time.Duration {
+		if r := &s.cfg.Resilience; r.Enabled {
+			s.bootstrapStreak++
+			return backoffDelay(r.BootstrapBackoff, r.BootstrapBackoffMax, s.bootstrapStreak, akey(s.env.Addr()))
+		}
+		return 2 * time.Second
+	}
 	var retry func()
 	retry = func() {
 		if s.phase != PhaseBootstrap {
 			return
 		}
 		s.env.Send(s.cfg.Bootstrap, request())
-		s.cancels = append(s.cancels, s.env.After(2*time.Second, retry))
+		s.cancels = append(s.cancels, s.env.After(delay(), retry))
 	}
-	s.cancels = append(s.cancels, s.env.After(2*time.Second, retry))
+	s.cancels = append(s.cancels, s.env.After(delay(), retry))
 }
 
 // leave closes the session: withdraw tracker announcements, disarm every
 // timer, and tear down the neighbor table (dropping in-flight request
 // bookkeeping with it). Neighbors need no goodbye datagram — the protocol is
 // silence-evicting, so departed peers age out of remote tables.
-func (s *session) leave() {
-	for _, tr := range s.trackers {
-		s.env.Send(tr, &wire.TrackerAnnounce{Channel: s.spec.Channel, Leaving: true})
+func (s *session) leave() { s.shutdown(true) }
+
+// shutdown is leave's engine; announce=false is an abrupt crash (fault
+// injection): no Leaving withdrawals go out, so tracker registrations linger
+// until TTL and neighbors must discover the death themselves.
+func (s *session) shutdown(announce bool) {
+	if announce {
+		for _, tr := range s.trackers {
+			s.env.Send(tr, &wire.TrackerAnnounce{Channel: s.spec.Channel, Leaving: true})
+		}
 	}
 	for _, cancel := range s.cancels {
 		cancel()
@@ -193,6 +219,9 @@ func (s *session) handlePlaylink(m *wire.PlaylinkResponse) {
 	s.source = m.Source
 	s.trackers = append([]netip.Addr(nil), m.Trackers...)
 	s.phase = PhaseStartup
+	if s.resilient() {
+		s.trHealth = make([]trackerHealth, len(s.trackers))
+	}
 
 	s.announceTrackers(false)
 	s.queryTrackers()
@@ -204,6 +233,10 @@ func (s *session) handlePlaylink(m *wire.PlaylinkResponse) {
 		s.env.Every(s.cfg.BufferMapInterval, s.announceBufferMap),
 		s.env.Every(s.cfg.SchedInterval, s.schedulerTick),
 	)
+	if s.resilient() {
+		s.cancels = append(s.cancels,
+			s.env.Every(s.cfg.Resilience.KeepaliveInterval, s.keepaliveTick))
+	}
 
 	// The source is always a data neighbor of last resort.
 	s.addNeighbor(m.Source, wire.BufferMap{})
@@ -226,13 +259,36 @@ func (s *session) scheduleTrackerQueries(interval time.Duration) {
 }
 
 func (s *session) announceTrackers(leaving bool) {
-	for _, tr := range s.trackers {
+	for i, tr := range s.trackers {
+		// Trackers in outage backoff are skipped (except for withdrawals,
+		// which are fire-and-forget anyway and worth attempting).
+		if !leaving && s.trHealth != nil && s.trHealth[i].backoffUntil > s.env.Now() {
+			continue
+		}
 		s.env.Send(tr, &wire.TrackerAnnounce{Channel: s.spec.Channel, Leaving: leaving})
 	}
 }
 
 func (s *session) queryTrackers() {
-	for _, tr := range s.trackers {
+	now := s.env.Now()
+	for i, tr := range s.trackers {
+		if s.trHealth != nil {
+			// Failure detection is query-paced: an answer should long precede
+			// the next round, so a still-pending query means the tracker is
+			// unreachable — back off exponentially until one gets through.
+			h := &s.trHealth[i]
+			if h.pending {
+				h.pending = false
+				h.failStreak++
+				r := &s.cfg.Resilience
+				h.backoffUntil = now + backoffDelay(r.TrackerBackoff, r.TrackerBackoffMax, h.failStreak, akey(tr))
+				s.c.stats.TrackerFailures++
+			}
+			if h.backoffUntil > now {
+				continue
+			}
+			h.pending = true
+		}
 		s.c.stats.TrackerQueries++
 		s.env.Send(tr, &wire.TrackerQuery{Channel: s.spec.Channel})
 	}
@@ -416,9 +472,17 @@ func (s *session) sendHandshake(a netip.Addr) {
 	}))
 }
 
-func (s *session) handleTrackerResponse(m *wire.TrackerResponse) {
+func (s *session) handleTrackerResponse(from netip.Addr, m *wire.TrackerResponse) {
 	if s.buffer == nil {
 		return
+	}
+	if s.trHealth != nil {
+		for i, tr := range s.trackers {
+			if tr == from {
+				s.trHealth[i] = trackerHealth{} // answered: healthy again
+				break
+			}
+		}
 	}
 	s.c.stats.ListsReceived++
 	s.learn(m.Peers)
@@ -638,6 +702,9 @@ func (s *session) dropNeighbor(a netip.Addr) {
 	for len(nb.outstanding) > 0 {
 		s.clearOutstanding(nb, len(nb.outstanding)-1)
 	}
+	// Invalidate the dropped neighbor's scheduler-plan row so a stale pointer
+	// can never write eligibility bits for whoever inherits the row index.
+	nb.planIdx = -1
 	delete(s.neighbors, akey(a))
 	s.sortedRemove(a)
 }
@@ -682,11 +749,18 @@ func (s *session) schedulerTick() {
 
 	// Precompute every neighbor's coverage of the want range while want is
 	// still sorted (its ends bound the range); picks below are mask lookups.
-	s.buildSchedPlan(want[0], want[len(want)-1])
+	s.buildSchedPlan(want[0], want[len(want)-1], now)
 
 	// Pieces within two seconds of their deadline are urgent: they go only
-	// to proven holders or the source, never to extrapolated coverage.
-	urgentBound := s.buffer.Playhead() + uint64(2*s.spec.Rate())
+	// to proven holders or the source, never to extrapolated coverage. While
+	// the source is suspect (consecutive timeouts) the urgent window widens,
+	// pulling the mesh fallback forward so playback degrades gracefully
+	// instead of stalling at the deadline.
+	urgentSpan := uint64(2 * s.spec.Rate())
+	if s.sourceSuspect() {
+		urgentSpan *= uint64(s.cfg.Resilience.UrgentWidenFactor)
+	}
+	urgentBound := s.buffer.Playhead() + urgentSpan
 
 	// Keep urgent pieces in deadline order but randomize the rest, so that
 	// peers wanting the same region fetch different pieces and can then
@@ -781,16 +855,32 @@ func (s *session) expireRequests(now time.Duration) {
 }
 
 func (s *session) expireNeighbor(nb *neighbor, now time.Duration) {
+	expired := false
 	for i := 0; i < len(nb.outstanding); {
 		if now-nb.outstanding[i].at > s.cfg.RequestTimeout {
 			s.clearOutstanding(nb, i)
 			s.c.stats.RequestTimeouts++
 			// A timeout is strong evidence of overload or departure.
 			nb.score = ewma(nb.score, 2*s.cfg.RequestTimeout)
+			expired = true
 		} else {
 			i++
 		}
 	}
+	if !expired || !s.resilient() {
+		return
+	}
+	// The expired sequences re-enter the want set next tick (retransmission);
+	// the failed provider is penalized with a capped exponential backoff so
+	// retries go elsewhere while it is struggling. Source timeouts feed the
+	// suspect counter instead — the source has no substitute to back off to.
+	if nb.addr == s.source {
+		s.srcFails++
+		return
+	}
+	r := &s.cfg.Resilience
+	nb.failStreak++
+	nb.backoffUntil = now + backoffDelay(r.RequestBackoff, r.RequestBackoffMax, nb.failStreak, akey(nb.addr))
 }
 
 // clearOutstanding removes the pending request at index i (swap-remove; the
@@ -902,6 +992,12 @@ func (s *session) handleDataReply(from netip.Addr, m *wire.DataReply) {
 	}
 	now := s.env.Now()
 	nb.lastHeard = now
+	// Any reply — data, busy, or no-have — proves the sender is alive: reset
+	// its failure streak (and the source-suspect counter for the source).
+	nb.failStreak, nb.backoffUntil = 0, 0
+	if from == s.source {
+		s.srcFails = 0
+	}
 
 	if m.Count == 0 {
 		// Miss: clear the in-flight slot. For busy signals, penalize the

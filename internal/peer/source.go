@@ -26,6 +26,12 @@ type Source struct {
 	recentIdx map[netip.Addr]bool
 	maxRecent int
 
+	// down marks the source as crashed: every inbound datagram is dropped
+	// (UDP-style — the process is gone, nothing answers). Fault injection
+	// toggles it; the stream clock keeps running so the live edge is where it
+	// should be when the process comes back.
+	down bool
+
 	// Stats.
 	served      uint64
 	servedBytes uint64
@@ -70,6 +76,10 @@ func (s *Source) Stats() (served, servedBytes uint64) {
 	return s.served, s.servedBytes
 }
 
+// SetDown toggles the crashed state; while down the source drops all inbound
+// traffic.
+func (s *Source) SetDown(down bool) { s.down = down }
+
 // note records a client contact for referral.
 func (s *Source) note(a netip.Addr) {
 	if s.recentIdx[a] {
@@ -102,6 +112,9 @@ func (s *Source) bufferMap(now time.Duration) wire.BufferMap {
 
 // HandleMessage implements node.Handler.
 func (s *Source) HandleMessage(from netip.Addr, msg wire.Message) {
+	if s.down {
+		return
+	}
 	switch m := msg.(type) {
 	case *wire.Handshake:
 		if m.Channel != s.spec.Channel {
@@ -167,6 +180,11 @@ func (s *Source) HandleMessage(from netip.Addr, msg wire.Message) {
 		})
 	case *wire.BufferMapAnnounce:
 		// Sources ignore client buffer maps.
+	case *wire.Ping:
+		if m.Channel != s.spec.Channel {
+			return
+		}
+		s.env.Send(from, &wire.Pong{Channel: m.Channel, Nonce: m.Nonce})
 	default:
 	}
 }

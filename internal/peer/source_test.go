@@ -166,3 +166,99 @@ func TestSourceIgnoresWrongChannel(t *testing.T) {
 		t.Errorf("wrong-channel messages answered: %v", got)
 	}
 }
+
+// TestSourceShedsSustainedOverload drives the source through a sustained
+// uplink overload: every request during the episode must get an explicit Busy
+// reply (never a silent drop, never real service that would deepen the
+// backlog), and normal service must resume the moment the backlog drains.
+func TestSourceShedsSustainedOverload(t *testing.T) {
+	env, src := newSource(t)
+	env.Advance(30 * time.Second)
+	client := netip.MustParseAddr("58.32.0.1")
+
+	env.backlog = 5 * time.Second
+	const rounds = 20
+	for i := 0; i < rounds; i++ {
+		env.Advance(time.Second)
+		src.HandleMessage(client, &wire.DataRequest{Channel: 1, Seq: uint64(i), Count: 1})
+	}
+	replies := env.sentTo(client)
+	if len(replies) != rounds {
+		t.Fatalf("source sent %d replies over the overload episode, want %d (one Busy each)", len(replies), rounds)
+	}
+	for i, m := range replies {
+		r, ok := m.(*wire.DataReply)
+		if !ok || !r.Busy || r.Count != 0 {
+			t.Fatalf("reply %d = %#v, want empty Busy DataReply", i, m)
+		}
+	}
+	if served, bytes := src.Stats(); served != 0 || bytes != 0 {
+		t.Errorf("served %d requests (%d bytes) while overloaded, want 0", served, bytes)
+	}
+	if src.shed != rounds {
+		t.Errorf("shed counter = %d, want %d", src.shed, rounds)
+	}
+	env.take()
+
+	// Backlog drained: the very next request is served for real.
+	env.backlog = 0
+	src.HandleMessage(client, &wire.DataRequest{Channel: 1, Seq: 100, Count: 1})
+	got := env.sentTo(client)
+	if len(got) != 1 {
+		t.Fatalf("recovered source sent %d replies, want 1", len(got))
+	}
+	if r := got[0].(*wire.DataReply); r.Busy || r.Count != 1 {
+		t.Errorf("post-recovery reply = %#v, want real data", got[0])
+	}
+	if served, _ := src.Stats(); served != 1 {
+		t.Errorf("served = %d after recovery, want 1", served)
+	}
+}
+
+// TestSourceDownDropsEverything covers the crash fault: a downed source
+// answers nothing — data, handshakes, pings — and resumes cleanly on recovery.
+func TestSourceDownDropsEverything(t *testing.T) {
+	env, src := newSource(t)
+	env.Advance(10 * time.Second)
+	client := netip.MustParseAddr("58.32.0.1")
+
+	src.SetDown(true)
+	src.HandleMessage(client, &wire.DataRequest{Channel: 1, Seq: 0, Count: 1})
+	src.HandleMessage(client, &wire.Handshake{Channel: 1})
+	src.HandleMessage(client, &wire.Ping{Channel: 1, Nonce: 7})
+	if got := env.sentTo(client); len(got) != 0 {
+		t.Fatalf("downed source replied: %v", kinds(env.take()))
+	}
+
+	src.SetDown(false)
+	src.HandleMessage(client, &wire.DataRequest{Channel: 1, Seq: 0, Count: 1})
+	got := env.sentTo(client)
+	if len(got) != 1 {
+		t.Fatalf("recovered source sent %d replies, want 1", len(got))
+	}
+	if r := got[0].(*wire.DataReply); r.Busy || r.Count != 1 {
+		t.Errorf("post-recovery reply = %#v, want real data", got[0])
+	}
+}
+
+// TestSourcePongsKeepalive: the source answers keepalive pings so resilient
+// clients never false-positive it as dead while it is merely idle.
+func TestSourcePongsKeepalive(t *testing.T) {
+	env, src := newSource(t)
+	client := netip.MustParseAddr("58.32.0.1")
+	src.HandleMessage(client, &wire.Ping{Channel: 1, Nonce: 42})
+	got := env.sentTo(client)
+	if len(got) != 1 {
+		t.Fatalf("ping produced %d replies, want 1", len(got))
+	}
+	pong, ok := got[0].(*wire.Pong)
+	if !ok || pong.Nonce != 42 || pong.Channel != 1 {
+		t.Errorf("reply = %#v, want Pong nonce 42", got[0])
+	}
+	// Wrong-channel pings are ignored.
+	env.take()
+	src.HandleMessage(client, &wire.Ping{Channel: 9, Nonce: 1})
+	if got := env.sentTo(client); len(got) != 0 {
+		t.Errorf("wrong-channel ping answered: %v", got)
+	}
+}

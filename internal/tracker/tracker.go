@@ -82,6 +82,11 @@ type Server struct {
 
 	channels map[wire.ChannelID]*channelPeers
 
+	// down marks the server as crashed: inbound datagrams are dropped before
+	// any registry mutation or RNG draw, so an outage window perturbs nothing
+	// but the clients waiting on responses.
+	down bool
+
 	// Stats.
 	announces, queries, served uint64
 }
@@ -130,8 +135,15 @@ func (s *Server) Stats() (announces, queries, served uint64) {
 	return s.announces, s.queries, s.served
 }
 
+// SetDown toggles the crashed state; while down the server drops all inbound
+// traffic.
+func (s *Server) SetDown(down bool) { s.down = down }
+
 // HandleMessage implements node.Handler.
 func (s *Server) HandleMessage(from netip.Addr, msg wire.Message) {
+	if s.down {
+		return
+	}
 	switch m := msg.(type) {
 	case *wire.TrackerAnnounce:
 		s.handleAnnounce(from, m)

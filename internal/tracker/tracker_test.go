@@ -340,3 +340,37 @@ func TestSilentDepartureExpiresWithinTTL(t *testing.T) {
 		t.Errorf("response peers = %v, want [%v]", resp.Peers, alive)
 	}
 }
+
+// TestOutageDropsInboundThenRecovers covers the tracker-crash fault: while
+// down the server neither registers announces nor answers queries, and it
+// picks up right where it left off on recovery.
+func TestOutageDropsInboundThenRecovers(t *testing.T) {
+	rig := newRig(t)
+	peerA := netip.AddrFrom4([4]byte{58, 40, 0, 20})
+
+	rig.server.SetDown(true)
+	rig.server.HandleMessage(peerA, &wire.TrackerAnnounce{Channel: 1})
+	rig.client.Send(rig.srvEnv.Addr(), &wire.TrackerQuery{Channel: 1})
+	rig.run(t, 5*time.Second)
+	if len(rig.inbox) != 0 {
+		t.Fatalf("downed tracker answered %d messages", len(rig.inbox))
+	}
+	if announces, queries, _ := rig.server.Stats(); announces != 0 || queries != 0 {
+		t.Errorf("downed tracker counted traffic: %d announces, %d queries", announces, queries)
+	}
+	if got := rig.server.ActivePeers(1); len(got) != 0 {
+		t.Errorf("announce registered while down: %v", got)
+	}
+
+	rig.server.SetDown(false)
+	rig.server.HandleMessage(peerA, &wire.TrackerAnnounce{Channel: 1})
+	rig.client.Send(rig.srvEnv.Addr(), &wire.TrackerQuery{Channel: 1})
+	rig.run(t, 5*time.Second)
+	if len(rig.inbox) != 1 {
+		t.Fatalf("recovered tracker answered %d messages, want 1", len(rig.inbox))
+	}
+	resp := rig.inbox[0].(*wire.TrackerResponse)
+	if len(resp.Peers) != 1 || resp.Peers[0] != peerA {
+		t.Errorf("response peers = %v, want [%v]", resp.Peers, peerA)
+	}
+}

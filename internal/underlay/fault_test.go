@@ -1,0 +1,272 @@
+package underlay
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"pplivesim/internal/eventsim"
+	"pplivesim/internal/isp"
+)
+
+func TestLinkFaultPartitionDropsBothDirections(t *testing.T) {
+	eng, net := newTestNet(t)
+	tele := mkHost("58.32.0.1", isp.TELE)
+	cnc := mkHost("60.0.0.1", isp.CNC)
+	teleGot, cncGot := 0, 0
+	if err := net.Attach(tele, func(netip.Addr, int, any) { teleGot++ }); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Attach(cnc, func(netip.Addr, int, any) { cncGot++ }); err != nil {
+		t.Fatal(err)
+	}
+	net.ApplyLinkFault(isp.TELE, isp.CNC, 0, 0, true)
+	net.Send(tele, cnc.Addr, 100, nil)
+	net.Send(cnc, tele.Addr, 100, nil)
+	if err := eng.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if teleGot != 0 || cncGot != 0 {
+		t.Errorf("partitioned pair delivered tele=%d cnc=%d, want 0/0", teleGot, cncGot)
+	}
+	if net.FaultDrops() != 2 {
+		t.Errorf("FaultDrops = %d, want 2", net.FaultDrops())
+	}
+	// Clearing the fault restores delivery and the idle (nil-table) path.
+	net.ClearLinkFault(isp.TELE, isp.CNC, 0, 0, true)
+	if net.flt != nil {
+		t.Error("fault table not freed after last clear")
+	}
+	net.Send(tele, cnc.Addr, 100, nil)
+	if err := eng.Run(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if cncGot != 1 {
+		t.Errorf("post-recovery delivery = %d, want 1", cncGot)
+	}
+}
+
+func TestLinkFaultPartitionLeavesOtherPairsAlone(t *testing.T) {
+	eng, net := newTestNet(t)
+	tele := mkHost("58.32.0.1", isp.TELE)
+	cer := mkHost("59.64.0.1", isp.CER)
+	got := 0
+	if err := net.Attach(tele, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Attach(cer, func(netip.Addr, int, any) { got++ }); err != nil {
+		t.Fatal(err)
+	}
+	net.ApplyLinkFault(isp.TELE, isp.CNC, 0, 0, true)
+	net.Send(tele, cer.Addr, 100, nil)
+	if err := eng.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("TELE→CER delivery under TELE↔CNC partition = %d, want 1", got)
+	}
+}
+
+func TestLinkFaultAddDelayShiftsArrival(t *testing.T) {
+	arrivalWith := func(extra time.Duration) time.Duration {
+		eng, net := newTestNet(t)
+		a := mkHost("58.32.0.1", isp.TELE)
+		b := mkHost("58.32.0.2", isp.TELE)
+		var at time.Duration
+		if err := net.Attach(a, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := net.Attach(b, func(netip.Addr, int, any) { at = eng.Now() }); err != nil {
+			t.Fatal(err)
+		}
+		if extra > 0 {
+			net.ApplyLinkFault(isp.TELE, isp.TELE, 0, extra, false)
+		}
+		net.Send(a, b.Addr, 100, nil)
+		if err := eng.Run(time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		return at
+	}
+	base := arrivalWith(0)
+	slow := arrivalWith(50 * time.Millisecond)
+	if slow-base != 50*time.Millisecond {
+		t.Errorf("AddDelay shifted arrival by %v, want 50ms", slow-base)
+	}
+}
+
+func TestLinkFaultAddLossStatistical(t *testing.T) {
+	eng := eventsim.New(9)
+	cfg := DefaultConfig()
+	cfg.JitterFrac = 0
+	cfg.LossIntra = 0
+	net := New(eng, cfg)
+	a := mkHost("58.32.0.1", isp.TELE)
+	a.UploadBps = 1 << 30
+	b := mkHost("58.32.0.2", isp.TELE)
+	got := 0
+	if err := net.Attach(a, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Attach(b, func(netip.Addr, int, any) { got++ }); err != nil {
+		t.Fatal(err)
+	}
+	net.ApplyLinkFault(isp.TELE, isp.TELE, 0.5, 0, false)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		net.Send(a, b.Addr, 10, nil)
+	}
+	if err := eng.Run(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if got < n*35/100 || got > n*65/100 {
+		t.Errorf("delivered %d of %d with 50%% added loss, outside [35%%,65%%]", got, n)
+	}
+}
+
+func TestBurstLossAppliesEverywhere(t *testing.T) {
+	eng := eventsim.New(11)
+	cfg := DefaultConfig()
+	cfg.JitterFrac = 0
+	cfg.LossIntra, cfg.LossInterDomestic, cfg.LossTransoceanic = 0, 0, 0
+	net := New(eng, cfg)
+	a := mkHost("58.32.0.1", isp.TELE)
+	a.UploadBps = 1 << 30
+	b := mkHost("60.0.0.1", isp.CNC)
+	got := 0
+	if err := net.Attach(a, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Attach(b, func(netip.Addr, int, any) { got++ }); err != nil {
+		t.Fatal(err)
+	}
+	net.AddBurstLoss(1.0) // everything drops
+	const n = 50
+	for i := 0; i < n; i++ {
+		net.Send(a, b.Addr, 10, nil)
+	}
+	if err := eng.Run(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("delivered %d under 100%% burst loss, want 0", got)
+	}
+	net.RemoveBurstLoss(1.0)
+	if net.flt != nil {
+		t.Error("fault table not freed after burst loss cleared")
+	}
+}
+
+func TestOverlappingFaultsCompose(t *testing.T) {
+	_, net := newTestNet(t)
+	net.ApplyLinkFault(isp.TELE, isp.CNC, 0.1, 10*time.Millisecond, false)
+	net.ApplyLinkFault(isp.TELE, isp.CNC, 0, 0, true)
+	k := fkey(isp.TELE, isp.CNC)
+	if net.flt.addLoss[k] != 0.1 || net.flt.partition[k] != 1 {
+		t.Fatalf("composed fault state wrong: loss=%v partition=%d", net.flt.addLoss[k], net.flt.partition[k])
+	}
+	// Clearing the partition leaves the degradation in force.
+	net.ClearLinkFault(isp.TELE, isp.CNC, 0, 0, true)
+	if net.flt == nil || net.flt.partition[k] != 0 || net.flt.addLoss[k] != 0.1 {
+		t.Fatal("clearing one overlapping fault disturbed the other")
+	}
+	net.ClearLinkFault(isp.TELE, isp.CNC, 0.1, 10*time.Millisecond, false)
+	if net.flt != nil {
+		t.Error("fault table not freed after all faults cleared")
+	}
+}
+
+func TestFaultFreeTrajectoryUnchangedByHooks(t *testing.T) {
+	// The arrival sequence of a fault-free run must be bit-identical whether
+	// or not the binary carries the injection hooks exercised elsewhere; a
+	// run that installs and fully clears a fault before sending anything uses
+	// the same RNG stream as one that never touched the fault API.
+	run := func(touchFaults bool) []time.Duration {
+		eng := eventsim.New(77)
+		cfg := DefaultConfig()
+		net := New(eng, cfg)
+		if touchFaults {
+			net.ApplyLinkFault(isp.TELE, isp.CNC, 0.3, time.Second, true)
+			net.ClearLinkFault(isp.TELE, isp.CNC, 0.3, time.Second, true)
+		}
+		a := mkHost("58.32.0.1", isp.TELE)
+		a.UploadBps = 1 << 30
+		b := mkHost("60.0.0.1", isp.CNC)
+		var arrivals []time.Duration
+		if err := net.Attach(a, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := net.Attach(b, func(netip.Addr, int, any) { arrivals = append(arrivals, eng.Now()) }); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 100; i++ {
+			net.Send(a, b.Addr, 10, nil)
+		}
+		if err := eng.Run(time.Hour); err != nil {
+			t.Fatal(err)
+		}
+		return arrivals
+	}
+	clean, touched := run(false), run(true)
+	if len(clean) != len(touched) {
+		t.Fatalf("delivered %d vs %d datagrams", len(clean), len(touched))
+	}
+	for i := range clean {
+		if clean[i] != touched[i] {
+			t.Fatalf("arrival %d diverged: %v vs %v", i, clean[i], touched[i])
+		}
+	}
+}
+
+// benchNet builds a two-host network with loss and jitter disabled so the
+// benchmark measures the send path itself, not the delivery schedule.
+func benchNet(b *testing.B) (*eventsim.Engine, *Network, *Host, netip.Addr) {
+	b.Helper()
+	eng := eventsim.New(1)
+	cfg := DefaultConfig()
+	cfg.LossIntra, cfg.LossInterDomestic, cfg.LossTransoceanic = 0, 0, 0
+	cfg.MaxQueueDelay = time.Duration(1) << 60 // never tail-drop
+	net := New(eng, cfg)
+	src := mkHost("58.32.0.1", isp.TELE)
+	src.UploadBps = 1 << 40
+	dst := mkHost("58.32.0.2", isp.TELE)
+	if err := net.Attach(src, nil); err != nil {
+		b.Fatal(err)
+	}
+	if err := net.Attach(dst, nil); err != nil {
+		b.Fatal(err)
+	}
+	return eng, net, src, dst.Addr
+}
+
+// BenchmarkFaultIdleSend is the no-schedule send path: the fault hook must
+// cost one nil pointer test (bench-compare gates this against the committed
+// baseline).
+func BenchmarkFaultIdleSend(b *testing.B) {
+	eng, net, src, to := benchNet(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		net.Send(src, to, 1400, nil)
+		if i%1024 == 1023 {
+			if err := eng.Run(eng.Now() + time.Hour); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFaultActiveSend is the same path with a live degradation fault,
+// for comparison against the idle cost.
+func BenchmarkFaultActiveSend(b *testing.B) {
+	eng, net, src, to := benchNet(b)
+	net.ApplyLinkFault(isp.TELE, isp.TELE, 0.01, 5*time.Millisecond, false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		net.Send(src, to, 1400, nil)
+		if i%1024 == 1023 {
+			if err := eng.Run(eng.Now() + time.Hour); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -205,9 +205,104 @@ type Network struct {
 	// single-threaded engine a plain slice beats sync.Pool.
 	freeDeliveries []*delivery
 
+	// flt holds active fault-injection perturbations; nil whenever no fault
+	// is in force, so the fault-free send path pays one pointer test and
+	// nothing else (BenchmarkFaultIdleSend pins this).
+	flt *linkFaults
+
 	// Stats.
 	delivered, droppedLoss, droppedQueue, droppedNoHost uint64
+	droppedFault                                        uint64
 }
+
+// linkFaults is the active perturbation table. Entries accumulate, so
+// overlapping fault windows compose: Apply adds, Clear subtracts, and the
+// table frees itself when the last fault clears.
+type linkFaults struct {
+	addLoss   [(isp.Count + 1) * (isp.Count + 1)]float64
+	addDelay  [(isp.Count + 1) * (isp.Count + 1)]time.Duration
+	partition [(isp.Count + 1) * (isp.Count + 1)]int16
+	burstLoss float64
+	active    int
+}
+
+// fkey indexes the perturbation tables by directed ISP pair.
+func fkey(a, b isp.ISP) int { return int(a)*(isp.Count+1) + int(b) }
+
+func (n *Network) ensureFaults() *linkFaults {
+	if n.flt == nil {
+		n.flt = &linkFaults{}
+	}
+	return n.flt
+}
+
+func (n *Network) releaseFault() {
+	n.flt.active--
+	if n.flt.active == 0 {
+		n.flt = nil // restore the zero-cost idle path after the last recovery
+	}
+}
+
+// ApplyLinkFault perturbs the path between two ISP categories, symmetrically:
+// addLoss is added to the base loss probability, addDelay to every surviving
+// datagram's one-way delay, and partition drops everything on the pair. Call
+// ClearLinkFault with the identical arguments at recovery time.
+func (n *Network) ApplyLinkFault(a, b isp.ISP, addLoss float64, addDelay time.Duration, partition bool) {
+	f := n.ensureFaults()
+	f.active++
+	keys := [2]int{fkey(a, b), fkey(b, a)}
+	for i, k := range keys {
+		if i == 1 && keys[0] == keys[1] {
+			break // a == b: perturb the intra-ISP path once, not twice
+		}
+		f.addLoss[k] += addLoss
+		f.addDelay[k] += addDelay
+		if partition {
+			f.partition[k]++
+		}
+	}
+}
+
+// ClearLinkFault removes a perturbation previously installed with the same
+// arguments.
+func (n *Network) ClearLinkFault(a, b isp.ISP, addLoss float64, addDelay time.Duration, partition bool) {
+	f := n.flt
+	if f == nil {
+		return
+	}
+	keys := [2]int{fkey(a, b), fkey(b, a)}
+	for i, k := range keys {
+		if i == 1 && keys[0] == keys[1] {
+			break
+		}
+		f.addLoss[k] -= addLoss
+		f.addDelay[k] -= addDelay
+		if partition {
+			f.partition[k]--
+		}
+	}
+	n.releaseFault()
+}
+
+// AddBurstLoss adds correlated loss to every path through this network;
+// RemoveBurstLoss undoes it at recovery time.
+func (n *Network) AddBurstLoss(loss float64) {
+	f := n.ensureFaults()
+	f.active++
+	f.burstLoss += loss
+}
+
+// RemoveBurstLoss removes a burst-loss perturbation of the given magnitude.
+func (n *Network) RemoveBurstLoss(loss float64) {
+	if n.flt == nil {
+		return
+	}
+	n.flt.burstLoss -= loss
+	n.releaseFault()
+}
+
+// FaultDrops reports datagrams dropped by an active partition fault.
+func (n *Network) FaultDrops() uint64 { return n.droppedFault }
 
 // delivery is one in-flight datagram, scheduled via Engine.AtArg so sending
 // allocates nothing once the free list warms up.
@@ -376,14 +471,30 @@ func (n *Network) Send(from *Host, to netip.Addr, size int, payload any) bool {
 		n.droppedNoHost++
 		return true // accepted by the uplink; lost in the network
 	}
-	if n.rng.Float64() < n.cfg.lossProb(from.ISP, dst.ISP) {
+	// Fault perturbations fold in before the loss draw; a partition drops the
+	// datagram without consuming randomness, so the RNG stream stays aligned
+	// for the surviving traffic (deterministic per engine at any worker
+	// count). Added delay only ever increases the arrival, so the PDES
+	// lookahead bound still holds.
+	p := n.cfg.lossProb(from.ISP, dst.ISP)
+	var faultDelay time.Duration
+	if f := n.flt; f != nil {
+		k := fkey(from.ISP, dst.ISP)
+		if f.partition[k] > 0 {
+			n.droppedFault++
+			return true
+		}
+		p += f.addLoss[k] + f.burstLoss
+		faultDelay = f.addDelay[k]
+	}
+	if n.rng.Float64() < p {
 		n.droppedLoss++
 		return true
 	}
 
 	owd := n.PairOWD(from, dst)
 	jitter := time.Duration(n.rng.ExpFloat64() * n.cfg.JitterFrac * float64(owd))
-	arrival := departure + owd + jitter + dst.ProcDelay
+	arrival := departure + owd + jitter + faultDelay + dst.ProcDelay
 	if n.cfg.TransoceanicBps > 0 && from.ISP.Domestic() != dst.ISP.Domestic() {
 		arrival += time.Duration(float64(size) / n.cfg.TransoceanicBps * float64(time.Second))
 	}
@@ -400,13 +511,24 @@ func (n *Network) Send(from *Host, to netip.Addr, size int, payload any) bool {
 // check) when the barrier injects it; those per-host properties are only
 // readable over there.
 func (n *Network) sendRemote(from *Host, to netip.Addr, rem Remote, departure time.Duration, size int, payload any) bool {
-	if n.rng.Float64() < n.cfg.lossProb(from.ISP, rem.ISP) {
+	p := n.cfg.lossProb(from.ISP, rem.ISP)
+	var faultDelay time.Duration
+	if f := n.flt; f != nil {
+		k := fkey(from.ISP, rem.ISP)
+		if f.partition[k] > 0 {
+			n.droppedFault++
+			return true
+		}
+		p += f.addLoss[k] + f.burstLoss
+		faultDelay = f.addDelay[k]
+	}
+	if n.rng.Float64() < p {
 		n.droppedLoss++
 		return true
 	}
 	owd := n.pairOWDAddr(from.Addr, from.ISP, to, rem.ISP)
 	jitter := time.Duration(n.rng.ExpFloat64() * n.cfg.JitterFrac * float64(owd))
-	arrival := departure + owd + jitter
+	arrival := departure + owd + jitter + faultDelay
 	if n.cfg.TransoceanicBps > 0 && from.ISP.Domestic() != rem.ISP.Domestic() {
 		arrival += time.Duration(float64(size) / n.cfg.TransoceanicBps * float64(time.Second))
 	}

@@ -1,0 +1,58 @@
+package wire
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// corpusMessages is the committed seed corpus under
+// testdata/fuzz/FuzzUnmarshal: every in-code fuzz seed plus the
+// golden-trace-shaped messages. `go test -fuzz` merges these with the f.Add
+// seeds, and plain `go test` replays them as regression inputs.
+func corpusMessages() []Message {
+	msgs := []Message{
+		&TrackerAnnounce{Channel: 1, Leaving: false},
+		&TrackerAnnounce{Channel: 1, Leaving: true},
+		&TrackerQuery{Channel: 1},
+		&Handshake{Channel: 1},
+		&DataReply{Channel: 1, Seq: 481512, Count: 0, Busy: true},
+		&Ping{Channel: 2, Nonce: 7},
+		&Pong{Channel: 2, Nonce: 7},
+	}
+	return append(msgs, goldenShapedSeeds()...)
+}
+
+// TestGenerateFuzzCorpus rewrites the committed corpus files; it only acts
+// when PPLIVE_WRITE_FUZZ_CORPUS=1 is set (run it after changing the message
+// set, then commit the result). Otherwise it verifies the committed corpus is
+// in sync with corpusMessages.
+func TestGenerateFuzzCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzUnmarshal")
+	write := os.Getenv("PPLIVE_WRITE_FUZZ_CORPUS") == "1"
+	if write {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, m := range corpusMessages() {
+		data := Marshal(m)
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(data)))
+		path := filepath.Join(dir, fmt.Sprintf("seed-%02d-%s", i, m.Kind()))
+		if write {
+			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("corpus file missing (regenerate with PPLIVE_WRITE_FUZZ_CORPUS=1): %v", err)
+		}
+		if string(got) != body {
+			t.Errorf("corpus file %s out of sync with corpusMessages; regenerate", path)
+		}
+	}
+}

@@ -21,7 +21,13 @@ func FuzzUnmarshal(f *testing.F) {
 		&Have{Channel: 1, Seq: 5, Count: 2},
 		&AsnQuery{Addr: netip.MustParseAddr("58.32.0.1")},
 		&AsnResponse{Addr: netip.MustParseAddr("58.32.0.1"), Found: true, ASN: 4134, ISP: 1, Name: "CHINANET"},
+		&Ping{Channel: 1, Nonce: 0xDEADBEEF},
+		&Pong{Channel: 1, Nonce: 0xDEADBEEF},
 	}
+	// Golden-trace-shaped seeds: the shapes the simulator actually puts on
+	// the wire (2048-sub-piece buffer windows, full 60-entry tracker
+	// replies), mirrored by the committed corpus in testdata/fuzz.
+	seeds = append(seeds, goldenShapedSeeds()...)
 	for _, m := range seeds {
 		f.Add(Marshal(m))
 	}
@@ -40,4 +46,27 @@ func FuzzUnmarshal(f *testing.F) {
 			t.Fatalf("non-canonical accept:\n in  %x\n out %x", data, again)
 		}
 	})
+}
+
+// goldenShapedSeeds builds messages with the dimensions of the pinned golden
+// scenarios: a DefaultConfig peer announces a 2048-sub-piece (256-byte)
+// buffer map around a mid-stream playhead, and trackers return up to
+// MaxPeerList addresses drawn from the simulation's ISP address blocks.
+func goldenShapedSeeds() []Message {
+	bm := MakeBufferMap(481000, 2048)
+	bm.SetRange(481000, 482023)
+	bm.Set(482100)
+	bm.Set(482741)
+	peers := make([]netip.Addr, MaxPeerList)
+	for i := range peers {
+		// Cycle through the scenario address plan's leading octets.
+		first := []byte{58, 60, 59, 121, 129}[i%5]
+		peers[i] = netip.AddrFrom4([4]byte{first, 32, byte(i >> 8), byte(i)})
+	}
+	return []Message{
+		&BufferMapAnnounce{Channel: 1, Buffer: bm},
+		&HandshakeAck{Channel: 1, Accepted: true, Buffer: bm},
+		&TrackerResponse{Channel: 1, Peers: peers},
+		&PeerListReply{Channel: 1, Peers: peers[:20]},
+	}
 }

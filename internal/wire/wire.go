@@ -61,6 +61,8 @@ const (
 	THave
 	TAsnQuery
 	TAsnResponse
+	TPing
+	TPong
 	maxType
 )
 
@@ -101,6 +103,10 @@ func (t Type) String() string {
 		return "AsnQuery"
 	case TAsnResponse:
 		return "AsnResponse"
+	case TPing:
+		return "Ping"
+	case TPong:
+		return "Pong"
 	default:
 		return fmt.Sprintf("Type(%d)", byte(t))
 	}
@@ -816,6 +822,61 @@ func (m *AsnResponse) readBody(b []byte) ([]byte, error) {
 	return b, err
 }
 
+// Ping is a neighbor keepalive probe: a peer that has heard nothing from a
+// neighbor for a while sends one and expects a Pong echoing the nonce. A
+// crashed neighbor never answers, so missed pongs drive failure detection far
+// faster than the long gossip silence bound.
+type Ping struct {
+	Channel ChannelID
+	Nonce   uint32
+}
+
+// Kind implements Message.
+func (*Ping) Kind() Type { return TPing }
+
+func (m *Ping) appendBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(m.Channel))
+	return binary.BigEndian.AppendUint32(b, m.Nonce)
+}
+
+func (*Ping) bodySize() int { return 4 + 4 }
+
+func (m *Ping) readBody(b []byte) ([]byte, error) {
+	v, b, err := readUint32(b)
+	if err != nil {
+		return nil, err
+	}
+	m.Channel = ChannelID(v)
+	m.Nonce, b, err = readUint32(b)
+	return b, err
+}
+
+// Pong answers a Ping, echoing its nonce.
+type Pong struct {
+	Channel ChannelID
+	Nonce   uint32
+}
+
+// Kind implements Message.
+func (*Pong) Kind() Type { return TPong }
+
+func (m *Pong) appendBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(m.Channel))
+	return binary.BigEndian.AppendUint32(b, m.Nonce)
+}
+
+func (*Pong) bodySize() int { return 4 + 4 }
+
+func (m *Pong) readBody(b []byte) ([]byte, error) {
+	v, b, err := readUint32(b)
+	if err != nil {
+		return nil, err
+	}
+	m.Channel = ChannelID(v)
+	m.Nonce, b, err = readUint32(b)
+	return b, err
+}
+
 // newMessage allocates an empty message of the given type.
 func newMessage(t Type) (Message, error) {
 	switch t {
@@ -853,6 +914,10 @@ func newMessage(t Type) (Message, error) {
 		return &AsnQuery{}, nil
 	case TAsnResponse:
 		return &AsnResponse{}, nil
+	case TPing:
+		return &Ping{}, nil
+	case TPong:
+		return &Pong{}, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrBadType, byte(t))
 	}

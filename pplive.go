@@ -21,8 +21,11 @@
 package pplive
 
 import (
+	"time"
+
 	"pplivesim/internal/analysis"
 	"pplivesim/internal/core"
+	"pplivesim/internal/fault"
 	"pplivesim/internal/isp"
 	"pplivesim/internal/workload"
 )
@@ -56,6 +59,22 @@ type (
 	Report = analysis.Report
 	// ISP identifies one of the paper's ISP categories.
 	ISP = isp.ISP
+	// FaultSchedule declares deterministic fault injections for a scenario
+	// (Scenario.Faults); nil leaves the run bit-identical to a benign one.
+	FaultSchedule = fault.Schedule
+	// SourceCrash silences one channel's origin for a window.
+	SourceCrash = fault.SourceCrash
+	// TrackerOutage downs a tracker group (or all) for a window.
+	TrackerOutage = fault.TrackerOutage
+	// LinkFault degrades or partitions one ISP-pair transit path.
+	LinkFault = fault.LinkFault
+	// BurstLoss adds network-wide loss for a window.
+	BurstLoss = fault.BurstLoss
+	// PeerKill abruptly crashes a fraction of viewers at an instant.
+	PeerKill = fault.PeerKill
+	// ResilienceReport holds per-fault-window dip/recovery/traffic-shift
+	// metrics (Result.ProbeResilience).
+	ResilienceReport = analysis.ResilienceReport
 )
 
 // The ISP categories used throughout the paper.
@@ -69,6 +88,15 @@ const (
 
 // RunScenario builds and runs a scenario.
 func RunScenario(sc Scenario) (*Result, error) { return core.RunScenario(sc) }
+
+// FaultPresetNames lists the canned chaos schedules accepted by FaultPreset.
+func FaultPresetNames() []string { return fault.PresetNames() }
+
+// FaultPreset builds a canned chaos schedule scaled to a scenario's warm-up
+// and watch window, for Scenario.Faults.
+func FaultPreset(name string, warmUp, watch time.Duration) (*FaultSchedule, error) {
+	return fault.Preset(name, warmUp, watch)
+}
 
 // PopularScenario returns the paper's popular-channel setting at the given
 // population scale (1.0 ≈ 1300 concurrent viewers), with default two-hour
