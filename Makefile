@@ -68,18 +68,26 @@ bench-sched:
 	  END { print "\n]" }' bench_sched.txt > BENCH_sched.json
 	@echo "wrote BENCH_sched.json"
 
-# Sharded-engine wall-clock benchmark: the paper-scale popular scenario,
-# once single-threaded and once with SHARD_WORKERS event-loop workers,
-# exported as BENCH_shard.json. The events/continuity/locality fields must be
-# identical across the two entries (the trajectory is worker-count
-# invariant); only wall_seconds may differ, and gomaxprocs records how many
-# cores the speedup had to work with. Each run is a full ~2-hour-virtual
-# scenario, so this takes serious wall time.
-SHARD_WORKERS ?= 6
+# Sharded-engine wall-clock benchmark: the paper-scale popular scenario run
+# three times on the SAME partition (SHARD_WORKERS event-loop shards) at
+# GOMAXPROCS 1, 2, and 4, exported as BENCH_shard.json. Holding the
+# partition fixed and varying only the core count is what makes the entries
+# comparable: the events/continuity/locality fields must be identical across
+# all three (the trajectory is worker-count invariant — benchdiff -shard
+# enforces this), and only wall_seconds may differ. The gomaxprocs field in
+# each entry records how many cores that run had, so downstream comparisons
+# (benchdiff -shard baseline current) match like-for-like (workers,
+# gomaxprocs) pairs instead of conflating parity runs with regressions.
+# Each run is a full ~2-hour-virtual scenario, so this takes serious wall
+# time. SHARD_WORKERS=12 engages the scaled partition (7 TELE address-range
+# sub-shards + infrastructure domain); values <= 6 use the legacy ISP
+# partition.
+SHARD_WORKERS ?= 12
 
 bench-shard:
-	PPLIVE_PAPER_SCALE=1 PPLIVE_SHARD_WORKERS=1 $(GO) test -run TestPaperScalePopularRun -v -timeout 4h ./internal/experiments | tee bench_shard.txt
-	PPLIVE_PAPER_SCALE=1 PPLIVE_SHARD_WORKERS=$(SHARD_WORKERS) $(GO) test -run TestPaperScalePopularRun -v -timeout 4h ./internal/experiments | tee -a bench_shard.txt
+	GOMAXPROCS=1 PPLIVE_PAPER_SCALE=1 PPLIVE_SHARD_WORKERS=$(SHARD_WORKERS) $(GO) test -run TestPaperScalePopularRun -v -timeout 4h ./internal/experiments | tee bench_shard.txt
+	GOMAXPROCS=2 PPLIVE_PAPER_SCALE=1 PPLIVE_SHARD_WORKERS=$(SHARD_WORKERS) $(GO) test -run TestPaperScalePopularRun -v -timeout 4h ./internal/experiments | tee -a bench_shard.txt
+	GOMAXPROCS=4 PPLIVE_PAPER_SCALE=1 PPLIVE_SHARD_WORKERS=$(SHARD_WORKERS) $(GO) test -run TestPaperScalePopularRun -v -timeout 4h ./internal/experiments | tee -a bench_shard.txt
 	awk 'BEGIN { print "[" } \
 	  /shard-bench:/ { \
 	    line = ""; \
@@ -92,6 +100,7 @@ bench-shard:
 	    printf "  {%s}", line; \
 	  } \
 	  END { print "\n]" }' bench_shard.txt > BENCH_shard.json
+	$(GO) run ./cmd/benchdiff -shard BENCH_shard.json
 	@echo "wrote BENCH_shard.json"
 
 # Telemetry pipeline benchmarks: full-capture vs streaming analysis of the

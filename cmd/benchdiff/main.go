@@ -7,6 +7,20 @@
 // Usage:
 //
 //	benchdiff [-threshold 0.30] [-normalize] baseline.json current.json [baseline2.json current2.json ...]
+//	benchdiff -shard BENCH_shard.json
+//	benchdiff -shard [-threshold 0.30] baseline_shard.json current_shard.json
+//
+// With -shard, the files are `make bench-shard` exports — a list of
+// {"workers", "gomaxprocs", "wall_seconds", "events", "continuity",
+// "locality"} objects, one per (partition, core-count) run. Every file is
+// checked for trajectory determinism: entries sharing a workers value must
+// agree exactly on events, continuity and locality, because the engine's
+// trajectory is worker-count invariant and only wall_seconds may vary.
+// Given a baseline/current pair, wall_seconds is compared only between
+// entries with the SAME (workers, gomaxprocs) key — like-for-like — so a
+// single-core parity run is never mistaken for a regression against a
+// multi-core one. A single file argument runs the determinism check and
+// prints the multi-core speedup without comparing against a baseline.
 //
 // With -normalize, every ns/op ratio is divided by the geometric mean of all
 // ratios in that file pair. A different (slower or faster) machine shifts
@@ -50,14 +64,18 @@ func main() {
 func run() error {
 	threshold := flag.Float64("threshold", 0.30, "fail when a benchmark's (normalized) ns/op grows by more than this fraction")
 	normalize := flag.Bool("normalize", false, "divide ratios by their geometric mean to absorb machine-speed offsets")
+	shard := flag.Bool("shard", false, "compare make bench-shard exports: like-for-like (workers, gomaxprocs) wall clock plus trajectory-determinism checks")
 	flag.Parse()
 
 	args := flag.Args()
-	if len(args) == 0 || len(args)%2 != 0 {
-		return fmt.Errorf("usage: benchdiff [-threshold F] [-normalize] baseline.json current.json [...]")
-	}
 	if *threshold <= 0 {
 		return fmt.Errorf("-threshold %g: must be positive", *threshold)
+	}
+	if *shard {
+		return runShard(args, *threshold)
+	}
+	if len(args) == 0 || len(args)%2 != 0 {
+		return fmt.Errorf("usage: benchdiff [-threshold F] [-normalize] baseline.json current.json [...]")
 	}
 
 	failed := false
@@ -173,4 +191,160 @@ func comparePair(basePath, curPath string, threshold float64, normalize bool) (b
 		fmt.Printf("  %-50s new benchmark (no baseline)\n", name)
 	}
 	return ok, nil
+}
+
+// shardEntry is one run of `make bench-shard`: a (partition, core-count)
+// pair with its wall clock and the trajectory metrics that pin determinism.
+type shardEntry struct {
+	Workers     int     `json:"workers"`
+	Gomaxprocs  int     `json:"gomaxprocs"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Events      uint64  `json:"events"`
+	Continuity  float64 `json:"continuity"`
+	Locality    float64 `json:"locality"`
+}
+
+// key identifies the like-for-like comparison unit: wall clock is only
+// meaningful between runs of the same partition on the same core count.
+func (e shardEntry) key() string {
+	return fmt.Sprintf("workers=%d gomaxprocs=%d", e.Workers, e.Gomaxprocs)
+}
+
+func loadShard(path string) ([]shardEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []shardEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("%s: no shard-bench entries", path)
+	}
+	seen := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		if e.Workers < 1 || e.Gomaxprocs < 1 || e.WallSeconds <= 0 {
+			return nil, fmt.Errorf("%s: entry %+v missing workers, gomaxprocs or wall_seconds", path, e)
+		}
+		if seen[e.key()] {
+			return nil, fmt.Errorf("%s: duplicate entry for %s", path, e.key())
+		}
+		seen[e.key()] = true
+	}
+	return entries, nil
+}
+
+// runShard handles -shard mode: one file checks determinism and prints the
+// multi-core speedup; a baseline/current pair additionally gates wall clock
+// like-for-like.
+func runShard(args []string, threshold float64) error {
+	switch len(args) {
+	case 1:
+		entries, err := loadShard(args[0])
+		if err != nil {
+			return err
+		}
+		if !checkShardFile(args[0], entries) {
+			return fmt.Errorf("shard trajectory diverges across worker counts")
+		}
+		return nil
+	case 2:
+		base, err := loadShard(args[0])
+		if err != nil {
+			return err
+		}
+		cur, err := loadShard(args[1])
+		if err != nil {
+			return err
+		}
+		ok := checkShardFile(args[1], cur)
+		if !compareShardPair(args[0], base, args[1], cur, threshold) {
+			ok = false
+		}
+		if !ok {
+			return fmt.Errorf("shard benchmark regression beyond %.0f%% (or determinism failure)", 100*threshold)
+		}
+		return nil
+	default:
+		return fmt.Errorf("usage: benchdiff -shard current.json  |  benchdiff -shard baseline.json current.json")
+	}
+}
+
+// checkShardFile verifies worker-count invariance within one export: every
+// entry sharing a workers value must report bit-identical events, continuity
+// and locality — core count may change the wall clock, never the trajectory.
+// It also prints the speedup of each entry over the slowest run of the same
+// partition, which is the number the multi-core acceptance gate reads.
+func checkShardFile(path string, entries []shardEntry) bool {
+	fmt.Printf("== %s (determinism + speedup) ==\n", path)
+	ok := true
+	ref := make(map[int]shardEntry)
+	slowest := make(map[int]float64)
+	for _, e := range entries {
+		if r, found := ref[e.Workers]; found {
+			if e.Events != r.Events || e.Continuity != r.Continuity || e.Locality != r.Locality {
+				fmt.Printf("  %-30s DETERMINISM FAIL: events/continuity/locality differ from %s\n", e.key(), r.key())
+				ok = false
+			}
+		} else {
+			ref[e.Workers] = e
+		}
+		if e.WallSeconds > slowest[e.Workers] {
+			slowest[e.Workers] = e.WallSeconds
+		}
+	}
+	for _, e := range entries {
+		fmt.Printf("  %-30s wall %7.1fs  speedup %.2fx  (events %d, continuity %.4f, locality %.4f)\n",
+			e.key(), e.WallSeconds, slowest[e.Workers]/e.WallSeconds, e.Events, e.Continuity, e.Locality)
+	}
+	return ok
+}
+
+// compareShardPair gates baseline→current wall clock between entries with
+// the same (workers, gomaxprocs) key only.
+func compareShardPair(basePath string, base []shardEntry, curPath string, cur []shardEntry, threshold float64) bool {
+	fmt.Printf("== %s vs %s (like-for-like wall clock) ==\n", basePath, curPath)
+	byKey := make(map[string]shardEntry, len(cur))
+	for _, e := range cur {
+		byKey[e.key()] = e
+	}
+	ok := true
+	matched := 0
+	for _, b := range base {
+		c, found := byKey[b.key()]
+		if !found {
+			fmt.Printf("  %-30s MISSING from current run\n", b.key())
+			ok = false
+			continue
+		}
+		matched++
+		ratio := c.WallSeconds / b.WallSeconds
+		verdict := "ok"
+		switch {
+		case ratio > 1+threshold:
+			verdict = fmt.Sprintf("FAIL (> +%.0f%%)", 100*threshold)
+			ok = false
+		case ratio > warnRatio:
+			verdict = "warn"
+		}
+		fmt.Printf("  %-30s %7.1fs -> %7.1fs  ratio %.3f  %s\n", b.key(), b.WallSeconds, c.WallSeconds, ratio, verdict)
+	}
+	if matched == 0 {
+		fmt.Println("  no common (workers, gomaxprocs) entries")
+		ok = false
+	}
+	for _, c := range cur {
+		found := false
+		for _, b := range base {
+			if b.key() == c.key() {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Printf("  %-30s new configuration (no baseline)\n", c.key())
+		}
+	}
+	return ok
 }

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	experiments [-scale quick|default|paper] [-seed N] [-only substr] [-out file]
-//	            [-shards N] [-cpuprofile file] [-memprofile file]
+//	            [-shards N] [-fidelity mixed|full|flow] [-cpuprofile file]
+//	            [-memprofile file]
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"pplivesim/internal/experiments"
+	"pplivesim/internal/peer"
 	"pplivesim/internal/simnet"
 )
 
@@ -241,6 +243,7 @@ func run() error {
 	plots := flag.String("plots", "", "also render SVG figures into this directory")
 	workers := flag.Int("workers", 0, "max concurrent scenario runs (0 = GOMAXPROCS); results are identical at any setting")
 	shards := flag.Int("shards", simnet.DefaultShards, "event-loop workers per run (one per ISP domain by default); results are identical at any setting")
+	fidelityName := flag.String("fidelity", "mixed", "background population fidelity: "+strings.Join(peer.FidelityNames(), ", "))
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
 	flag.Parse()
@@ -250,6 +253,10 @@ func run() error {
 	}
 	if *shards < 1 {
 		return fmt.Errorf("-shards %d: must be >= 1", *shards)
+	}
+	fidelity, err := peer.ParseFidelity(*fidelityName)
+	if err != nil {
+		return err
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -316,6 +323,7 @@ func run() error {
 	runner := experiments.NewRunner(scale, *seed)
 	runner.Workers = *workers
 	runner.Shards = *shards
+	runner.Fidelity = fidelity
 	emit(fmt.Sprintf("experiment run: scale=%s seed=%d population×%.2f watch=%s fig6days=%d\n\n",
 		*scaleName, *seed, scale.Population, scale.Watch, scale.Fig6Days))
 

@@ -8,6 +8,12 @@
 //	     [-probes tele,cnc,mason] [-seed 7] [-no-referral] [-no-latency-bias]
 //	     [-no-preference] [-switch-fraction 0.35] [-median-dwell 4m]
 //	     [-fault source-crash|tracker-outage|link-degrade|partition|burst-loss|kill-churn|combo]
+//	     [-fidelity mixed|full|flow]
+//
+// With -fidelity flow the background population runs as struct-of-arrays
+// flow swarms — millions of peers in bounded memory — while probes keep
+// full protocol fidelity. -fidelity full forces every background viewer to
+// a full Client.
 //
 // With -fault a canned chaos schedule is injected into the watch window and
 // each probe's report gains per-fault-window resilience metrics (continuity
@@ -52,6 +58,7 @@ func run() error {
 	switchFrac := flag.Float64("switch-fraction", 0.35, "with -channel multi: share of viewers that browse channels")
 	dwell := flag.Duration("median-dwell", 4*time.Minute, "with -channel multi: median dwell on a channel before switching")
 	faultName := flag.String("fault", "", "inject a chaos preset: "+strings.Join(pplive.FaultPresetNames(), ", "))
+	fidelityName := flag.String("fidelity", "mixed", "background population fidelity: "+strings.Join(pplive.FidelityNames(), ", "))
 	flag.Parse()
 
 	if *scale <= 0 {
@@ -91,6 +98,11 @@ func run() error {
 		DisableLatencyBias: *noLatency,
 		DisablePreference:  *noPref,
 	}
+	fidelity, err := pplive.ParseFidelity(*fidelityName)
+	if err != nil {
+		return err
+	}
+	sc.Fidelity = fidelity
 
 	for _, name := range strings.Split(*probesFlag, ",") {
 		name = strings.TrimSpace(name)

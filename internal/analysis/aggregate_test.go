@@ -152,6 +152,58 @@ func TestAggregateMergeEqualsConcatenated(t *testing.T) {
 	}
 }
 
+// TestAggregateMergeKWaySubShards extends the shard-merge property to the
+// scaled partition's shape: a trace split across K address-range sub-shards
+// (K=7 matches the 12-domain TELE split) must fold — in shard order or
+// reversed — to exactly the single-pass build of the concatenated trace.
+// This is what lets flow-fidelity runs merge window-local sub-shard
+// aggregates at barriers without caring how the population was partitioned.
+func TestAggregateMergeKWaySubShards(t *testing.T) {
+	for _, k := range []int{3, 7} {
+		resolver := testResolver()
+		trackers := map[netip.Addr]bool{trkA: true}
+		shards := make([][]capture.Record, k)
+		var combined []capture.Record
+		for s := 0; s < k; s++ {
+			shards[s] = genShardTrace(int64(31*s+1), byte(s), resolver)
+			combined = append(combined, shards[s]...)
+		}
+		sort.SliceStable(combined, func(i, j int) bool { return combined[i].At < combined[j].At })
+		wantJSON, err := json.Marshal(feedAggregate(combined, trackers, resolver).Report())
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		aggs := make([]*Aggregate, k)
+		for s := range shards {
+			aggs[s] = feedAggregate(shards[s], trackers, resolver)
+		}
+		merged := NewAggregate(resolver, srcA, isp.TELE)
+		for _, a := range aggs {
+			merged.Merge(a)
+		}
+		gotJSON, err := json.Marshal(merged.Report())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gotJSON, wantJSON) {
+			t.Errorf("k=%d: %d-way merged report differs from concatenated-trace report", k, k)
+		}
+
+		reversed := NewAggregate(resolver, srcA, isp.TELE)
+		for s := k - 1; s >= 0; s-- {
+			reversed.Merge(aggs[s])
+		}
+		revJSON, err := json.Marshal(reversed.Report())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(revJSON, wantJSON) {
+			t.Errorf("k=%d: fold order changed the report", k)
+		}
+	}
+}
+
 // TestPeersVsConnectedSemantics pins the documented split between
 // Report.Peers (every data-plane peer, answered or not — the
 // rank-distribution population) and ConnectedByISP (only peers with matched

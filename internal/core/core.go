@@ -95,6 +95,15 @@ type Scenario struct {
 	Probes    []ProbeSpec
 	Behaviour Behaviour
 
+	// Fidelity selects how the background population is simulated. The zero
+	// value, peer.FidelityMixed, is the pinned-golden behaviour (batched
+	// protocol Clients); peer.FidelityFull promotes background viewers to
+	// probe fidelity; peer.FidelityFlow replaces them with struct-of-arrays
+	// flow swarms — the million-peer mode. Probes are full-fidelity Clients
+	// at every level. Flow fidelity is incompatible with channel switching
+	// and with Behaviour.FullFidelityBackground.
+	Fidelity peer.Fidelity
+
 	// Faults, when non-nil, is the declarative fault-injection schedule
 	// executed during the run (see internal/fault). A non-nil schedule also
 	// enables every peer's resilience behaviours (peer.DefaultResilience) and
@@ -107,12 +116,22 @@ type Scenario struct {
 	// value, TelemetryStreaming, aggregates online in bounded memory.
 	Telemetry Telemetry
 
-	// Shards is the number of worker goroutines executing the ISP-domain
-	// shards of the event engine. The simulation is always partitioned by
-	// ISP domain and its trajectory is identical for every value; Shards
-	// only chooses how many OS threads execute the synchronization windows.
-	// Values below 2 run single-threaded.
+	// Shards is the degree of parallelism of the sharded event engine. Values
+	// up to simnet.DefaultShards (6) keep the legacy ISP-domain partition —
+	// the trajectory is identical for every such value, Shards only chooses
+	// how many goroutines execute the synchronization windows, and the pinned
+	// golden digests depend on this. Values above 6 engage the scaled
+	// partition: TELE splits into Shards-5 address-range sub-shards plus a
+	// dedicated infrastructure domain (see simnet.NewShardedWorldConfigN),
+	// which changes the trajectory (wider synthetic lookahead) but remains
+	// worker-count invariant. Values below 2 run single-threaded.
 	Shards int
+
+	// Workers, when non-zero, decouples the number of worker goroutines from
+	// the partition degree: a Shards=12 world can be driven by Workers=1 to
+	// check that a scaled partition's trajectory is worker-count invariant.
+	// Zero means Workers = Shards.
+	Workers int
 
 	// ArrivalWindow spreads the initial population's joins.
 	ArrivalWindow time.Duration
@@ -195,6 +214,17 @@ func (s *Scenario) Validate() error {
 	}
 	if s.ArrivalWindow <= 0 || s.WarmUp <= 0 || s.Watch <= 0 {
 		return fmt.Errorf("core: scenario %q has non-positive timing", s.Name)
+	}
+	if !s.Fidelity.Valid() {
+		return fmt.Errorf("core: scenario %q has invalid fidelity %d", s.Name, int(s.Fidelity))
+	}
+	if s.Fidelity == peer.FidelityFlow {
+		if s.Switching.Enabled {
+			return fmt.Errorf("core: scenario %q: flow fidelity does not support channel switching", s.Name)
+		}
+		if s.Behaviour.FullFidelityBackground {
+			return fmt.Errorf("core: scenario %q: flow fidelity contradicts FullFidelityBackground", s.Name)
+		}
 	}
 	if s.Faults != nil {
 		if err := s.Faults.Validate(len(set), tracker.Groups, s.WarmUp+s.Watch); err != nil {
@@ -282,6 +312,10 @@ type Result struct {
 	// counts viewers that switched at least once.
 	Switches  uint64
 	Switchers int
+	// FlowTraffic is the flow-level background traffic account, one entry
+	// per (channel, viewer category) with live swarm members, in channel
+	// then category order. Empty below peer.FidelityFlow.
+	FlowTraffic []*FlowTraffic
 }
 
 // ProbeReport finalizes probe i's streaming telemetry into the paper's full
@@ -330,6 +364,10 @@ type Sim struct {
 
 	bootstrapAddr netip.Addr
 	trackerAddrs  map[netip.Addr]bool
+	// trackerList is the same set in spawn order: flow swarms rotate their
+	// sampled announces over it (map iteration order would not be
+	// deterministic).
+	trackerList []netip.Addr
 
 	// channels mirrors the scenario's channel set with runtime identities;
 	// weights holds each channel's audience size for popularity-biased
@@ -351,6 +389,12 @@ type Sim struct {
 	// those accesses, so no locks are needed and the totals are deterministic
 	// for any worker count.
 	doms []domainState
+
+	// flows holds the per-(domain, channel) flow swarms at FidelityFlow
+	// (nil otherwise); flowTotals accumulates their telemetry per
+	// (channel, category), folded single-threaded at window barriers.
+	flows      []*flowDomain
+	flowTotals []*FlowTraffic
 }
 
 // domainState is the per-shard slice of the simulation's mutable state.
@@ -417,7 +461,7 @@ func Build(sc Scenario) (*Sim, error) {
 		return nil, err
 	}
 	set := sc.channelSet()
-	world := simnet.NewShardedWorld(sc.Seed)
+	world := simnet.NewShardedWorldN(sc.Seed, sc.Shards)
 	sim := &Sim{
 		scenario:     sc,
 		world:        world,
@@ -426,8 +470,9 @@ func Build(sc Scenario) (*Sim, error) {
 	for _, d := range world.Domains() {
 		sim.doms = append(sim.doms, domainState{dom: d, rng: d.Engine().NewRand()})
 	}
-	// Infrastructure lands in the first domain of its ISP category.
-	infraDomain := func(cat isp.ISP) *simnet.Domain { return world.DomainsOf(cat)[0] }
+	// Infrastructure lands in the first domain of its ISP category (legacy
+	// partition) or the dedicated infrastructure domain (scaled partition).
+	infraDomain := func(cat isp.ISP) *simnet.Domain { return world.InfraDomain(cat) }
 
 	// Bootstrap/channel server.
 	bsEnv, err := infraDomain(isp.TELE).Spawn(simnet.HostSpec{ISP: isp.TELE, UploadBps: infraUploadBps, ProcDelay: 2 * time.Millisecond})
@@ -451,6 +496,7 @@ func Build(sc Scenario) (*Sim, error) {
 			env.SetHandler(srv)
 			groups[g] = append(groups[g], env.Addr())
 			sim.trackerAddrs[env.Addr()] = true
+			sim.trackerList = append(sim.trackerList, env.Addr())
 			sim.trackerSrvs = append(sim.trackerSrvs, trackerRef{srv: srv, dom: env.Domain(), group: g})
 		}
 	}
@@ -489,19 +535,14 @@ func Build(sc Scenario) (*Sim, error) {
 	// ArrivalWindow, round-robined across the category's shard domains.
 	// Channels and categories iterate in fixed order and arrival instants
 	// come from the build RNG — map order or domain-stream draws here would
-	// break run determinism.
-	rng := world.BuildRand()
-	for chIdx, ch := range set {
-		for _, category := range isp.All() {
-			doms := world.DomainsOf(category)
-			count := ch.Viewers[category]
-			for i := 0; i < count; i++ {
-				at := time.Duration(rng.Int63n(int64(sc.ArrivalWindow)))
-				ds := &sim.doms[doms[i%len(doms)].ID()]
-				category, chIdx := category, chIdx
-				ds.dom.At(at, func() { sim.spawnViewer(ds, category, chIdx) })
-			}
+	// break run determinism. Flow fidelity takes a different path entirely:
+	// swarms spawn fully formed at t=0 on their owning domains.
+	if sc.Fidelity == peer.FidelityFlow {
+		if err := sim.buildFlowPopulation(set); err != nil {
+			return nil, err
 		}
+	} else {
+		sim.buildClientPopulation(set)
 	}
 
 	// Probes join at WarmUp, each in its ISP's first domain; slots are
@@ -510,7 +551,11 @@ func Build(sc Scenario) (*Sim, error) {
 	sim.probes = make([]ProbeResult, len(sc.Probes))
 	for i, ps := range sc.Probes {
 		i, ps := i, ps
-		ds := &sim.doms[infraDomain(ps.ISP).ID()]
+		// Probes are viewers, not infrastructure: they live in the first
+		// domain of their category even when a scaled partition has a
+		// dedicated infra domain (infra latency floors would distort their
+		// response-time measurements).
+		ds := &sim.doms[world.DomainsOf(ps.ISP)[0].ID()]
 		ds.dom.At(sc.WarmUp, func() {
 			if err := sim.spawnProbe(ds, i, ps); err != nil {
 				panic(fmt.Sprintf("core: spawn probe %s: %v", ps.Name, err))
@@ -525,10 +570,30 @@ func Build(sc Scenario) (*Sim, error) {
 	return sim, nil
 }
 
+// buildClientPopulation schedules the mixed/full-fidelity background viewer
+// arrivals (the legacy path every pinned golden digest was recorded under).
+func (sim *Sim) buildClientPopulation(set []ChannelSpec) {
+	sc := sim.scenario
+	world := sim.world
+	rng := world.BuildRand()
+	for chIdx, ch := range set {
+		for _, category := range isp.All() {
+			doms := world.DomainsOf(category)
+			count := ch.Viewers[category]
+			for i := 0; i < count; i++ {
+				at := time.Duration(rng.Int63n(int64(sc.ArrivalWindow)))
+				ds := &sim.doms[doms[i%len(doms)].ID()]
+				category, chIdx := category, chIdx
+				ds.dom.At(at, func() { sim.spawnViewer(ds, category, chIdx) })
+			}
+		}
+	}
+}
+
 // backgroundConfig derives a background viewer's config from the scenario.
 func (s *Sim) backgroundConfig(spec stream.Spec) peer.Config {
 	cfg := peer.BackgroundConfig(spec, s.bootstrapAddr)
-	if s.scenario.Behaviour.FullFidelityBackground {
+	if s.scenario.Behaviour.FullFidelityBackground || s.scenario.Fidelity == peer.FidelityFull {
 		cfg = peer.DefaultConfig(spec, s.bootstrapAddr)
 	}
 	s.applyBehaviour(&cfg)
@@ -700,7 +765,11 @@ func (s *Sim) World() *simnet.World { return s.world }
 func (s *Sim) Run() (*Result, error) {
 	sc := s.scenario
 	horizon := sc.WarmUp + sc.Watch
-	if err := s.world.Run(horizon, sc.Shards); err != nil {
+	workers := sc.Workers
+	if workers == 0 {
+		workers = sc.Shards
+	}
+	if err := s.world.Run(horizon, workers); err != nil {
 		return nil, fmt.Errorf("run scenario %q: %w", sc.Name, err)
 	}
 	// Flush the streaming matchers: requests still pending at the horizon
@@ -721,6 +790,8 @@ func (s *Sim) Run() (*Result, error) {
 			}
 		}
 	}
+	// Fold whatever the last window left in the per-domain flow aggregates.
+	s.foldFlowWindows()
 	var faultWindows []analysis.FaultWindow
 	if sc.Faults != nil {
 		for _, w := range sc.Faults.Windows() {
@@ -740,6 +811,7 @@ func (s *Sim) Run() (*Result, error) {
 		PeersSpawned:    spawned,
 		Switches:        switches,
 		Switchers:       switchers,
+		FlowTraffic:     s.flowTotals,
 	}, nil
 }
 

@@ -76,5 +76,15 @@ func (s *Sim) installFaults(fs *fault.Schedule) {
 				}
 			})
 		}
+		// Flow swarms draw their kills from the owning sub-shard's RNG
+		// stream, exactly like Client viewers above, so the killed set is
+		// worker-count invariant at flow fidelity too.
+		for _, fd := range s.flows {
+			if f.ISP != 0 && fd.category != f.ISP {
+				continue
+			}
+			fd, f := fd, f
+			fd.ds.dom.At(f.At, func() { fd.swarm.KillFraction(f.Fraction) })
+		}
 	}
 }

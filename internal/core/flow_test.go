@@ -1,0 +1,222 @@
+package core
+
+import (
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"pplivesim/internal/fault"
+	"pplivesim/internal/isp"
+	"pplivesim/internal/peer"
+	"pplivesim/internal/workload"
+)
+
+// TestFlowFidelitySmallRun is the end-to-end check that a full-fidelity
+// probe cannot tell flow members from batched Clients where it matters: it
+// must discover them through trackers and gossip, handshake in, and stream
+// at normal continuity — while the flow-level traffic account shows the
+// expected intra-ISP locality.
+func TestFlowFidelitySmallRun(t *testing.T) {
+	sc := smallScenario(7)
+	sc.Name = "flow-small"
+	sc.Fidelity = peer.FidelityFlow
+	sc.Churn = workload.DefaultChurn()
+	res, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeersSpawned < sc.Viewers.Total() {
+		t.Errorf("spawned %d flow members, want >= %d", res.PeersSpawned, sc.Viewers.Total())
+	}
+	cont := res.Probes[0].Client.BufferStats().Continuity()
+	if cont < 0.9 {
+		t.Errorf("probe continuity at flow fidelity = %.3f, want >= 0.9", cont)
+	}
+	// The probe's own traffic must come overwhelmingly from the flow swarm,
+	// not the source: the mesh carries the stream.
+	rep, err := res.ProbeReport(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var peerBytes uint64
+	for _, b := range rep.BytesByISP {
+		peerBytes += b
+	}
+	if peerBytes == 0 {
+		t.Error("probe streamed nothing from flow members")
+	}
+	// Flow-level account: TELE swarm traffic stays ~90% inside TELE.
+	loc, ok := res.FlowLocality(0, isp.TELE)
+	if !ok {
+		t.Fatal("no flow traffic recorded for TELE")
+	}
+	if loc < 0.8 || loc > 0.99 {
+		t.Errorf("TELE flow locality = %.3f, want ~0.9", loc)
+	}
+	if len(res.FlowTraffic) == 0 {
+		t.Error("result carries no flow traffic aggregates")
+	}
+}
+
+// flowSummary captures everything a flow worker-invariance check compares.
+type flowSummary struct {
+	digest     uint64
+	events     uint64
+	spawned    int
+	continuity float64
+	teleBytes  uint64
+}
+
+func runFlowScaled(t *testing.T, sc Scenario, shards, workers int) flowSummary {
+	t.Helper()
+	sc.Shards = shards
+	sc.Workers = workers
+	res, err := RunScenario(sc)
+	if err != nil {
+		t.Fatalf("shards %d workers %d: %v", shards, workers, err)
+	}
+	var teleBytes uint64
+	for _, ft := range res.FlowTraffic {
+		if ft.ISP == isp.TELE {
+			for _, b := range ft.Aggregate.BytesSnapshot() {
+				teleBytes += b
+			}
+		}
+	}
+	return flowSummary{
+		digest:     goldenDigest(t, res),
+		events:     res.EventsProcessed,
+		spawned:    res.PeersSpawned,
+		continuity: res.Probes[0].Client.BufferStats().Continuity(),
+		teleBytes:  teleBytes,
+	}
+}
+
+// TestFlowWorkerInvariance runs flow fidelity on the 12-domain scaled
+// partition at 1 and 4 workers: the probe trajectory AND the barrier-folded
+// flow traffic totals must be bit-identical.
+func TestFlowWorkerInvariance(t *testing.T) {
+	sc := smallScenario(7)
+	sc.Name = "flow-invariance"
+	sc.Fidelity = peer.FidelityFlow
+	sc.Churn = workload.DefaultChurn()
+
+	s1 := runFlowScaled(t, sc, 12, 1)
+	s4 := runFlowScaled(t, sc, 12, 4)
+	if s1 != s4 {
+		t.Errorf("flow fidelity diverges across workers:\n  1 worker : %+v\n  4 workers: %+v", s1, s4)
+	}
+}
+
+// TestFlowKillEquivalence injects a kill-churn fault into flow swarms on the
+// scaled partition: every sub-shard draws kills from its own RNG stream, so
+// the killed set — and the probe's whole trajectory — is worker-count
+// invariant, mirroring the Client-population guarantee.
+func TestFlowKillEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario-scale test")
+	}
+	sc := smallScenario(7)
+	sc.Name = "flow-kill"
+	sc.Fidelity = peer.FidelityFlow
+	sc.Churn = workload.DefaultChurn()
+	sc.Faults = &fault.Schedule{
+		PeerKills: []fault.PeerKill{{At: sc.WarmUp + 2*time.Minute, Fraction: 0.3, ISP: isp.TELE}},
+	}
+
+	s1 := runFlowScaled(t, sc, 12, 1)
+	s4 := runFlowScaled(t, sc, 12, 4)
+	if s1 != s4 {
+		t.Errorf("flow kill-churn diverges across workers:\n  1 worker : %+v\n  4 workers: %+v", s1, s4)
+	}
+}
+
+func TestFlowFidelityValidation(t *testing.T) {
+	sc := smallScenario(7)
+	sc.Fidelity = peer.FidelityFlow
+	sc.Switching = workload.DefaultSwitching()
+	sc.Switching.Enabled = true
+	if _, err := Build(sc); err == nil {
+		t.Error("flow fidelity + switching should fail validation")
+	}
+	sc = smallScenario(7)
+	sc.Fidelity = peer.FidelityFlow
+	sc.Behaviour.FullFidelityBackground = true
+	if _, err := Build(sc); err == nil {
+		t.Error("flow fidelity + FullFidelityBackground should fail validation")
+	}
+	sc = smallScenario(7)
+	sc.Fidelity = peer.Fidelity(99)
+	if _, err := Build(sc); err == nil {
+		t.Error("undefined fidelity should fail validation")
+	}
+}
+
+// TestMillionPeerSmoke is the scale gate: a million-plus flow members on the
+// 12-domain scaled partition (>=100k per TELE sub-shard), bounded heap, in
+// one CI-sized run. Gated behind PPLIVE_MILLION=1 — it needs a few minutes
+// and a few GB.
+func TestMillionPeerSmoke(t *testing.T) {
+	if os.Getenv("PPLIVE_MILLION") == "" {
+		t.Skip("set PPLIVE_MILLION=1 to run the million-peer smoke test")
+	}
+	sc := Scenario{
+		Name: "million-smoke",
+		Seed: 7,
+		Spec: smallScenario(7).Spec,
+		Viewers: workload.Population{
+			isp.TELE:    700_000,
+			isp.CNC:     200_000,
+			isp.CER:     30_000,
+			isp.OtherCN: 70_000,
+			isp.Foreign: 50_000,
+		},
+		Probes:        []ProbeSpec{{Name: "tele-probe", ISP: isp.TELE}},
+		Fidelity:      peer.FidelityFlow,
+		Churn:         workload.DefaultChurn(),
+		Shards:        12,
+		ArrivalWindow: 2 * time.Minute,
+		WarmUp:        3 * time.Minute,
+		Watch:         5 * time.Minute,
+	}
+	sim, err := Build(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every TELE sub-shard must own a >=100k slice of the population.
+	teleShards := 0
+	for _, fd := range sim.flows {
+		if fd.category == isp.TELE {
+			teleShards++
+			if fd.initial < 100_000 {
+				t.Errorf("TELE sub-shard %s holds %d members, want >= 100000", fd.ds.dom.Name(), fd.initial)
+			}
+		}
+	}
+	if teleShards != 7 {
+		t.Errorf("TELE swarm split across %d sub-shards, want 7", teleShards)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeersSpawned < 1_050_000 {
+		t.Errorf("spawned %d members, want >= 1050000", res.PeersSpawned)
+	}
+	if alive := sim.FlowAlive(); alive < 1_000_000 {
+		t.Errorf("alive at horizon = %d, want >= 1000000 (churn replaces departures)", alive)
+	}
+	cont := res.Probes[0].Client.BufferStats().Continuity()
+	if cont < 0.9 {
+		t.Errorf("probe continuity = %.3f, want >= 0.9", cont)
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	const heapLimit = 6 << 30
+	if ms.HeapAlloc > heapLimit {
+		t.Errorf("heap alloc %d bytes exceeds %d", ms.HeapAlloc, uint64(heapLimit))
+	}
+	t.Logf("million-smoke: spawned=%d alive=%d events=%d continuity=%.4f heap_mb=%d",
+		res.PeersSpawned, sim.FlowAlive(), res.EventsProcessed, cont, ms.HeapAlloc>>20)
+}

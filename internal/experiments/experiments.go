@@ -22,6 +22,7 @@ import (
 	"pplivesim/internal/core"
 	"pplivesim/internal/fit"
 	"pplivesim/internal/isp"
+	"pplivesim/internal/peer"
 	"pplivesim/internal/workload"
 )
 
@@ -107,6 +108,10 @@ type Runner struct {
 	// Shards sets each scenario's event-loop worker count (core.Scenario
 	// .Shards): below 2 the per-domain engines run on one goroutine.
 	Shards int
+	// Fidelity sets each scenario's background-population fidelity
+	// (core.Scenario.Fidelity). The multi-channel run always uses full
+	// Clients: channel switching needs per-viewer protocol state.
+	Fidelity peer.Fidelity
 
 	popOnce   sync.Once
 	popular   *RunOutputs
@@ -148,6 +153,7 @@ func (r *Runner) buildScenario(name string, popular bool, seedOffset int64, popu
 		WarmUp:        r.Scale.WarmUp,
 		Watch:         watch,
 		Shards:        r.Shards,
+		Fidelity:      r.Fidelity,
 	}
 	if popular {
 		sc.Spec = workload.PopularSpec()

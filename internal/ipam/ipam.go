@@ -53,6 +53,100 @@ func (p Prefix) Size() uint64 { return 1 << (32 - uint(p.p.Bits())) }
 // String returns the CIDR form.
 func (p Prefix) String() string { return p.p.String() }
 
+// Split divides the prefix into its two /bits+1 halves. ok is false when the
+// prefix is a single host (/32) and cannot be split.
+func (p Prefix) Split() (lo, hi Prefix, ok bool) {
+	bits := p.p.Bits()
+	if bits >= 32 {
+		return Prefix{}, Prefix{}, false
+	}
+	base := addrToU32(p.p.Addr())
+	half := uint32(1) << (31 - uint(bits))
+	lo = Prefix{p: netip.PrefixFrom(u32ToAddr(base), bits+1).Masked()}
+	hi = Prefix{p: netip.PrefixFrom(u32ToAddr(base+half), bits+1).Masked()}
+	return lo, hi, true
+}
+
+// CarveTail splits a /bits block off the high end of the prefixes, returning
+// the remaining main prefixes (covering every address outside the tail) and
+// the tail block itself. The main list partitions the original space exactly:
+// no overlap, nothing lost. It is used to reserve a small infrastructure
+// block inside a category's address range without giving up the rest of the
+// final prefix. ok is false when no prefix is large enough to carve from.
+func CarveTail(prefixes []Prefix, bits int) (main []Prefix, tail Prefix, ok bool) {
+	if len(prefixes) == 0 {
+		return nil, Prefix{}, false
+	}
+	last := prefixes[len(prefixes)-1]
+	if last.Bits() > bits {
+		return nil, Prefix{}, false
+	}
+	main = append(main, prefixes[:len(prefixes)-1]...)
+	// Peel front halves off the last prefix until the back half is /bits.
+	cur := last
+	for cur.Bits() < bits {
+		lo, hi, _ := cur.Split()
+		main = append(main, lo)
+		cur = hi
+	}
+	return main, cur, true
+}
+
+// SplitEvenly partitions the prefixes into k groups of roughly equal address
+// count. Prefixes are recursively halved (largest first, ties broken by
+// lowest address) until at least k blocks exist, then assigned largest-first
+// to the currently smallest group. The result is deterministic for a given
+// input, every group is non-empty, and the groups exactly cover the input
+// space. k must be ≥ 1 and the prefixes must be splittable far enough.
+func SplitEvenly(prefixes []Prefix, k int) [][]Prefix {
+	if k < 1 {
+		panic("ipam: SplitEvenly requires k >= 1")
+	}
+	blocks := make([]Prefix, len(prefixes))
+	copy(blocks, prefixes)
+	sortBlocks := func() {
+		// Largest first; among equals, lowest network address first.
+		for i := 1; i < len(blocks); i++ {
+			for j := i; j > 0; j-- {
+				a, b := blocks[j-1], blocks[j]
+				if a.Size() > b.Size() || (a.Size() == b.Size() && addrToU32(a.Addr()) <= addrToU32(b.Addr())) {
+					break
+				}
+				blocks[j-1], blocks[j] = b, a
+			}
+		}
+	}
+	var total uint64
+	for _, b := range blocks {
+		total += b.Size()
+	}
+	// Halve the largest block until there are at least k blocks and no single
+	// block exceeds an even 1/k share — greedy assignment then keeps the
+	// largest group within ~2x of the smallest.
+	sortBlocks()
+	for len(blocks) < k || blocks[0].Size() > total/uint64(k) {
+		lo, hi, ok := blocks[0].Split()
+		if !ok {
+			panic("ipam: SplitEvenly cannot split a /32 further")
+		}
+		blocks = append(blocks[:0], append([]Prefix{lo, hi}, blocks[1:]...)...)
+		sortBlocks()
+	}
+	groups := make([][]Prefix, k)
+	sizes := make([]uint64, k)
+	for _, b := range blocks {
+		min := 0
+		for i := 1; i < k; i++ {
+			if sizes[i] < sizes[min] {
+				min = i
+			}
+		}
+		groups[min] = append(groups[min], b)
+		sizes[min] += b.Size()
+	}
+	return groups
+}
+
 // addrToU32 converts an IPv4 address to its numeric value.
 func addrToU32(a netip.Addr) uint32 {
 	b := a.As4()

@@ -1,0 +1,159 @@
+package ipam
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func TestPrefixSplit(t *testing.T) {
+	p := MustParsePrefix("58.32.0.0/11")
+	lo, hi, ok := p.Split()
+	if !ok {
+		t.Fatalf("Split(%v) not ok", p)
+	}
+	if got, want := lo.String(), "58.32.0.0/12"; got != want {
+		t.Errorf("lo = %s, want %s", got, want)
+	}
+	if got, want := hi.String(), "58.48.0.0/12"; got != want {
+		t.Errorf("hi = %s, want %s", got, want)
+	}
+	if lo.Size()+hi.Size() != p.Size() {
+		t.Errorf("halves cover %d addresses, parent has %d", lo.Size()+hi.Size(), p.Size())
+	}
+	// Every address is in exactly one half.
+	for _, s := range []string{"58.32.0.0", "58.47.255.255", "58.48.0.0", "58.63.255.255"} {
+		a := netip.MustParseAddr(s)
+		inLo, inHi := lo.Contains(a), hi.Contains(a)
+		if inLo == inHi {
+			t.Errorf("addr %s: inLo=%v inHi=%v, want exactly one", s, inLo, inHi)
+		}
+	}
+	if _, _, ok := MustParsePrefix("1.2.3.4/32").Split(); ok {
+		t.Error("Split of /32 should not be ok")
+	}
+}
+
+func TestCarveTail(t *testing.T) {
+	in := []Prefix{
+		MustParsePrefix("58.32.0.0/11"),
+		MustParsePrefix("61.128.0.0/10"),
+	}
+	main, tail, ok := CarveTail(in, 24)
+	if !ok {
+		t.Fatal("CarveTail not ok")
+	}
+	if got, want := tail.String(), "61.191.255.0/24"; got != want {
+		t.Errorf("tail = %s, want %s", got, want)
+	}
+	// The main prefixes plus the tail must cover exactly the input space.
+	var total uint64
+	for _, p := range main {
+		total += p.Size()
+	}
+	total += tail.Size()
+	var want uint64
+	for _, p := range in {
+		want += p.Size()
+	}
+	if total != want {
+		t.Errorf("main+tail cover %d addresses, input has %d", total, want)
+	}
+	// The tail must be disjoint from every main prefix.
+	for _, p := range main {
+		if p.Contains(tail.Addr()) || tail.Contains(p.Addr()) {
+			t.Errorf("main prefix %s overlaps tail %s", p, tail)
+		}
+	}
+	// Untouched prefixes pass through verbatim.
+	if main[0] != in[0] {
+		t.Errorf("main[0] = %s, want %s", main[0], in[0])
+	}
+
+	if _, _, ok := CarveTail(nil, 24); ok {
+		t.Error("CarveTail(nil) should not be ok")
+	}
+	if _, _, ok := CarveTail([]Prefix{MustParsePrefix("1.2.3.0/30")}, 24); ok {
+		t.Error("CarveTail of a /30 into a /24 should not be ok")
+	}
+}
+
+// telePrefixes mirrors the asnmap synthetic TELE plan — the list the sharded
+// world actually splits.
+func telePrefixes() []Prefix {
+	return []Prefix{
+		MustParsePrefix("58.32.0.0/11"),
+		MustParsePrefix("114.80.0.0/12"),
+		MustParsePrefix("222.64.0.0/11"),
+		MustParsePrefix("61.128.0.0/10"),
+	}
+}
+
+func TestSplitEvenly(t *testing.T) {
+	in := telePrefixes()
+	var inTotal uint64
+	for _, p := range in {
+		inTotal += p.Size()
+	}
+	for k := 1; k <= 9; k++ {
+		groups := SplitEvenly(in, k)
+		if len(groups) != k {
+			t.Fatalf("k=%d: got %d groups", k, len(groups))
+		}
+		var total uint64
+		var minSz, maxSz uint64
+		for i, g := range groups {
+			if len(g) == 0 {
+				t.Fatalf("k=%d: group %d empty", k, i)
+			}
+			var sz uint64
+			for _, p := range g {
+				sz += p.Size()
+			}
+			total += sz
+			if i == 0 || sz < minSz {
+				minSz = sz
+			}
+			if sz > maxSz {
+				maxSz = sz
+			}
+		}
+		if total != inTotal {
+			t.Errorf("k=%d: groups cover %d addresses, input has %d", k, total, inTotal)
+		}
+		// Rough balance: the largest group holds at most 2x the smallest.
+		// (Binary splitting can't do better in general.)
+		if maxSz > 2*minSz {
+			t.Errorf("k=%d: group sizes unbalanced: min=%d max=%d", k, minSz, maxSz)
+		}
+	}
+}
+
+func TestSplitEvenlyDeterministic(t *testing.T) {
+	a := SplitEvenly(telePrefixes(), 7)
+	b := SplitEvenly(telePrefixes(), 7)
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("group %d: len %d vs %d", i, len(a[i]), len(b[i]))
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("group %d[%d]: %s vs %s", i, j, a[i][j], b[i][j])
+			}
+		}
+	}
+}
+
+func TestSplitEvenlyDisjoint(t *testing.T) {
+	groups := SplitEvenly(telePrefixes(), 7)
+	var all []Prefix
+	for _, g := range groups {
+		all = append(all, g...)
+	}
+	for i := range all {
+		for j := i + 1; j < len(all); j++ {
+			if all[i].Contains(all[j].Addr()) || all[j].Contains(all[i].Addr()) {
+				t.Errorf("prefixes %s and %s overlap", all[i], all[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,513 @@
+package peer
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"pplivesim/internal/stream"
+	"pplivesim/internal/wire"
+)
+
+// FlowPort is the boundary between a FlowSwarm and its environment. The core
+// package implements it over one shard domain: member i's sends go out of
+// that member's host, and Respawn schedules a replacement join on the owning
+// domain's engine. Everything a swarm does flows through this interface, so
+// the swarm itself holds no engine or network references.
+type FlowPort interface {
+	// Now is the owning domain's simulated clock.
+	Now() time.Duration
+	// Send transmits a message from member i's host.
+	Send(i int, to netip.Addr, msg wire.Message)
+	// UplinkBacklog is member i's host transmit-queue delay.
+	UplinkBacklog(i int) time.Duration
+	// Retire detaches member i's host from the network.
+	Retire(i int)
+	// Respawn schedules one replacement member to join after delay.
+	Respawn(delay time.Duration)
+}
+
+// FlowConfig parameterizes a flow-fidelity swarm. The protocol-facing knobs
+// mirror Config so a probe cannot tell a flow member from a batched Client.
+type FlowConfig struct {
+	Spec stream.Spec
+
+	// Window is how many consecutive sub-pieces back from its newest held
+	// piece a member retains (the Client BufferWindow analog).
+	Window int
+	// MaxLag bounds how far (in sub-pieces) a member's newest held piece
+	// trails the live edge; each member draws uniformly in [1, MaxLag].
+	// Healthy full-fidelity peers prefetch to within a couple of seconds of
+	// the edge, so the default is small.
+	MaxLag int
+
+	// LinksPerMember and MaxLinks bound the probe-facing neighbor links a
+	// swarm accepts (per member and in total). Links exist only where a
+	// full-fidelity peer handshakes into the swarm; members never link to
+	// each other.
+	LinksPerMember int
+	MaxLinks       int
+
+	// ServeQueueLimit mirrors Config.ServeQueueLimit: data requests are
+	// declined Busy while the member's uplink backlog exceeds it.
+	ServeQueueLimit time.Duration
+	// AnnounceMin mirrors the full client's per-peer buffer-map piggyback
+	// rate limit on declined data requests.
+	AnnounceMin time.Duration
+
+	// MeanSession, when positive, enables flow-level churn: the expected
+	// departure count accrues at nAlive/MeanSession per unit time, and each
+	// departure retires one random member and asks the port for a
+	// replacement after an exponential ReplacementDelay.
+	MeanSession      time.Duration
+	ReplacementDelay time.Duration
+
+	// TrackerSample bounds how many members keep tracker registrations
+	// alive (the full population announcing every minute would be pure
+	// event-queue load; probes only ever consume a 50-peer sample anyway).
+	TrackerSample int
+}
+
+// DefaultFlowConfig returns the flow-swarm parameters matching
+// DefaultConfig's protocol surface.
+func DefaultFlowConfig(spec stream.Spec) FlowConfig {
+	return FlowConfig{
+		Spec:            spec,
+		Window:          2048,
+		MaxLag:          72,
+		LinksPerMember:  4,
+		MaxLinks:        4096,
+		ServeQueueLimit: 2500 * time.Millisecond,
+		AnnounceMin:     time.Second,
+		TrackerSample:   256,
+	}
+}
+
+// Validate checks the config for usability.
+func (c *FlowConfig) Validate() error {
+	if err := c.Spec.Validate(); err != nil {
+		return err
+	}
+	if c.Window <= 8 || c.Window > 1<<16 {
+		return fmt.Errorf("peer: flow window %d out of range", c.Window)
+	}
+	if c.MaxLag <= 0 || c.MaxLag >= c.Window {
+		return fmt.Errorf("peer: flow max lag %d out of range (window %d)", c.MaxLag, c.Window)
+	}
+	if c.LinksPerMember <= 0 || c.MaxLinks < c.LinksPerMember {
+		return fmt.Errorf("peer: flow link bounds %d/%d invalid", c.LinksPerMember, c.MaxLinks)
+	}
+	if c.ServeQueueLimit <= 0 || c.AnnounceMin <= 0 {
+		return fmt.Errorf("peer: flow serve limits must be positive")
+	}
+	if c.TrackerSample <= 0 {
+		return fmt.Errorf("peer: flow tracker sample must be positive")
+	}
+	return nil
+}
+
+// flowNbrWidth is the per-member neighbor row width: the referral sample a
+// member hands to a gossiping probe. Full clients refer up to ReferralSize
+// neighbors; flow members keep a fixed narrow row so a million rows stay flat
+// and small, and probes top up through trackers and further gossip.
+const flowNbrWidth = 8
+
+// flowLink is one probe-facing neighbor link. The table is bounded by
+// MaxLinks and in practice holds a handful of entries per probe, so linear
+// scans are cheaper than any per-member index.
+type flowLink struct {
+	member  int32
+	addr    netip.Addr
+	lastMap time.Duration
+}
+
+// FlowSwarm is the struct-of-arrays background population of one shard
+// domain and channel at FidelityFlow. Per-member state is flat parallel
+// arrays — no per-peer maps, pointers, timers, or RNGs — and the aggregate
+// behaviour (bytes streamed, churn) advances in O(1) per Tick regardless of
+// population size. Holdings are an arithmetic function of (live edge, lag,
+// join edge): a member holds the contiguous sub-piece interval
+// [max(joinSeq, hi-Window+1), hi] with hi = edge - lag, which is the SoA
+// compression of the full client's buffer-map words — the wire BufferMap is
+// materialized on demand only when a probe asks.
+//
+// A FlowSwarm is owned by one shard domain: every method runs on that
+// domain's worker, so no synchronization is needed and churn draws come from
+// one deterministic stream.
+type FlowSwarm struct {
+	cfg  FlowConfig
+	port FlowPort
+	rng  *rand.Rand
+
+	// Per-member rows, index = member id. Rows are recycled through free on
+	// departure, never released.
+	addrs   []netip.Addr
+	joinSeq []uint64 // live-edge sequence at join (holds nothing older)
+	lag     []uint16 // newest held piece trails the live edge by this much
+	alive   []bool
+	nbr     []int32 // flat flowNbrWidth-wide referral rows
+	free    []int32
+
+	links []flowLink
+
+	nAlive   int
+	trackers []netip.Addr
+	nextTrk  int
+
+	lastTick     time.Duration
+	carryBytes   float64 // fractional streamed bytes carried between ticks
+	carryDepart  float64 // fractional expected departures carried between ticks
+	pendingBytes uint64  // whole streamed bytes awaiting TakeBytes
+}
+
+// NewFlowSwarm creates an empty swarm sized for capacity members. rng drives
+// lag/referral/churn draws and must belong to the owning domain's stream.
+// trackers is where sampled members keep their registrations.
+func NewFlowSwarm(cfg FlowConfig, port FlowPort, rng *rand.Rand, trackers []netip.Addr, capacity int) (*FlowSwarm, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if capacity <= 0 {
+		return nil, fmt.Errorf("peer: flow swarm capacity %d invalid", capacity)
+	}
+	return &FlowSwarm{
+		cfg:      cfg,
+		port:     port,
+		rng:      rng,
+		addrs:    make([]netip.Addr, 0, capacity),
+		joinSeq:  make([]uint64, 0, capacity),
+		lag:      make([]uint16, 0, capacity),
+		alive:    make([]bool, 0, capacity),
+		nbr:      make([]int32, 0, capacity*flowNbrWidth),
+		free:     make([]int32, 0, capacity),
+		links:    make([]flowLink, 0, 16),
+		trackers: trackers,
+	}, nil
+}
+
+// Len returns the number of member rows ever allocated (alive or not).
+func (s *FlowSwarm) Len() int { return len(s.addrs) }
+
+// Alive returns the live member count.
+func (s *FlowSwarm) Alive() int { return s.nAlive }
+
+// Add joins a member at addr and returns its row index. Departed rows are
+// recycled before new ones are allocated.
+func (s *FlowSwarm) Add(addr netip.Addr) int {
+	now := s.port.Now()
+	var i int
+	if n := len(s.free); n > 0 {
+		i = int(s.free[n-1])
+		s.free = s.free[:n-1]
+		s.addrs[i] = addr
+		s.joinSeq[i] = s.cfg.Spec.EdgeSeq(now)
+		s.lag[i] = s.drawLag()
+		s.alive[i] = true
+	} else {
+		i = len(s.addrs)
+		s.addrs = append(s.addrs, addr)
+		s.joinSeq = append(s.joinSeq, s.cfg.Spec.EdgeSeq(now))
+		s.lag = append(s.lag, s.drawLag())
+		s.alive = append(s.alive, true)
+		s.nbr = append(s.nbr, make([]int32, flowNbrWidth)...)
+	}
+	// The referral row samples the swarm as of join; dead entries are
+	// filtered at referral time, exactly as a full client's neighbor set
+	// decays between gossip rounds.
+	row := s.nbr[i*flowNbrWidth : (i+1)*flowNbrWidth]
+	for k := range row {
+		row[k] = int32(s.rng.Intn(len(s.addrs)))
+	}
+	s.nAlive++
+	return i
+}
+
+func (s *FlowSwarm) drawLag() uint16 {
+	return uint16(1 + s.rng.Intn(s.cfg.MaxLag))
+}
+
+// retire removes member i from the swarm and detaches its host. Links it was
+// serving are dropped.
+func (s *FlowSwarm) retire(i int) {
+	if !s.alive[i] {
+		return
+	}
+	s.alive[i] = false
+	s.nAlive--
+	s.free = append(s.free, int32(i))
+	w := 0
+	for _, l := range s.links {
+		if l.member != int32(i) {
+			s.links[w] = l
+			w++
+		}
+	}
+	s.links = s.links[:w]
+	s.port.Retire(i)
+}
+
+// KillFraction abruptly retires each live member with probability frac, with
+// no replacement — the flow-level analog of Client.Kill under a kill-churn
+// fault. Draws come from the swarm's own (owning-domain) RNG stream, so the
+// killed set is worker-count invariant. It returns the number killed.
+func (s *FlowSwarm) KillFraction(frac float64) int {
+	killed := 0
+	for i := range s.alive {
+		if !s.alive[i] {
+			continue
+		}
+		if s.rng.Float64() < frac {
+			s.retire(i)
+			killed++
+		}
+	}
+	return killed
+}
+
+// Tick advances the swarm's aggregate behaviour to now: streamed bytes
+// accrue at nAlive×bitrate, and with churn enabled the expected departure
+// count accrues at nAlive/MeanSession, retiring one random member (and
+// requesting a replacement) per whole departure. It allocates nothing —
+// the CI benchmark gate pins this at 0 allocs/op.
+func (s *FlowSwarm) Tick(now time.Duration) {
+	dt := now - s.lastTick
+	s.lastTick = now
+	if dt <= 0 || s.nAlive == 0 {
+		return
+	}
+	sec := dt.Seconds()
+	s.carryBytes += float64(s.nAlive) * float64(s.cfg.Spec.BitrateBps) * sec
+	if whole := uint64(s.carryBytes); whole > 0 {
+		s.carryBytes -= float64(whole)
+		s.pendingBytes += whole
+	}
+	if s.cfg.MeanSession > 0 {
+		s.carryDepart += float64(s.nAlive) * sec / s.cfg.MeanSession.Seconds()
+		for s.carryDepart >= 1 && s.nAlive > 0 {
+			s.carryDepart--
+			s.retire(s.randomAlive())
+			delay := time.Duration(s.rng.ExpFloat64() * float64(s.cfg.ReplacementDelay))
+			s.port.Respawn(delay)
+		}
+	}
+}
+
+// TakeBytes drains the bytes streamed by the swarm since the last call. The
+// core layer splits them across ISPs by the scenario's locality mix and
+// feeds the per-domain analysis aggregates.
+func (s *FlowSwarm) TakeBytes() uint64 {
+	b := s.pendingBytes
+	s.pendingBytes = 0
+	return b
+}
+
+// randomAlive picks a uniformly random live member. Occupancy is high (kills
+// excepted), so a few rejection draws nearly always suffice; the scan
+// fallback keeps the worst case bounded.
+func (s *FlowSwarm) randomAlive() int {
+	n := len(s.addrs)
+	for t := 0; t < 16; t++ {
+		if i := s.rng.Intn(n); i >= 0 && s.alive[i] {
+			return i
+		}
+	}
+	start := s.rng.Intn(n)
+	for k := 0; k < n; k++ {
+		if i := (start + k) % n; s.alive[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// AnnounceTrackers refreshes the swarm's tracker registrations: the first
+// TrackerSample live members re-announce, rotating across the tracker set.
+// Call on the full client's AnnounceInterval cadence.
+func (s *FlowSwarm) AnnounceTrackers() {
+	if len(s.trackers) == 0 {
+		return
+	}
+	sent := 0
+	for i := range s.alive {
+		if sent >= s.cfg.TrackerSample {
+			break
+		}
+		if !s.alive[i] {
+			continue
+		}
+		trk := s.trackers[s.nextTrk%len(s.trackers)]
+		s.nextTrk++
+		s.port.Send(i, trk, &wire.TrackerAnnounce{Channel: s.cfg.Spec.Channel})
+		sent++
+	}
+}
+
+// AnnounceLinks pushes a fresh buffer map over every live probe-facing link,
+// mirroring the full client's periodic BufferMapAnnounce. Call on the
+// BufferMapInterval cadence.
+func (s *FlowSwarm) AnnounceLinks() {
+	now := s.port.Now()
+	for k := range s.links {
+		l := &s.links[k]
+		l.lastMap = now
+		s.port.Send(int(l.member), l.addr, &wire.BufferMapAnnounce{
+			Channel: s.cfg.Spec.Channel,
+			Buffer:  s.bufferMapAt(int(l.member), now),
+		})
+	}
+}
+
+// Handle processes a message delivered to member i. Flow members speak the
+// probe-facing subset of the protocol with exactly the full client's
+// semantics: handshake admission, referral gossip, and the three-way data
+// reply (busy / decline-with-piggyback / serve).
+func (s *FlowSwarm) Handle(i int, from netip.Addr, msg wire.Message) {
+	if i < 0 || i >= len(s.alive) || !s.alive[i] {
+		return
+	}
+	ch := s.cfg.Spec.Channel
+	switch m := msg.(type) {
+	case *wire.Handshake:
+		if m.Channel != ch {
+			return
+		}
+		now := s.port.Now()
+		ack := &wire.HandshakeAck{Channel: ch}
+		if s.linkIndex(i, from) >= 0 || s.addLink(i, from, now) {
+			ack.Accepted = true
+			ack.Buffer = s.bufferMapAt(i, now)
+		}
+		s.port.Send(i, from, ack)
+	case *wire.PeerListRequest:
+		if m.Channel != ch {
+			return
+		}
+		s.port.Send(i, from, &wire.PeerListReply{Channel: ch, Peers: s.referralList(i, from)})
+	case *wire.DataRequest:
+		if m.Channel != ch {
+			return
+		}
+		s.handleDataRequest(i, from, m)
+	case *wire.Ping:
+		if m.Channel != ch {
+			return
+		}
+		s.port.Send(i, from, &wire.Pong{Channel: ch, Nonce: m.Nonce})
+	}
+	// TrackerResponse, BufferMapAnnounce, DataReply, and the rest are
+	// ignored: flow members never fetch — their consumption is accounted at
+	// flow level in Tick.
+}
+
+// linkIndex finds the link (member, addr), or -1.
+func (s *FlowSwarm) linkIndex(i int, addr netip.Addr) int {
+	for k := range s.links {
+		if s.links[k].member == int32(i) && s.links[k].addr == addr {
+			return k
+		}
+	}
+	return -1
+}
+
+// addLink admits a probe-facing neighbor link if both the per-member and the
+// global bound allow it.
+func (s *FlowSwarm) addLink(i int, addr netip.Addr, now time.Duration) bool {
+	if len(s.links) >= s.cfg.MaxLinks {
+		return false
+	}
+	have := 0
+	for k := range s.links {
+		if s.links[k].member == int32(i) {
+			have++
+		}
+	}
+	if have >= s.cfg.LinksPerMember {
+		return false
+	}
+	s.links = append(s.links, flowLink{member: int32(i), addr: addr, lastMap: now})
+	return true
+}
+
+// referralList is member i's gossip reply: the live entries of its referral
+// row, excluding the requester.
+func (s *FlowSwarm) referralList(i int, requester netip.Addr) []netip.Addr {
+	row := s.nbr[i*flowNbrWidth : (i+1)*flowNbrWidth]
+	out := make([]netip.Addr, 0, flowNbrWidth)
+	for _, j := range row {
+		if int(j) == i || !s.alive[j] {
+			continue
+		}
+		a := s.addrs[j]
+		if a == requester {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// holdings returns the contiguous sub-piece interval member i holds at now.
+func (s *FlowSwarm) holdings(i int, now time.Duration) (lo, hi uint64, ok bool) {
+	edge := s.cfg.Spec.EdgeSeq(now)
+	l := uint64(s.lag[i])
+	if edge <= l {
+		return 0, 0, false
+	}
+	hi = edge - l
+	lo = 0
+	if w := uint64(s.cfg.Window); hi+1 > w {
+		lo = hi + 1 - w
+	}
+	if j := s.joinSeq[i]; j > lo {
+		lo = j
+	}
+	if lo > hi {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}
+
+// bufferMapAt materializes member i's holdings as a wire buffer map. This is
+// the only place the flat holdings become bitmap words, and it runs at
+// probe-message cadence, not per member per tick.
+func (s *FlowSwarm) bufferMapAt(i int, now time.Duration) wire.BufferMap {
+	lo, hi, ok := s.holdings(i, now)
+	if !ok {
+		return wire.MakeBufferMap(s.cfg.Spec.EdgeSeq(now), 0)
+	}
+	bm := wire.MakeBufferMap(lo, int(hi-lo+1))
+	bm.SetRange(lo, hi)
+	return bm
+}
+
+// handleDataRequest mirrors the full client's serve path: shed under uplink
+// backlog, decline misses with a rate-limited buffer-map piggyback, else
+// serve the contiguous run from Seq capped at the requested count.
+func (s *FlowSwarm) handleDataRequest(i int, from netip.Addr, m *wire.DataRequest) {
+	ch := s.cfg.Spec.Channel
+	pieceLen := uint16(s.cfg.Spec.SubPieceLen)
+	if s.port.UplinkBacklog(i) > s.cfg.ServeQueueLimit {
+		s.port.Send(i, from, &wire.DataReply{Channel: ch, Seq: m.Seq, Count: 0, PieceLen: pieceLen, Busy: true})
+		return
+	}
+	now := s.port.Now()
+	lo, hi, ok := s.holdings(i, now)
+	if !ok || m.Seq < lo || m.Seq > hi {
+		s.port.Send(i, from, &wire.DataReply{Channel: ch, Seq: m.Seq, Count: 0, PieceLen: pieceLen})
+		if k := s.linkIndex(i, from); k >= 0 && now-s.links[k].lastMap >= s.cfg.AnnounceMin {
+			s.links[k].lastMap = now
+			s.port.Send(i, from, &wire.BufferMapAnnounce{Channel: ch, Buffer: s.bufferMapAt(i, now)})
+		}
+		return
+	}
+	want := uint64(m.Count)
+	if want == 0 {
+		want = 1
+	}
+	run := hi - m.Seq + 1
+	if run > want {
+		run = want
+	}
+	s.port.Send(i, from, &wire.DataReply{Channel: ch, Seq: m.Seq, Count: uint16(run), PieceLen: pieceLen})
+}

@@ -53,6 +53,16 @@ type World struct {
 	router    *router
 	lookahead time.Duration
 
+	// infra is the dedicated infrastructure domain of a scaled partition
+	// (Shards > DefaultShards); nil otherwise.
+	infra *Domain
+	// floors holds the per-(src,dst)-domain synthetic minimum wire latency of
+	// a scaled partition, indexed src*len(domains)+dst; nil for legacy and
+	// single-domain worlds (whose trajectories must stay bit-identical).
+	floors []time.Duration
+	// barrierHooks run single-threaded after every window-barrier flush.
+	barrierHooks []func()
+
 	// buildRand drives single-threaded build-time draws (arrival schedules);
 	// it belongs to no domain so build plans don't perturb domain streams.
 	buildRand *rand.Rand
@@ -65,12 +75,17 @@ type World struct {
 type Domain struct {
 	id    int
 	name  string
-	cat   isp.ISP // zero for the single-domain world, which holds every ISP
+	cat   isp.ISP // zero for the single-domain world and the infra domain
 	world *World
 	eng   *eventsim.Engine
 	net   *underlay.Network
 	pool  *ipam.Pool // nil for the single-domain world (uses World.pools)
-	envs  int        // spawned envs (diagnostics)
+	// pools is the infrastructure domain's per-category allocator: unlike
+	// every other sharded domain it hosts several ISP categories (trackers
+	// and bootstrap for each), carved as small tail blocks out of the
+	// categories' address ranges.
+	pools map[isp.ISP]*ipam.Pool
+	envs  int // spawned envs (diagnostics)
 }
 
 // mixSeed derives a decorrelated per-domain seed from the world seed
@@ -117,6 +132,29 @@ func NewShardedWorld(seed int64) *World {
 // NewShardedWorldConfig builds an ISP-partitioned world with a custom
 // underlay configuration.
 func NewShardedWorldConfig(seed int64, cfg underlay.Config) *World {
+	return NewShardedWorldConfigN(seed, cfg, DefaultShards)
+}
+
+// NewShardedWorldN builds a sharded world with the default underlay
+// configuration and the given partition degree (see NewShardedWorldConfigN).
+func NewShardedWorldN(seed int64, shards int) *World {
+	return NewShardedWorldConfigN(seed, underlay.DefaultConfig(), shards)
+}
+
+// NewShardedWorldConfigN builds a sharded world with shards domains. Any
+// value up to DefaultShards produces the legacy six-domain ISP partition,
+// bit-identical to NewShardedWorldConfig — the pinned golden digests depend
+// on this. Values above DefaultShards engage the scaled partition: TELE is
+// split into shards-5 sub-shards by address range (ipam.SplitEvenly over its
+// prefix list), the remaining four categories keep one domain each, and a
+// dedicated infrastructure domain hosts bootstrap/tracker/source addresses
+// carved as small tail blocks out of the TELE/CNC/CER ranges. Scaled
+// partitions install synthetic per-pair latency floors (see
+// underlay.SetRemoteFloor): cross-sub-shard intra-ISP traffic is floored at
+// the category's IntraOWD and infrastructure pairs at twice TELE's, so the
+// conservative lookahead rises from the natural cross-pair minimum to the
+// intra-ISP base OWD, roughly halving the number of barrier windows.
+func NewShardedWorldConfigN(seed int64, cfg underlay.Config, shards int) *World {
 	reg := asnmap.SyntheticInternet()
 	w := &World{
 		Registry:  reg,
@@ -126,18 +164,51 @@ func NewShardedWorldConfig(seed int64, cfg underlay.Config) *World {
 		name     string
 		cat      isp.ISP
 		prefixes []ipam.Prefix
+		infra    map[isp.ISP][]ipam.Prefix // per-category pools; infra domain only
 	}
 	var parts []part
-	for _, cat := range isp.All() {
-		prefixes := reg.PrefixesFor(cat)
-		if cat == isp.TELE && len(prefixes) >= 2 {
-			half := (len(prefixes) + 1) / 2
-			parts = append(parts,
-				part{name: "TELE-0", cat: cat, prefixes: prefixes[:half]},
-				part{name: "TELE-1", cat: cat, prefixes: prefixes[half:]})
-			continue
+	infraIdx := -1
+	if shards <= DefaultShards {
+		// Legacy partition: five ISP categories with TELE halved along its
+		// prefix list. This construction must stay byte-identical — every
+		// pinned golden digest runs through it.
+		for _, cat := range isp.All() {
+			prefixes := reg.PrefixesFor(cat)
+			if cat == isp.TELE && len(prefixes) >= 2 {
+				half := (len(prefixes) + 1) / 2
+				parts = append(parts,
+					part{name: "TELE-0", cat: cat, prefixes: prefixes[:half]},
+					part{name: "TELE-1", cat: cat, prefixes: prefixes[half:]})
+				continue
+			}
+			parts = append(parts, part{name: cat.String(), cat: cat, prefixes: prefixes})
 		}
-		parts = append(parts, part{name: cat.String(), cat: cat, prefixes: prefixes})
+	} else {
+		kTele := shards - 5 // four single-category domains + infra
+		infraPools := make(map[isp.ISP][]ipam.Prefix)
+		for _, cat := range isp.All() {
+			prefixes := reg.PrefixesFor(cat)
+			// Reserve a tail block for infrastructure services in the
+			// categories that host them (bootstrap and the tracker groups:
+			// TELE, CNC, CER). The carve partitions the space exactly, so
+			// viewer pools and the infra pool can never collide.
+			switch cat {
+			case isp.TELE, isp.CNC, isp.CER:
+				if main, tail, ok := ipam.CarveTail(prefixes, infraCarveBits); ok {
+					prefixes = main
+					infraPools[cat] = []ipam.Prefix{tail}
+				}
+			}
+			if cat == isp.TELE {
+				for i, group := range ipam.SplitEvenly(prefixes, kTele) {
+					parts = append(parts, part{name: fmt.Sprintf("TELE-%d", i), cat: cat, prefixes: group})
+				}
+				continue
+			}
+			parts = append(parts, part{name: cat.String(), cat: cat, prefixes: prefixes})
+		}
+		infraIdx = len(parts)
+		parts = append(parts, part{name: "INFRA", infra: infraPools})
 	}
 	rt := &router{world: w, trie: ipam.NewTrie()}
 	for id, p := range parts {
@@ -151,28 +222,94 @@ func NewShardedWorldConfig(seed int64, cfg underlay.Config) *World {
 			world: w,
 			eng:   eng,
 			net:   net,
-			pool:  ipam.NewPool(p.prefixes...),
+		}
+		if p.infra != nil {
+			d.pools = make(map[isp.ISP]*ipam.Pool)
+			for _, cat := range isp.All() {
+				pfxs, ok := p.infra[cat]
+				if !ok {
+					continue
+				}
+				d.pools[cat] = ipam.NewPool(pfxs...)
+				for _, pfx := range pfxs {
+					rt.addRoute(pfx, id, cat)
+				}
+			}
+		} else {
+			d.pool = ipam.NewPool(p.prefixes...)
+			for _, pfx := range p.prefixes {
+				rt.addRoute(pfx, id, p.cat)
+			}
 		}
 		w.domains = append(w.domains, d)
-		for _, pfx := range p.prefixes {
-			rt.trie.Insert(pfx, id)
-		}
+	}
+	if infraIdx >= 0 {
+		w.infra = w.domains[infraIdx]
 	}
 	n := len(w.domains)
 	rt.boxes = make([][]xmsg, n*n)
 	w.router = rt
 
-	// Conservative lookahead: the smallest one-way delay any cross-domain
-	// host pair can see. MinPairOWD uses the identical float expression as
-	// the per-pair multiplier, so this is an exact lower bound — a datagram
-	// sent at t to another shard can never arrive before t+lookahead.
+	if w.infra == nil {
+		// Conservative lookahead: the smallest one-way delay any cross-domain
+		// host pair can see. MinPairOWD uses the identical float expression as
+		// the per-pair multiplier, so this is an exact lower bound — a datagram
+		// sent at t to another shard can never arrive before t+lookahead.
+		for i, a := range w.domains {
+			for j, b := range w.domains {
+				if i == j {
+					continue
+				}
+				if m := cfg.MinPairOWD(a.cat, b.cat); w.lookahead == 0 || m < w.lookahead {
+					w.lookahead = m
+				}
+			}
+		}
+		return w
+	}
+
+	// Scaled partition: install the synthetic latency floors and derive the
+	// lookahead from them. Same-category sub-shard pairs are floored at the
+	// category's base IntraOWD (a cross-sub-shard peer can never look closer
+	// than the intra-ISP base), and every pair touching the infrastructure
+	// domain at twice TELE's IntraOWD (bootstrap/tracker RPCs are not
+	// latency-critical, and the wide floor keeps infra traffic off the
+	// lookahead-critical path).
+	infraFloor := 2 * cfg.IntraOWD[isp.TELE]
+	w.floors = make([]time.Duration, n*n)
 	for i, a := range w.domains {
 		for j, b := range w.domains {
 			if i == j {
 				continue
 			}
-			if m := cfg.MinPairOWD(a.cat, b.cat); w.lookahead == 0 || m < w.lookahead {
-				w.lookahead = m
+			switch {
+			case a == w.infra || b == w.infra:
+				w.floors[i*n+j] = infraFloor
+			case a.cat == b.cat:
+				w.floors[i*n+j] = cfg.IntraOWD[a.cat]
+			}
+		}
+	}
+	for _, d := range w.domains {
+		src := d.id
+		d.net.SetRemoteFloor(func(dst int) time.Duration { return w.floors[src*n+dst] })
+	}
+	// Every cross-domain arrival is bounded below by max(natural pair
+	// minimum, floor); infra pairs rely on the floor alone because the
+	// infra domain spans several host categories.
+	for i, a := range w.domains {
+		for j, b := range w.domains {
+			if i == j {
+				continue
+			}
+			bound := w.floors[i*n+j]
+			if a != w.infra && b != w.infra {
+				if m := cfg.MinPairOWD(a.cat, b.cat); m > bound {
+					bound = m
+				}
+			}
+			if w.lookahead == 0 || bound < w.lookahead {
+				w.lookahead = bound
 			}
 		}
 	}
@@ -182,6 +319,11 @@ func NewShardedWorldConfig(seed int64, cfg underlay.Config) *World {
 // DefaultShards is the number of domains a sharded world partitions into
 // (the five ISP categories with TELE split in two).
 const DefaultShards = 6
+
+// infraCarveBits is the prefix length of the tail block reserved per category
+// for the scaled partition's infrastructure domain (/20 ≈ 4k addresses —
+// bootstrap, tracker groups, and sources need a few dozen).
+const infraCarveBits = 20
 
 // Domains returns every shard domain in id order.
 func (w *World) Domains() []*Domain { return w.domains }
@@ -205,6 +347,23 @@ func (w *World) DomainsOf(category isp.ISP) []*Domain {
 // world (zero for single-domain worlds).
 func (w *World) Lookahead() time.Duration { return w.lookahead }
 
+// InfraDomain returns the domain that should host infrastructure services
+// (bootstrap, trackers, sources) whose addresses belong to the given
+// category: the dedicated infrastructure domain of a scaled partition when
+// one exists, otherwise the first domain of the category.
+func (w *World) InfraDomain(category isp.ISP) *Domain {
+	if w.infra != nil {
+		return w.infra
+	}
+	return w.DomainsOf(category)[0]
+}
+
+// OnBarrier registers fn to run single-threaded at every window barrier of a
+// sharded run, after the cross-domain mailboxes have been drained. Scenario
+// code uses this to fold per-domain telemetry aggregates without locking.
+// Single-domain worlds never invoke the hooks (they have no barriers).
+func (w *World) OnBarrier(fn func()) { w.barrierHooks = append(w.barrierHooks, fn) }
+
 // BuildRand returns the world's build-time RNG for single-threaded scenario
 // assembly (arrival schedules and the like). It is decorrelated from every
 // domain's event-time streams.
@@ -224,11 +383,21 @@ func (w *World) Run(horizon time.Duration, workers int) error {
 	for i, d := range w.domains {
 		engines[i] = d.eng
 	}
+	flush := w.router.flush
+	if len(w.barrierHooks) > 0 {
+		hooks := w.barrierHooks
+		flush = func() {
+			w.router.flush()
+			for _, fn := range hooks {
+				fn()
+			}
+		}
+	}
 	g := &eventsim.Group{
 		Engines:   engines,
 		Lookahead: w.lookahead,
 		Workers:   workers,
-		Flush:     w.router.flush,
+		Flush:     flush,
 	}
 	return g.Run(horizon)
 }
@@ -297,6 +466,17 @@ func (w *World) AllocAddr(category isp.ISP) (netip.Addr, error) {
 }
 
 func (d *Domain) allocAddr(category isp.ISP) (netip.Addr, error) {
+	if d.pools != nil {
+		pool, ok := d.pools[category]
+		if !ok {
+			return netip.Addr{}, fmt.Errorf("simnet: domain %s has no %s infrastructure block", d.name, category)
+		}
+		addr, err := pool.Alloc()
+		if err != nil {
+			return netip.Addr{}, fmt.Errorf("alloc %s infrastructure address: %w", category, err)
+		}
+		return addr, nil
+	}
 	if d.pool != nil {
 		if category != d.cat {
 			return netip.Addr{}, fmt.Errorf("simnet: domain %s cannot allocate %s address", d.name, category)
@@ -389,16 +569,34 @@ type xmsg struct {
 type router struct {
 	world *World
 	trie  *ipam.Trie
-	boxes [][]xmsg // indexed src*len(domains)+dst
+	// entries maps trie labels to (domain, host ISP category). The
+	// indirection exists for the infrastructure domain, which hosts several
+	// categories — a destination's ISP can no longer be read off its owning
+	// domain.
+	entries []routeEntry
+	boxes   [][]xmsg // indexed src*len(domains)+dst
+}
+
+type routeEntry struct {
+	dom int
+	cat isp.ISP
+}
+
+// addRoute registers a prefix as belonging to domain dom with hosts of the
+// given ISP category.
+func (r *router) addRoute(pfx ipam.Prefix, dom int, cat isp.ISP) {
+	r.trie.Insert(pfx, len(r.entries))
+	r.entries = append(r.entries, routeEntry{dom: dom, cat: cat})
 }
 
 // Resolve implements underlay.Router.
 func (r *router) Resolve(to netip.Addr) (underlay.Remote, bool) {
-	id, ok := r.trie.Lookup(to)
+	label, ok := r.trie.Lookup(to)
 	if !ok {
 		return underlay.Remote{}, false
 	}
-	return underlay.Remote{Domain: id, ISP: r.world.domains[id].cat}, true
+	e := r.entries[label]
+	return underlay.Remote{Domain: e.dom, ISP: e.cat}, true
 }
 
 // Forward implements underlay.Router.
@@ -553,3 +751,101 @@ func (e *Env) Close() {
 
 // Closed reports whether the env has been closed.
 func (e *Env) Closed() bool { return e.closed }
+
+// LiteHandler receives messages for flow-fidelity swarm members, addressed
+// by member row index instead of per-member handler objects.
+type LiteHandler interface {
+	HandleLite(i int, from netip.Addr, msg wire.Message)
+}
+
+// LiteEnv is the minimal per-host attachment used by flow-fidelity swarm
+// members: an underlay host plus a row index into the owner's flat state. A
+// full Env costs roughly 5KB — almost all of it the per-env rand.Rand — which
+// a million-member background population cannot afford; a LiteEnv adds a few
+// dozen bytes on top of its host. It has no RNG, no timers, and no taps:
+// everything stateful lives in the owning swarm.
+type LiteEnv struct {
+	domain *Domain
+	host   *underlay.Host
+	owner  LiteHandler
+	idx    int32
+	closed bool
+}
+
+// SpawnLite allocates an address in this domain and attaches a lightweight
+// host whose deliveries go to owner.HandleLite. The row index is installed
+// afterwards via SetIndex (owners typically need the address before they can
+// assign a row).
+func (d *Domain) SpawnLite(spec HostSpec, owner LiteHandler) (*LiteEnv, error) {
+	addr, err := d.allocAddr(spec.ISP)
+	if err != nil {
+		return nil, err
+	}
+	host := &underlay.Host{
+		Addr:      addr,
+		ISP:       spec.ISP,
+		UploadBps: spec.UploadBps,
+		ProcDelay: spec.ProcDelay,
+	}
+	env := &LiteEnv{domain: d, host: host, owner: owner, idx: -1}
+	if err := d.net.Attach(host, env.deliver); err != nil {
+		return nil, err
+	}
+	d.envs++
+	return env, nil
+}
+
+// SetIndex installs the owner's row index for this member.
+func (e *LiteEnv) SetIndex(i int) { e.idx = int32(i) }
+
+// Addr returns the member's address.
+func (e *LiteEnv) Addr() netip.Addr { return e.host.Addr }
+
+// Host exposes the underlying underlay host (for stats).
+func (e *LiteEnv) Host() *underlay.Host { return e.host }
+
+// UplinkBacklog is the host's transmit-queue delay now.
+func (e *LiteEnv) UplinkBacklog() time.Duration {
+	return e.host.QueueDelay(e.domain.eng.Now())
+}
+
+// Send transmits a message from this member's host, with the same codec
+// check Env.Send applies.
+func (e *LiteEnv) Send(to netip.Addr, msg wire.Message) {
+	if e.closed {
+		return
+	}
+	size := wire.Size(msg)
+	payload := any(msg)
+	if e.domain.world.CodecCheck {
+		decoded, err := wire.Unmarshal(wire.Marshal(msg))
+		if err != nil {
+			panic(fmt.Sprintf("simnet: codec check failed for %s: %v", msg.Kind(), err))
+		}
+		payload = decoded
+	}
+	e.domain.net.Send(e.host, to, size, payload)
+}
+
+// deliver is the underlay handler for this member.
+func (e *LiteEnv) deliver(from netip.Addr, size int, payload any) {
+	if e.closed || e.idx < 0 {
+		return
+	}
+	msg, ok := payload.(wire.Message)
+	if !ok {
+		panic(fmt.Sprintf("simnet: non-wire payload %T delivered to %s", payload, e.host.Addr))
+	}
+	_ = size
+	e.owner.HandleLite(int(e.idx), from, msg)
+}
+
+// Close detaches the member from the network. It is idempotent.
+func (e *LiteEnv) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	e.domain.net.Detach(e.host.Addr)
+	e.domain.envs--
+}

@@ -195,6 +195,14 @@ type Network struct {
 	// domain-partitioned world; nil for a single-shard world.
 	router   Router
 	domainID int
+	// remoteFloor, when non-nil, returns the minimum wire latency (arrival
+	// minus departure) for datagrams forwarded to the given destination
+	// domain. Scaled partitions use it to widen the synthetic delay between
+	// sub-shards of the same ISP and to/from infrastructure-only domains, so
+	// the conservative PDES lookahead — which must lower-bound every
+	// cross-domain latency — can rise above the natural pair-OWD minimum.
+	// nil (the default) leaves arrivals untouched.
+	remoteFloor func(dstDomain int) time.Duration
 	// hosts is keyed by the packed IPv4 address (hostKey): the lookup sits
 	// on every datagram send, and hashing a uint32 is several times cheaper
 	// than the netip.Addr struct.
@@ -350,6 +358,14 @@ func New(eng *eventsim.Engine, cfg Config) *Network {
 func (n *Network) SetRouter(r Router, domainID int) {
 	n.router = r
 	n.domainID = domainID
+}
+
+// SetRemoteFloor installs a per-destination-domain minimum wire latency for
+// cross-shard sends (see the remoteFloor field). The floor must match the
+// lookahead the world derives from it: every forwarded datagram's arrival is
+// raised to at least departure+floor, never lowered.
+func (n *Network) SetRemoteFloor(fn func(dstDomain int) time.Duration) {
+	n.remoteFloor = fn
 }
 
 // hostKey packs an IPv4 address into the hosts map key. The simulation's
@@ -531,6 +547,11 @@ func (n *Network) sendRemote(from *Host, to netip.Addr, rem Remote, departure ti
 	arrival := departure + owd + jitter + faultDelay
 	if n.cfg.TransoceanicBps > 0 && from.ISP.Domestic() != rem.ISP.Domestic() {
 		arrival += time.Duration(float64(size) / n.cfg.TransoceanicBps * float64(time.Second))
+	}
+	if n.remoteFloor != nil {
+		if fl := n.remoteFloor(rem.Domain); arrival-departure < fl {
+			arrival = departure + fl
+		}
 	}
 	n.router.Forward(n.domainID, rem.Domain, arrival, from.Addr, to, size, payload)
 	return true

@@ -27,6 +27,7 @@ import (
 	"pplivesim/internal/core"
 	"pplivesim/internal/fault"
 	"pplivesim/internal/isp"
+	"pplivesim/internal/peer"
 	"pplivesim/internal/workload"
 )
 
@@ -75,7 +76,28 @@ type (
 	// ResilienceReport holds per-fault-window dip/recovery/traffic-shift
 	// metrics (Result.ProbeResilience).
 	ResilienceReport = analysis.ResilienceReport
+	// Fidelity selects how the background population is simulated
+	// (Scenario.Fidelity): mixed (default), full, or flow — the
+	// struct-of-arrays million-peer mode.
+	Fidelity = peer.Fidelity
+	// FlowTraffic is one (channel, category) flow-level traffic account
+	// (Result.FlowTraffic).
+	FlowTraffic = core.FlowTraffic
 )
+
+// The background-population fidelity levels (Scenario.Fidelity).
+const (
+	FidelityMixed = peer.FidelityMixed
+	FidelityFull  = peer.FidelityFull
+	FidelityFlow  = peer.FidelityFlow
+)
+
+// FidelityNames lists the fidelity flag spellings accepted by ParseFidelity.
+func FidelityNames() []string { return peer.FidelityNames() }
+
+// ParseFidelity resolves a flag value ("mixed", "full", "flow") to a
+// fidelity level.
+func ParseFidelity(s string) (Fidelity, error) { return peer.ParseFidelity(s) }
 
 // The ISP categories used throughout the paper.
 const (
