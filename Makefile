@@ -6,7 +6,7 @@ GO ?= go
 HOTPATH_PKGS = ./internal/eventsim ./internal/wire
 BENCHTIME ?= 2s
 
-.PHONY: fast full fuzz bench bench-sched bench-shard bench-telemetry bench-fault bench-scenarios bench-compare bench-baseline clean
+.PHONY: fast full fuzz bench bench-sched bench-select bench-shard bench-telemetry bench-fault bench-scenarios bench-compare bench-baseline clean
 
 # Fast lane: static checks plus every -short test under the race detector.
 # Scenario-scale tests skip themselves in -short mode, so this finishes in
@@ -103,6 +103,28 @@ bench-shard:
 	$(GO) run ./cmd/benchdiff -shard BENCH_shard.json
 	@echo "wrote BENCH_shard.json"
 
+# Selection-policy benchmarks (tracker reply composition in
+# internal/selection), exported as BENCH_select.json. The baseline/uniform
+# pair proves the strategy indirection is free on the default path: the
+# bench-compare gate holds BenchmarkSelectUniform within the noise threshold
+# of the hand-inlined BenchmarkSelectUniformBaseline at 0 allocs/op.
+bench-select:
+	$(GO) test -run '^$$' -bench Select -benchmem -benchtime $(BENCHTIME) ./internal/selection | tee bench_select.txt
+	awk 'BEGIN { print "[" } \
+	  /^Benchmark/ { ns=""; bytes=""; allocs=""; \
+	    for (i = 2; i <= NF; i++) { \
+	      if ($$(i) == "ns/op") ns = $$(i-1); \
+	      if ($$(i) == "B/op") bytes = $$(i-1); \
+	      if ($$(i) == "allocs/op") allocs = $$(i-1); \
+	    } \
+	    if (ns == "") next; \
+	    if (n++) print ","; \
+	    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+	      $$1, ns, (bytes == "" ? "null" : bytes), (allocs == "" ? "null" : allocs); \
+	  } \
+	  END { print "\n]" }' bench_select.txt > BENCH_select.json
+	@echo "wrote BENCH_select.json"
+
 # Telemetry pipeline benchmarks: full-capture vs streaming analysis of the
 # same synthetic paper-scale trace, exported as BENCH_telemetry.json. Besides
 # the usual ns/op + allocs/op, each entry carries live_heap_bytes — the heap
@@ -155,22 +177,24 @@ bench-fault:
 # so a uniformly slower or faster machine doesn't trip the gate). Re-baseline
 # after intentional perf changes with `make bench-baseline`.
 bench-compare:
-	$(MAKE) bench bench-sched bench-telemetry bench-fault BENCHTIME=$(BENCHTIME)
+	$(MAKE) bench bench-sched bench-select bench-telemetry bench-fault BENCHTIME=$(BENCHTIME)
 	$(GO) run ./cmd/benchdiff -normalize -threshold 0.30 \
 	  bench/baseline/hotpath.json BENCH_hotpath.json \
 	  bench/baseline/sched.json BENCH_sched.json \
+	  bench/baseline/select.json BENCH_select.json \
 	  bench/baseline/telemetry.json BENCH_telemetry.json \
 	  bench/baseline/fault.json BENCH_fault.json
 
 # Refresh the committed perf baselines from a fresh benchmark run.
 bench-baseline:
-	$(MAKE) bench bench-sched bench-telemetry bench-fault BENCHTIME=$(BENCHTIME)
+	$(MAKE) bench bench-sched bench-select bench-telemetry bench-fault BENCHTIME=$(BENCHTIME)
 	mkdir -p bench/baseline
 	cp BENCH_hotpath.json bench/baseline/hotpath.json
 	cp BENCH_sched.json bench/baseline/sched.json
+	cp BENCH_select.json bench/baseline/select.json
 	cp BENCH_telemetry.json bench/baseline/telemetry.json
 	cp BENCH_fault.json bench/baseline/fault.json
-	@echo "wrote bench/baseline/{hotpath,sched,telemetry,fault}.json"
+	@echo "wrote bench/baseline/{hotpath,sched,select,telemetry,fault}.json"
 
 # Scenario-scale benchmarks: one full simulation per table/figure.
 bench-scenarios:
@@ -178,5 +202,6 @@ bench-scenarios:
 
 clean:
 	rm -f bench_hotpath.txt BENCH_hotpath.json bench_sched.txt BENCH_sched.json \
+	  bench_select.txt BENCH_select.json \
 	  bench_shard.txt BENCH_shard.json bench_telemetry.txt BENCH_telemetry.json \
 	  bench_fault.txt BENCH_fault.json core.test

@@ -6,8 +6,8 @@
 // Usage:
 //
 //	experiments [-scale quick|default|paper] [-seed N] [-only substr] [-out file]
-//	            [-shards N] [-fidelity mixed|full|flow] [-cpuprofile file]
-//	            [-memprofile file]
+//	            [-shards N] [-fidelity mixed|full|flow] [-selection policy]
+//	            [-cpuprofile file] [-memprofile file]
 package main
 
 import (
@@ -21,6 +21,7 @@ import (
 
 	"pplivesim/internal/experiments"
 	"pplivesim/internal/peer"
+	"pplivesim/internal/selection"
 	"pplivesim/internal/simnet"
 )
 
@@ -216,6 +217,15 @@ func sections() []section {
 			}
 			return out.Render(), nil
 		}},
+		{"frontier", "Locality frontier — biased peer selection: transit savings vs continuity/startup", func(r *experiments.Runner) (string, error) {
+			pts, err := r.LocalityFrontier(func(name string) {
+				fmt.Fprintf(os.Stderr, "  frontier %s\n", name)
+			})
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderFrontier(pts), nil
+		}},
 		{"chaos", "Chaos — dip/recovery and traffic shift under the combo fault preset", func(r *experiments.Runner) (string, error) {
 			out, err := r.Chaos()
 			if err != nil {
@@ -244,6 +254,7 @@ func run() error {
 	workers := flag.Int("workers", 0, "max concurrent scenario runs (0 = GOMAXPROCS); results are identical at any setting")
 	shards := flag.Int("shards", simnet.DefaultShards, "event-loop workers per run (one per ISP domain by default); results are identical at any setting")
 	fidelityName := flag.String("fidelity", "mixed", "background population fidelity: "+strings.Join(peer.FidelityNames(), ", "))
+	selectionName := flag.String("selection", "random", "peer selection policy: "+strings.Join(selection.Names(), ", "))
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
 	flag.Parse()
@@ -255,6 +266,10 @@ func run() error {
 		return fmt.Errorf("-shards %d: must be >= 1", *shards)
 	}
 	fidelity, err := peer.ParseFidelity(*fidelityName)
+	if err != nil {
+		return err
+	}
+	selSpec, err := selection.ParseSpec(*selectionName)
 	if err != nil {
 		return err
 	}
@@ -324,6 +339,7 @@ func run() error {
 	runner.Workers = *workers
 	runner.Shards = *shards
 	runner.Fidelity = fidelity
+	runner.Selection = selSpec
 	emit(fmt.Sprintf("experiment run: scale=%s seed=%d population×%.2f watch=%s fig6days=%d\n\n",
 		*scaleName, *seed, scale.Population, scale.Watch, scale.Fig6Days))
 
@@ -349,8 +365,17 @@ func run() error {
 		emit(fmt.Sprintf("## %s: %s\n%s(wall %s)\n\n", s.id, s.title, body, time.Since(secStart).Round(time.Second)))
 	}
 	if *plots != "" {
-		if err := renderPlots(runner, *plots); err != nil {
-			return fmt.Errorf("plots: %w", err)
+		// The frontier figures reuse the cached sweep, so they only render
+		// when the frontier section ran (or on a full run).
+		if strings.Contains("frontier", *only) {
+			if err := renderFrontierPlots(runner, *plots); err != nil {
+				return fmt.Errorf("plots: %w", err)
+			}
+		}
+		if *only == "" {
+			if err := renderPlots(runner, *plots); err != nil {
+				return fmt.Errorf("plots: %w", err)
+			}
 		}
 		fmt.Fprintf(os.Stderr, "figures written to %s\n", *plots)
 	}
@@ -361,6 +386,17 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// renderFrontierPlots draws the locality-frontier figures from the cached
+// sweep (running it if the -only filter skipped the section).
+func renderFrontierPlots(runner *experiments.Runner, dir string) error {
+	fw := experiments.NewFigureWriter(dir)
+	pts, err := runner.LocalityFrontier(nil)
+	if err != nil {
+		return err
+	}
+	return fw.WriteFrontier("frontier", "Locality frontier, TELE probe", pts)
 }
 
 // renderPlots draws every figure from the cached runs (running them if the

@@ -8,7 +8,7 @@
 //	     [-probes tele,cnc,mason] [-seed 7] [-no-referral] [-no-latency-bias]
 //	     [-no-preference] [-switch-fraction 0.35] [-median-dwell 4m]
 //	     [-fault source-crash|tracker-outage|link-degrade|partition|burst-loss|kill-churn|combo]
-//	     [-fidelity mixed|full|flow]
+//	     [-fidelity mixed|full|flow] [-selection random|quota:F|ashop:B]
 //
 // With -fidelity flow the background population runs as struct-of-arrays
 // flow swarms — millions of peers in bounded memory — while probes keep
@@ -59,6 +59,7 @@ func run() error {
 	dwell := flag.Duration("median-dwell", 4*time.Minute, "with -channel multi: median dwell on a channel before switching")
 	faultName := flag.String("fault", "", "inject a chaos preset: "+strings.Join(pplive.FaultPresetNames(), ", "))
 	fidelityName := flag.String("fidelity", "mixed", "background population fidelity: "+strings.Join(pplive.FidelityNames(), ", "))
+	selectionName := flag.String("selection", "random", "peer selection policy: "+strings.Join(pplive.SelectionNames(), ", "))
 	flag.Parse()
 
 	if *scale <= 0 {
@@ -103,6 +104,11 @@ func run() error {
 		return err
 	}
 	sc.Fidelity = fidelity
+	selSpec, err := pplive.ParseSelection(*selectionName)
+	if err != nil {
+		return err
+	}
+	sc.Selection = selSpec
 
 	for _, name := range strings.Split(*probesFlag, ",") {
 		name = strings.TrimSpace(name)

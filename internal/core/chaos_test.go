@@ -41,7 +41,12 @@ func TestChaosGoldenDigest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	const want = 0x7a3b9dd1c45d820f
+	// Re-baselined (from 0x7a3b9dd1c45d820f) when keepalive eviction started
+	// purging dead peers from the referral source: resilient sessions stop
+	// gossiping evicted neighbors, which deliberately changes every chaos
+	// trajectory. The benign goldens were unaffected (resilience off there).
+	// Verified identical at 1 and 4 workers before pinning.
+	const want uint64 = 0xd415c124fea4c1de
 	if got := goldenDigest(t, res); got != want {
 		t.Errorf("chaos digest = %#x, want %#x (fault trajectory changed vs the pinned baseline)", got, want)
 	}

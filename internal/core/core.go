@@ -24,6 +24,7 @@ import (
 	"pplivesim/internal/fault"
 	"pplivesim/internal/isp"
 	"pplivesim/internal/peer"
+	"pplivesim/internal/selection"
 	"pplivesim/internal/simnet"
 	"pplivesim/internal/stream"
 	"pplivesim/internal/tracker"
@@ -94,6 +95,14 @@ type Scenario struct {
 	Churn     workload.Churn
 	Probes    []ProbeSpec
 	Behaviour Behaviour
+
+	// Selection chooses the peer-selection policy applied uniformly to
+	// tracker replies, peer referrals, and the flow-fidelity byte mix. The
+	// zero value is the paper-faithful locality-unaware uniform sample,
+	// bit-identical to pre-policy builds (the pinned golden digests depend
+	// on it); quota/ashop specs engineer locality instead (see
+	// internal/selection).
+	Selection selection.Spec
 
 	// Fidelity selects how the background population is simulated. The zero
 	// value, peer.FidelityMixed, is the pinned-golden behaviour (batched
@@ -217,6 +226,9 @@ func (s *Scenario) Validate() error {
 	}
 	if !s.Fidelity.Valid() {
 		return fmt.Errorf("core: scenario %q has invalid fidelity %d", s.Name, int(s.Fidelity))
+	}
+	if err := s.Selection.Validate(); err != nil {
+		return fmt.Errorf("core: scenario %q: %w", s.Name, err)
 	}
 	if s.Fidelity == peer.FidelityFlow {
 		if s.Switching.Enabled {
@@ -362,6 +374,10 @@ type Sim struct {
 	scenario Scenario
 	world    *simnet.World
 
+	// policy is the instantiated Scenario.Selection, shared by every tracker
+	// server, peer config, and flow swarm (policies are stateless).
+	policy selection.Policy
+
 	bootstrapAddr netip.Addr
 	trackerAddrs  map[netip.Addr]bool
 	// trackerList is the same set in spawn order: flow swarms rotate their
@@ -467,6 +483,14 @@ func Build(sc Scenario) (*Sim, error) {
 		world:        world,
 		trackerAddrs: make(map[netip.Addr]bool),
 	}
+	// One policy instance serves the whole world: trackers sample with it,
+	// sessions shape referrals with it, flow swarms weight their byte mix
+	// with it. Uniform (the zero spec) preserves every legacy trajectory.
+	pol, err := sc.Selection.Policy(world.Registry)
+	if err != nil {
+		return nil, fmt.Errorf("core: scenario %q: %w", sc.Name, err)
+	}
+	sim.policy = pol
 	for _, d := range world.Domains() {
 		sim.doms = append(sim.doms, domainState{dom: d, rng: d.Engine().NewRand()})
 	}
@@ -493,6 +517,7 @@ func Build(sc Scenario) (*Sim, error) {
 				return nil, fmt.Errorf("spawn tracker: %w", err)
 			}
 			srv := tracker.NewServer(env)
+			srv.SetPolicy(sim.policy)
 			env.SetHandler(srv)
 			groups[g] = append(groups[g], env.Addr())
 			sim.trackerAddrs[env.Addr()] = true
@@ -605,6 +630,12 @@ func (s *Sim) applyBehaviour(cfg *peer.Config) {
 	cfg.ReferralEnabled = !b.DisableReferral
 	cfg.LatencyBias = !b.DisableLatencyBias
 	cfg.PreferFastNeighbors = !b.DisablePreference
+	// Referral replies follow the scenario's selection policy. The uniform
+	// default is left as nil — the legacy zero-overhead pass-through — so
+	// golden trajectories can't be perturbed by the indirection.
+	if s.scenario.Selection.Kind != selection.KindUniform {
+		cfg.Selection = s.policy
+	}
 	// Chaos runs harden every peer; fault-free runs keep the zero value so
 	// their trajectories stay bit-identical to pre-resilience builds.
 	if s.scenario.Faults != nil {

@@ -9,6 +9,7 @@ import (
 	"pplivesim/internal/capture"
 	"pplivesim/internal/isp"
 	"pplivesim/internal/peer"
+	"pplivesim/internal/selection"
 	"pplivesim/internal/simnet"
 	"pplivesim/internal/stream"
 	"pplivesim/internal/underlay"
@@ -35,11 +36,6 @@ const (
 	// flowBufferMapInterval mirrors Config.BufferMapInterval for the
 	// probe-facing link announces.
 	flowBufferMapInterval = 5 * time.Second
-	// flowLocalityBoost is the same-ISP preference multiplier in the
-	// synthetic traffic mix. With the paper's TELE population share (~0.55)
-	// it lands intra-ISP traffic near the ~0.9 fraction the full-fidelity
-	// mesh converges to (Table 2 of the paper).
-	flowLocalityBoost = 8.0
 )
 
 // FlowTraffic is the flow-level traffic account of every swarm of one
@@ -112,7 +108,7 @@ func (s *Sim) buildFlowPopulation(set []ChannelSpec) error {
 				Aggregate: analysis.NewAggregate(world.Registry, s.channels[chIdx].Source, category),
 			}
 			s.flowTotals = append(s.flowTotals, total)
-			cats, share, rep, rtt := flowMix(world, ch.Viewers, category, netCfg)
+			cats, share, rep, rtt := flowMix(world, ch.Viewers, category, netCfg, s.policy)
 
 			doms := world.DomainsOf(category)
 			for k, dom := range doms {
@@ -125,6 +121,9 @@ func (s *Sim) buildFlowPopulation(set []ChannelSpec) error {
 				}
 				ds := &s.doms[dom.ID()]
 				fcfg := peer.DefaultFlowConfig(ch.Spec)
+				if sc.Selection.Kind != selection.KindUniform {
+					fcfg.Selection = s.policy
+				}
 				if sc.Churn.Enabled {
 					fcfg.MeanSession = sc.Churn.MeanSession
 					fcfg.ReplacementDelay = sc.Churn.ReplacementDelay
@@ -159,24 +158,27 @@ func (s *Sim) buildFlowPopulation(set []ChannelSpec) error {
 }
 
 // flowMix derives the synthetic traffic mix for swarms of one category: the
-// probability a streamed byte came from each source ISP (population share
-// with a same-ISP boost, the flow-level stand-in for the mesh's locality
-// preferences), a representative address inside that ISP, and the typical
-// request round-trip used for response-time accounting.
-func flowMix(world *simnet.World, pop workload.Population, category isp.ISP, cfg underlay.Config) (cats []isp.ISP, share []float64, rep []netip.Addr, rtt []time.Duration) {
-	var sum float64
+// probability a streamed byte came from each source ISP, a representative
+// address inside that ISP, and the typical request round-trip used for
+// response-time accounting. Raw population weights are shaped by the
+// scenario's selection policy — every policy applies the emergent same-ISP
+// boost (the flow-level stand-in for the mesh's locality preferences), and
+// biased policies layer their engineered preference on top — then
+// normalized here.
+func flowMix(world *simnet.World, pop workload.Population, category isp.ISP, cfg underlay.Config, pol selection.Policy) (cats []isp.ISP, share []float64, rep []netip.Addr, rtt []time.Duration) {
 	for _, src := range isp.All() {
 		w := float64(pop[src])
 		if w <= 0 {
 			continue
 		}
-		if src == category {
-			w *= flowLocalityBoost
-		}
 		cats = append(cats, src)
 		share = append(share, w)
 		rep = append(rep, world.Registry.PrefixesFor(src)[0].Addr().Next())
 		rtt = append(rtt, flowRTT(cfg, category, src))
+	}
+	pol.Shape(category, cats, share)
+	var sum float64
+	for _, w := range share {
 		sum += w
 	}
 	for i := range share {

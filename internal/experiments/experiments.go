@@ -23,6 +23,7 @@ import (
 	"pplivesim/internal/fit"
 	"pplivesim/internal/isp"
 	"pplivesim/internal/peer"
+	"pplivesim/internal/selection"
 	"pplivesim/internal/workload"
 )
 
@@ -112,6 +113,10 @@ type Runner struct {
 	// (core.Scenario.Fidelity). The multi-channel run always uses full
 	// Clients: channel switching needs per-viewer protocol state.
 	Fidelity peer.Fidelity
+	// Selection sets each scenario's peer-selection policy
+	// (core.Scenario.Selection). The zero value is the legacy uniform
+	// random sample. The locality-frontier sweep overrides it per run.
+	Selection selection.Spec
 
 	popOnce   sync.Once
 	popular   *RunOutputs
@@ -125,6 +130,10 @@ type Runner struct {
 	chaosOnce sync.Once
 	chaos     *RunOutputs
 	chaosErr  error
+
+	frontierOnce sync.Once
+	frontier     []FrontierPoint
+	frontierErr  error
 }
 
 // NewRunner creates a runner with the given scale and base seed.
@@ -154,6 +163,7 @@ func (r *Runner) buildScenario(name string, popular bool, seedOffset int64, popu
 		Watch:         watch,
 		Shards:        r.Shards,
 		Fidelity:      r.Fidelity,
+		Selection:     r.Selection,
 	}
 	if popular {
 		sc.Spec = workload.PopularSpec()

@@ -210,6 +210,42 @@ func (fw *FigureWriter) WriteFig6(name, title string, points []Fig6Point) error 
 	return fw.write(name, p)
 }
 
+// WriteFrontier renders the locality-frontier sweep as two figures: transit
+// savings against continuity and against startup delay, one line per
+// fidelity, sweeping the bias knob loosest to tightest along each line.
+func (fw *FigureWriter) WriteFrontier(name, title string, points []FrontierPoint) error {
+	cont := plot.New(title+" — continuity", "transit bytes saved vs random (%)", "playback continuity")
+	start := plot.New(title+" — startup delay", "transit bytes saved vs random (%)", "startup delay (s)")
+	for _, fid := range frontierFidelities() {
+		var xs, cys, sxs, sys []float64
+		for _, pt := range points {
+			if pt.Fidelity != fid {
+				continue
+			}
+			xs = append(xs, 100*pt.TransitSaved)
+			cys = append(cys, pt.Continuity)
+			if pt.StartupOK {
+				sxs = append(sxs, 100*pt.TransitSaved)
+				sys = append(sys, pt.Startup.Seconds())
+			}
+		}
+		if len(xs) > 0 {
+			if err := cont.AddLine(fid.String(), xs, cys); err != nil {
+				return err
+			}
+		}
+		if len(sxs) > 0 {
+			if err := start.AddLine(fid.String(), sxs, sys); err != nil {
+				return err
+			}
+		}
+	}
+	if err := fw.write(name+"-continuity", cont); err != nil {
+		return err
+	}
+	return fw.write(name+"-startup", start)
+}
+
 // WriteAll renders every figure for one probe report under a prefix, e.g.
 // fig2a, fig2c, fig7, fig11b, fig11c, fig15 for the TELE/popular view.
 func (fw *FigureWriter) WriteAll(prefix string, abcTitle string, rep *analysis.Report, rtFig, contribFig, rttFig string) error {

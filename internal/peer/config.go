@@ -5,6 +5,7 @@ import (
 	"net/netip"
 	"time"
 
+	"pplivesim/internal/selection"
 	"pplivesim/internal/stream"
 )
 
@@ -101,6 +102,13 @@ type Config struct {
 	// PreferFastNeighbors weights data-request scheduling toward neighbors
 	// with faster observed service. Disabling it schedules uniformly.
 	PreferFastNeighbors bool
+
+	// Selection shapes referral replies (the ReferralEnabled path). nil is
+	// the legacy behaviour — recency order passed through untouched, zero
+	// RNG draws — which the pinned golden digests depend on. Referral
+	// shaping is deterministic for every policy (selection.Policy.Refer
+	// never draws), so a biased policy here stays worker-count invariant.
+	Selection selection.Policy
 
 	// Resilience enables the fault-tolerance protocol extensions. The zero
 	// value disables every one of them, leaving the client's event and RNG

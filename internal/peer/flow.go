@@ -6,6 +6,7 @@ import (
 	"net/netip"
 	"time"
 
+	"pplivesim/internal/selection"
 	"pplivesim/internal/stream"
 	"pplivesim/internal/wire"
 )
@@ -67,6 +68,11 @@ type FlowConfig struct {
 	// alive (the full population announcing every minute would be pure
 	// event-queue load; probes only ever consume a 50-peer sample anyway).
 	TrackerSample int
+
+	// Selection shapes referral replies, mirroring Config.Selection. nil is
+	// the legacy pass-through; any policy's Refer is RNG-free, so shaping
+	// never touches the swarm's deterministic draw stream.
+	Selection selection.Policy
 }
 
 // DefaultFlowConfig returns the flow-swarm parameters matching
@@ -308,7 +314,7 @@ func (s *FlowSwarm) TakeBytes() uint64 {
 func (s *FlowSwarm) randomAlive() int {
 	n := len(s.addrs)
 	for t := 0; t < 16; t++ {
-		if i := s.rng.Intn(n); i >= 0 && s.alive[i] {
+		if i := s.rng.Intn(n); s.alive[i] {
 			return i
 		}
 	}
@@ -430,7 +436,9 @@ func (s *FlowSwarm) addLink(i int, addr netip.Addr, now time.Duration) bool {
 }
 
 // referralList is member i's gossip reply: the live entries of its referral
-// row, excluding the requester.
+// row, excluding the member's own row and the requester — a reply can never
+// bounce the requester back to itself or hand out a departed member. A
+// configured selection policy then reorders/clamps the survivors (RNG-free).
 func (s *FlowSwarm) referralList(i int, requester netip.Addr) []netip.Addr {
 	row := s.nbr[i*flowNbrWidth : (i+1)*flowNbrWidth]
 	out := make([]netip.Addr, 0, flowNbrWidth)
@@ -443,6 +451,9 @@ func (s *FlowSwarm) referralList(i int, requester netip.Addr) []netip.Addr {
 			continue
 		}
 		out = append(out, a)
+	}
+	if pol := s.cfg.Selection; pol != nil {
+		out = out[:pol.Refer(out, requester)]
 	}
 	return out
 }

@@ -240,6 +240,12 @@ type Client struct {
 
 	stats Stats
 
+	// timeToSteady is the startup delay: elapsed simulated time from the
+	// first session's bootstrap contact to the first steady-phase
+	// transition. steadySeen latches it (channel switches don't overwrite).
+	timeToSteady time.Duration
+	steadySeen   bool
+
 	// onStopped, if set, runs after Stop completes (used by orchestration).
 	onStopped func()
 }
@@ -312,6 +318,13 @@ func (c *Client) Addr() netip.Addr { return c.env.Addr() }
 
 // Stats returns a snapshot of protocol counters.
 func (c *Client) Stats() Stats { return c.stats }
+
+// TimeToSteady reports the startup delay — simulated time from first
+// bootstrap contact to the first steady-phase transition — and whether the
+// client ever reached steady state.
+func (c *Client) TimeToSteady() (time.Duration, bool) {
+	return c.timeToSteady, c.steadySeen
+}
 
 // BufferStats returns playback buffer counters summed across every session
 // the client has held, including channels already left.

@@ -77,6 +77,10 @@ func (s *session) keepaliveTick() {
 	for _, a := range victims {
 		s.c.stats.KeepaliveEvictions++
 		s.dropNeighbor(a)
+		// A keepalive eviction is positive evidence of death, not mere
+		// silence: purge the peer from the referral source too, so it is
+		// never handed out in future peer-list replies.
+		s.forgetRecent(a)
 	}
 	s.evictScratch = victims[:0]
 	// A shrunken mesh cannot wait for the periodic tracker round: re-announce

@@ -28,7 +28,10 @@ type session struct {
 	phase    Phase
 	source   netip.Addr
 	trackers []netip.Addr
-	buffer   *stream.Buffer
+	// startedAt timestamps the join for the startup-delay metric (time from
+	// first bootstrap contact to the steady-phase transition).
+	startedAt time.Duration
+	buffer    *stream.Buffer
 
 	// The per-datagram maps are keyed by the packed IPv4 address (akey):
 	// hashing a 4-byte integer is several times cheaper than the 24-byte
@@ -117,6 +120,7 @@ func newSession(c *Client, spec stream.Spec) *session {
 // channel switch already know the directory and request the playlink
 // directly. Either way the contact is retried until the playlink resolves.
 func (s *session) start(direct bool) {
+	s.startedAt = s.env.Now()
 	request := func() wire.Message {
 		if direct {
 			return &wire.PlaylinkRequest{Channel: s.spec.Channel}
@@ -620,7 +624,12 @@ func (s *session) handlePeerListRequest(from netip.Addr, m *wire.PeerListRequest
 }
 
 // referralList returns up to ReferralSize recently connected peers, excluding
-// the requester itself.
+// the requester itself. recent never contains this session's own address
+// (pushRecent only records remote non-source neighbors) and keepalive
+// eviction purges dead entries, so a referral can neither bounce the
+// requester back to itself nor hand out a neighbor known to be gone. A
+// configured selection policy then reorders/clamps the reply — Refer is
+// RNG-free, so shaping never perturbs the event trajectory.
 func (s *session) referralList(requester netip.Addr) []netip.Addr {
 	out := make([]netip.Addr, 0, len(s.recent))
 	for _, a := range s.recent {
@@ -629,7 +638,21 @@ func (s *session) referralList(requester netip.Addr) []netip.Addr {
 		}
 		out = append(out, a)
 	}
+	if pol := s.cfg.Selection; pol != nil {
+		out = out[:pol.Refer(out, requester)]
+	}
 	return out
+}
+
+// forgetRecent purges a from the referral source — used when a is discovered
+// dead (keepalive eviction) so it is never referred to other peers again.
+func (s *session) forgetRecent(a netip.Addr) {
+	for i, existing := range s.recent {
+		if existing == a {
+			s.recent = append(s.recent[:i], s.recent[i+1:]...)
+			return
+		}
+	}
 }
 
 func (s *session) handlePeerListReply(from netip.Addr, m *wire.PeerListReply) {
@@ -718,6 +741,10 @@ func (s *session) maybeSteady() {
 	st := s.buffer.Stats()
 	if st.Received > uint64(s.cfg.BufferWindow/4) && len(s.neighbors) > 2 {
 		s.phase = PhaseSteady
+		if !s.c.steadySeen {
+			s.c.steadySeen = true
+			s.c.timeToSteady = s.env.Now() - s.startedAt
+		}
 		s.scheduleTrackerQueries(s.cfg.TrackerIntervalSteady)
 	}
 }

@@ -1,0 +1,97 @@
+package selection
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+
+	"pplivesim/internal/isp"
+)
+
+// benchCandidates builds a realistic tracker reply pool: 200 candidates
+// split across the five ISP categories, registered in a map resolver.
+func benchCandidates() ([]netip.Addr, mapResolver, netip.Addr) {
+	res := mapResolver{}
+	var c []netip.Addr
+	cats := isp.All()
+	for i := 0; i < 200; i++ {
+		a := netip.AddrFrom4([4]byte{10, byte(i / 250), byte(i % 250), 1})
+		res[a] = cats[i%len(cats)]
+		c = append(c, a)
+	}
+	req := netip.AddrFrom4([4]byte{10, 9, 9, 9})
+	res[req] = isp.TELE
+	return c, res, req
+}
+
+// BenchmarkSelectUniformBaseline is the legacy inline partial Fisher-Yates —
+// the pre-refactor tracker reply path, hand-inlined with no interface call.
+// BenchmarkSelectUniform must stay within 5% of it at 0 allocs: that pair is
+// the bench-compare gate's proof that the strategy indirection is free.
+func BenchmarkSelectUniformBaseline(b *testing.B) {
+	c, _, _ := benchCandidates()
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n := len(c)
+		k := 60
+		for j := 0; j < k; j++ {
+			m := j + rng.Intn(n-j)
+			c[j], c[m] = c[m], c[j]
+		}
+	}
+}
+
+// BenchmarkSelectUniform is the same sample through the Policy interface.
+func BenchmarkSelectUniform(b *testing.B) {
+	c, _, req := benchCandidates()
+	rng := rand.New(rand.NewSource(1))
+	var pol Policy = Uniform{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pol.Sample(c, req, 60, rng)
+	}
+}
+
+// BenchmarkSelectQuota measures the quota policy's partition + dual
+// Fisher-Yates reply composition.
+func BenchmarkSelectQuota(b *testing.B) {
+	c, res, req := benchCandidates()
+	pol, err := NewQuota(res, 0.25)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pol.Sample(c, req, 60, rng)
+	}
+}
+
+// BenchmarkSelectASHop measures the hop-class-bucketed weighted sample.
+func BenchmarkSelectASHop(b *testing.B) {
+	c, res, req := benchCandidates()
+	pol, err := NewASHop(res, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pol.Sample(c, req, 60, rng)
+	}
+}
+
+// TestUniformSampleZeroAlloc pins the random path at zero allocations — the
+// interface indirection must not heap-allocate anything.
+func TestUniformSampleZeroAlloc(t *testing.T) {
+	c, _, req := benchCandidates()
+	rng := rand.New(rand.NewSource(1))
+	var pol Policy = Uniform{}
+	allocs := testing.AllocsPerRun(200, func() {
+		pol.Sample(c, req, 60, rng)
+	})
+	if allocs != 0 {
+		t.Fatalf("Uniform.Sample allocates %.1f/op, want 0", allocs)
+	}
+}

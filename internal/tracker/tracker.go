@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"pplivesim/internal/node"
+	"pplivesim/internal/selection"
 	"pplivesim/internal/wire"
 )
 
@@ -79,6 +80,7 @@ type Server struct {
 	env      node.Env
 	maxReply int
 	entryTTL time.Duration
+	policy   selection.Policy
 
 	channels map[wire.ChannelID]*channelPeers
 
@@ -99,6 +101,7 @@ func NewServer(env node.Env) *Server {
 		env:      env,
 		maxReply: DefaultMaxReply,
 		entryTTL: DefaultEntryTTL,
+		policy:   selection.Uniform{},
 		channels: make(map[wire.ChannelID]*channelPeers),
 	}
 }
@@ -109,6 +112,15 @@ var _ node.Handler = (*Server)(nil)
 func (s *Server) SetMaxReply(n int) {
 	if n > 0 {
 		s.maxReply = n
+	}
+}
+
+// SetPolicy installs the reply-composition policy (selection.Uniform by
+// default — the paper's locality-unaware random sample). The policy must be
+// safe for shared use: one instance serves every tracker in the world.
+func (s *Server) SetPolicy(p selection.Policy) {
+	if p != nil {
+		s.policy = p
 	}
 }
 
@@ -190,17 +202,12 @@ func (s *Server) handleQuery(from netip.Addr, m *wire.TrackerQuery) {
 		}
 	}
 
-	// Random sample without locality awareness: partial Fisher-Yates.
-	rng := s.env.Rand()
-	n := len(candidates)
-	k := s.maxReply
-	if k > n {
-		k = n
-	}
-	for i := 0; i < k; i++ {
-		j := i + rng.Intn(n-i)
-		candidates[i], candidates[j] = candidates[j], candidates[i]
-	}
+	// Reply composition is delegated to the selection policy; the default
+	// Uniform policy reproduces the paper's locality-unaware partial
+	// Fisher-Yates draw for draw. Even with no candidates an (empty)
+	// response is sent — the client is waiting on it — and served counts
+	// only addresses actually returned.
+	k := s.policy.Sample(candidates, from, s.maxReply, s.env.Rand())
 	peers := make([]netip.Addr, k)
 	copy(peers, candidates[:k])
 	s.served += uint64(k)

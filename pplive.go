@@ -28,6 +28,7 @@ import (
 	"pplivesim/internal/fault"
 	"pplivesim/internal/isp"
 	"pplivesim/internal/peer"
+	"pplivesim/internal/selection"
 	"pplivesim/internal/workload"
 )
 
@@ -83,6 +84,11 @@ type (
 	// FlowTraffic is one (channel, category) flow-level traffic account
 	// (Result.FlowTraffic).
 	FlowTraffic = core.FlowTraffic
+	// SelectionSpec selects and parameterizes the peer-selection policy
+	// (Scenario.Selection): the zero value is the legacy uniform random
+	// sample; quota and AS-hop policies bias replies toward the
+	// requester's ISP.
+	SelectionSpec = selection.Spec
 )
 
 // The background-population fidelity levels (Scenario.Fidelity).
@@ -98,6 +104,14 @@ func FidelityNames() []string { return peer.FidelityNames() }
 // ParseFidelity resolves a flag value ("mixed", "full", "flow") to a
 // fidelity level.
 func ParseFidelity(s string) (Fidelity, error) { return peer.ParseFidelity(s) }
+
+// SelectionNames lists the selection-policy flag spellings accepted by
+// ParseSelection.
+func SelectionNames() []string { return selection.Names() }
+
+// ParseSelection resolves a flag value ("random", "quota:0.2", "ashop:2")
+// to a selection spec for Scenario.Selection.
+func ParseSelection(s string) (SelectionSpec, error) { return selection.ParseSpec(s) }
 
 // The ISP categories used throughout the paper.
 const (
