@@ -6,7 +6,7 @@ GO ?= go
 HOTPATH_PKGS = ./internal/eventsim ./internal/wire
 BENCHTIME ?= 2s
 
-.PHONY: fast full fuzz bench bench-sched bench-select bench-shard bench-telemetry bench-fault bench-scenarios bench-compare bench-baseline clean
+.PHONY: fast full fuzz bench bench-sched bench-select bench-shard bench-telemetry bench-fault bench-cdn bench-scenarios bench-compare bench-baseline clean
 
 # Fast lane: static checks plus every -short test under the race detector.
 # Scenario-scale tests skip themselves in -short mode, so this finishes in
@@ -170,6 +170,27 @@ bench-fault:
 	  END { print "\n]" }' bench_fault.txt > BENCH_fault.json
 	@echo "wrote BENCH_fault.json"
 
+# CDN-hook benchmarks: the urgent-miss scheduling path with no edges deployed
+# (every pure-P2P run) and with a hybrid edge set, exported as BENCH_cdn.json.
+# The edges=0 numbers gate the claim that idle CDN hooks cost 0 allocs on the
+# send path (TestCDNIdleHooksZeroAlloc pins the alloc count itself).
+bench-cdn:
+	$(GO) test -run '^$$' -bench CDNUrgentMiss -benchmem -benchtime $(BENCHTIME) ./internal/peer | tee bench_cdn.txt
+	awk 'BEGIN { print "[" } \
+	  /^Benchmark/ { ns=""; bytes=""; allocs=""; \
+	    for (i = 2; i <= NF; i++) { \
+	      if ($$(i) == "ns/op") ns = $$(i-1); \
+	      if ($$(i) == "B/op") bytes = $$(i-1); \
+	      if ($$(i) == "allocs/op") allocs = $$(i-1); \
+	    } \
+	    if (ns == "") next; \
+	    if (n++) print ","; \
+	    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+	      $$1, ns, (bytes == "" ? "null" : bytes), (allocs == "" ? "null" : allocs); \
+	  } \
+	  END { print "\n]" }' bench_cdn.txt > BENCH_cdn.json
+	@echo "wrote BENCH_cdn.json"
+
 # Perf regression gate (the CI bench-compare lane): re-run both benchmark
 # suites fresh and compare against the committed baselines in bench/baseline/,
 # failing if any benchmark's ns/op regressed by more than 30% relative to its
@@ -177,24 +198,26 @@ bench-fault:
 # so a uniformly slower or faster machine doesn't trip the gate). Re-baseline
 # after intentional perf changes with `make bench-baseline`.
 bench-compare:
-	$(MAKE) bench bench-sched bench-select bench-telemetry bench-fault BENCHTIME=$(BENCHTIME)
+	$(MAKE) bench bench-sched bench-select bench-telemetry bench-fault bench-cdn BENCHTIME=$(BENCHTIME)
 	$(GO) run ./cmd/benchdiff -normalize -threshold 0.30 \
 	  bench/baseline/hotpath.json BENCH_hotpath.json \
 	  bench/baseline/sched.json BENCH_sched.json \
 	  bench/baseline/select.json BENCH_select.json \
 	  bench/baseline/telemetry.json BENCH_telemetry.json \
-	  bench/baseline/fault.json BENCH_fault.json
+	  bench/baseline/fault.json BENCH_fault.json \
+	  bench/baseline/cdn.json BENCH_cdn.json
 
 # Refresh the committed perf baselines from a fresh benchmark run.
 bench-baseline:
-	$(MAKE) bench bench-sched bench-select bench-telemetry bench-fault BENCHTIME=$(BENCHTIME)
+	$(MAKE) bench bench-sched bench-select bench-telemetry bench-fault bench-cdn BENCHTIME=$(BENCHTIME)
 	mkdir -p bench/baseline
 	cp BENCH_hotpath.json bench/baseline/hotpath.json
 	cp BENCH_sched.json bench/baseline/sched.json
 	cp BENCH_select.json bench/baseline/select.json
 	cp BENCH_telemetry.json bench/baseline/telemetry.json
 	cp BENCH_fault.json bench/baseline/fault.json
-	@echo "wrote bench/baseline/{hotpath,sched,select,telemetry,fault}.json"
+	cp BENCH_cdn.json bench/baseline/cdn.json
+	@echo "wrote bench/baseline/{hotpath,sched,select,telemetry,fault,cdn}.json"
 
 # Scenario-scale benchmarks: one full simulation per table/figure.
 bench-scenarios:
@@ -204,4 +227,4 @@ clean:
 	rm -f bench_hotpath.txt BENCH_hotpath.json bench_sched.txt BENCH_sched.json \
 	  bench_select.txt BENCH_select.json \
 	  bench_shard.txt BENCH_shard.json bench_telemetry.txt BENCH_telemetry.json \
-	  bench_fault.txt BENCH_fault.json core.test
+	  bench_fault.txt BENCH_fault.json bench_cdn.txt BENCH_cdn.json core.test

@@ -226,6 +226,15 @@ func sections() []section {
 			}
 			return experiments.RenderFrontier(pts), nil
 		}},
+		{"cdn", "Hybrid CDN+P2P — per-ISP edge offload vs locality under a flash crowd", func(r *experiments.Runner) (string, error) {
+			pts, err := r.CDNOffload(func(name string) {
+				fmt.Fprintf(os.Stderr, "  cdn %s\n", name)
+			})
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderCDN(pts), nil
+		}},
 		{"chaos", "Chaos — dip/recovery and traffic shift under the combo fault preset", func(r *experiments.Runner) (string, error) {
 			out, err := r.Chaos()
 			if err != nil {
@@ -372,6 +381,11 @@ func run() error {
 				return fmt.Errorf("plots: %w", err)
 			}
 		}
+		if strings.Contains("cdn", *only) {
+			if err := renderCDNPlots(runner, *plots); err != nil {
+				return fmt.Errorf("plots: %w", err)
+			}
+		}
 		if *only == "" {
 			if err := renderPlots(runner, *plots); err != nil {
 				return fmt.Errorf("plots: %w", err)
@@ -397,6 +411,17 @@ func renderFrontierPlots(runner *experiments.Runner, dir string) error {
 		return err
 	}
 	return fw.WriteFrontier("frontier", "Locality frontier, TELE probe", pts)
+}
+
+// renderCDNPlots draws the hybrid CDN+P2P figures from the cached sweep
+// (running it if the -only filter skipped the section).
+func renderCDNPlots(runner *experiments.Runner, dir string) error {
+	fw := experiments.NewFigureWriter(dir)
+	pts, err := runner.CDNOffload(nil)
+	if err != nil {
+		return err
+	}
+	return fw.WriteCDN("cdn", "Hybrid CDN+P2P, TELE probe", pts)
 }
 
 // renderPlots draws every figure from the cached runs (running them if the

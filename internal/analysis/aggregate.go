@@ -28,6 +28,11 @@ type Aggregate struct {
 	source   netip.Addr
 	probeISP isp.ISP
 
+	// edges marks the scenario's CDN edge caches: their transmissions are
+	// infrastructure offload, tallied like the source's — never into the
+	// peer-locality counters. Nil in pure-P2P scenarios.
+	edges map[netip.Addr]struct{}
+
 	returnedByISP map[isp.ISP]int
 	returnedBySrc map[ListSource]map[isp.ISP]int
 	unique        map[netip.Addr]struct{}
@@ -36,6 +41,8 @@ type Aggregate struct {
 	bytesByISP  map[isp.ISP]uint64
 	sourceTx    uint64
 	sourceBytes uint64
+	edgeTx      uint64
+	edgeBytes   uint64
 
 	listRT     map[isp.Group]*rtAgg
 	dataRT     map[isp.Group]*rtAgg
@@ -81,6 +88,29 @@ func NewAggregate(resolver Resolver, source netip.Addr, probeISP isp.ISP) *Aggre
 	}
 }
 
+// SetEdges marks the scenario's CDN edge caches so their replies are kept
+// out of the peer-locality statistics. Call before feeding observations.
+func (a *Aggregate) SetEdges(addrs []netip.Addr) {
+	if len(addrs) == 0 {
+		return
+	}
+	if a.edges == nil {
+		a.edges = make(map[netip.Addr]struct{}, len(addrs))
+	}
+	for _, addr := range addrs {
+		a.edges[addr] = struct{}{}
+	}
+}
+
+// isEdge reports whether addr is a marked CDN edge cache.
+func (a *Aggregate) isEdge(addr netip.Addr) bool {
+	if a.edges == nil {
+		return false
+	}
+	_, ok := a.edges[addr]
+	return ok
+}
+
 // peer returns (creating if needed) the activity entry for a client peer.
 func (a *Aggregate) peer(addr netip.Addr) *PeerActivity {
 	act, ok := a.peers[addr]
@@ -95,7 +125,7 @@ func (a *Aggregate) peer(addr netip.Addr) *PeerActivity {
 // outgoing datagrams (answered or not), as the paper counts "data requests
 // made by our host"; source requests are excluded from peer statistics.
 func (a *Aggregate) DataRequest(peer netip.Addr, at time.Duration) {
-	if peer == a.source {
+	if peer == a.source || a.isEdge(peer) {
 		return
 	}
 	a.peer(peer).Requests++
@@ -106,6 +136,11 @@ func (a *Aggregate) DataMatched(tx capture.Transmission) {
 	if tx.Peer == a.source {
 		a.sourceTx++
 		a.sourceBytes += uint64(tx.Bytes)
+		return
+	}
+	if a.isEdge(tx.Peer) {
+		a.edgeTx++
+		a.edgeBytes += uint64(tx.Bytes)
 		return
 	}
 	cat := resolve(a.resolver, tx.Peer)
@@ -225,6 +260,11 @@ func (a *Aggregate) Merge(o *Aggregate) {
 	}
 	a.sourceTx += o.sourceTx
 	a.sourceBytes += o.sourceBytes
+	a.edgeTx += o.edgeTx
+	a.edgeBytes += o.edgeBytes
+	for addr := range o.edges {
+		a.SetEdges([]netip.Addr{addr})
+	}
 	mergeRT(a.listRT, o.listRT)
 	mergeRT(a.dataRT, o.dataRT)
 	for g, pts := range o.listSeries {
@@ -278,6 +318,8 @@ func (a *Aggregate) Report() *Report {
 		BytesByISP:          make(map[isp.ISP]uint64, len(a.bytesByISP)),
 		SourceTransmissions: a.sourceTx,
 		SourceBytes:         a.sourceBytes,
+		EdgeTransmissions:   a.edgeTx,
+		EdgeBytes:           a.edgeBytes,
 		ListRT:              make(map[isp.Group]RTStats, len(a.listRT)),
 		ListRTSeries:        make(map[isp.Group][]RTPoint, len(a.listSeries)),
 		ListRTSketch:        make(map[isp.Group]*RTSketch, len(a.listRT)),

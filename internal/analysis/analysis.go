@@ -39,6 +39,10 @@ type Input struct {
 	// Source is the channel source address; source traffic is reported
 	// separately because the paper's peer statistics concern client peers.
 	Source netip.Addr
+	// Edges lists the scenario's CDN edge caches, whose transmissions are
+	// infrastructure offload like the source's — reported separately, never
+	// in the peer-locality counters. Empty for pure-P2P traces.
+	Edges []netip.Addr
 	// ProbeISP is the measuring host's own ISP.
 	ProbeISP isp.ISP
 }
@@ -95,6 +99,11 @@ type Report struct {
 	BytesByISP          map[isp.ISP]uint64
 	SourceTransmissions uint64
 	SourceBytes         uint64
+	// EdgeTransmissions/EdgeBytes tally downloads served by CDN edge caches
+	// — the deployment's offload, tallied beside the source and excluded
+	// from the per-ISP peer counters above. Zero in pure-P2P scenarios.
+	EdgeTransmissions uint64
+	EdgeBytes         uint64
 
 	// TrafficLocality is the same-ISP share of downloaded bytes;
 	// PotentialLocality the same-ISP share of returned addresses.
@@ -168,6 +177,7 @@ func resolve(r Resolver, a netip.Addr) isp.ISP {
 // share every accumulation and finalization step.
 func Analyze(in Input) *Report {
 	agg := NewAggregate(in.Resolver, in.Source, in.ProbeISP)
+	agg.SetEdges(in.Edges)
 
 	// Raw outgoing data requests (answered or not), as the paper counts
 	// "data requests made by our host".

@@ -20,6 +20,8 @@ type reportJSON struct {
 	BytesByISP          map[string]uint64 `json:"bytesByIsp"`
 	SourceTransmissions uint64            `json:"sourceTransmissions"`
 	SourceBytes         uint64            `json:"sourceBytes"`
+	EdgeTransmissions   uint64            `json:"edgeTransmissions"`
+	EdgeBytes           uint64            `json:"edgeBytes"`
 
 	TrafficLocality   float64 `json:"trafficLocality"`
 	PotentialLocality float64 `json:"potentialLocality"`
@@ -141,6 +143,8 @@ func (rep *Report) MarshalJSON() ([]byte, error) {
 		BytesByISP:          ispKeys(rep.BytesByISP),
 		SourceTransmissions: rep.SourceTransmissions,
 		SourceBytes:         rep.SourceBytes,
+		EdgeTransmissions:   rep.EdgeTransmissions,
+		EdgeBytes:           rep.EdgeBytes,
 		TrafficLocality:     rep.TrafficLocality,
 		PotentialLocality:   rep.PotentialLocality,
 		ListRT:              rtKeys(rep.ListRT),

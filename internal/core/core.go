@@ -21,6 +21,7 @@ import (
 	"pplivesim/internal/analysis"
 	"pplivesim/internal/asnmap"
 	"pplivesim/internal/capture"
+	"pplivesim/internal/cdn"
 	"pplivesim/internal/fault"
 	"pplivesim/internal/isp"
 	"pplivesim/internal/peer"
@@ -91,6 +92,20 @@ type Scenario struct {
 	// of the paper). Zero value: nobody switches, and no switching-related
 	// RNG draws occur, keeping legacy scenarios bit-identical.
 	Switching workload.Switching
+
+	// FlashCrowd, when enabled, injects an arrival spike on one channel at a
+	// fixed instant: SpikeCount extra viewers per category join within
+	// FlashCrowd.Window of FlashCrowd.At (an event start at a popular
+	// channel). The zero value spawns nobody and draws nothing, keeping
+	// legacy trajectories bit-identical.
+	FlashCrowd workload.FlashCrowd
+
+	// CDN, when non-nil with provisioned placements, deploys per-ISP edge
+	// caches that absorb urgent-window misses before the origin (see
+	// internal/cdn). Nil (or an empty config) deploys nothing and leaves the
+	// pure-P2P trajectory bit-identical — the pinned golden digests enforce
+	// this.
+	CDN *cdn.Config
 
 	Churn     workload.Churn
 	Probes    []ProbeSpec
@@ -238,12 +253,38 @@ func (s *Scenario) Validate() error {
 			return fmt.Errorf("core: scenario %q: flow fidelity contradicts FullFidelityBackground", s.Name)
 		}
 	}
+	if err := s.FlashCrowd.Validate(); err != nil {
+		return fmt.Errorf("core: scenario %q: %w", s.Name, err)
+	}
+	if s.FlashCrowd.Enabled {
+		if s.FlashCrowd.Channel >= len(set) {
+			return fmt.Errorf("core: scenario %q flash crowd targets channel index %d of %d", s.Name, s.FlashCrowd.Channel, len(set))
+		}
+		if s.Fidelity == peer.FidelityFlow {
+			return fmt.Errorf("core: scenario %q: flow fidelity does not support flash crowds", s.Name)
+		}
+	}
+	if err := s.CDN.Validate(); err != nil {
+		return fmt.Errorf("core: scenario %q: %w", s.Name, err)
+	}
 	if s.Faults != nil {
-		if err := s.Faults.Validate(len(set), tracker.Groups, s.WarmUp+s.Watch); err != nil {
+		if err := s.Faults.Validate(len(set), tracker.Groups, s.edgeCount(), s.WarmUp+s.Watch); err != nil {
 			return fmt.Errorf("core: scenario %q: %w", s.Name, err)
 		}
 	}
 	return nil
+}
+
+// edgeCount is the total number of CDN edge caches the scenario deploys.
+func (s *Scenario) edgeCount() int {
+	if s.CDN == nil {
+		return 0
+	}
+	n := 0
+	for _, p := range s.CDN.Placements {
+		n += p.Count
+	}
+	return n
 }
 
 // DefaultTiming fills the standard timing used by the paper-scale
@@ -328,6 +369,21 @@ type Result struct {
 	// per (channel, viewer category) with live swarm members, in channel
 	// then category order. Empty below peer.FidelityFlow.
 	FlowTraffic []*FlowTraffic
+	// Edges lists the CDN edge-cache addresses in deployment order (empty
+	// without a CDN config); EdgeStats carries each edge's serve/shed
+	// counters for offload accounting.
+	Edges     []netip.Addr
+	EdgeStats []EdgeStat
+}
+
+// EdgeStat is one CDN edge cache's identity and serve counters in a
+// completed run.
+type EdgeStat struct {
+	Addr        netip.Addr
+	ISP         isp.ISP
+	Served      uint64
+	ServedBytes uint64
+	Shed        uint64
 }
 
 // ProbeReport finalizes probe i's streaming telemetry into the paper's full
@@ -400,6 +456,12 @@ type Sim struct {
 	sources     []*peer.Source
 	trackerSrvs []trackerRef
 
+	// CDN edge caches with their owning domains (fault targets and result
+	// reporting); edgeAddrs is the same set in deployment order for probe
+	// aggregates. Both empty without a CDN config.
+	edges     []edgeRef
+	edgeAddrs []netip.Addr
+
 	// doms holds per-domain mutable state. During a synchronization window
 	// each domain's worker touches only its own entry; the barriers order
 	// those accesses, so no locks are needed and the totals are deterministic
@@ -444,6 +506,14 @@ type trackerRef struct {
 	srv   *tracker.Server
 	dom   *simnet.Domain
 	group int
+}
+
+// edgeRef is one CDN edge cache with the domain whose worker owns it.
+type edgeRef struct {
+	edge *cdn.Edge
+	dom  *simnet.Domain
+	addr netip.Addr
+	cat  isp.ISP
 }
 
 // trackerGroupISPs places the five tracker groups; the paper locates all
@@ -556,6 +626,36 @@ func Build(sc Scenario) (*Sim, error) {
 		sim.weights = append(sim.weights, float64(ch.Viewers.Total()))
 	}
 
+	// Per-ISP CDN edge caches, in placement order. Edges are infrastructure —
+	// they land in their ISP's infra domain like trackers — and register
+	// every channel with an independent ingest clock (the CDN's private
+	// distribution tree), which is what lets them keep serving through a
+	// source crash. The bootstrap learns each edge with its ISP so playlink
+	// replies can order edges same-ISP-first for the requester.
+	if sc.CDN.Enabled() {
+		bs.SetEdgeResolver(world.Registry)
+		for _, p := range sc.CDN.Placements {
+			for i := 0; i < p.Count; i++ {
+				env, err := infraDomain(p.ISP).Spawn(simnet.HostSpec{ISP: p.ISP, UploadBps: p.Uplink(), ProcDelay: 2 * time.Millisecond})
+				if err != nil {
+					return nil, fmt.Errorf("spawn edge: %w", err)
+				}
+				e := cdn.NewEdge(env)
+				for _, ch := range set {
+					if err := e.AddChannel(ch.Spec); err != nil {
+						return nil, err
+					}
+				}
+				env.SetHandler(e)
+				if err := bs.AddEdge(env.Addr(), p.ISP); err != nil {
+					return nil, err
+				}
+				sim.edges = append(sim.edges, edgeRef{edge: e, dom: env.Domain(), addr: env.Addr(), cat: p.ISP})
+				sim.edgeAddrs = append(sim.edgeAddrs, env.Addr())
+			}
+		}
+	}
+
 	// Background population: per channel, initial arrivals spread over
 	// ArrivalWindow, round-robined across the category's shard domains.
 	// Channels and categories iterate in fixed order and arrival instants
@@ -568,6 +668,7 @@ func Build(sc Scenario) (*Sim, error) {
 		}
 	} else {
 		sim.buildClientPopulation(set)
+		sim.buildFlashCrowd(set)
 	}
 
 	// Probes join at WarmUp, each in its ISP's first domain; slots are
@@ -611,6 +712,43 @@ func (sim *Sim) buildClientPopulation(set []ChannelSpec) {
 				category, chIdx := category, chIdx
 				ds.dom.At(at, func() { sim.spawnViewer(ds, category, chIdx) })
 			}
+		}
+	}
+}
+
+// buildFlashCrowd schedules the arrival spike: at FlashCrowd.At, each shard
+// domain of each category spawns its share of the extra audience, with
+// per-arrival offsets drawn from the owning domain's RNG stream at fire time
+// (like workload.Switching's dwell draws) — never from the build RNG — so
+// the spike trajectory is worker-count invariant.
+func (sim *Sim) buildFlashCrowd(set []ChannelSpec) {
+	fc := sim.scenario.FlashCrowd
+	if !fc.Enabled {
+		return
+	}
+	chIdx := fc.Channel
+	ch := set[chIdx]
+	for _, category := range isp.All() {
+		doms := sim.world.DomainsOf(category)
+		total := fc.SpikeCount(ch.Viewers[category])
+		for j := range doms {
+			// The same round-robin split buildClientPopulation uses: domain j
+			// takes every len(doms)-th arrival.
+			n := total / len(doms)
+			if j < total%len(doms) {
+				n++
+			}
+			if n == 0 {
+				continue
+			}
+			ds := &sim.doms[doms[j].ID()]
+			n, category := n, category
+			ds.dom.At(fc.At, func() {
+				for i := 0; i < n; i++ {
+					off := fc.ArrivalOffset(ds.rng)
+					ds.dom.After(off, func() { sim.spawnViewer(ds, category, chIdx) })
+				}
+			})
 		}
 	}
 }
@@ -736,6 +874,7 @@ func (s *Sim) spawnProbe(ds *domainState, slot int, ps ProbeSpec) error {
 	// datagram straight into the probe's bounded aggregate. The full
 	// recorder — the O(datagrams) Wireshark mode — only when opted in.
 	agg := analysis.NewAggregate(s.world.Registry, ch.Source, ps.ISP)
+	agg.SetEdges(s.edgeAddrs)
 	matcher := capture.NewAggregator(s.trackerAddrs, capture.AggregatorConfig{}, agg)
 	var rec *capture.Recorder
 	if s.scenario.Telemetry == TelemetryFullCapture || ps.FullCapture {
@@ -829,6 +968,11 @@ func (s *Sim) Run() (*Result, error) {
 			faultWindows = append(faultWindows, analysis.FaultWindow{Label: w.Label, Start: w.Start, End: w.End})
 		}
 	}
+	var edgeStats []EdgeStat
+	for _, er := range s.edges {
+		served, bytes, shed := er.edge.Stats()
+		edgeStats = append(edgeStats, EdgeStat{Addr: er.addr, ISP: er.cat, Served: served, ServedBytes: bytes, Shed: shed})
+	}
 	return &Result{
 		Scenario:        sc,
 		Probes:          s.probes,
@@ -843,6 +987,8 @@ func (s *Sim) Run() (*Result, error) {
 		Switches:        switches,
 		Switchers:       switchers,
 		FlowTraffic:     s.flowTotals,
+		Edges:           s.edgeAddrs,
+		EdgeStats:       edgeStats,
 	}, nil
 }
 

@@ -19,6 +19,19 @@ func (s *Sim) installFaults(fs *fault.Schedule) {
 		s.srcDom.At(f.Recover, func() { src.SetDown(false) })
 	}
 
+	// Edge crashes flip the cache's down flag on its owning domain; the
+	// ingest clocks keep running, so a recovered edge is warm immediately.
+	for _, f := range fs.EdgeCrashes {
+		for i, er := range s.edges {
+			if f.Edge >= 0 && i != f.Edge {
+				continue
+			}
+			er, f := er, f
+			er.dom.At(f.At, func() { er.edge.SetDown(true) })
+			er.dom.At(f.Recover, func() { er.edge.SetDown(false) })
+		}
+	}
+
 	for _, f := range fs.TrackerOutages {
 		for _, ref := range s.trackerSrvs {
 			if f.Group >= 0 && ref.group != f.Group {

@@ -60,6 +60,7 @@ func TestStreamingReportParity(t *testing.T) {
 				Resolver: res.Registry,
 				Trackers: res.Trackers,
 				Source:   p.Source,
+				Edges:    res.Edges,
 				ProbeISP: p.ISP,
 			})
 			streaming, err := res.ProbeReport(i)

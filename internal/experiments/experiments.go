@@ -134,6 +134,10 @@ type Runner struct {
 	frontierOnce sync.Once
 	frontier     []FrontierPoint
 	frontierErr  error
+
+	cdnOnce sync.Once
+	cdn     []CDNPoint
+	cdnErr  error
 }
 
 // NewRunner creates a runner with the given scale and base seed.

@@ -246,6 +246,37 @@ func (fw *FigureWriter) WriteFrontier(name, title string, points []FrontierPoint
 	return fw.write(name+"-startup", start)
 }
 
+// WriteCDN renders the hybrid CDN+P2P sweep as two bar figures: the
+// resilience floor (min continuity through the flash crowd and source
+// crash) and the probe's inter-ISP transit bytes, one bar per
+// (policy, deployment) cell.
+func (fw *FigureWriter) WriteCDN(name, title string, points []CDNPoint) error {
+	labels := make([]string, 0, len(points))
+	cont := make([]float64, 0, len(points))
+	transit := make([]float64, 0, len(points))
+	for _, pt := range points {
+		dep := "p2p"
+		if pt.Edges {
+			dep = "+edges"
+		}
+		labels = append(labels, pt.Spec+" "+dep)
+		cont = append(cont, pt.MinContinuity)
+		transit = append(transit, float64(pt.TransitBytes))
+	}
+	cp := plot.New(title+" — resilience floor", "policy / deployment", "min continuity through faults")
+	if err := cp.SetBars(labels, cont); err != nil {
+		return err
+	}
+	if err := fw.write(name+"-min-continuity", cp); err != nil {
+		return err
+	}
+	tp := plot.New(title+" — inter-ISP transit", "policy / deployment", "transit bytes")
+	if err := tp.SetBars(labels, transit); err != nil {
+		return err
+	}
+	return fw.write(name+"-transit", tp)
+}
+
 // WriteAll renders every figure for one probe report under a prefix, e.g.
 // fig2a, fig2c, fig7, fig11b, fig11c, fig15 for the TELE/popular view.
 func (fw *FigureWriter) WriteAll(prefix string, abcTitle string, rep *analysis.Report, rtFig, contribFig, rttFig string) error {

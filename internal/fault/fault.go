@@ -64,6 +64,18 @@ type BurstLoss struct {
 	Loss    float64
 }
 
+// EdgeCrash takes a CDN edge cache down for a window: while down the edge
+// drops every inbound datagram (same UDP crash semantics as SourceCrash).
+// Its out-of-band ingest clock keeps running, so the cache is warm again the
+// moment it recovers.
+type EdgeCrash struct {
+	// Edge is the index into the scenario's edge set in placement order;
+	// -1 crashes every edge (a full CDN outage).
+	Edge    int
+	At      time.Duration
+	Recover time.Duration
+}
+
 // PeerKill abruptly crashes a fraction of the currently-alive background
 // viewers at an instant: no tracker Leaving announce, no goodbye — their
 // entries linger in tracker registries until TTL and in neighbor tables
@@ -85,6 +97,7 @@ type Schedule struct {
 	LinkFaults     []LinkFault
 	BurstLosses    []BurstLoss
 	PeerKills      []PeerKill
+	EdgeCrashes    []EdgeCrash
 
 	// SampleInterval is the probe-side resilience sampling period (continuity
 	// and per-ISP byte counters); zero means DefaultSampleInterval.
@@ -106,13 +119,14 @@ func (s *Schedule) SampleEvery() time.Duration {
 // Empty reports whether the schedule injects no faults at all.
 func (s *Schedule) Empty() bool {
 	return len(s.SourceCrashes) == 0 && len(s.TrackerOutages) == 0 &&
-		len(s.LinkFaults) == 0 && len(s.BurstLosses) == 0 && len(s.PeerKills) == 0
+		len(s.LinkFaults) == 0 && len(s.BurstLosses) == 0 && len(s.PeerKills) == 0 &&
+		len(s.EdgeCrashes) == 0
 }
 
 // Validate checks the schedule against a scenario's shape: channels is the
-// channel count, trackerGroups the tracker group count, and horizon the total
-// simulated time.
-func (s *Schedule) Validate(channels, trackerGroups int, horizon time.Duration) error {
+// channel count, trackerGroups the tracker group count, edges the CDN edge
+// count, and horizon the total simulated time.
+func (s *Schedule) Validate(channels, trackerGroups, edges int, horizon time.Duration) error {
 	window := func(kind string, at, rec time.Duration) error {
 		if at < 0 || rec <= at {
 			return fmt.Errorf("fault: %s window [%s, %s) is empty or negative", kind, at, rec)
@@ -174,6 +188,17 @@ func (s *Schedule) Validate(channels, trackerGroups int, horizon time.Duration) 
 			return fmt.Errorf("fault: peer kill at %s outside the %s horizon", f.At, horizon)
 		}
 	}
+	for _, f := range s.EdgeCrashes {
+		if edges == 0 {
+			return fmt.Errorf("fault: edge crash scheduled but the scenario deploys no edges")
+		}
+		if f.Edge < -1 || f.Edge >= edges {
+			return fmt.Errorf("fault: edge crash targets edge %d of %d", f.Edge, edges)
+		}
+		if err := window("edge crash", f.At, f.Recover); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -215,6 +240,13 @@ func (s *Schedule) Windows() []Window {
 			who = f.ISP.String()
 		}
 		out = append(out, Window{Label: fmt.Sprintf("kill(%s,%.0f%%)", who, 100*f.Fraction), Start: f.At, End: f.At})
+	}
+	for _, f := range s.EdgeCrashes {
+		label := fmt.Sprintf("edge-crash(e%d)", f.Edge)
+		if f.Edge < 0 {
+			label = "edge-crash(all)"
+		}
+		out = append(out, Window{Label: label, Start: f.At, End: f.Recover})
 	}
 	return out
 }

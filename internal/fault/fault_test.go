@@ -23,9 +23,16 @@ func TestValidateRejectsMalformedSchedules(t *testing.T) {
 		{"burst loss out of range", Schedule{BurstLosses: []BurstLoss{{Loss: -0.1, At: time.Minute, Recover: 2 * time.Minute}}}},
 		{"kill fraction out of range", Schedule{PeerKills: []PeerKill{{Fraction: 1.5, At: time.Minute}}}},
 		{"kill beyond horizon", Schedule{PeerKills: []PeerKill{{Fraction: 0.5, At: 11 * time.Minute}}}},
+		{"edge crash out of range", Schedule{EdgeCrashes: []EdgeCrash{{Edge: 3, At: time.Minute, Recover: 2 * time.Minute}}}},
+		{"edge crash with no edges", Schedule{EdgeCrashes: []EdgeCrash{{Edge: -1, At: time.Minute, Recover: 2 * time.Minute}}}},
+		{"edge crash empty window", Schedule{EdgeCrashes: []EdgeCrash{{Edge: 0, At: time.Minute, Recover: time.Minute}}}},
 	}
 	for _, c := range cases {
-		if err := c.s.Validate(2, 2, horizon); err == nil {
+		edges := 0
+		if c.name == "edge crash out of range" || c.name == "edge crash empty window" {
+			edges = 2
+		}
+		if err := c.s.Validate(2, 2, edges, horizon); err == nil {
 			t.Errorf("%s: accepted", c.name)
 		}
 	}
@@ -33,8 +40,19 @@ func TestValidateRejectsMalformedSchedules(t *testing.T) {
 
 func TestValidateAcceptsAllTrackerGroups(t *testing.T) {
 	s := Schedule{TrackerOutages: []TrackerOutage{{Group: -1, At: time.Minute, Recover: 2 * time.Minute}}}
-	if err := s.Validate(1, 3, 10*time.Minute); err != nil {
+	if err := s.Validate(1, 3, 0, 10*time.Minute); err != nil {
 		t.Errorf("Group -1 (all) rejected: %v", err)
+	}
+}
+
+func TestValidateAcceptsAllEdges(t *testing.T) {
+	s := Schedule{EdgeCrashes: []EdgeCrash{{Edge: -1, At: time.Minute, Recover: 2 * time.Minute}}}
+	if err := s.Validate(1, 1, 2, 10*time.Minute); err != nil {
+		t.Errorf("Edge -1 (all) rejected: %v", err)
+	}
+	ws := s.Windows()
+	if len(ws) != 1 || ws[0].Label != "edge-crash(all)" {
+		t.Errorf("Windows() = %+v, want one edge-crash(all)", ws)
 	}
 }
 
@@ -76,7 +94,7 @@ func TestPresetsValidateAndLandInWatch(t *testing.T) {
 		if s.Empty() {
 			t.Errorf("preset %q is empty", name)
 		}
-		if err := s.Validate(1, 1, warmUp+watch); err != nil {
+		if err := s.Validate(1, 1, 0, warmUp+watch); err != nil {
 			t.Errorf("preset %q fails validation: %v", name, err)
 		}
 		for _, w := range s.Windows() {

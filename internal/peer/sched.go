@@ -160,6 +160,13 @@ func (s *session) pickProvider(seq uint64, now time.Duration, urgent bool) *neig
 		if !urgent && !s.rbits.chance(s.env.Rand(), s.c.prefetch16) {
 			return nil
 		}
+		// CDN edges absorb the miss before the origin: walk the playlink's
+		// affinity order (same-ISP edges first) past any edge in busy/timeout
+		// hold-off. Only when no edge can take the request does the pick fall
+		// through to the source — edge-before-source, always.
+		if nb := s.pickEdge(now); nb != nil {
+			return nb
+		}
 		// With the source suspect, mostly route around it — an optimistic
 		// mesh fallback instead of stalling on a dead server — but let every
 		// SourceProbeEvery-th pick through so recovery is noticed promptly.
@@ -191,6 +198,24 @@ func (s *session) pickProvider(seq uint64, now time.Duration, urgent bool) *neig
 		}
 	}
 	return nil // unreachable: k > 0 guarantees a probe hits
+}
+
+// pickEdge returns the first usable CDN edge in the session's affinity
+// order: connected (not purged), not in busy/timeout hold-off, and with a
+// free outstanding slot. Nil when no edges are deployed or none qualify —
+// one nil-slice check on the pure-P2P path.
+func (s *session) pickEdge(now time.Duration) *neighbor {
+	for _, e := range s.edges {
+		nb, ok := s.neighbors[akey(e)]
+		if !ok {
+			continue
+		}
+		if nb.backoffUntil > now || len(nb.outstanding) >= s.cfg.MaxOutstandingPerNeighbor {
+			continue
+		}
+		return nb
+	}
+	return nil
 }
 
 // nthPlanCandidate returns the j-th (0-based) eligible covering neighbor for

@@ -28,6 +28,14 @@ type session struct {
 	phase    Phase
 	source   netip.Addr
 	trackers []netip.Addr
+	// edges lists the CDN edge caches from the playlink in the bootstrap's
+	// affinity order for this client (same-ISP first); edgeSet marks their
+	// packed keys. Edges are pseudo-neighbors exactly like the source — in
+	// the neighbors map but never in the sorted order — so the plan, gossip,
+	// referral, and trim paths all skip them for free. Empty in pure-P2P
+	// deployments, where every edge code path is a no-op.
+	edges   []netip.Addr
+	edgeSet map[uint32]bool
 	// startedAt timestamps the join for the startup-delay metric (time from
 	// first bootstrap contact to the steady-phase transition).
 	startedAt time.Duration
@@ -179,6 +187,9 @@ func (s *session) shutdown(announce bool) {
 	if s.source.IsValid() {
 		s.dropNeighbor(s.source)
 	}
+	for _, e := range s.edges {
+		s.dropNeighbor(e)
+	}
 	s.phase = PhaseStopped
 }
 
@@ -222,6 +233,13 @@ func (s *session) handlePlaylink(m *wire.PlaylinkResponse) {
 	s.inflight = stream.NewBitRing(s.cfg.BufferWindow + drift)
 	s.source = m.Source
 	s.trackers = append([]netip.Addr(nil), m.Trackers...)
+	if len(m.Edges) > 0 {
+		s.edges = append([]netip.Addr(nil), m.Edges...)
+		s.edgeSet = make(map[uint32]bool, len(m.Edges))
+		for _, e := range m.Edges {
+			s.edgeSet[akey(e)] = true
+		}
+	}
 	s.phase = PhaseStartup
 	if s.resilient() {
 		s.trHealth = make([]trackerHealth, len(s.trackers))
@@ -242,8 +260,17 @@ func (s *session) handlePlaylink(m *wire.PlaylinkResponse) {
 			s.env.Every(s.cfg.Resilience.KeepaliveInterval, s.keepaliveTick))
 	}
 
-	// The source is always a data neighbor of last resort.
+	// The source is always a data neighbor of last resort; CDN edges sit in
+	// front of it in the urgent fallback order.
 	s.addNeighbor(m.Source, wire.BufferMap{})
+	for _, e := range s.edges {
+		s.addNeighbor(e, wire.BufferMap{})
+	}
+}
+
+// isEdge reports whether a is one of this session's CDN edge caches.
+func (s *session) isEdge(a netip.Addr) bool {
+	return s.edgeSet != nil && s.edgeSet[akey(a)]
 }
 
 // scheduleTrackerQueries (re)installs the periodic tracker query at the given
@@ -570,7 +597,7 @@ func (s *session) addNeighbor(a netip.Addr, bm wire.BufferMap) *neighbor {
 	}
 	nb.setBuffer(bm, s.env.Now())
 	s.neighbors[akey(a)] = nb
-	if a != s.source {
+	if a != s.source && !s.isEdge(a) {
 		s.sortedInsert(a, nb)
 		s.pushRecent(a)
 	}
@@ -739,7 +766,11 @@ func (s *session) maybeSteady() {
 		return
 	}
 	st := s.buffer.Stats()
-	if st.Received > uint64(s.cfg.BufferWindow/4) && len(s.neighbors) > 2 {
+	// Count real mesh neighbors only: the source and CDN edges sit in the
+	// neighbors map too, but reaching steady phase means the swarm carries
+	// playback, not the infrastructure. (Legacy equivalence: without edges,
+	// len(neighbors) > 2 was exactly len(sortedNbs) >= 2.)
+	if st.Received > uint64(s.cfg.BufferWindow/4) && len(s.sortedNbs) >= 2 {
 		s.phase = PhaseSteady
 		if !s.c.steadySeen {
 			s.c.steadySeen = true
@@ -856,10 +887,11 @@ func (s *session) shuffleBlocks(seqs []uint64, blockSize int) {
 	}
 }
 
-// neighborCovers is covers() with the source treated as holding everything
-// already emitted.
+// neighborCovers is covers() with the source — and CDN edges, whose
+// out-of-band ingest tracks the live edge just like the origin's encoder —
+// treated as holding everything already emitted.
 func (s *session) neighborCovers(nb *neighbor, seq uint64, now time.Duration, rate float64) bool {
-	if nb.addr == s.source {
+	if nb.addr == s.source || s.isEdge(nb.addr) {
 		return seq <= s.spec.EdgeSeq(now)
 	}
 	return nb.covers(seq, now, rate)
@@ -879,6 +911,42 @@ func (s *session) expireRequests(now time.Duration) {
 	if src, ok := s.neighbors[akey(s.source)]; ok {
 		s.expireNeighbor(src, now)
 	}
+	// Backwards: expiring an edge can purge it from s.edges in place.
+	for i := len(s.edges) - 1; i >= 0; i-- {
+		if nb, ok := s.neighbors[akey(s.edges[i])]; ok {
+			s.expireNeighbor(nb, now)
+		}
+	}
+}
+
+// Edge failure handling runs whenever edges are deployed (unlike the opt-in
+// Resilience block): the whole point of an edge is absorbing urgent misses,
+// so a dead or shedding one must leave the urgent path promptly. All delays
+// are fixed or hash-jittered (backoffDelay) — no RNG draws.
+const (
+	// edgeFailThreshold is the consecutive-timeout streak after which an
+	// edge is purged from the session (crashed or unreachable).
+	edgeFailThreshold = 3
+	// edgeBackoffBase/Max bound the per-timeout hold-off before the purge
+	// threshold is reached.
+	edgeBackoffBase = 2 * time.Second
+	edgeBackoffMax  = 30 * time.Second
+	// edgeBusyHoldoff is how long a Busy (shedding) edge is skipped in the
+	// fallback walk, matching the uplink backlog that triggered the shed.
+	edgeBusyHoldoff = 2 * time.Second
+)
+
+// purgeEdge removes a crashed or evicted edge from the session entirely: out
+// of the affinity order, out of the neighbor table, never picked again.
+func (s *session) purgeEdge(a netip.Addr) {
+	for i, e := range s.edges {
+		if e == a {
+			s.edges = append(s.edges[:i], s.edges[i+1:]...)
+			break
+		}
+	}
+	delete(s.edgeSet, akey(a))
+	s.dropNeighbor(a)
 }
 
 func (s *session) expireNeighbor(nb *neighbor, now time.Duration) {
@@ -894,7 +962,22 @@ func (s *session) expireNeighbor(nb *neighbor, now time.Duration) {
 			i++
 		}
 	}
-	if !expired || !s.resilient() {
+	if !expired {
+		return
+	}
+	// Edges back off and eventually purge regardless of the opt-in
+	// Resilience block: unlike a mesh neighbor, an edge sits on the urgent
+	// path by standing appointment, so a dead one must be walked past (next
+	// edge, then the source) and evicted after a short streak.
+	if s.isEdge(nb.addr) {
+		nb.failStreak++
+		nb.backoffUntil = now + backoffDelay(edgeBackoffBase, edgeBackoffMax, nb.failStreak, akey(nb.addr))
+		if nb.failStreak >= edgeFailThreshold {
+			s.purgeEdge(nb.addr)
+		}
+		return
+	}
+	if !s.resilient() {
 		return
 	}
 	// The expired sequences re-enter the want set next tick (retransmission);
@@ -1039,6 +1122,12 @@ func (s *session) handleDataReply(from netip.Addr, m *wire.DataReply) {
 			// twice as slow as usual", steering load away without burying
 			// genuinely fast neighbors.
 			nb.score = ewma(nb.score, 2*score(nb))
+			// A shedding edge gets a short deterministic hold-off so the
+			// urgent fallback walks on to the next edge (then the source)
+			// instead of re-hitting a saturated cache.
+			if s.isEdge(from) {
+				nb.backoffUntil = now + edgeBusyHoldoff
+			}
 		} else {
 			s.c.stats.DataNoHaves++
 		}

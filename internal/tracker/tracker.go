@@ -15,6 +15,7 @@ import (
 	"sort"
 	"time"
 
+	"pplivesim/internal/isp"
 	"pplivesim/internal/node"
 	"pplivesim/internal/selection"
 	"pplivesim/internal/wire"
@@ -224,11 +225,30 @@ type ChannelDirectory struct {
 	TrackerGroups [Groups][]netip.Addr
 }
 
+// EdgeResolver maps a peer address to its ISP category; the bootstrap uses
+// it to order CDN edges by affinity for the requester (asnmap.Registry
+// implements it).
+type EdgeResolver interface {
+	ISPOf(addr netip.Addr) (isp.ISP, bool)
+}
+
+// edgeEntry is one registered CDN edge cache.
+type edgeEntry struct {
+	addr netip.Addr
+	cat  isp.ISP
+}
+
 // Bootstrap is the bootstrap/channel server: first contact for every client.
 type Bootstrap struct {
 	env      node.Env
 	channels map[wire.ChannelID]*ChannelDirectory
 	order    []wire.ChannelID
+
+	// edges lists the deployment's CDN edge caches in registration order;
+	// resolver maps requesters to ISPs so playlink replies can list same-ISP
+	// edges first (the sim's stand-in for CDN DNS request routing).
+	edges    []edgeEntry
+	resolver EdgeResolver
 
 	// Stats.
 	listRequests, playlinkRequests uint64
@@ -243,6 +263,56 @@ func NewBootstrap(env node.Env) *Bootstrap {
 }
 
 var _ node.Handler = (*Bootstrap)(nil)
+
+// SetEdgeResolver installs the requester→ISP resolver used for edge
+// affinity ordering. Without one, edges are listed in registration order for
+// every requester.
+func (b *Bootstrap) SetEdgeResolver(r EdgeResolver) { b.resolver = r }
+
+// AddEdge registers a CDN edge cache located in cat. Edges are global — one
+// cache serves every channel — so registration is not per-channel.
+func (b *Bootstrap) AddEdge(addr netip.Addr, cat isp.ISP) error {
+	if !addr.IsValid() {
+		return fmt.Errorf("tracker: edge address invalid")
+	}
+	if !cat.Valid() {
+		return fmt.Errorf("tracker: edge %s has invalid ISP %d", addr, int(cat))
+	}
+	for _, e := range b.edges {
+		if e.addr == addr {
+			return fmt.Errorf("tracker: edge %s already registered", addr)
+		}
+	}
+	b.edges = append(b.edges, edgeEntry{addr: addr, cat: cat})
+	return nil
+}
+
+// edgesFor returns the deployment's edges ordered for one requester:
+// same-ISP edges first, then the rest, registration order within each tier.
+// The ordering is a pure function of (edges, requester ISP) — no RNG draws —
+// so playlink replies stay deterministic and the bootstrap's random stream
+// is identical with and without a CDN deployment.
+func (b *Bootstrap) edgesFor(from netip.Addr) []netip.Addr {
+	if len(b.edges) == 0 {
+		return nil
+	}
+	var cat isp.ISP
+	if b.resolver != nil {
+		cat, _ = b.resolver.ISPOf(from)
+	}
+	out := make([]netip.Addr, 0, len(b.edges))
+	for _, e := range b.edges {
+		if e.cat == cat {
+			out = append(out, e.addr)
+		}
+	}
+	for _, e := range b.edges {
+		if e.cat != cat {
+			out = append(out, e.addr)
+		}
+	}
+	return out
+}
 
 // AddChannel registers a channel directory entry.
 func (b *Bootstrap) AddChannel(dir ChannelDirectory) error {
@@ -290,6 +360,7 @@ func (b *Bootstrap) HandleMessage(from netip.Addr, msg wire.Message) {
 			Channel:  m.Channel,
 			Source:   dir.Source,
 			Trackers: trackers,
+			Edges:    b.edgesFor(from),
 		})
 	default:
 	}

@@ -1,0 +1,131 @@
+package tracker
+
+import (
+	"net/netip"
+	"testing"
+
+	"pplivesim/internal/isp"
+	"pplivesim/internal/wire"
+)
+
+func TestAddEdgeValidation(t *testing.T) {
+	bs := NewBootstrap(newFakeEnv(7))
+	if err := bs.AddEdge(netip.Addr{}, isp.TELE); err == nil {
+		t.Error("invalid edge address accepted")
+	}
+	if err := bs.AddEdge(netip.AddrFrom4([4]byte{10, 1, 0, 1}), isp.ISP(99)); err == nil {
+		t.Error("invalid edge ISP accepted")
+	}
+	addr := netip.AddrFrom4([4]byte{10, 1, 0, 1})
+	if err := bs.AddEdge(addr, isp.TELE); err != nil {
+		t.Fatal(err)
+	}
+	if err := bs.AddEdge(addr, isp.CNC); err == nil {
+		t.Error("duplicate edge address accepted")
+	}
+}
+
+func TestEdgesForAffinityOrder(t *testing.T) {
+	bs := NewBootstrap(newFakeEnv(7))
+	teleA := netip.AddrFrom4([4]byte{10, 1, 0, 1})
+	cnc := netip.AddrFrom4([4]byte{10, 2, 0, 1})
+	teleB := netip.AddrFrom4([4]byte{10, 1, 0, 2})
+	for _, e := range []struct {
+		addr netip.Addr
+		cat  isp.ISP
+	}{{teleA, isp.TELE}, {cnc, isp.CNC}, {teleB, isp.TELE}} {
+		if err := bs.AddEdge(e.addr, e.cat); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cncRequester := netip.AddrFrom4([4]byte{10, 2, 0, 200})
+
+	// Without a resolver every requester sees registration order.
+	got := bs.edgesFor(cncRequester)
+	want := []netip.Addr{teleA, cnc, teleB}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Errorf("no resolver: edges = %v, want registration order %v", got, want)
+	}
+
+	// With a resolver the requester's own ISP comes first; registration
+	// order holds within each tier.
+	bs.SetEdgeResolver(prefixResolver{})
+	got = bs.edgesFor(cncRequester)
+	want = []netip.Addr{cnc, teleA, teleB}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Errorf("CNC requester: edges = %v, want same-ISP first %v", got, want)
+	}
+
+	// A requester the resolver can't place falls back to registration order.
+	got = bs.edgesFor(netip.AddrFrom4([4]byte{10, 9, 0, 1}))
+	want = []netip.Addr{teleA, cnc, teleB}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Errorf("unresolvable requester: edges = %v, want registration order %v", got, want)
+	}
+}
+
+// TestPlaylinkEdgesAndDrawParity checks the wire plumbing and the
+// determinism contract: a playlink reply carries the affinity-ordered edge
+// list, and building it consumes exactly the same RNG draws as a reply from
+// an edge-free bootstrap — so deploying a CDN cannot perturb the tracker
+// sampling stream legacy goldens depend on.
+func TestPlaylinkEdgesAndDrawParity(t *testing.T) {
+	var groups [Groups][]netip.Addr
+	for g := range groups {
+		groups[g] = []netip.Addr{
+			netip.AddrFrom4([4]byte{61, 128, byte(g), 1}),
+			netip.AddrFrom4([4]byte{61, 128, byte(g), 2}),
+		}
+	}
+	dir := ChannelDirectory{
+		Info:          wire.ChannelInfo{ID: 5, Rating: 777, Name: "CCTV-5"},
+		Source:        netip.AddrFrom4([4]byte{58, 32, 0, 5}),
+		TrackerGroups: groups,
+	}
+	requester := netip.AddrFrom4([4]byte{10, 2, 0, 200})
+
+	build := func(withEdges bool) (*fakeEnv, *Bootstrap) {
+		env := newFakeEnv(7)
+		bs := NewBootstrap(env)
+		if err := bs.AddChannel(dir); err != nil {
+			t.Fatal(err)
+		}
+		if withEdges {
+			bs.SetEdgeResolver(prefixResolver{})
+			if err := bs.AddEdge(netip.AddrFrom4([4]byte{10, 1, 0, 1}), isp.TELE); err != nil {
+				t.Fatal(err)
+			}
+			if err := bs.AddEdge(netip.AddrFrom4([4]byte{10, 2, 0, 1}), isp.CNC); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return env, bs
+	}
+
+	envPlain, bsPlain := build(false)
+	bsPlain.HandleMessage(requester, &wire.PlaylinkRequest{Channel: 5})
+	plain := envPlain.sent[len(envPlain.sent)-1].msg.(*wire.PlaylinkResponse)
+	if len(plain.Edges) != 0 {
+		t.Errorf("edge-free bootstrap returned edges %v", plain.Edges)
+	}
+
+	envCDN, bsCDN := build(true)
+	bsCDN.HandleMessage(requester, &wire.PlaylinkRequest{Channel: 5})
+	resp := envCDN.sent[len(envCDN.sent)-1].msg.(*wire.PlaylinkResponse)
+	if len(resp.Edges) != 2 {
+		t.Fatalf("playlink returned %d edges, want 2", len(resp.Edges))
+	}
+	if resp.Edges[0] != netip.AddrFrom4([4]byte{10, 2, 0, 1}) {
+		t.Errorf("first edge %v, want the requester's same-ISP edge", resp.Edges[0])
+	}
+	if envCDN.src.draws != envPlain.src.draws {
+		t.Errorf("edge reply consumed %d draws vs %d without edges; edge ordering must be RNG-free",
+			envCDN.src.draws, envPlain.src.draws)
+	}
+	// The sampled trackers themselves must be identical draw for draw.
+	for g := range plain.Trackers {
+		if plain.Trackers[g] != resp.Trackers[g] {
+			t.Errorf("group %d tracker differs with edges: %v vs %v", g, resp.Trackers[g], plain.Trackers[g])
+		}
+	}
+}

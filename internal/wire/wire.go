@@ -227,11 +227,16 @@ func (m *PlaylinkRequest) readBody(b []byte) ([]byte, error) {
 }
 
 // PlaylinkResponse returns the channel source and one tracker address per
-// tracker group (the paper observes five groups).
+// tracker group (the paper observes five groups). Deployments with CDN edge
+// caches additionally list the edges serving this channel, ordered by the
+// bootstrap's affinity for the requester (same-ISP edges first); the list is
+// a trailing optional field so deployments without edges keep the legacy
+// encoding byte for byte.
 type PlaylinkResponse struct {
 	Channel  ChannelID
 	Source   netip.Addr   // the channel's stream source
 	Trackers []netip.Addr // one address per tracker group
+	Edges    []netip.Addr // CDN edge caches, requester-affinity order (optional)
 }
 
 // Kind implements Message.
@@ -240,10 +245,20 @@ func (*PlaylinkResponse) Kind() Type { return TPlaylinkResponse }
 func (m *PlaylinkResponse) appendBody(b []byte) []byte {
 	b = binary.BigEndian.AppendUint32(b, uint32(m.Channel))
 	b = appendAddr(b, m.Source)
-	return appendAddrList(b, m.Trackers)
+	b = appendAddrList(b, m.Trackers)
+	if len(m.Edges) > 0 {
+		b = appendAddrList(b, m.Edges)
+	}
+	return b
 }
 
-func (m *PlaylinkResponse) bodySize() int { return 4 + 4 + addrListSize(m.Trackers) }
+func (m *PlaylinkResponse) bodySize() int {
+	n := 4 + 4 + addrListSize(m.Trackers)
+	if len(m.Edges) > 0 {
+		n += addrListSize(m.Edges)
+	}
+	return n
+}
 
 func (m *PlaylinkResponse) readBody(b []byte) ([]byte, error) {
 	v, b, err := readUint32(b)
@@ -254,7 +269,12 @@ func (m *PlaylinkResponse) readBody(b []byte) ([]byte, error) {
 	if m.Source, b, err = readAddr(b); err != nil {
 		return nil, err
 	}
-	m.Trackers, b, err = readAddrList(b)
+	if m.Trackers, b, err = readAddrList(b); err != nil {
+		return nil, err
+	}
+	if len(b) > 0 {
+		m.Edges, b, err = readAddrList(b)
+	}
 	return b, err
 }
 

@@ -41,6 +41,12 @@ func TestRoundTripAllTypes(t *testing.T) {
 			Source:   addr("58.32.0.9"),
 			Trackers: []netip.Addr{addr("61.128.0.1"), addr("60.0.0.1"), addr("59.64.0.1"), addr("61.129.0.1"), addr("60.1.0.1")},
 		},
+		&PlaylinkResponse{
+			Channel:  7,
+			Source:   addr("58.32.0.9"),
+			Trackers: []netip.Addr{addr("61.128.0.1"), addr("60.0.0.1"), addr("59.64.0.1"), addr("61.129.0.1"), addr("60.1.0.1")},
+			Edges:    []netip.Addr{addr("61.200.0.1"), addr("60.200.0.1")},
+		},
 		&TrackerAnnounce{Channel: 7, Leaving: true},
 		&TrackerQuery{Channel: 7},
 		&TrackerResponse{Channel: 7, Peers: []netip.Addr{addr("1.2.3.4"), addr("5.6.7.8")}},
@@ -86,12 +92,55 @@ func normalize(m Message) Message {
 		if len(v.Trackers) == 0 {
 			v.Trackers = nil
 		}
+		if len(v.Edges) == 0 {
+			v.Edges = nil
+		}
 	case *ChannelListResponse:
 		if len(v.Channels) == 0 {
 			v.Channels = nil
 		}
 	}
 	return m
+}
+
+// TestPlaylinkEdgesEncodingCompat pins the backward compatibility of the
+// Edges extension: a response without edges must encode to exactly the
+// pre-extension byte layout (the golden digests hash record sizes, so even
+// one extra length byte would shift them), and the edge list rides as a
+// strictly appended trailing section.
+func TestPlaylinkEdgesEncodingCompat(t *testing.T) {
+	base := &PlaylinkResponse{
+		Channel:  7,
+		Source:   addr("58.32.0.9"),
+		Trackers: []netip.Addr{addr("61.128.0.1"), addr("60.0.0.1")},
+	}
+	edges := []netip.Addr{addr("61.200.0.1"), addr("60.200.0.1")}
+	plain := Marshal(base)
+	withEdges := Marshal(&PlaylinkResponse{Channel: base.Channel, Source: base.Source, Trackers: base.Trackers, Edges: edges})
+
+	if want := len(plain) + 1 + 4*len(edges); len(withEdges) != want {
+		t.Errorf("with-edges encoding is %d bytes, want %d (legacy + 1 count byte + 4 per edge)", len(withEdges), want)
+	}
+	// Bodies: the legacy body must be a strict prefix of the extended one
+	// (the 8-byte header's length field and the CRC trailer differ, of
+	// course). The datagram layout is header | body | crc32.
+	const header, trailer = 8, 4
+	plainBody := plain[header : len(plain)-trailer]
+	extBody := withEdges[header : len(withEdges)-trailer]
+	for i := range plainBody {
+		if extBody[i] != plainBody[i] {
+			t.Fatalf("body byte %d differs: edges must be appended, never reshuffle the legacy layout", i)
+		}
+	}
+
+	// Legacy bytes (no trailing section) decode to a nil edge list.
+	got, err := Unmarshal(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := got.(*PlaylinkResponse); len(resp.Edges) != 0 {
+		t.Errorf("legacy encoding decoded with edges %v", resp.Edges)
+	}
 }
 
 func TestDataReplyWireSizeIncludesPayload(t *testing.T) {

@@ -212,6 +212,95 @@ func (s Switching) Next(rng *rand.Rand, weights []float64, cur int) int {
 	return cur
 }
 
+// FlashCrowd configures an arrival spike at a channel's event start: a
+// popular program begins and a burst of extra viewers joins within a short
+// window, the load shape the locality literature warns inverts steady-state
+// savings. Like Switching, the zero value is fully off and costs no RNG
+// draws, so scenarios without a spike keep their pre-flash-crowd
+// trajectories bit for bit.
+type FlashCrowd struct {
+	// Enabled turns the spike on.
+	Enabled bool
+	// Channel is the scenario channel index (not wire ID) the spike targets.
+	Channel int
+	// At is the event start: spike arrivals begin at this instant.
+	At time.Duration
+	// Multiplier sizes the spike: the burst adds Multiplier × the base
+	// steady-state population (10 means a 10× arrival spike). The per-ISP
+	// burst counts are a deterministic function of the base population — no
+	// RNG — so only arrival instants draw randomness.
+	Multiplier float64
+	// Window is the interval the spike arrivals spread over; offsets are
+	// drawn front-loaded (truncated exponential) so the burst peaks at the
+	// event start like a real tune-in wave.
+	Window time.Duration
+}
+
+// DefaultFlashCrowd is the paper-motivated stress case: a 10× arrival spike
+// packed into the two minutes after the event starts.
+func DefaultFlashCrowd(at time.Duration) FlashCrowd {
+	return FlashCrowd{
+		Enabled:    true,
+		Channel:    0,
+		At:         at,
+		Multiplier: 10,
+		Window:     2 * time.Minute,
+	}
+}
+
+// Validate checks the parameters (only when enabled).
+func (f FlashCrowd) Validate() error {
+	if !f.Enabled {
+		return nil
+	}
+	if f.Channel < 0 {
+		return fmt.Errorf("workload: flash-crowd channel %d negative", f.Channel)
+	}
+	if f.At < 0 {
+		return fmt.Errorf("workload: flash-crowd start %v negative", f.At)
+	}
+	if f.Multiplier <= 0 {
+		return fmt.Errorf("workload: flash-crowd multiplier %v not positive", f.Multiplier)
+	}
+	if f.Window <= 0 {
+		return fmt.Errorf("workload: flash-crowd window %v not positive", f.Window)
+	}
+	return nil
+}
+
+// SpikeCount returns the number of spike arrivals for an ISP whose base
+// steady-state population is base: a deterministic rounding of Multiplier ×
+// base, so worker partitioning can never change how many viewers each shard
+// spawns.
+func (f FlashCrowd) SpikeCount(base int) int {
+	if !f.Enabled || base <= 0 {
+		return 0
+	}
+	return int(math.Round(f.Multiplier * float64(base)))
+}
+
+// ArrivalOffset draws one spike arrival's offset past At: truncated
+// exponential with mean Window/3, clipped to [0, Window), front-loading the
+// burst at the event start. Callers must pass the owning shard's RNG stream
+// so the spike is worker-count invariant.
+func (f FlashCrowd) ArrivalOffset(rng *rand.Rand) time.Duration {
+	d := time.Duration(rng.ExpFloat64() * float64(f.Window) / 3)
+	if d >= f.Window {
+		d = f.Window - 1
+	}
+	return d
+}
+
+// DiurnalFactor returns the within-day population multiplier at time-of-day
+// tod: a smooth curve with a prime-time evening peak (21:00, factor 1.0) and
+// an early-morning trough (09:00 local in the traces' terms, factor 0.4).
+// Composes with DayFactor/ForeignDayFactor for the 28-day generator: day
+// factors set the day's amplitude, this shapes the hours within it.
+func DiurnalFactor(tod time.Duration) float64 {
+	h := math.Mod(tod.Hours(), 24)
+	return 0.7 + 0.3*math.Cos(2*math.Pi*(h-21)/24)
+}
+
 // UploadCapacity draws an access uplink capacity (bytes/sec) for a viewer in
 // the given ISP: 2008-era residential ADSL in China (512 kbit/s – 1 Mbit/s
 // up), campus connectivity on CERNET, and residential broadband abroad

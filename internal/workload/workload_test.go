@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -181,5 +182,84 @@ func TestPropertyScaleBounds(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(9))}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestFlashCrowdValidate(t *testing.T) {
+	if err := (FlashCrowd{}).Validate(); err != nil {
+		t.Errorf("disabled zero value invalid: %v", err)
+	}
+	if err := DefaultFlashCrowd(10 * time.Minute).Validate(); err != nil {
+		t.Errorf("default flash crowd invalid: %v", err)
+	}
+	cases := []FlashCrowd{
+		{Enabled: true, Channel: -1, At: time.Minute, Multiplier: 10, Window: time.Minute},
+		{Enabled: true, At: -time.Second, Multiplier: 10, Window: time.Minute},
+		{Enabled: true, At: time.Minute, Multiplier: 0, Window: time.Minute},
+		{Enabled: true, At: time.Minute, Multiplier: 10, Window: 0},
+	}
+	for i, f := range cases {
+		if err := f.Validate(); err == nil {
+			t.Errorf("case %d: invalid flash crowd accepted: %+v", i, f)
+		}
+	}
+}
+
+func TestFlashCrowdSpikeCount(t *testing.T) {
+	f := DefaultFlashCrowd(10 * time.Minute)
+	if got := f.SpikeCount(720); got != 7200 {
+		t.Errorf("SpikeCount(720) = %d, want 7200", got)
+	}
+	if got := f.SpikeCount(0); got != 0 {
+		t.Errorf("SpikeCount(0) = %d, want 0", got)
+	}
+	if got := (FlashCrowd{}).SpikeCount(720); got != 0 {
+		t.Errorf("disabled SpikeCount = %d, want 0", got)
+	}
+	// Deterministic: no RNG anywhere in the sizing.
+	if f.SpikeCount(45) != f.SpikeCount(45) {
+		t.Error("SpikeCount not deterministic")
+	}
+}
+
+func TestFlashCrowdArrivalOffsetFrontLoaded(t *testing.T) {
+	f := DefaultFlashCrowd(10 * time.Minute)
+	rng := rand.New(rand.NewSource(7))
+	firstHalf := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		off := f.ArrivalOffset(rng)
+		if off < 0 || off >= f.Window {
+			t.Fatalf("offset %v outside [0, %v)", off, f.Window)
+		}
+		if off < f.Window/2 {
+			firstHalf++
+		}
+	}
+	// Truncated exponential with mean Window/3: well over half the arrivals
+	// land in the first half of the window.
+	if frac := float64(firstHalf) / n; frac < 0.7 {
+		t.Errorf("first-half arrival share = %v, want front-loaded (>0.7)", frac)
+	}
+}
+
+func TestDiurnalFactor(t *testing.T) {
+	peak := DiurnalFactor(21 * time.Hour)
+	trough := DiurnalFactor(9 * time.Hour)
+	if math.Abs(peak-1.0) > 1e-9 {
+		t.Errorf("prime-time factor = %v, want 1.0", peak)
+	}
+	if math.Abs(trough-0.4) > 1e-9 {
+		t.Errorf("morning trough = %v, want 0.4", trough)
+	}
+	// 24h periodic and always positive.
+	for h := 0; h < 48; h++ {
+		tod := time.Duration(h) * time.Hour
+		if got := DiurnalFactor(tod); got <= 0 || got > 1.0+1e-9 {
+			t.Errorf("DiurnalFactor(%dh) = %v outside (0, 1]", h, got)
+		}
+		if d := DiurnalFactor(tod) - DiurnalFactor(tod+24*time.Hour); math.Abs(d) > 1e-9 {
+			t.Errorf("not 24h periodic at %dh: delta %v", h, d)
+		}
 	}
 }
